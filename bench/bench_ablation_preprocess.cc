@@ -1,0 +1,65 @@
+// Ablation: the contribution of each preprocessing step (Algorithm 1) to
+// solution cost and running time of the general solver, on the P-like and
+// synthetic workloads. DESIGN.md calls out the per-step design choices;
+// this bench quantifies them.
+#include "bench/bench_util.h"
+#include "data/private_dataset.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace mc3;
+using namespace mc3::bench;
+
+void RunAblation(const std::string& name, const Instance& instance) {
+  struct Config {
+    const char* label;
+    bool preprocess;
+    bool step1, step3, step4, step2;
+  };
+  const Config configs[] = {
+      {"none", false, false, false, false, false},
+      {"step1 only (forced singletons)", true, true, false, false, false},
+      {"step1+2 (partition)", true, true, false, false, true},
+      {"step1+2+3 (decompositions)", true, true, true, false, true},
+      {"full (all four steps)", true, true, true, true, true},
+  };
+  TablePrinter table({"configuration", "cost", "time (s)", "components"});
+  for (const Config& config : configs) {
+    SolverOptions options;
+    options.preprocess = config.preprocess;
+    options.preprocess_options.step1_forced_singletons = config.step1;
+    options.preprocess_options.step3_decompositions = config.step3;
+    options.preprocess_options.step4_k2_singleton_prune = config.step4;
+    options.preprocess_options.step2_partition = config.step2;
+    const GeneralSolver solver(options);
+    Timer timer;
+    auto result = solver.Solve(instance);
+    const double seconds = timer.Seconds();
+    if (!result.ok()) {
+      table.AddRow({config.label, "error", "-", "-"});
+      continue;
+    }
+    table.AddRow({config.label, TablePrinter::Num(result->cost, 0),
+                  TablePrinter::Num(seconds, 3),
+                  std::to_string(result->num_components)});
+  }
+  PrintHeader("Preprocessing ablation: " + name);
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  data::PrivateConfig p_config;
+  p_config.electronics_queries = Scaled(2000);
+  p_config.home_garden_queries = Scaled(1500);
+  p_config.fashion_queries = Scaled(500);
+  RunAblation("P-like dataset",
+              data::GeneratePrivate(p_config).instance);
+
+  data::SyntheticConfig s_config;
+  s_config.num_queries = Scaled(4000);
+  RunAblation("synthetic dataset", data::GenerateSynthetic(s_config));
+  return 0;
+}

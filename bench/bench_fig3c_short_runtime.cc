@@ -1,0 +1,68 @@
+// Figure 3c: running time of MC3[S] on the synthetic dataset (restricted to
+// its short queries), with and without the preprocessing step, versus the
+// number of queries. The paper reports preprocessing saving ~85% of the
+// running time; solution cost is unaffected (the solver is exact either
+// way).
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace mc3;
+  using namespace mc3::bench;
+
+  PrintHeader("Figure 3c: synthetic, k=2, runtime with/without preprocessing");
+
+  // The k = 2 solver needs a k <= 2 workload: generate the synthetic
+  // dataset and keep its length-2 queries (half the load by construction).
+  // Both arms time the algorithm alone (no defensive verification, no
+  // post-pass), matching the paper's methodology.
+  SolverOptions with_options;
+  with_options.prune_unused = false;
+  with_options.verify_solution = false;
+  SolverOptions without_options;
+  without_options.preprocess = false;
+  without_options.prune_unused = false;
+  without_options.verify_solution = false;
+  const K2ExactSolver with_prep(with_options);
+  const K2ExactSolver without_prep(without_options);
+
+  TablePrinter table({"#queries", "no-prep time (s)", "prep time (s)",
+                      "time saved", "cost (identical)"});
+  for (size_t n : SubsetSizes(Scaled(50000))) {
+    // Fresh instance per point (the paper regenerates per experiment),
+    // restricted to its length <= 2 queries.
+    data::SyntheticConfig config;
+    config.num_queries = n * 2;  // about half the queries have length 2
+    config.seed = n * 3 + 2;
+    const Instance full = data::GenerateSynthetic(config);
+    std::vector<size_t> short_idx;
+    for (size_t i = 0; i < full.NumQueries(); ++i) {
+      if (full.queries()[i].size() <= 2) short_idx.push_back(i);
+    }
+    const Instance sub = SubInstance(full, short_idx);
+    const size_t actual_n = sub.NumQueries();
+    (void)actual_n;
+    const RunOutcome without = RunSolverBest(without_prep, sub, 5);
+    const RunOutcome with = RunSolverBest(with_prep, sub, 5);
+    const double saved =
+        without.seconds > 0
+            ? 100.0 * (1.0 - with.seconds / without.seconds)
+            : 0;
+    if (with.ok && without.ok && with.cost != without.cost) {
+      std::fprintf(stderr,
+                   "ERROR: preprocessing changed the optimal cost "
+                   "(%f vs %f) at n=%zu\n",
+                   with.cost, without.cost, n);
+      return 1;
+    }
+    table.AddRow({std::to_string(sub.NumQueries()), TablePrinter::Num(without.seconds, 3),
+                  TablePrinter::Num(with.seconds, 3),
+                  TablePrinter::Num(saved, 1) + "%",
+                  TablePrinter::Num(with.cost, 0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper shape: preprocessing saves a large fraction (~85%%) of the\n"
+      "running time; the optimal cost is identical by Theorem 4.1.\n");
+  return 0;
+}

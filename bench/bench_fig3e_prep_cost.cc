@@ -1,0 +1,47 @@
+// Figure 3e: construction cost achieved by MC3[G] on the synthetic dataset
+// with and without the preprocessing step, versus the number of queries.
+// The paper reports preprocessing saving ~35% of construction cost in the
+// general case (it removes dominated classifiers the greedy/f-approx would
+// otherwise pick, and forces provably-optimal selections).
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace mc3;
+  using namespace mc3::bench;
+
+  PrintHeader("Figure 3e: synthetic, general case, cost with/without prep");
+
+  // The paper regenerates the synthetic dataset for each experiment; a
+  // fresh instance is drawn per point (the property pool scales with n).
+  // prune_unused is disabled on both arms so the bench isolates the effect
+  // of Algorithm 1, as in the paper (which has no post-pass).
+  SolverOptions with_options;
+  with_options.prune_unused = false;
+  SolverOptions without_options;
+  without_options.preprocess = false;
+  without_options.prune_unused = false;
+  const GeneralSolver with_prep(with_options);
+  const GeneralSolver without_prep(without_options);
+
+  TablePrinter table(
+      {"#queries", "no-prep cost", "prep cost", "cost saved"});
+  for (size_t n : SubsetSizes(Scaled(10000))) {
+    data::SyntheticConfig config;
+    config.num_queries = n;
+    config.seed = n * 5 + 7;
+    const Instance sub = data::GenerateSynthetic(config);
+    const RunOutcome without = RunSolver(without_prep, sub);
+    const RunOutcome with = RunSolver(with_prep, sub);
+    const double saved =
+        without.cost > 0 ? 100.0 * (1.0 - with.cost / without.cost) : 0;
+    table.AddRow({std::to_string(n), TablePrinter::Num(without.cost, 0),
+                  TablePrinter::Num(with.cost, 0),
+                  TablePrinter::Num(saved, 1) + "%"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper shape: preprocessing reduces the construction cost of the\n"
+      "approximate solution (~35%% reported).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Micro-benchmark (google-benchmark): the max-flow engines on the bipartite
+// networks Algorithm 2 actually produces, supporting the paper's Section 6
+// discussion of bipartite max-flow algorithm choice (Dinic [10] won).
+#include <benchmark/benchmark.h>
+
+#include "core/instance_util.h"
+#include "core/k2_solver.h"
+#include "data/synthetic.h"
+#include "flow/bipartite_vertex_cover.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mc3;
+
+/// Builds a bipartite WVC instance shaped like the k = 2 reduction: left =
+/// properties, right = queries, two edges per right vertex.
+flow::BipartiteVcInstance MakeReductionShapedInstance(int num_queries,
+                                                      uint64_t seed) {
+  Rng rng(seed);
+  const int num_props = std::max(2, num_queries / 4);
+  flow::BipartiteVcInstance inst;
+  for (int i = 0; i < num_props; ++i) {
+    inst.left_weights.push_back(1 + double(rng.UniformInt(0, 49)));
+  }
+  for (int r = 0; r < num_queries; ++r) {
+    inst.right_weights.push_back(1 + double(rng.UniformInt(0, 49)));
+    const auto a = static_cast<int32_t>(rng.UniformInt(0, num_props - 1));
+    auto b = static_cast<int32_t>(rng.UniformInt(0, num_props - 1));
+    if (b == a) b = (b + 1) % num_props;
+    inst.edges.emplace_back(a, static_cast<int32_t>(r));
+    inst.edges.emplace_back(b, static_cast<int32_t>(r));
+  }
+  return inst;
+}
+
+void BM_BipartiteVc(benchmark::State& state, flow::MaxFlowAlgorithm algo) {
+  const auto instance = MakeReductionShapedInstance(
+      static_cast<int>(state.range(0)), /*seed=*/42);
+  for (auto _ : state) {
+    auto solution = flow::SolveBipartiteVertexCover(instance, algo);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Dinic(benchmark::State& state) {
+  BM_BipartiteVc(state, flow::MaxFlowAlgorithm::kDinic);
+}
+void BM_PushRelabel(benchmark::State& state) {
+  BM_BipartiteVc(state, flow::MaxFlowAlgorithm::kPushRelabel);
+}
+void BM_EdmondsKarp(benchmark::State& state) {
+  BM_BipartiteVc(state, flow::MaxFlowAlgorithm::kEdmondsKarp);
+}
+
+BENCHMARK(BM_Dinic)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PushRelabel)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_EdmondsKarp)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+
+/// End-to-end Algorithm 2 with each engine on a synthetic k = 2 slice.
+void BM_K2EndToEnd(benchmark::State& state, flow::MaxFlowAlgorithm algo) {
+  data::SyntheticConfig config;
+  config.num_queries = 4000;
+  const Instance full = data::GenerateSynthetic(config);
+  std::vector<size_t> short_idx;
+  for (size_t i = 0; i < full.NumQueries(); ++i) {
+    if (full.queries()[i].size() <= 2) short_idx.push_back(i);
+  }
+  const Instance instance = SubInstance(full, short_idx);
+  SolverOptions options;
+  options.max_flow = algo;
+  const K2ExactSolver solver(options);
+  for (auto _ : state) {
+    auto result = solver.Solve(instance);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_K2Dinic(benchmark::State& state) {
+  BM_K2EndToEnd(state, flow::MaxFlowAlgorithm::kDinic);
+}
+void BM_K2PushRelabel(benchmark::State& state) {
+  BM_K2EndToEnd(state, flow::MaxFlowAlgorithm::kPushRelabel);
+}
+
+BENCHMARK(BM_K2Dinic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_K2PushRelabel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Micro-benchmark (google-benchmark): the Weighted Set Cover engines inside
+// Algorithm 3 — naive greedy vs the lazy-heap greedy [9], the primal-dual
+// f-approximation, and LP rounding on small instances.
+#include <benchmark/benchmark.h>
+
+#include "setcover/greedy.h"
+#include "setcover/instance.h"
+#include "setcover/lp_rounding.h"
+#include "setcover/primal_dual.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mc3;
+using namespace mc3::setcover;
+
+WscInstance MakeWsc(int num_elements, int num_sets, uint64_t seed) {
+  Rng rng(seed);
+  WscInstance inst;
+  inst.num_elements = num_elements;
+  for (int i = 0; i < num_sets; ++i) {
+    WscSet s;
+    const int size = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    std::vector<bool> used(num_elements, false);
+    for (int j = 0; j < size; ++j) {
+      const auto e = static_cast<ElementId>(rng.UniformInt(0, num_elements - 1));
+      if (!used[e]) {
+        used[e] = true;
+        s.elements.push_back(e);
+      }
+    }
+    std::sort(s.elements.begin(), s.elements.end());
+    s.cost = 1 + double(rng.UniformInt(0, 49));
+    inst.sets.push_back(std::move(s));
+  }
+  // Feasibility: every element in at least one singleton set.
+  for (ElementId e = 0; e < num_elements; ++e) {
+    inst.sets.push_back(WscSet{{e}, 25});
+  }
+  return inst;
+}
+
+void BM_GreedyLazyHeap(benchmark::State& state) {
+  const WscInstance inst =
+      MakeWsc(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)) * 2, 7);
+  for (auto _ : state) {
+    auto solution = SolveGreedy(inst);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+
+void BM_GreedyNaive(benchmark::State& state) {
+  const WscInstance inst =
+      MakeWsc(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)) * 2, 7);
+  for (auto _ : state) {
+    auto solution = SolveGreedyNaive(inst);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+
+void BM_PrimalDual(benchmark::State& state) {
+  const WscInstance inst =
+      MakeWsc(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)) * 2, 7);
+  for (auto _ : state) {
+    auto solution = SolvePrimalDual(inst);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+
+void BM_LpRounding(benchmark::State& state) {
+  const WscInstance inst =
+      MakeWsc(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)) * 2, 7);
+  for (auto _ : state) {
+    auto solution = SolveLpRounding(inst);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+
+BENCHMARK(BM_GreedyLazyHeap)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_GreedyNaive)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrimalDual)->Arg(100)->Arg(1000)->Arg(10000)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_LpRounding)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 1: "The datasets used in the experiments" — one row per dataset
+// (#queries, max cost, max length), extended with the additional marginals
+// the paper quotes in prose (fraction of short queries, #classifiers,
+// incidence).
+#include "bench/bench_util.h"
+#include "core/stats.h"
+#include "data/bestbuy.h"
+#include "data/private_dataset.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace mc3;
+  using namespace mc3::bench;
+
+  PrintHeader("Table 1: datasets");
+
+  data::BestBuyConfig bb_config;
+  bb_config.num_queries = Scaled(1000);
+  const Instance bb = data::GenerateBestBuy(bb_config);
+
+  data::PrivateConfig p_config;
+  p_config.electronics_queries = Scaled(5500);
+  p_config.home_garden_queries = Scaled(3500);
+  p_config.fashion_queries = Scaled(1000);
+  const data::PrivateDataset p = data::GeneratePrivate(p_config);
+
+  data::SyntheticConfig s_config;
+  // Full paper size is 100,000; default bench size keeps the binary fast on
+  // one core (MC3_BENCH_SCALE=10 restores the paper's size).
+  s_config.num_queries = Scaled(10000);
+  const Instance s = data::GenerateSynthetic(s_config);
+
+  TablePrinter table({"Dataset", "# of queries", "Max cost", "Max length",
+                      "% len<=2", "# classifiers", "incidence I"});
+  const auto add = [&](const std::string& name, const Instance& inst) {
+    const InstanceStats stats = ComputeStats(inst);
+    table.AddRow({name, std::to_string(stats.num_queries),
+                  TablePrinter::Num(stats.max_cost, 0),
+                  std::to_string(stats.max_query_length),
+                  TablePrinter::Num(100 * stats.fraction_short, 1),
+                  std::to_string(stats.num_classifiers),
+                  std::to_string(stats.incidence)});
+  };
+  add("BestBuy (BB)", bb);
+  add("Private (P)", p.instance);
+  add("Synthetic (S)", s);
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper reference: BB 1000 queries / max cost 1 / max length 4;\n"
+      "                 P 10,000 / 63 / 5-6;  S 100,000 / 50 / 10.\n"
+      "(Set MC3_BENCH_SCALE=10 for the paper's synthetic size.)\n");
+  return 0;
+}

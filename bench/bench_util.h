@@ -1,0 +1,92 @@
+// Shared harness utilities for the figure/table reproduction binaries.
+//
+// Each bench binary regenerates one table or figure of the paper's Section 6
+// and prints the corresponding rows/series. Sizes can be scaled with the
+// MC3_BENCH_SCALE environment variable (a positive double; default 1.0 keeps
+// each binary's default workload, values > 1 approach the paper's full
+// sizes, values < 1 give a quick smoke run).
+#ifndef MC3_BENCH_BENCH_UTIL_H_
+#define MC3_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mc3.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace mc3::bench {
+
+/// Scale factor from MC3_BENCH_SCALE (default 1.0, clamped to [0.01, 100]).
+inline double Scale() {
+  const char* env = std::getenv("MC3_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v < 0.01) return 0.01;
+  if (v > 100) return 100;
+  return v;
+}
+
+/// Applies the scale to a base size, keeping at least `min_size`.
+inline size_t Scaled(size_t base, size_t min_size = 10) {
+  const auto scaled = static_cast<size_t>(static_cast<double>(base) * Scale());
+  return scaled < min_size ? min_size : scaled;
+}
+
+/// Runs `solver` on `instance`, returning (cost, wall seconds). Prints a
+/// diagnostic and returns infinite cost on error.
+struct RunOutcome {
+  Cost cost = kInfiniteCost;
+  double seconds = 0;
+  bool ok = false;
+};
+
+inline RunOutcome RunSolver(const Solver& solver, const Instance& instance) {
+  Timer timer;
+  auto result = solver.Solve(instance);
+  RunOutcome outcome;
+  outcome.seconds = timer.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "[%s] solve failed: %s\n", solver.Name().c_str(),
+                 result.status().ToString().c_str());
+    return outcome;
+  }
+  outcome.cost = result->cost;
+  outcome.ok = true;
+  return outcome;
+}
+
+/// Runs `solver` `reps` times, returning the best (minimum) wall time with
+/// the (identical) cost — the standard way to de-noise timing runs.
+inline RunOutcome RunSolverBest(const Solver& solver, const Instance& instance,
+                                int reps) {
+  RunOutcome best;
+  for (int i = 0; i < reps; ++i) {
+    const RunOutcome run = RunSolver(solver, instance);
+    if (!run.ok) return run;
+    if (!best.ok || run.seconds < best.seconds) best = run;
+  }
+  return best;
+}
+
+/// Nested query-subset cardinalities used as the x axis of Figure 3 panels:
+/// fractions of the full load, ending at the full load.
+inline std::vector<size_t> SubsetSizes(size_t total) {
+  std::vector<size_t> sizes;
+  for (double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const auto n = static_cast<size_t>(fraction * static_cast<double>(total));
+    if (n >= 2 && (sizes.empty() || n > sizes.back())) sizes.push_back(n);
+  }
+  return sizes;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("=== %s ===\n", title.c_str());
+}
+
+}  // namespace mc3::bench
+
+#endif  // MC3_BENCH_BENCH_UTIL_H_

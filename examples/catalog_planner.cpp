@@ -1,0 +1,119 @@
+// catalog_planner: a classifier construction planner for a query workload
+// stored in CSV.
+//
+// Usage:
+//   catalog_planner <workload.csv>        plan for an existing workload
+//   catalog_planner --demo <out.csv>      write a small demo workload, then
+//                                         plan for it
+//
+// CSV dialect (see src/data/io.h):
+//   Q,<prop>,<prop>,...          one row per query
+//   C,<cost>,<prop>,<prop>,...   one row per priced classifier
+//
+// The planner validates the workload, runs Algorithm 1 + the appropriate
+// solver (exact when every query is short, Algorithm 3 otherwise), and
+// prints the classifier construction plan with per-query explanations.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/mc3.h"
+#include "data/io.h"
+
+namespace {
+
+using namespace mc3;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+const char kDemoWorkload[] =
+    "# demo workload: laptops\n"
+    "Q,gaming,laptop\n"
+    "Q,apple,laptop\n"
+    "Q,apple,laptop,refurbished\n"
+    "Q,lightweight\n"
+    "C,8,gaming\n"
+    "C,3,laptop\n"
+    "C,9,apple\n"
+    "C,2,lightweight\n"
+    "C,5,refurbished\n"
+    "C,6,gaming,laptop\n"
+    "C,4,apple,laptop\n"
+    "C,3,apple,refurbished\n"
+    "C,9,apple,laptop,refurbished\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
+    path = argv[2];
+    FILE* out = std::fopen(path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(kDemoWorkload, 1, sizeof(kDemoWorkload) - 1, out);
+    std::fclose(out);
+    std::printf("wrote demo workload to %s\n", path.c_str());
+  } else if (argc == 2) {
+    path = argv[1];
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s <workload.csv>\n"
+                 "       %s --demo <out.csv>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  auto instance = data::LoadInstance(path);
+  if (!instance.ok()) return Fail(instance.status());
+
+  const InstanceStats stats = ComputeStats(*instance);
+  std::printf("workload: %zu queries, %zu properties, %zu priced "
+              "classifiers, max query length %zu\n",
+              stats.num_queries, stats.num_properties, stats.num_classifiers,
+              stats.max_query_length);
+  if (!stats.feasible) {
+    std::fprintf(stderr,
+                 "workload is infeasible: some query cannot be covered by "
+                 "the priced classifiers\n");
+    return 1;
+  }
+
+  // Exact when everything is short; Algorithm 3 otherwise.
+  Result<SolveResult> result = Status::Internal("unset");
+  if (stats.max_query_length <= 2) {
+    std::printf("all queries are short: using the exact k=2 solver\n");
+    result = K2ExactSolver().Solve(*instance);
+  } else {
+    std::printf("long queries present: using the approximation solver\n");
+    result = GeneralSolver().Solve(*instance);
+  }
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("\n=== construction plan (total cost %.2f) ===\n",
+              result->cost);
+  for (const PropertySet& c : result->solution.Sorted()) {
+    std::printf("  train classifier [%s]  (cost %.2f)\n",
+                c.ToString(instance->property_names()).c_str(),
+                instance->CostOf(c));
+  }
+
+  std::printf("\n=== per-query evaluation plan ===\n");
+  const CoverageReport report = VerifyCoverage(*instance, result->solution);
+  for (size_t qi = 0; qi < instance->NumQueries(); ++qi) {
+    std::printf("  %s <- AND of:",
+                instance->queries()[qi]
+                    .ToString(instance->property_names())
+                    .c_str());
+    for (const PropertySet& c : report.witnesses[qi]) {
+      std::printf(" [%s]", c.ToString(instance->property_names()).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

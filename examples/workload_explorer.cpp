@@ -1,0 +1,100 @@
+// workload_explorer: generates the three reconstructed datasets of the
+// paper's evaluation (BestBuy-like, Private-like, Synthetic), prints their
+// Table-1 statistics, and compares every applicable solver on each.
+//
+// Usage: workload_explorer [scale]
+//   scale (default 0.2) multiplies dataset sizes; 1.0 = Table 1 sizes for
+//   BB/P (the synthetic dataset defaults to 10k even at scale 1).
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/mc3.h"
+#include "data/bestbuy.h"
+#include "data/private_dataset.h"
+#include "data/synthetic.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mc3;
+
+void Explore(const std::string& name, const Instance& instance,
+             bool uniform_costs) {
+  const InstanceStats stats = ComputeStats(instance);
+  std::printf(
+      "\n=== %s ===\n"
+      "queries: %zu   properties: %zu   classifiers: %zu\n"
+      "max length: %zu   short queries: %.1f%%   costs: [%.0f, %.0f]   "
+      "incidence: %zu\n",
+      name.c_str(), stats.num_queries, stats.num_properties,
+      stats.num_classifiers, stats.max_query_length,
+      100 * stats.fraction_short, stats.min_cost, stats.max_cost,
+      stats.incidence);
+
+  std::vector<std::unique_ptr<Solver>> solvers;
+  const bool all_short = stats.max_query_length <= 2;
+  if (all_short) {
+    solvers.push_back(std::make_unique<K2ExactSolver>());
+    if (uniform_costs) solvers.push_back(std::make_unique<MixedSolver>());
+  } else {
+    solvers.push_back(std::make_unique<GeneralSolver>());
+    solvers.push_back(std::make_unique<ShortFirstSolver>());
+    solvers.push_back(std::make_unique<LocalGreedySolver>());
+  }
+  solvers.push_back(std::make_unique<QueryOrientedSolver>());
+  solvers.push_back(std::make_unique<PropertyOrientedSolver>());
+
+  TablePrinter table({"solver", "cost", "classifiers", "time (s)"});
+  for (const auto& solver : solvers) {
+    Timer timer;
+    auto result = solver->Solve(instance);
+    const double seconds = timer.Seconds();
+    if (!result.ok()) {
+      table.AddRow({solver->Name(), result.status().ToString(), "-", "-"});
+      continue;
+    }
+    table.AddRow({solver->Name(), TablePrinter::Num(result->cost, 0),
+                  std::to_string(result->solution.size()),
+                  TablePrinter::Num(seconds, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.2;
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (scale <= 0) scale = 0.2;
+  auto scaled = [scale](size_t base) {
+    return std::max<size_t>(20, static_cast<size_t>(base * scale));
+  };
+
+  data::BestBuyConfig bb_config;
+  bb_config.num_queries = scaled(1000);
+  const Instance bb = data::GenerateBestBuy(bb_config);
+  // The short-query solvers need the short slice of BB (95% of it).
+  std::vector<size_t> short_idx;
+  for (size_t i = 0; i < bb.NumQueries(); ++i) {
+    if (bb.queries()[i].size() <= 2) short_idx.push_back(i);
+  }
+  Explore("BestBuy-like (short slice, uniform costs)",
+          SubInstance(bb, short_idx), /*uniform_costs=*/true);
+
+  data::PrivateConfig p_config;
+  p_config.electronics_queries = scaled(5500);
+  p_config.home_garden_queries = scaled(3500);
+  p_config.fashion_queries = scaled(1000);
+  const data::PrivateDataset p = data::GeneratePrivate(p_config);
+  Explore("Private-like (3 categories, costs 1-63)", p.instance,
+          /*uniform_costs=*/false);
+
+  data::SyntheticConfig s_config;
+  s_config.num_queries = scaled(10000);
+  Explore("Synthetic (geometric lengths, costs 1-50)",
+          data::GenerateSynthetic(s_config), /*uniform_costs=*/false);
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/cover_dp.h"
+#include "flow/hopcroft_karp.h"
+
+namespace mc3 {
+
+Result<SolveResult> PropertyOrientedSolver::Solve(
+    const Instance& instance) const {
+  Solution solution;
+  std::unordered_set<PropertyId> seen;
+  for (const PropertySet& q : instance.queries()) {
+    for (PropertyId p : q) {
+      if (seen.insert(p).second) solution.Add(PropertySet::Of({p}));
+    }
+  }
+  // No pruning: this baseline is defined as "all singletons".
+  return FinishSolve(instance, std::move(solution), /*prune_unused=*/false);
+}
+
+Result<SolveResult> QueryOrientedSolver::Solve(
+    const Instance& instance) const {
+  Solution solution;
+  for (const PropertySet& q : instance.queries()) solution.Add(q);
+  return FinishSolve(instance, std::move(solution), /*prune_unused=*/false);
+}
+
+Result<SolveResult> MixedSolver::Solve(const Instance& instance) const {
+  if (instance.MaxQueryLength() > 2) {
+    return Status::InvalidArgument(
+        "Mixed baseline handles queries of length <= 2 only");
+  }
+  Solution solution;
+  // Forced choices first; the remaining free edges form the bipartite graph.
+  flow::BipartiteGraph graph;
+  std::unordered_map<PropertyId, int32_t> prop_node;
+  std::vector<PropertyId> node_prop;
+  std::vector<const PropertySet*> pair_queries;
+  auto prop_of = [&](PropertyId p) {
+    const auto [it, inserted] =
+        prop_node.emplace(p, static_cast<int32_t>(node_prop.size()));
+    if (inserted) node_prop.push_back(p);
+    return it->second;
+  };
+
+  // Pass 1: singleton queries force their classifier; those singletons then
+  // cover their incident (X, XY) edges for free in pass 2 (the edges are
+  // simply not added), keeping the reduction exact under uniform costs.
+  std::unordered_set<PropertyId> forced_singletons;
+  for (const PropertySet& q : instance.queries()) {
+    if (q.size() != 1) continue;
+    if (instance.CostOf(q) == kInfiniteCost) {
+      return Status::Infeasible("singleton query without its classifier");
+    }
+    solution.Add(q);
+    forced_singletons.insert(*q.begin());
+  }
+  for (const PropertySet& q : instance.queries()) {
+    if (q.size() == 1) continue;
+    const bool pair_priced = instance.CostOf(q) != kInfiniteCost;
+    std::vector<PropertyId> open;  // properties not already resolved
+    bool open_priced = true;
+    for (PropertyId p : q) {
+      if (forced_singletons.count(p) > 0) continue;
+      open.push_back(p);
+      if (instance.CostOf(PropertySet::Of({p})) == kInfiniteCost) {
+        open_priced = false;
+      }
+    }
+    if (open.empty()) continue;  // covered by forced singletons
+    if (!pair_priced && !open_priced) {
+      return Status::Infeasible("query " +
+                                q.ToString(instance.property_names()) +
+                                " has no finite-cost cover");
+    }
+    if (!pair_priced) {
+      for (PropertyId p : open) solution.Add(PropertySet::Of({p}));
+    } else if (!open_priced) {
+      solution.Add(q);
+    } else {
+      const auto r = static_cast<int32_t>(pair_queries.size());
+      pair_queries.push_back(&q);
+      for (PropertyId p : open) graph.edges.emplace_back(prop_of(p), r);
+    }
+  }
+  graph.num_left = static_cast<int32_t>(node_prop.size());
+  graph.num_right = static_cast<int32_t>(pair_queries.size());
+
+  const flow::UnweightedVertexCover cover = flow::MinVertexCoverKoenig(graph);
+  for (int32_t l = 0; l < graph.num_left; ++l) {
+    if (cover.left_in_cover[l]) solution.Add(PropertySet::Of({node_prop[l]}));
+  }
+  for (int32_t r = 0; r < graph.num_right; ++r) {
+    if (cover.right_in_cover[r]) solution.Add(*pair_queries[r]);
+  }
+  return FinishSolve(instance, std::move(solution), /*prune_unused=*/false);
+}
+
+Result<SolveResult> LocalGreedySolver::Solve(const Instance& instance) const {
+  if (!instance.IsFeasible()) {
+    return Status::Infeasible("no finite-cost solution exists");
+  }
+  const size_t n = instance.NumQueries();
+  Solution solution;
+  std::unordered_set<PropertySet, PropertySetHash> selected;
+  const auto effective = [&](const PropertySet& c) -> Cost {
+    return selected.count(c) > 0 ? 0 : instance.CostOf(c);
+  };
+
+  // property -> queries containing it, to recompute only affected covers.
+  std::unordered_map<PropertyId, std::vector<size_t>> by_prop;
+  for (size_t i = 0; i < n; ++i) {
+    for (PropertyId p : instance.queries()[i]) by_prop[p].push_back(i);
+  }
+
+  std::vector<QueryCover> covers(n);
+  std::vector<bool> covered(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    // Feasibility was checked, so a cover exists.
+    covers[i] = *MinCostQueryCover(instance.queries()[i], effective);
+  }
+
+  size_t remaining = n;
+  while (remaining > 0) {
+    // The uncovered query with the least costly cover.
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!covered[i] && (best == n || covers[i].cost < covers[best].cost)) {
+        best = i;
+      }
+    }
+    covered[best] = true;
+    --remaining;
+    std::unordered_set<PropertyId> touched;
+    for (const PropertySet& c : covers[best].classifiers) {
+      if (selected.insert(c).second) {
+        solution.Add(c);
+        for (PropertyId p : c) touched.insert(p);
+      }
+    }
+    if (touched.empty()) continue;  // cover was already free
+    // Recompute covers of uncovered queries sharing a touched property, and
+    // retire queries that are now fully covered for free.
+    std::unordered_set<size_t> affected;
+    for (PropertyId p : touched) {
+      for (size_t qi : by_prop[p]) {
+        if (!covered[qi]) affected.insert(qi);
+      }
+    }
+    for (size_t qi : affected) {
+      covers[qi] = *MinCostQueryCover(instance.queries()[qi], effective);
+    }
+  }
+  return FinishSolve(instance, std::move(solution), /*prune_unused=*/false);
+}
+
+}  // namespace mc3

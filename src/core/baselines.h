@@ -1,0 +1,52 @@
+// Baseline algorithms from the paper's experimental study (Section 6.1).
+#ifndef MC3_CORE_BASELINES_H_
+#define MC3_CORE_BASELINES_H_
+
+#include "core/solver.h"
+
+namespace mc3 {
+
+/// "Property-Oriented": selects the singleton classifier of every property
+/// appearing in the query load (and nothing else). Always covers; the cost
+/// is infinite when some singleton classifier is unpriced.
+class PropertyOrientedSolver : public Solver {
+ public:
+  std::string Name() const override { return "po"; }
+  Result<SolveResult> Solve(const Instance& instance) const override;
+};
+
+/// "Query-Oriented": selects, per query, the classifier testing the entire
+/// query (and nothing else). Always covers; infinite cost when some
+/// full-query classifier is unpriced.
+class QueryOrientedSolver : public Solver {
+ public:
+  std::string Name() const override { return "qo"; }
+  Result<SolveResult> Solve(const Instance& instance) const override;
+};
+
+/// "Mixed": the algorithm of [Dushkin et al., EDBT 2019] for uniform
+/// classifier costs and k <= 2. Reconstruction (the paper gives no
+/// pseudo-code): minimizing total cost with uniform costs is minimizing the
+/// number of classifiers, i.e. unweighted bipartite vertex cover, solved
+/// exactly via Hopcroft-Karp + Koenig. Queries whose pair classifier (or a
+/// needed singleton) is unpriced are handled by forcing the only remaining
+/// option first. Exact for uniform costs; a heuristic otherwise.
+class MixedSolver : public Solver {
+ public:
+  std::string Name() const override { return "mixed"; }
+  Result<SolveResult> Solve(const Instance& instance) const override;
+};
+
+/// "Local-Greedy": iteratively finds, over all uncovered queries, the one
+/// with the least costly cover (given previously selected classifiers at
+/// cost zero), and selects that cover. Per-query covers are computed exactly
+/// by subset DP (O(4^k) per query, k constant).
+class LocalGreedySolver : public Solver {
+ public:
+  std::string Name() const override { return "lg"; }
+  Result<SolveResult> Solve(const Instance& instance) const override;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_BASELINES_H_

@@ -1,0 +1,63 @@
+#include "core/cover_dp.h"
+
+#include <cassert>
+
+namespace mc3 {
+
+std::optional<QueryCover> MinCostQueryCover(
+    const PropertySet& query,
+    const std::function<Cost(const PropertySet&)>& cost_fn) {
+  const auto& ids = query.ids();
+  const size_t k = ids.size();
+  assert(k >= 1 && k <= 20);
+  const uint32_t full = (1u << k) - 1;
+
+  // Candidate classifiers as masks over the query's properties.
+  std::vector<uint32_t> cand_masks;
+  std::vector<Cost> cand_costs;
+  std::vector<PropertyId> scratch;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    scratch.clear();
+    for (size_t i = 0; i < k; ++i) {
+      if (mask & (1u << i)) scratch.push_back(ids[i]);
+    }
+    const Cost cost = cost_fn(PropertySet::FromSorted(scratch));
+    if (cost != kInfiniteCost) {
+      cand_masks.push_back(mask);
+      cand_costs.push_back(cost);
+    }
+  }
+
+  std::vector<Cost> dp(full + 1, kInfiniteCost);
+  std::vector<int32_t> via(full + 1, -1);
+  std::vector<uint32_t> from(full + 1, 0);
+  dp[0] = 0;
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInfiniteCost) continue;
+    for (size_t c = 0; c < cand_masks.size(); ++c) {
+      const uint32_t next = mask | cand_masks[c];
+      if (next == mask) continue;
+      const Cost cost = dp[mask] + cand_costs[c];
+      if (cost < dp[next]) {
+        dp[next] = cost;
+        via[next] = static_cast<int32_t>(c);
+        from[next] = mask;
+      }
+    }
+  }
+  if (dp[full] == kInfiniteCost) return std::nullopt;
+
+  QueryCover cover;
+  cover.cost = dp[full];
+  for (uint32_t mask = full; mask != 0; mask = from[mask]) {
+    const uint32_t cmask = cand_masks[via[mask]];
+    scratch.clear();
+    for (size_t i = 0; i < k; ++i) {
+      if (cmask & (1u << i)) scratch.push_back(ids[i]);
+    }
+    cover.classifiers.push_back(PropertySet::FromSorted(scratch));
+  }
+  return cover;
+}
+
+}  // namespace mc3

@@ -1,0 +1,33 @@
+// Exact minimum-cost cover of a single query by dynamic programming over
+// property-subset masks. Used by the Local-Greedy baseline (its per-query
+// "least costly cover" step), by the exact branch-and-bound oracle, and by
+// solution post-processing. Cost is O(4^|q|); query lengths are <= ~10 in
+// every workload the paper considers.
+#ifndef MC3_CORE_COVER_DP_H_
+#define MC3_CORE_COVER_DP_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace mc3 {
+
+/// A cover of one query: classifiers whose union equals the query.
+struct QueryCover {
+  Cost cost = 0;
+  std::vector<PropertySet> classifiers;
+};
+
+/// Returns a cheapest cover of `query` using classifiers priced by
+/// `cost_fn` (kInfiniteCost = unavailable), or nullopt when no finite-cost
+/// cover exists. `cost_fn` is consulted once per non-empty subset of the
+/// query.
+std::optional<QueryCover> MinCostQueryCover(
+    const PropertySet& query,
+    const std::function<Cost(const PropertySet&)>& cost_fn);
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_COVER_DP_H_

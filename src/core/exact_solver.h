@@ -1,0 +1,39 @@
+// Exact branch-and-bound solver. MC3 is NP-hard (Theorems 5.1/5.2), so this
+// is exponential in the worst case; it exists as (a) the optimality oracle
+// for the test suite, and (b) a practical option for small instances where
+// the true optimum is worth the compute. Guards reject instances beyond its
+// configured size limits.
+#ifndef MC3_CORE_EXACT_SOLVER_H_
+#define MC3_CORE_EXACT_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace mc3 {
+
+/// Exhaustive solver via branch-and-bound on (query, property) branching:
+/// pick the first uncovered property occurrence and branch on every
+/// classifier that could cover it.
+class ExactSolver : public Solver {
+ public:
+  struct Limits {
+    size_t max_queries = 24;
+    size_t max_query_length = 8;
+    size_t max_classifiers = 4096;
+    /// Hard cap on explored branch-and-bound nodes; exceeding it returns
+    /// InvalidArgument (the instance is too large for exact search).
+    uint64_t max_nodes = 50'000'000;
+  };
+
+  ExactSolver() : limits_() {}
+  explicit ExactSolver(const Limits& limits) : limits_(limits) {}
+
+  std::string Name() const override { return "exact"; }
+  Result<SolveResult> Solve(const Instance& instance) const override;
+
+ private:
+  Limits limits_;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_EXACT_SOLVER_H_

@@ -1,0 +1,112 @@
+#include "core/general_solver.h"
+
+#include "core/exact_solver.h"
+
+#include "core/wsc_reduction.h"
+#include "setcover/greedy.h"
+#include "setcover/lp_rounding.h"
+#include "setcover/primal_dual.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace mc3 {
+namespace {
+
+Status SolveComponent(const Instance& component, const SolverOptions& options,
+                      Solution* out) {
+  // Extension: tiny components can be closed exactly.
+  if (options.exact_component_max_queries > 0 &&
+      component.NumQueries() <= options.exact_component_max_queries) {
+    ExactSolver::Limits limits;
+    limits.max_queries = options.exact_component_max_queries;
+    auto exact = ExactSolver(limits).Solve(component);
+    if (exact.ok()) {
+      out->Merge(exact->solution);
+      return Status::OK();
+    }
+    if (exact.status().code() != StatusCode::kInvalidArgument) {
+      return exact.status();
+    }
+    // Too large for the oracle after all; fall through to approximation.
+  }
+  const WscReduction reduction = ReduceToWsc(component);
+
+  bool have_best = false;
+  setcover::WscSolution best;
+  auto consider = [&](Result<setcover::WscSolution> candidate) -> Status {
+    if (!candidate.ok()) return candidate.status();
+    if (!have_best || candidate->cost < best.cost) {
+      best = std::move(*candidate);
+      have_best = true;
+    }
+    return Status::OK();
+  };
+
+  if (options.run_greedy) {
+    MC3_RETURN_IF_ERROR(consider(setcover::SolveGreedy(reduction.wsc)));
+  }
+  switch (options.f_method) {
+    case SolverOptions::FMethod::kNone:
+      break;
+    case SolverOptions::FMethod::kPrimalDual:
+      MC3_RETURN_IF_ERROR(consider(setcover::SolvePrimalDual(reduction.wsc)));
+      break;
+    case SolverOptions::FMethod::kLpRounding:
+      MC3_RETURN_IF_ERROR(consider(setcover::SolveLpRounding(reduction.wsc)));
+      break;
+  }
+  if (!have_best) {
+    return Status::InvalidArgument(
+        "GeneralSolver configured with no WSC algorithm enabled");
+  }
+  const Solution mapped = WscSolutionToMc3(reduction, best);
+  out->Merge(mapped);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SolveResult> GeneralSolver::Solve(const Instance& instance) const {
+  Timer preprocess_timer;
+  Solution solution;
+  std::vector<Instance> components;
+  size_t num_components;
+  if (options_.preprocess) {
+    auto pre = Preprocess(instance, options_.preprocess_options);
+    if (!pre.ok()) return pre.status();
+    solution.Merge(pre->forced);
+    components = std::move(pre->components);
+    num_components = components.size();
+  } else {
+    if (!instance.IsFeasible()) {
+      return Status::Infeasible("no finite-cost solution exists");
+    }
+    components.push_back(instance);
+    num_components = 1;
+  }
+  const double preprocess_seconds = preprocess_timer.Seconds();
+
+  Timer solve_timer;
+  std::vector<Solution> component_solutions(components.size());
+  std::vector<Status> component_statuses(components.size());
+  ParallelFor(components.size(), options_.num_threads, [&](size_t i) {
+    component_statuses[i] =
+        SolveComponent(components[i], options_, &component_solutions[i]);
+  });
+  for (size_t i = 0; i < components.size(); ++i) {
+    MC3_RETURN_IF_ERROR(component_statuses[i]);
+    solution.Merge(component_solutions[i]);
+  }
+  const double solve_seconds = solve_timer.Seconds();
+
+  auto result =
+      FinishSolve(instance, std::move(solution), options_.prune_unused,
+                  options_.verify_solution);
+  if (!result.ok()) return result.status();
+  result->num_components = num_components;
+  result->preprocess_seconds = preprocess_seconds;
+  result->solve_seconds = solve_seconds;
+  return result;
+}
+
+}  // namespace mc3

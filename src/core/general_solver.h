@@ -1,0 +1,30 @@
+// Algorithm 3: the approximation solver for general MC3 (paper Section 5.2).
+//
+// Pipeline: preprocessing (Algorithm 1) -> per component, reduce to Weighted
+// Set Cover -> run the greedy (ln Delta + 1)-approximation and a factor-f
+// algorithm -> keep the cheaper of the two outputs. The combined guarantee
+// is min{ln I + ln(k-1) + 1, 2^(k-1)} (Theorem 5.3).
+#ifndef MC3_CORE_GENERAL_SOLVER_H_
+#define MC3_CORE_GENERAL_SOLVER_H_
+
+#include "core/solver.h"
+
+namespace mc3 {
+
+/// Approximation solver for arbitrary k ("MC3[G]" in the paper's
+/// experiments). Returns kInfeasible when no finite-cost solution exists.
+class GeneralSolver : public Solver {
+ public:
+  explicit GeneralSolver(SolverOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::string Name() const override { return "mc3g"; }
+  Result<SolveResult> Solve(const Instance& instance) const override;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_GENERAL_SOLVER_H_

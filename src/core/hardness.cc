@@ -1,0 +1,107 @@
+#include "core/hardness.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mc3 {
+
+Result<Theorem51Reduction> ReduceSetCoverToMc3(const SetCoverInstance& sc) {
+  Theorem51Reduction reduction;
+  const auto num_sets = static_cast<PropertyId>(sc.sets.size());
+  reduction.set_properties.resize(sc.sets.size());
+  for (PropertyId i = 0; i < num_sets; ++i) reduction.set_properties[i] = i;
+  reduction.e_property = num_sets;
+
+  // membership[u] = sorted set ids containing element u.
+  std::vector<std::vector<PropertyId>> membership(sc.num_elements);
+  for (size_t s = 0; s < sc.sets.size(); ++s) {
+    for (int32_t e : sc.sets[s]) {
+      if (e < 0 || e >= sc.num_elements) {
+        return Status::InvalidArgument("set cover element out of range");
+      }
+      membership[e].push_back(static_cast<PropertyId>(s));
+    }
+  }
+
+  std::unordered_set<PropertySet, PropertySetHash> seen_queries;
+  for (int32_t u = 0; u < sc.num_elements; ++u) {
+    if (membership[u].empty()) {
+      return Status::InvalidArgument(
+          "element " + std::to_string(u) +
+          " belongs to no set; the SC instance is infeasible");
+    }
+    std::vector<PropertyId> props = membership[u];
+    props.push_back(reduction.e_property);
+    PropertySet query = PropertySet::FromUnsorted(std::move(props));
+    // Merge elements with identical set membership (the proof's assumption
+    // that queries are distinct).
+    if (!seen_queries.insert(query).second) continue;
+
+    // Price this query's length-2 classifiers: set-property pairs at 0,
+    // {set-property, e} at 1.
+    const auto& sets_of_u = membership[u];
+    for (size_t i = 0; i < sets_of_u.size(); ++i) {
+      reduction.instance.SetCost(
+          PropertySet::Of({sets_of_u[i], reduction.e_property}), 1);
+      for (size_t j = i + 1; j < sets_of_u.size(); ++j) {
+        reduction.instance.SetCost(
+            PropertySet::Of({sets_of_u[i], sets_of_u[j]}), 0);
+      }
+    }
+    reduction.instance.AddQuery(std::move(query));
+  }
+  return reduction;
+}
+
+std::vector<int32_t> ExtractSetCoverSolution(
+    const Theorem51Reduction& reduction, const Solution& solution) {
+  std::vector<int32_t> sets;
+  for (const PropertySet& c : solution.classifiers()) {
+    if (c.size() == 2 && c.Contains(reduction.e_property)) {
+      for (PropertyId p : c) {
+        if (p != reduction.e_property) {
+          sets.push_back(static_cast<int32_t>(p));
+        }
+      }
+    }
+  }
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  return sets;
+}
+
+Result<Instance> ReduceSetCoverToSingleQueryMc3(const SetCoverInstance& sc) {
+  Instance instance;
+  std::vector<PropertyId> all;
+  all.reserve(sc.num_elements);
+  for (int32_t u = 0; u < sc.num_elements; ++u) {
+    all.push_back(static_cast<PropertyId>(u));
+  }
+  instance.AddQuery(PropertySet::FromUnsorted(std::move(all)));
+  std::vector<bool> coverable(sc.num_elements, false);
+  for (const auto& set : sc.sets) {
+    std::vector<PropertyId> props;
+    props.reserve(set.size());
+    for (int32_t e : set) {
+      if (e < 0 || e >= sc.num_elements) {
+        return Status::InvalidArgument("set cover element out of range");
+      }
+      coverable[e] = true;
+      props.push_back(static_cast<PropertyId>(e));
+    }
+    if (!props.empty()) {
+      instance.SetCost(PropertySet::FromUnsorted(std::move(props)), 1);
+    }
+  }
+  for (int32_t u = 0; u < sc.num_elements; ++u) {
+    if (!coverable[u]) {
+      return Status::InvalidArgument(
+          "element " + std::to_string(u) +
+          " belongs to no set; the SC instance is infeasible");
+    }
+  }
+  return instance;
+}
+
+}  // namespace mc3

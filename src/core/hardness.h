@@ -1,0 +1,55 @@
+// Executable versions of the paper's hardness reductions (Section 5.1).
+// These build the MC3 instances used in the proofs of Theorems 5.1 and 5.2
+// from a Set Cover instance, and map solutions back. The test suite uses
+// them to verify the cost-preserving equivalence the proofs claim.
+#ifndef MC3_CORE_HARDNESS_H_
+#define MC3_CORE_HARDNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "util/status.h"
+
+namespace mc3 {
+
+/// An unweighted Set Cover instance: `sets[i]` lists the element ids
+/// (0..num_elements-1) of set i.
+struct SetCoverInstance {
+  int32_t num_elements = 0;
+  std::vector<std::vector<int32_t>> sets;
+};
+
+/// The Theorem 5.1 construction: every SC set becomes a set-property; every
+/// element becomes a query over the sets containing it plus the shared
+/// property e. Classifiers of two set-properties cost 0; classifiers
+/// {set-property, e} cost 1; nothing else is priced. A minimum MC3 solution
+/// has the same cost as a minimum set cover.
+struct Theorem51Reduction {
+  Instance instance;
+  PropertyId e_property = 0;
+  /// set_properties[i] is the property id of SC set i.
+  std::vector<PropertyId> set_properties;
+};
+
+/// Builds the reduction. Requires every element to belong to at least one
+/// set, and merges duplicate queries (elements with identical set
+/// membership), as the proof assumes.
+Result<Theorem51Reduction> ReduceSetCoverToMc3(const SetCoverInstance& sc);
+
+/// Extracts the Set Cover solution from an MC3 solution of the reduced
+/// instance: every selected {set-property, e} classifier contributes its
+/// set. The returned selection has cardinality equal to the number of such
+/// classifiers (= the MC3 solution cost).
+std::vector<int32_t> ExtractSetCoverSolution(
+    const Theorem51Reduction& reduction, const Solution& solution);
+
+/// The Theorem 5.2 construction: a single query with one property per
+/// element, and one weight-1 classifier per SC set. Requires every element
+/// covered by some set.
+Result<Instance> ReduceSetCoverToSingleQueryMc3(const SetCoverInstance& sc);
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_HARDNESS_H_

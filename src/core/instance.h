@@ -1,0 +1,121 @@
+// The MC3 problem instance <Q, W> (paper Section 2.1): a set Q of distinct
+// conjunctive queries and a weight function W over the classifier universe
+// C_Q (every non-empty subset of every query). Classifiers absent from the
+// explicit cost table have weight +infinity — the paper's convention for
+// classifiers that are omitted from the input (infeasible to train, cost
+// unbounded, or pruned in advance).
+#ifndef MC3_CORE_INSTANCE_H_
+#define MC3_CORE_INSTANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/property_set.h"
+#include "util/status.h"
+
+namespace mc3 {
+
+/// Classifier construction cost. The paper's unit N may stand for dollars,
+/// labeled examples, or expert hours.
+using Cost = double;
+
+/// Weight of classifiers omitted from the input.
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::infinity();
+
+/// Map from classifier (property set) to its construction cost.
+using CostMap = std::unordered_map<PropertySet, Cost, PropertySetHash>;
+
+/// An MC3 instance.
+class Instance {
+ public:
+  /// Appends a query. Queries must be non-empty and pairwise distinct
+  /// (checked by Validate, not here).
+  void AddQuery(PropertySet query) { queries_.push_back(std::move(query)); }
+
+  /// Sets the construction cost of `classifier` (overwriting any previous
+  /// cost). Setting kInfiniteCost erases the entry.
+  void SetCost(const PropertySet& classifier, Cost cost);
+
+  /// Cost of `classifier`; +infinity when absent from the table.
+  Cost CostOf(const PropertySet& classifier) const;
+
+  const std::vector<PropertySet>& queries() const { return queries_; }
+  size_t NumQueries() const { return queries_.size(); }
+  const CostMap& costs() const { return costs_; }
+
+  /// k: the maximal query length (0 for an empty instance).
+  size_t MaxQueryLength() const;
+
+  /// Number of distinct properties appearing in queries.
+  size_t NumProperties() const;
+
+  /// The incidence I (paper Section 5): the maximum, over finite-cost
+  /// classifiers, of the number of queries containing the classifier.
+  size_t Incidence() const;
+
+  /// Optional human-readable property names (index = PropertyId).
+  void set_property_names(std::vector<std::string> names) {
+    property_names_ = std::move(names);
+  }
+  const std::vector<std::string>& property_names() const {
+    return property_names_;
+  }
+
+  /// Structural validation: non-empty distinct queries, non-negative costs,
+  /// every priced classifier non-empty and relevant (a subset of at least
+  /// one query, i.e. a member of C_Q).
+  Status Validate() const;
+
+  /// True iff every query can be covered at finite cost (using only
+  /// finite-cost classifiers).
+  bool IsFeasible() const;
+
+ private:
+  std::vector<PropertySet> queries_;
+  CostMap costs_;
+  std::vector<std::string> property_names_;
+};
+
+/// Calls `fn` for every non-empty subset of `set` (including `set` itself).
+/// Set size must be <= 25 (the enumeration is 2^|set|).
+void ForEachNonEmptySubset(const PropertySet& set,
+                           const std::function<void(const PropertySet&)>& fn);
+
+/// Convenience builder interning string property names to dense ids:
+///   InstanceBuilder b;
+///   b.AddQuery({"adidas", "juventus", "white"});
+///   b.SetCost({"adidas", "juventus"}, 3);
+///   Instance inst = std::move(b).Build();
+class InstanceBuilder {
+ public:
+  /// Interns `name`, returning its id.
+  PropertyId Intern(const std::string& name);
+
+  /// Adds a query over named properties.
+  InstanceBuilder& AddQuery(const std::vector<std::string>& names);
+
+  /// Prices a classifier over named properties.
+  InstanceBuilder& SetCost(const std::vector<std::string>& names, Cost cost);
+
+  /// Prices every not-yet-priced classifier in C_Q via `cost_fn`. Useful for
+  /// generators; cost_fn returning kInfiniteCost leaves the classifier
+  /// unpriced (omitted).
+  InstanceBuilder& PriceAllClassifiers(
+      const std::function<Cost(const PropertySet&)>& cost_fn);
+
+  /// Finalizes; the builder is left empty.
+  Instance Build() &&;
+
+ private:
+  Instance instance_;
+  std::unordered_map<std::string, PropertyId> interned_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_INSTANCE_H_

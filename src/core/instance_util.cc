@@ -1,0 +1,53 @@
+#include "core/instance_util.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace mc3 {
+
+Instance SubInstance(const Instance& instance,
+                     const std::vector<size_t>& query_indices) {
+  Instance sub;
+  sub.set_property_names(instance.property_names());
+  for (size_t i : query_indices) {
+    sub.AddQuery(instance.queries()[i]);
+  }
+  for (const PropertySet& q : sub.queries()) {
+    ForEachNonEmptySubset(q, [&](const PropertySet& classifier) {
+      const Cost cost = instance.CostOf(classifier);
+      if (cost != kInfiniteCost) sub.SetCost(classifier, cost);
+    });
+  }
+  return sub;
+}
+
+Instance RandomSubInstance(const Instance& instance, size_t count,
+                           uint64_t seed) {
+  const size_t n = instance.NumQueries();
+  count = std::min(count, n);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Rng rng(seed);
+  // Partial Fisher-Yates: the first `count` slots become the sample.
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.UniformInt(0, n - 1 - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  std::sort(indices.begin(), indices.end());  // keep original query order
+  return SubInstance(instance, indices);
+}
+
+Instance BoundClassifierLength(const Instance& instance, size_t max_length) {
+  Instance bounded;
+  bounded.set_property_names(instance.property_names());
+  for (const PropertySet& q : instance.queries()) bounded.AddQuery(q);
+  for (const auto& [classifier, cost] : instance.costs()) {
+    if (classifier.size() <= max_length) bounded.SetCost(classifier, cost);
+  }
+  return bounded;
+}
+
+}  // namespace mc3

@@ -1,0 +1,32 @@
+// Instance manipulation helpers shared by solvers, generators and benches.
+#ifndef MC3_CORE_INSTANCE_UTIL_H_
+#define MC3_CORE_INSTANCE_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace mc3 {
+
+/// Builds the sub-instance over the queries at `query_indices`, restricting
+/// the cost table to classifiers relevant to those queries (members of the
+/// sub-instance's C_Q). Property names are carried over.
+Instance SubInstance(const Instance& instance,
+                     const std::vector<size_t>& query_indices);
+
+/// Sub-instance over a uniformly random subset of `count` queries (the
+/// paper's experiments evaluate random query-subsets of varying
+/// cardinality). Deterministic for a fixed seed; `count` is clamped to the
+/// number of queries.
+Instance RandomSubInstance(const Instance& instance, size_t count,
+                           uint64_t seed);
+
+/// Restricts the cost table to classifiers of length at most `max_length`
+/// (the "bounded classifiers" regime of Section 5.3, k' < k), keeping
+/// singletons so feasibility is preserved whenever singletons are priced.
+Instance BoundClassifierLength(const Instance& instance, size_t max_length);
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_INSTANCE_UTIL_H_

@@ -1,0 +1,128 @@
+#include "core/k2_solver.h"
+
+#include <unordered_map>
+
+#include "flow/bipartite_vertex_cover.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace mc3 {
+namespace {
+
+/// Solves one (preprocessed) sub-instance with queries of length <= 2 by the
+/// bipartite WVC -> max-flow reduction, appending chosen classifiers to
+/// `out`.
+///
+/// Left vertices are the singleton classifiers of the component's
+/// properties; right vertices are the full-query classifiers. A length-2
+/// query xy contributes edges (X, XY) and (Y, XY): covering both edges means
+/// either XY is chosen, or X and Y both are — exactly the two ways to cover
+/// xy. A singleton query x (present only when preprocessing is disabled)
+/// contributes an edge to an infinite-weight right vertex, forcing X into
+/// the cover.
+Status SolveComponent(const Instance& component,
+                      flow::MaxFlowAlgorithm algorithm, Solution* out) {
+  flow::BipartiteVcInstance vc;
+  std::unordered_map<PropertyId, int32_t> left_index;
+  std::vector<PropertyId> left_property;
+  auto left_of = [&](PropertyId p) {
+    const auto [it, inserted] =
+        left_index.emplace(p, static_cast<int32_t>(vc.left_weights.size()));
+    if (inserted) {
+      vc.left_weights.push_back(component.CostOf(PropertySet::Of({p})));
+      left_property.push_back(p);
+    }
+    return it->second;
+  };
+
+  std::vector<const PropertySet*> right_query;  // length-2 queries only
+  for (const PropertySet& q : component.queries()) {
+    if (q.size() > 2) {
+      return Status::InvalidArgument(
+          "k=2 solver given query of length " + std::to_string(q.size()));
+    }
+    const auto r = static_cast<int32_t>(vc.right_weights.size());
+    if (q.size() == 1) {
+      // Force the singleton classifier into the cover.
+      vc.right_weights.push_back(kInfiniteCost);
+      right_query.push_back(nullptr);
+      vc.edges.emplace_back(left_of(*q.begin()), r);
+    } else {
+      vc.right_weights.push_back(component.CostOf(q));
+      right_query.push_back(&q);
+      for (PropertyId p : q) vc.edges.emplace_back(left_of(p), r);
+    }
+  }
+
+  auto cover = flow::SolveBipartiteVertexCover(vc, algorithm);
+  if (!cover.ok()) {
+    if (cover.status().code() == StatusCode::kInfeasible) {
+      return Status::Infeasible(
+          "a length-2 query has neither its pair classifier nor both "
+          "singleton classifiers at finite cost");
+    }
+    return cover.status();
+  }
+  for (size_t l = 0; l < vc.left_weights.size(); ++l) {
+    if (cover->left_in_cover[l]) {
+      out->Add(PropertySet::Of({left_property[l]}));
+    }
+  }
+  for (size_t r = 0; r < vc.right_weights.size(); ++r) {
+    if (cover->right_in_cover[r] && right_query[r] != nullptr) {
+      out->Add(*right_query[r]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SolveResult> K2ExactSolver::Solve(const Instance& instance) const {
+  if (instance.MaxQueryLength() > 2) {
+    return Status::InvalidArgument(
+        "K2ExactSolver requires max query length <= 2; use GeneralSolver");
+  }
+  Timer preprocess_timer;
+  Solution solution;
+  std::vector<Instance> components;
+  size_t num_components;
+  if (options_.preprocess) {
+    auto pre = Preprocess(instance, options_.preprocess_options);
+    if (!pre.ok()) return pre.status();
+    solution.Merge(pre->forced);
+    components = std::move(pre->components);
+    num_components = components.size();
+  } else {
+    if (!instance.IsFeasible()) {
+      return Status::Infeasible("no finite-cost solution exists");
+    }
+    components.push_back(instance);
+    num_components = 1;
+  }
+  const double preprocess_seconds = preprocess_timer.Seconds();
+
+  Timer solve_timer;
+  std::vector<Solution> component_solutions(components.size());
+  std::vector<Status> component_statuses(components.size());
+  ParallelFor(components.size(), options_.num_threads, [&](size_t i) {
+    component_statuses[i] = SolveComponent(components[i], options_.max_flow,
+                                           &component_solutions[i]);
+  });
+  for (size_t i = 0; i < components.size(); ++i) {
+    MC3_RETURN_IF_ERROR(component_statuses[i]);
+    solution.Merge(component_solutions[i]);
+  }
+  const double solve_seconds = solve_timer.Seconds();
+
+  auto result =
+      FinishSolve(instance, std::move(solution), options_.prune_unused,
+                  options_.verify_solution);
+  if (!result.ok()) return result.status();
+  result->num_components = num_components;
+  result->preprocess_seconds = preprocess_seconds;
+  result->solve_seconds = solve_seconds;
+  return result;
+}
+
+}  // namespace mc3

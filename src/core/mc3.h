@@ -1,0 +1,37 @@
+// Umbrella header: the public API of the MC3 library.
+//
+// MC3 — Minimization of Classifier Construction Cost for Search Queries
+// (Gershtein, Milo, Morami, Novgorodov; SIGMOD 2020).
+//
+// Quick tour:
+//   Instance / InstanceBuilder  — the problem input <Q, W>
+//   Preprocess                  — Algorithm 1 (pruning, optimum-preserving)
+//   K2ExactSolver               — Algorithm 2, exact for queries of length <= 2
+//   GeneralSolver               — Algorithm 3, approximation for any length
+//   ShortFirstSolver            — exact-on-short + approximate-on-rest
+//   Property/Query/Mixed/LocalGreedy solvers — the paper's baselines
+//   ExactSolver                 — branch-and-bound oracle for small instances
+//   VerifyCoverage              — the coverage semantics, as a checker
+#ifndef MC3_CORE_MC3_H_
+#define MC3_CORE_MC3_H_
+
+#include "core/baselines.h"           // IWYU pragma: export
+#include "core/cover_dp.h"            // IWYU pragma: export
+#include "core/exact_solver.h"        // IWYU pragma: export
+#include "core/general_solver.h"      // IWYU pragma: export
+#include "core/hardness.h"            // IWYU pragma: export
+#include "core/instance.h"            // IWYU pragma: export
+#include "core/instance_util.h"       // IWYU pragma: export
+#include "core/k2_solver.h"           // IWYU pragma: export
+#include "core/multi_valued.h"        // IWYU pragma: export
+#include "core/partial_cover.h"       // IWYU pragma: export
+#include "core/preprocess.h"          // IWYU pragma: export
+#include "core/property_set.h"        // IWYU pragma: export
+#include "core/shared_labeling.h"     // IWYU pragma: export
+#include "core/short_first_solver.h"  // IWYU pragma: export
+#include "core/solution.h"            // IWYU pragma: export
+#include "core/solver.h"              // IWYU pragma: export
+#include "core/stats.h"               // IWYU pragma: export
+#include "core/wsc_reduction.h"       // IWYU pragma: export
+
+#endif  // MC3_CORE_MC3_H_

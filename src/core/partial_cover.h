@@ -1,0 +1,59 @@
+// Budgeted partial cover — the variant the paper poses as future work
+// (Sections 2.1, 5.3 and 8): queries carry importance weights, the spend on
+// classifiers is capped by a budget, and the goal is to maximize the total
+// weight of *fully* covered queries (partially satisfying a query is
+// worthless, per the user-satisfaction findings the paper cites).
+//
+// The paper proves its WSC reduction does not extend to this variant and
+// notes the problem is much harder to approximate; accordingly this module
+// ships a practical heuristic (density-greedy over per-query minimum-cost
+// residual covers) plus an exact branch-and-bound oracle for small
+// instances, rather than an approximation scheme.
+#ifndef MC3_CORE_PARTIAL_COVER_H_
+#define MC3_CORE_PARTIAL_COVER_H_
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "util/status.h"
+
+namespace mc3 {
+
+/// Input for the budgeted variant.
+struct BudgetedInstance {
+  Instance instance;
+  /// weight[i] is the importance of instance.queries()[i]; all weights must
+  /// be positive.
+  std::vector<double> query_weights;
+  Cost budget = 0;
+};
+
+/// A budgeted solution: the classifiers trained, the spend, and the covered
+/// weight.
+struct BudgetedResult {
+  Solution solution;
+  Cost spent = 0;
+  double covered_weight = 0;
+  std::vector<size_t> covered_queries;  ///< indices, ascending
+};
+
+/// Density-greedy heuristic: repeatedly commits the uncovered query with the
+/// highest (weight / residual cover cost) ratio whose residual cover fits
+/// the remaining budget; previously bought classifiers are free. Runs in
+/// O(n^2 4^k) worst case.
+Result<BudgetedResult> SolveBudgetedGreedy(const BudgetedInstance& input);
+
+/// Exact branch-and-bound over per-query commit/skip decisions; exponential,
+/// guarded (for tests and small planning problems).
+struct BudgetedExactLimits {
+  size_t max_queries = 16;
+  size_t max_query_length = 6;
+  uint64_t max_nodes = 20'000'000;
+};
+Result<BudgetedResult> SolveBudgetedExact(
+    const BudgetedInstance& input, const BudgetedExactLimits& limits = {});
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_PARTIAL_COVER_H_

@@ -1,0 +1,806 @@
+#include "core/preprocess.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mc3 {
+namespace {
+
+enum class CState : uint8_t { kPresent, kSelected, kRemoved };
+
+struct CEntry {
+  Cost cost = kInfiniteCost;
+  /// For kRemoved entries: the cost of the cheapest recorded decomposition,
+  /// substituted whenever the classifier appears in a later decomposition.
+  Cost replacement = kInfiniteCost;
+  CState state = CState::kPresent;
+  /// Step-3 pass stamp, so a classifier shared by several queries is
+  /// examined once per pass.
+  uint32_t stamp = 0;
+};
+
+using Table = std::unordered_map<PropertySet, CEntry, PropertySetHash>;
+
+/// A priced classifier as seen from one query: its table entry, its key, and
+/// its bitmask over the query's (sorted) property positions.
+struct SubsetRef {
+  CEntry* entry;
+  const PropertySet* set;
+  uint32_t mask;
+};
+
+/// Union-find over property ids for the step-2 partition.
+class UnionFind {
+ public:
+  PropertyId Find(PropertyId x) {
+    Ensure(x);
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(PropertyId a, PropertyId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  void Ensure(PropertyId x) {
+    if (x >= parent_.size()) {
+      const size_t old = parent_.size();
+      parent_.resize(x + 1);
+      std::iota(parent_.begin() + old, parent_.end(),
+                static_cast<PropertyId>(old));
+    }
+  }
+  std::vector<PropertyId> parent_;
+};
+
+class Worker {
+ public:
+  Worker(const Instance& instance, const PreprocessOptions& options)
+      : input_(instance), options_(options) {
+    queries_ = instance.queries();
+    const size_t n = queries_.size();
+    alive_.assign(n, true);
+    covered_mask_.assign(n, 0);
+    full_mask_.resize(n);
+    refs_.resize(n);
+
+    table_.reserve(instance.costs().size());
+    for (const auto& [classifier, cost] : instance.costs()) {
+      table_.emplace(classifier,
+                     CEntry{cost, kInfiniteCost, CState::kPresent, 0});
+    }
+
+    // Per-query cache of priced subsets (entry pointer + position mask);
+    // all later passes run off this cache, with no hashing. Lookups go
+    // through a reused probe key, so the cache build allocates nothing per
+    // subset.
+    std::vector<PropertyId> scratch;
+    PropertySet probe;
+    for (size_t qi = 0; qi < n; ++qi) {
+      const auto& ids = queries_[qi].ids();
+      const size_t len = ids.size();
+      assert(len <= 25 && "query too long for mask-based preprocessing");
+      full_mask_[qi] = (len >= 32) ? 0 : ((1u << len) - 1);
+      const uint32_t limit = 1u << len;
+      refs_[qi].reserve(len < 4 ? limit - 1 : 8);
+      for (uint32_t mask = 1; mask < limit; ++mask) {
+        scratch.clear();
+        for (size_t i = 0; i < len; ++i) {
+          if (mask & (1u << i)) scratch.push_back(ids[i]);
+        }
+        probe.AssignSortedForProbe(scratch.data(), scratch.size());
+        const auto it = table_.find(probe);
+        if (it != table_.end()) {
+          refs_[qi].push_back(SubsetRef{&it->second, &it->first, mask});
+        }
+      }
+      for (PropertyId p : ids) {
+        if (p >= by_prop_.size()) by_prop_.resize(p + 1);
+        by_prop_[p].push_back(qi);
+      }
+    }
+  }
+
+  Result<PreprocessResult> Run() {
+    MC3_RETURN_IF_ERROR(CheckFeasible());
+    if (options_.step1_forced_singletons) StepOne();
+    if (options_.step3_decompositions) {
+      MC3_RETURN_IF_ERROR(StepThree());
+    }
+    if (options_.step4_k2_singleton_prune) StepFour();
+    StepTwoPartition();
+    return std::move(result_);
+  }
+
+ private:
+  /// Every query must be coverable by finite-weight classifiers.
+  Status CheckFeasible() const {
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      uint32_t coverable = 0;
+      for (const SubsetRef& ref : refs_[qi]) coverable |= ref.mask;
+      if (coverable != full_mask_[qi]) {
+        return Status::Infeasible(
+            "query " + queries_[qi].ToString(input_.property_names()) +
+            " cannot be covered by finite-weight classifiers");
+      }
+    }
+    return Status::OK();
+  }
+
+  Cost Effective(const CEntry& entry) const {
+    switch (entry.state) {
+      case CState::kPresent:
+        return entry.cost;
+      case CState::kSelected:
+        return 0;
+      case CState::kRemoved:
+        return entry.replacement;
+    }
+    return kInfiniteCost;
+  }
+
+  void Select(const SubsetRef& ref) {
+    assert(ref.entry->state == CState::kPresent);
+    ref.entry->state = CState::kSelected;
+    result_.forced.Add(*ref.set);
+    result_.forced_cost += ref.entry->cost;
+    for (PropertyId p : *ref.set) touched_props_.push_back(p);
+  }
+
+  /// Recomputes coverage of the queries containing any recently-touched
+  /// property; marks fully covered queries dead. Clears the touched list.
+  void RefreshCoverage() {
+    if (touched_props_.empty()) return;
+    std::sort(touched_props_.begin(), touched_props_.end());
+    touched_props_.erase(
+        std::unique(touched_props_.begin(), touched_props_.end()),
+        touched_props_.end());
+    for (PropertyId p : touched_props_) {
+      if (p >= by_prop_.size()) continue;
+      for (size_t qi : by_prop_[p]) {
+        if (!alive_[qi]) continue;
+        uint32_t covered = 0;
+        for (const SubsetRef& ref : refs_[qi]) {
+          if (ref.entry->state == CState::kSelected) covered |= ref.mask;
+        }
+        covered_mask_[qi] = covered;
+        if (covered == full_mask_[qi]) {
+          alive_[qi] = false;
+          ++result_.stats.queries_covered;
+        }
+      }
+    }
+    touched_props_.clear();
+  }
+
+  // ---- Step 1: singleton queries and zero-weight classifiers. ----
+  void StepOne() {
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (queries_[qi].size() != 1) continue;
+      // CheckFeasible guarantees the singleton classifier is priced.
+      for (const SubsetRef& ref : refs_[qi]) {
+        if (ref.entry->state == CState::kPresent) {
+          Select(ref);
+          ++result_.stats.singleton_queries_selected;
+        }
+      }
+    }
+    for (auto& [classifier, entry] : table_) {
+      if (entry.state == CState::kPresent && entry.cost == 0) {
+        entry.state = CState::kSelected;
+        result_.forced.Add(classifier);
+        for (PropertyId p : classifier) touched_props_.push_back(p);
+        ++result_.stats.zero_weight_selected;
+      }
+    }
+    RefreshCoverage();
+  }
+
+  // ---- Step 3: remove classifiers with less costly decompositions. ----
+  Status StepThree() {
+    // First pass over every alive query; later passes only over queries
+    // touched by forced selections (line 11 of Algorithm 1).
+    std::vector<size_t> work;
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (alive_[qi]) work.push_back(qi);
+    }
+    while (!work.empty() &&
+           result_.stats.step3_passes < options_.max_step3_passes) {
+      ++result_.stats.step3_passes;
+      ++pass_;
+      Decompose(work);
+      std::vector<PropertyId> selected_props;
+      MC3_RETURN_IF_ERROR(ForcedSelections(work, &selected_props));
+      RefreshCoverage();
+      // Next pass: queries sharing a property with a new selection.
+      work.clear();
+      std::sort(selected_props.begin(), selected_props.end());
+      selected_props.erase(
+          std::unique(selected_props.begin(), selected_props.end()),
+          selected_props.end());
+      for (PropertyId p : selected_props) {
+        for (size_t qi : by_prop_[p]) {
+          if (alive_[qi]) work.push_back(qi);
+        }
+      }
+      std::sort(work.begin(), work.end());
+      work.erase(std::unique(work.begin(), work.end()), work.end());
+    }
+    return Status::OK();
+  }
+
+  /// Examines, by increasing length, every present classifier of the worked
+  /// queries; removes those whose cheapest two-part decomposition does not
+  /// cost more (Observation 3.3).
+  void Decompose(const std::vector<size_t>& work) {
+    size_t max_len = 0;
+    for (size_t qi : work) max_len = std::max(max_len, queries_[qi].size());
+
+    std::vector<Cost> eff_q;      // effective cost per mask, current query
+    std::vector<Cost> eff_local;  // remapped to the classifier's own bits
+    std::vector<Cost> min_superset;
+    std::vector<int> bit_positions;
+    for (size_t len = 2; len <= max_len; ++len) {
+      for (size_t qi : work) {
+        if (!alive_[qi] || queries_[qi].size() < len) continue;
+        // Effective costs over this query's subset lattice.
+        eff_q.assign(full_mask_[qi] + 1, kInfiniteCost);
+        for (const SubsetRef& ref : refs_[qi]) {
+          eff_q[ref.mask] = Effective(*ref.entry);
+        }
+        for (const SubsetRef& ref : refs_[qi]) {
+          if (ref.entry->state != CState::kPresent) continue;
+          if (static_cast<size_t>(std::popcount(ref.mask)) != len) continue;
+          if (ref.entry->stamp == pass_) continue;
+          ref.entry->stamp = pass_;
+
+          // Remap the sublattice of this classifier to dense local bits.
+          bit_positions.clear();
+          for (int b = 0; b < 32; ++b) {
+            if (ref.mask & (1u << b)) bit_positions.push_back(b);
+          }
+          const uint32_t local_full = (1u << len) - 1;
+          eff_local.assign(local_full + 1, kInfiniteCost);
+          for (uint32_t x = 1; x < local_full; ++x) {
+            uint32_t global = 0;
+            for (size_t i = 0; i < len; ++i) {
+              if (x & (1u << i)) global |= 1u << bit_positions[i];
+            }
+            eff_local[x] = eff_q[global];
+          }
+          // min_superset[t] = min effective cost over proper subsets B of
+          // the classifier with B superseteq t.
+          min_superset = eff_local;
+          for (size_t i = 0; i < len; ++i) {
+            const uint32_t bit = 1u << i;
+            for (uint32_t mask = 0; mask <= local_full; ++mask) {
+              if (!(mask & bit)) {
+                min_superset[mask] =
+                    std::min(min_superset[mask], min_superset[mask | bit]);
+              }
+            }
+          }
+          Cost best = kInfiniteCost;
+          for (uint32_t a = 1; a < local_full; ++a) {
+            if (eff_local[a] == kInfiniteCost) continue;
+            best = std::min(best, eff_local[a] + min_superset[local_full ^ a]);
+          }
+          if (best <= ref.entry->cost) {
+            ref.entry->state = CState::kRemoved;
+            ref.entry->replacement = best;
+            eff_q[ref.mask] = best;  // visible to longer classifiers here
+            ++result_.stats.classifiers_removed_step3;
+          }
+        }
+      }
+    }
+  }
+
+  /// Line 10 (generalized per-property rule): if an uncovered property p of
+  /// alive query q has exactly one present classifier containing it, that
+  /// classifier is in every optimal solution over available classifiers.
+  Status ForcedSelections(const std::vector<size_t>& work,
+                          std::vector<PropertyId>* selected_props) {
+    for (size_t qi : work) {
+      if (!alive_[qi]) continue;
+      const auto& ids = queries_[qi].ids();
+      const size_t len = ids.size();
+      uint32_t candidate_once = 0;   // positions seen in >= 1 classifier
+      uint32_t candidate_multi = 0;  // positions seen in >= 2 classifiers
+      std::array<const SubsetRef*, 32> unique_ref{};
+      for (const SubsetRef& ref : refs_[qi]) {
+        if (ref.entry->state == CState::kRemoved) continue;
+        candidate_multi |= candidate_once & ref.mask;
+        candidate_once |= ref.mask;
+        uint32_t fresh = ref.mask & ~candidate_multi;
+        while (fresh != 0) {
+          const int bit = std::countr_zero(fresh);
+          fresh &= fresh - 1;
+          unique_ref[bit] = &ref;
+        }
+      }
+      const uint32_t uncovered = full_mask_[qi] & ~covered_mask_[qi];
+      if ((candidate_once & uncovered) != uncovered) {
+        return Status::Infeasible(
+            "property of query " +
+            queries_[qi].ToString(input_.property_names()) +
+            " lost all candidate classifiers");
+      }
+      uint32_t forced = uncovered & candidate_once & ~candidate_multi;
+      while (forced != 0) {
+        const int bit = std::countr_zero(forced);
+        forced &= forced - 1;
+        const SubsetRef* ref = unique_ref[bit];
+        if (ref != nullptr && ref->entry->state == CState::kPresent) {
+          Select(*ref);
+          ++result_.stats.forced_selections_step3;
+          for (PropertyId p : *ref->set) selected_props->push_back(p);
+        }
+      }
+      (void)len;
+    }
+    return Status::OK();
+  }
+
+  // ---- Step 4: k = 2 singleton pruning. ----
+  void StepFour() {
+    size_t max_len = 0;
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (alive_[qi]) max_len = std::max(max_len, queries_[qi].size());
+    }
+    if (max_len > 2 || max_len == 0) return;
+
+    std::vector<PropertyId> worklist;
+    for (PropertyId p = 0; p < by_prop_.size(); ++p) {
+      for (size_t qi : by_prop_[p]) {
+        if (alive_[qi]) {
+          worklist.push_back(p);
+          break;
+        }
+      }
+    }
+    std::sort(worklist.begin(), worklist.end(), std::greater<PropertyId>());
+
+    while (!worklist.empty()) {
+      const PropertyId x = worklist.back();
+      worklist.pop_back();
+      const auto xit = table_.find(PropertySet::Of({x}));
+      if (xit == table_.end() || xit->second.state != CState::kPresent) {
+        continue;
+      }
+      // Sum the effective costs of the pair classifiers of all alive
+      // queries containing x (the classifiers that intersect X).
+      Cost sum = 0;
+      std::vector<size_t> pair_queries;
+      for (size_t qi : by_prop_[x]) {
+        if (!alive_[qi]) continue;
+        if (queries_[qi].size() != 2) continue;  // singletons died in step 1
+        Cost pair_cost = kInfiniteCost;
+        for (const SubsetRef& ref : refs_[qi]) {
+          if (ref.mask == full_mask_[qi]) {
+            pair_cost = Effective(*ref.entry);
+            break;
+          }
+        }
+        sum += pair_cost;
+        pair_queries.push_back(qi);
+        if (sum == kInfiniteCost) break;
+      }
+      if (pair_queries.empty() || sum > xit->second.cost) continue;
+      // Select every pair, drop X, and recheck the other endpoints.
+      for (size_t qi : pair_queries) {
+        for (const SubsetRef& ref : refs_[qi]) {
+          if (ref.mask != full_mask_[qi]) continue;
+          if (ref.entry->state == CState::kPresent) {
+            Select(ref);
+            ++result_.stats.selections_step4;
+          }
+        }
+        for (PropertyId y : queries_[qi]) {
+          if (y != x) worklist.push_back(y);
+        }
+      }
+      xit->second.state = CState::kRemoved;
+      xit->second.replacement = sum;
+      ++result_.stats.singletons_removed_step4;
+      RefreshCoverage();
+    }
+  }
+
+  // ---- Step 2: partition into independent sub-instances. ----
+  void StepTwoPartition() {
+    std::vector<size_t> alive_ids;
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (alive_[qi]) alive_ids.push_back(qi);
+    }
+    result_.stats.remaining_queries = alive_ids.size();
+    if (alive_ids.empty()) {
+      result_.stats.num_components = 0;
+      return;
+    }
+
+    std::vector<size_t> component_of(alive_ids.size(), 0);
+    size_t num_components = 1;
+    if (options_.step2_partition) {
+      UnionFind uf;
+      for (size_t qi : alive_ids) {
+        const auto& ids = queries_[qi].ids();
+        for (size_t j = 1; j < ids.size(); ++j) uf.Union(ids[j - 1], ids[j]);
+      }
+      std::unordered_map<PropertyId, size_t> root_to_component;
+      num_components = 0;
+      for (size_t idx = 0; idx < alive_ids.size(); ++idx) {
+        const PropertyId root = uf.Find(*queries_[alive_ids[idx]].begin());
+        const auto [it, inserted] =
+            root_to_component.emplace(root, num_components);
+        if (inserted) ++num_components;
+        component_of[idx] = it->second;
+      }
+    }
+    result_.stats.num_components = num_components;
+
+    result_.components.assign(num_components, Instance{});
+    for (auto& component : result_.components) {
+      component.set_property_names(input_.property_names());
+    }
+    for (size_t idx = 0; idx < alive_ids.size(); ++idx) {
+      Instance& component = result_.components[component_of[idx]];
+      const size_t qi = alive_ids[idx];
+      component.AddQuery(queries_[qi]);
+      for (const SubsetRef& ref : refs_[qi]) {
+        switch (ref.entry->state) {
+          case CState::kPresent:
+            component.SetCost(*ref.set, ref.entry->cost);
+            break;
+          case CState::kSelected:
+            component.SetCost(*ref.set, 0);
+            break;
+          case CState::kRemoved:
+            break;  // omitted (weight infinity)
+        }
+      }
+    }
+    for (const auto& component : result_.components) {
+      result_.stats.remaining_classifiers += component.costs().size();
+    }
+  }
+
+  const Instance& input_;
+  const PreprocessOptions& options_;
+  std::vector<PropertySet> queries_;
+  std::vector<bool> alive_;
+  std::vector<uint32_t> covered_mask_;
+  std::vector<uint32_t> full_mask_;
+  std::vector<std::vector<SubsetRef>> refs_;
+  std::vector<std::vector<size_t>> by_prop_;  // dense by property id
+  std::vector<PropertyId> touched_props_;
+  Table table_;
+  uint32_t pass_ = 0;
+  PreprocessResult result_;
+};
+
+// ---------------------------------------------------------------------------
+// Fast path for k <= 2 instances (the Algorithm 2 pipeline). Classifiers are
+// only singletons and the per-query pairs, so the whole procedure runs on
+// flat arrays: two hash probes per query to set up, none afterwards. This is
+// what makes preprocessing pay off inside the exact k = 2 solver, whose
+// max-flow phase is itself nearly linear (Figure 3c).
+class K2Worker {
+ public:
+  K2Worker(const Instance& instance, const PreprocessOptions& options)
+      : input_(instance), options_(options) {
+    const size_t n = instance.NumQueries();
+    queries_.reserve(n);
+    // Dense remap of property ids.
+    auto local = [&](PropertyId p) {
+      const auto [it, inserted] =
+          remap_.emplace(p, static_cast<int32_t>(props_.size()));
+      if (inserted) {
+        props_.push_back(PropState{
+            p, instance.CostOf(PropertySet::Of({p})), CState::kPresent});
+        prop_queries_.emplace_back();
+      }
+      return it->second;
+    };
+    for (size_t qi = 0; qi < n; ++qi) {
+      const PropertySet& q = instance.queries()[qi];
+      QueryState state;
+      state.a = local(*q.begin());
+      state.b = q.size() == 2 ? local(*(q.begin() + 1)) : state.a;
+      state.pair_cost = q.size() == 2 ? instance.CostOf(q) : kInfiniteCost;
+      queries_.push_back(state);
+      prop_queries_[state.a].push_back(qi);
+      if (state.b != state.a) prop_queries_[state.b].push_back(qi);
+    }
+  }
+
+  Result<PreprocessResult> Run() {
+    MC3_RETURN_IF_ERROR(CheckFeasible());
+    if (options_.step1_forced_singletons) StepOne();
+    if (options_.step3_decompositions) StepThree();
+    if (options_.step4_k2_singleton_prune) StepFour();
+    StepTwoPartition();
+    return std::move(result_);
+  }
+
+ private:
+  struct PropState {
+    PropertyId id;
+    Cost cost;  // singleton classifier cost (infinite when unpriced)
+    CState state;
+  };
+  struct QueryState {
+    int32_t a, b;  // local property indices; a == b for singleton queries
+    Cost pair_cost;
+    CState pair_state = CState::kPresent;
+    bool alive = true;
+  };
+
+  Cost EffSingle(int32_t p) const {
+    const PropState& prop = props_[p];
+    if (prop.state == CState::kSelected) return 0;
+    if (prop.state == CState::kRemoved) return kInfiniteCost;
+    return prop.cost;
+  }
+  Cost EffPair(const QueryState& q) const {
+    if (q.pair_state == CState::kSelected) return 0;
+    if (q.pair_state == CState::kRemoved) return kInfiniteCost;
+    return q.pair_cost;
+  }
+
+  Status CheckFeasible() const {
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      const QueryState& q = queries_[qi];
+      const bool singles =
+          props_[q.a].cost != kInfiniteCost &&
+          (q.a == q.b || props_[q.b].cost != kInfiniteCost);
+      if (!singles && q.pair_cost == kInfiniteCost) {
+        return Status::Infeasible(
+            "query " +
+            input_.queries()[qi].ToString(input_.property_names()) +
+            " cannot be covered by finite-weight classifiers");
+      }
+    }
+    return Status::OK();
+  }
+
+  void SelectSingle(int32_t p) {
+    PropState& prop = props_[p];
+    assert(prop.state == CState::kPresent);
+    prop.state = CState::kSelected;
+    result_.forced.Add(PropertySet::Of({prop.id}));
+    result_.forced_cost += prop.cost;
+    RefreshAround(p);
+  }
+
+  void SelectPair(size_t qi) {
+    QueryState& q = queries_[qi];
+    assert(q.pair_state == CState::kPresent);
+    q.pair_state = CState::kSelected;
+    result_.forced.Add(input_.queries()[qi]);
+    result_.forced_cost += q.pair_cost;
+    if (q.alive) {
+      q.alive = false;
+      ++result_.stats.queries_covered;
+    }
+  }
+
+  /// Re-checks coverage of queries touching local property p.
+  void RefreshAround(int32_t p) {
+    for (size_t qi : prop_queries_[p]) {
+      QueryState& q = queries_[qi];
+      if (!q.alive) continue;
+      const bool covered =
+          q.pair_state == CState::kSelected ||
+          (props_[q.a].state == CState::kSelected &&
+           props_[q.b].state == CState::kSelected);
+      if (covered) {
+        q.alive = false;
+        ++result_.stats.queries_covered;
+      }
+    }
+  }
+
+  // Step 1: singleton queries force their classifier; zero weights selected.
+  void StepOne() {
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      const QueryState& q = queries_[qi];
+      if (q.a == q.b && props_[q.a].state == CState::kPresent) {
+        SelectSingle(q.a);
+        ++result_.stats.singleton_queries_selected;
+      }
+    }
+    for (int32_t p = 0; p < static_cast<int32_t>(props_.size()); ++p) {
+      if (props_[p].state == CState::kPresent && props_[p].cost == 0) {
+        SelectSingle(p);
+        ++result_.stats.zero_weight_selected;
+      }
+    }
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (queries_[qi].alive && queries_[qi].pair_cost == 0 &&
+          queries_[qi].pair_state == CState::kPresent) {
+        SelectPair(qi);
+        ++result_.stats.zero_weight_selected;
+      }
+    }
+  }
+
+  // Step 3 for k = 2: a pair's only decomposition is its two singletons;
+  // remove dominated pairs, then force unique candidates to a fixpoint.
+  void StepThree() {
+    ++result_.stats.step3_passes;
+    std::vector<size_t> work(queries_.size());
+    std::iota(work.begin(), work.end(), size_t{0});
+    while (!work.empty()) {
+      std::vector<size_t> next;
+      for (size_t qi : work) {
+        QueryState& q = queries_[qi];
+        if (!q.alive || q.a == q.b) continue;
+        if (q.pair_state == CState::kPresent &&
+            EffSingle(q.a) + EffSingle(q.b) <= q.pair_cost) {
+          q.pair_state = CState::kRemoved;
+          ++result_.stats.classifiers_removed_step3;
+        }
+        // Forcing: when one cover side is gone, the other is mandatory.
+        const bool pair_gone = EffPair(q) == kInfiniteCost;
+        if (pair_gone) {
+          for (int32_t p : {q.a, q.b}) {
+            if (props_[p].state == CState::kPresent) {
+              SelectSingle(p);
+              ++result_.stats.forced_selections_step3;
+              for (size_t other : prop_queries_[p]) next.push_back(other);
+            }
+          }
+        } else if (props_[q.a].cost == kInfiniteCost ||
+                   props_[q.b].cost == kInfiniteCost) {
+          if (q.pair_state == CState::kPresent) {
+            SelectPair(qi);
+            ++result_.stats.forced_selections_step3;
+          }
+        }
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      work = std::move(next);
+      if (!work.empty()) ++result_.stats.step3_passes;
+    }
+  }
+
+  // Step 4: Observation 3.4 with the chain reaction of line 13.
+  void StepFour() {
+    std::vector<int32_t> worklist(props_.size());
+    std::iota(worklist.begin(), worklist.end(), 0);
+    while (!worklist.empty()) {
+      const int32_t x = worklist.back();
+      worklist.pop_back();
+      if (props_[x].state != CState::kPresent) continue;
+      Cost sum = 0;
+      bool any = false;
+      for (size_t qi : prop_queries_[x]) {
+        const QueryState& q = queries_[qi];
+        if (!q.alive || q.a == q.b) continue;
+        sum += EffPair(q);
+        any = true;
+        if (sum == kInfiniteCost) break;
+      }
+      if (!any || sum > props_[x].cost) continue;
+      for (size_t qi : prop_queries_[x]) {
+        QueryState& q = queries_[qi];
+        if (!q.alive || q.a == q.b) continue;
+        const int32_t other = q.a == x ? q.b : q.a;
+        if (q.pair_state == CState::kPresent) {
+          SelectPair(qi);
+          ++result_.stats.selections_step4;
+        }
+        worklist.push_back(other);
+      }
+      props_[x].state = CState::kRemoved;
+      ++result_.stats.singletons_removed_step4;
+    }
+  }
+
+  void StepTwoPartition() {
+    std::vector<size_t> alive_ids;
+    for (size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (queries_[qi].alive) alive_ids.push_back(qi);
+    }
+    result_.stats.remaining_queries = alive_ids.size();
+    if (alive_ids.empty()) {
+      result_.stats.num_components = 0;
+      return;
+    }
+    std::vector<size_t> component_of(alive_ids.size(), 0);
+    size_t num_components = 1;
+    if (options_.step2_partition) {
+      UnionFind uf;
+      for (size_t qi : alive_ids) {
+        uf.Union(static_cast<PropertyId>(queries_[qi].a),
+                 static_cast<PropertyId>(queries_[qi].b));
+      }
+      std::unordered_map<PropertyId, size_t> roots;
+      num_components = 0;
+      for (size_t idx = 0; idx < alive_ids.size(); ++idx) {
+        const PropertyId root =
+            uf.Find(static_cast<PropertyId>(queries_[alive_ids[idx]].a));
+        const auto [it, inserted] = roots.emplace(root, num_components);
+        if (inserted) ++num_components;
+        component_of[idx] = it->second;
+      }
+    }
+    result_.stats.num_components = num_components;
+    result_.components.assign(num_components, Instance{});
+    for (auto& component : result_.components) {
+      component.set_property_names(input_.property_names());
+    }
+    auto emit_single = [&](Instance* component, int32_t p) {
+      const PropState& prop = props_[p];
+      switch (prop.state) {
+        case CState::kPresent:
+          if (prop.cost != kInfiniteCost) {
+            component->SetCost(PropertySet::Of({prop.id}), prop.cost);
+          }
+          break;
+        case CState::kSelected:
+          component->SetCost(PropertySet::Of({prop.id}), 0);
+          break;
+        case CState::kRemoved:
+          break;
+      }
+    };
+    for (size_t idx = 0; idx < alive_ids.size(); ++idx) {
+      Instance& component = result_.components[component_of[idx]];
+      const size_t qi = alive_ids[idx];
+      const QueryState& q = queries_[qi];
+      component.AddQuery(input_.queries()[qi]);
+      emit_single(&component, q.a);
+      if (q.b != q.a) emit_single(&component, q.b);
+      switch (q.pair_state) {
+        case CState::kPresent:
+          if (q.pair_cost != kInfiniteCost) {
+            component.SetCost(input_.queries()[qi], q.pair_cost);
+          }
+          break;
+        case CState::kSelected:
+          component.SetCost(input_.queries()[qi], 0);
+          break;
+        case CState::kRemoved:
+          break;
+      }
+    }
+    for (const auto& component : result_.components) {
+      result_.stats.remaining_classifiers += component.costs().size();
+    }
+  }
+
+  const Instance& input_;
+  const PreprocessOptions& options_;
+  std::vector<QueryState> queries_;
+  std::vector<PropState> props_;
+  std::vector<std::vector<size_t>> prop_queries_;  // by local property
+  std::unordered_map<PropertyId, int32_t> remap_;
+  PreprocessResult result_;
+};
+
+}  // namespace
+
+Result<PreprocessResult> Preprocess(const Instance& instance,
+                                    const PreprocessOptions& options) {
+  if (instance.MaxQueryLength() <= 2 && !options.force_generic_path) {
+    return K2Worker(instance, options).Run();
+  }
+  return Worker(instance, options).Run();
+}
+
+}  // namespace mc3

@@ -1,0 +1,144 @@
+#include "core/solution.h"
+
+#include <algorithm>
+
+namespace mc3 {
+
+bool Solution::Add(const PropertySet& classifier) {
+  if (!lookup_.insert(classifier).second) return false;
+  classifiers_.push_back(classifier);
+  return true;
+}
+
+void Solution::Merge(const Solution& other) {
+  for (const auto& c : other.classifiers_) Add(c);
+}
+
+Cost Solution::TotalCost(const Instance& instance) const {
+  Cost total = 0;
+  for (const auto& c : classifiers_) total += instance.CostOf(c);
+  return total;
+}
+
+std::vector<PropertySet> Solution::Sorted() const {
+  std::vector<PropertySet> sorted = classifiers_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string Solution::ToString(const Instance& instance) const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& c : Sorted()) {
+    if (!first) out += ", ";
+    first = false;
+    out += c.ToString(instance.property_names());
+  }
+  out += "]";
+  return out;
+}
+
+CoverageReport VerifyCoverage(const Instance& instance,
+                              const Solution& solution) {
+  CoverageReport report;
+  report.covers_all = true;
+  report.witnesses.resize(instance.NumQueries());
+  for (size_t i = 0; i < instance.NumQueries(); ++i) {
+    const PropertySet& q = instance.queries()[i];
+    PropertySet covered;
+    ForEachNonEmptySubset(q, [&](const PropertySet& sub) {
+      if (solution.Contains(sub)) {
+        report.witnesses[i].push_back(sub);
+        covered = covered.UnionWith(sub);
+      }
+    });
+    if (!(covered == q)) {
+      report.covers_all = false;
+      report.uncovered_queries.push_back(i);
+    }
+  }
+  return report;
+}
+
+bool Covers(const Instance& instance, const Solution& solution) {
+  PropertySet probe;
+  std::vector<PropertyId> scratch;
+  for (const PropertySet& q : instance.queries()) {
+    const auto& ids = q.ids();
+    const size_t len = ids.size();
+    if (len > 25) return false;
+    const uint32_t full = (1u << len) - 1;
+    uint32_t covered = 0;
+    for (uint32_t mask = 1; mask <= full && covered != full; ++mask) {
+      if ((mask | covered) == covered) continue;
+      scratch.clear();
+      for (size_t i = 0; i < len; ++i) {
+        if (mask & (1u << i)) scratch.push_back(ids[i]);
+      }
+      probe.AssignSortedForProbe(scratch.data(), scratch.size());
+      if (solution.Contains(probe)) covered |= mask;
+    }
+    if (covered != full) return false;
+  }
+  return true;
+}
+
+Solution PruneUnusedClassifiers(const Instance& instance,
+                                const Solution& solution) {
+  // For each query, a cheapest witness cover among the selected classifiers
+  // via DP over property-subset masks (k <= ~10 in every workload).
+  std::unordered_set<PropertySet, PropertySetHash> used;
+  for (const auto& q : instance.queries()) {
+    const auto& ids = q.ids();
+    const size_t k = ids.size();
+    // Selected classifiers that are subsets of q, as bitmasks over q.
+    std::vector<uint32_t> cand_masks;
+    std::vector<PropertySet> cand_sets;
+    std::vector<Cost> cand_costs;
+    ForEachNonEmptySubset(q, [&](const PropertySet& sub) {
+      if (solution.Contains(sub)) {
+        uint32_t mask = 0;
+        for (size_t i = 0; i < k; ++i) {
+          if (sub.Contains(ids[i])) mask |= 1u << i;
+        }
+        cand_masks.push_back(mask);
+        cand_sets.push_back(sub);
+        cand_costs.push_back(instance.CostOf(sub));
+      }
+    });
+    const uint32_t full = (1u << k) - 1;
+    std::vector<Cost> dp(full + 1, kInfiniteCost);
+    std::vector<int32_t> parent(full + 1, -1);
+    std::vector<uint32_t> parent_mask(full + 1, 0);
+    dp[0] = 0;
+    for (uint32_t mask = 0; mask <= full; ++mask) {
+      if (dp[mask] == kInfiniteCost) continue;
+      for (size_t c = 0; c < cand_masks.size(); ++c) {
+        const uint32_t next = mask | cand_masks[c];
+        if (next == mask) continue;
+        const Cost cost = dp[mask] + cand_costs[c];
+        if (cost < dp[next]) {
+          dp[next] = cost;
+          parent[next] = static_cast<int32_t>(c);
+          parent_mask[next] = mask;
+        }
+      }
+    }
+    if (dp[full] == kInfiniteCost) {
+      // Solution does not cover q (or only via unpriced classifiers);
+      // pruning is not safe — return the input untouched.
+      return solution;
+    }
+    for (uint32_t mask = full; mask != 0;) {
+      used.insert(cand_sets[parent[mask]]);
+      mask = parent_mask[mask];
+    }
+  }
+  Solution pruned;
+  for (const auto& c : solution.classifiers()) {
+    if (used.count(c) > 0) pruned.Add(c);
+  }
+  return pruned;
+}
+
+}  // namespace mc3

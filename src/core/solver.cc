@@ -1,0 +1,19 @@
+#include "core/solver.h"
+
+namespace mc3 {
+
+Result<SolveResult> FinishSolve(const Instance& instance, Solution solution,
+                                bool prune_unused, bool verify) {
+  if (verify && !Covers(instance, solution)) {
+    return Status::Internal("solver produced a non-covering solution");
+  }
+  if (prune_unused) {
+    solution = PruneUnusedClassifiers(instance, solution);
+  }
+  SolveResult result;
+  result.cost = solution.TotalCost(instance);
+  result.solution = std::move(solution);
+  return result;
+}
+
+}  // namespace mc3

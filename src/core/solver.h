@@ -1,0 +1,96 @@
+// Common solver interface shared by the paper's algorithms and baselines.
+#ifndef MC3_CORE_SOLVER_H_
+#define MC3_CORE_SOLVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/preprocess.h"
+#include "core/solution.h"
+#include "flow/max_flow.h"
+#include "util/status.h"
+
+namespace mc3 {
+
+/// Options shared by the MC3 solvers.
+struct SolverOptions {
+  /// Run Algorithm 1 first (figures 3c/3e/3f contrast on/off).
+  bool preprocess = true;
+  PreprocessOptions preprocess_options;
+
+  /// Max-flow engine for the k = 2 exact solver. The paper reports Dinic
+  /// [10] performed best.
+  flow::MaxFlowAlgorithm max_flow = flow::MaxFlowAlgorithm::kDinic;
+
+  /// Algorithm 3 components: the greedy WSC algorithm [6] and the
+  /// f-approximation. The paper runs both and keeps the cheaper output.
+  bool run_greedy = true;
+  enum class FMethod {
+    kNone,        ///< greedy only
+    kPrimalDual,  ///< factor-f via primal-dual (scalable default)
+    kLpRounding,  ///< factor-f via LP relaxation + 1/f rounding (literal
+                  ///< algorithm of [50]; dense simplex, small instances)
+  };
+  FMethod f_method = FMethod::kPrimalDual;
+
+  /// Post-pass dropping classifiers no query's cheapest witness uses (never
+  /// increases cost).
+  bool prune_unused = true;
+
+  /// Defensive re-verification that the assembled solution covers every
+  /// query (linear in the instance size). On by default; the runtime
+  /// benches disable it on both arms to time the algorithms alone, as the
+  /// paper does.
+  bool verify_solution = true;
+
+  /// Extension: components whose query count does not exceed this threshold
+  /// are solved exactly (branch-and-bound) instead of approximately; 0
+  /// disables. Step 2 of the preprocessing often produces many tiny
+  /// components for which the exact optimum is cheap to compute.
+  size_t exact_component_max_queries = 0;
+
+  /// Worker threads for solving independent sub-instances concurrently
+  /// (the parallelism step 2 of Algorithm 1 enables; paper Section 3).
+  /// 1 = sequential.
+  size_t num_threads = 1;
+
+  /// Extension (off = paper-faithful): when Short-First runs Algorithm 3 on
+  /// the residual long queries, price the classifiers already selected by
+  /// the exact short phase at zero so they are reused instead of repurchased.
+  /// The paper's SF solves the residual with original costs.
+  bool short_first_reuse_selections = false;
+};
+
+/// A solved instance: the classifiers to train and diagnostics.
+struct SolveResult {
+  Solution solution;
+  /// Total construction cost under the instance's weight function.
+  Cost cost = 0;
+  /// Number of independent sub-instances processed.
+  size_t num_components = 0;
+  double preprocess_seconds = 0;
+  double solve_seconds = 0;
+};
+
+/// Abstract solver.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  /// Short identifier used in benches ("mc3s", "mc3g", "qo", ...).
+  virtual std::string Name() const = 0;
+  /// Solves `instance`; the instance must pass Instance::Validate().
+  virtual Result<SolveResult> Solve(const Instance& instance) const = 0;
+};
+
+/// Assembles a SolveResult from a full solution: verifies coverage (when
+/// `verify` is set), optionally prunes unused classifiers, and computes the
+/// cost under the original instance. Returns Internal if verification finds
+/// an uncovered query.
+Result<SolveResult> FinishSolve(const Instance& instance, Solution solution,
+                                bool prune_unused, bool verify = true);
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_SOLVER_H_

@@ -1,0 +1,38 @@
+// Instance statistics (the quantities reported in Table 1 and quoted in the
+// paper's dataset descriptions).
+#ifndef MC3_CORE_STATS_H_
+#define MC3_CORE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace mc3 {
+
+/// Descriptive statistics of an MC3 instance.
+struct InstanceStats {
+  size_t num_queries = 0;
+  size_t num_properties = 0;
+  size_t num_classifiers = 0;  ///< finite-cost classifiers
+  size_t max_query_length = 0;
+  Cost min_cost = 0;  ///< over finite-cost classifiers (0 when none)
+  Cost max_cost = 0;
+  /// length_histogram[l] = number of queries of length l (index 0 unused).
+  std::vector<size_t> length_histogram;
+  /// Fraction of queries with length <= 2, in [0, 1].
+  double fraction_short = 0;
+  size_t incidence = 0;  ///< the paper's I parameter
+  bool feasible = false;
+};
+
+/// Computes the statistics (incidence computation enumerates each query's
+/// priced subsets; linear in the instance size for constant k).
+InstanceStats ComputeStats(const Instance& instance);
+
+/// Renders the Table-1 style row "name, #queries, max cost, max length".
+std::string StatsRow(const std::string& name, const InstanceStats& stats);
+
+}  // namespace mc3
+
+#endif  // MC3_CORE_STATS_H_

@@ -1,0 +1,76 @@
+#include "core/wsc_reduction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mc3 {
+
+WscReduction ReduceToWsc(const Instance& instance) {
+  WscReduction reduction;
+  const auto& queries = instance.queries();
+
+  // Element ids: contiguous per query, in sorted property order.
+  reduction.element_offset.resize(queries.size());
+  setcover::ElementId next = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    reduction.element_offset[qi] = next;
+    next += static_cast<setcover::ElementId>(queries[qi].size());
+  }
+  reduction.wsc.num_elements = next;
+
+  // Gather, per classifier, the elements it covers, by enumerating each
+  // query's priced subsets (this touches exactly the classifiers relevant
+  // to each query, i.e. those with S subseteq q).
+  std::unordered_map<PropertySet, std::vector<setcover::ElementId>,
+                     PropertySetHash>
+      covered;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const PropertySet& q = queries[qi];
+    const auto& ids = q.ids();
+    ForEachNonEmptySubset(q, [&](const PropertySet& sub) {
+      if (instance.CostOf(sub) == kInfiniteCost) return;
+      auto& elements = covered[sub];
+      size_t pos = 0;
+      for (PropertyId p : sub) {
+        while (ids[pos] != p) ++pos;  // sub is sorted, so pos only advances
+        elements.push_back(reduction.element_offset[qi] +
+                           static_cast<setcover::ElementId>(pos));
+      }
+    });
+  }
+
+  // Canonical set order for determinism.
+  std::vector<const PropertySet*> order;
+  order.reserve(covered.size());
+  for (const auto& [classifier, elements] : covered) {
+    order.push_back(&classifier);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const PropertySet* a, const PropertySet* b) {
+              if (a->size() != b->size()) return a->size() < b->size();
+              return *a < *b;
+            });
+
+  reduction.wsc.sets.reserve(order.size());
+  reduction.set_to_classifier.reserve(order.size());
+  for (const PropertySet* classifier : order) {
+    setcover::WscSet set;
+    set.elements = std::move(covered[*classifier]);
+    std::sort(set.elements.begin(), set.elements.end());
+    set.cost = instance.CostOf(*classifier);
+    reduction.wsc.sets.push_back(std::move(set));
+    reduction.set_to_classifier.push_back(*classifier);
+  }
+  return reduction;
+}
+
+Solution WscSolutionToMc3(const WscReduction& reduction,
+                          const setcover::WscSolution& wsc_solution) {
+  Solution solution;
+  for (setcover::SetId id : wsc_solution.selected) {
+    solution.Add(reduction.set_to_classifier[id]);
+  }
+  return solution;
+}
+
+}  // namespace mc3

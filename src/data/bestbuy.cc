@@ -1,0 +1,129 @@
+#include "data/bestbuy.h"
+
+#include <cmath>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mc3::data {
+namespace {
+
+// Electronics vocabulary: a realistic named core, extended with numbered
+// variants so ~1000 mostly-short distinct queries exist (the published
+// dataset has 95% of queries with at most two properties, which needs a
+// vocabulary far larger than a brand shortlist).
+std::vector<std::string> MakeBrands() {
+  std::vector<std::string> v = {
+      "samsung", "apple",  "sony",      "lg",     "dell",   "hp",
+      "lenovo",  "asus",   "acer",      "microsoft", "canon", "nikon",
+      "bose",    "jbl",    "garmin",    "fitbit", "gopro",  "nintendo",
+      "philips", "panasonic"};
+  for (int i = static_cast<int>(v.size()); i < 600; ++i) {
+    v.push_back("brand_" + std::to_string(i));
+  }
+  return v;
+}
+
+std::vector<std::string> MakeTypes() {
+  std::vector<std::string> v = {
+      "tv",         "laptop",  "tablet",     "phone",    "camera",
+      "headphones", "speaker", "monitor",    "printer",  "router",
+      "smartwatch", "console", "keyboard",   "mouse",    "drone",
+      "projector",  "soundbar", "microwave", "vacuum",   "earbuds"};
+  for (int i = static_cast<int>(v.size()); i < 700; ++i) {
+    v.push_back("type_" + std::to_string(i));
+  }
+  return v;
+}
+
+std::vector<std::string> MakeFeatures() {
+  std::vector<std::string> v = {
+      "4k",       "oled",     "wireless",    "bluetooth",        "gaming",
+      "portable", "curved",   "touchscreen", "noise_cancelling", "smart",
+      "hd",       "compact",  "refurbished", "waterproof",       "mini",
+      "pro",      "ultra",    "budget",      "premium",          "hdr"};
+  for (int i = static_cast<int>(v.size()); i < 200; ++i) {
+    v.push_back("feature_" + std::to_string(i));
+  }
+  return v;
+}
+
+/// Skewed pick (u^1.6): popular entries recur — the reuse real query logs
+/// show — while the long tail keeps the distinct-property count high, so
+/// the Property-Oriented baseline pays for more singletons than there are
+/// queries (the Figure 3a ordering).
+const std::string& Pick(const std::vector<std::string>& pool, Rng* rng) {
+  const double u = rng->UniformDouble();
+  auto idx = static_cast<size_t>(std::pow(u, 1.2) *
+                                 static_cast<double>(pool.size()));
+  if (idx >= pool.size()) idx = pool.size() - 1;
+  return pool[idx];
+}
+
+}  // namespace
+
+Instance GenerateBestBuy(const BestBuyConfig& config) {
+  Rng rng(config.seed);
+  const std::vector<std::string> brands = MakeBrands();
+  const std::vector<std::string> types = MakeTypes();
+  const std::vector<std::string> features = MakeFeatures();
+
+  InstanceBuilder builder;
+  std::unordered_set<PropertySet, PropertySetHash> seen;
+
+  size_t made = 0;
+  while (made < config.num_queries) {
+    // Length histogram 20% / 75% / 4% / 1% for lengths 1..4 — matching the
+    // published "95% of queries have up to 2 properties" and max length 4.
+    const double u = rng.UniformDouble();
+    size_t length = u < 0.20 ? 1 : u < 0.95 ? 2 : u < 0.99 ? 3 : 4;
+
+    bool accepted = false;
+    for (int attempt = 0; attempt < 200 && !accepted; ++attempt) {
+      std::vector<std::string> names;
+      switch (length) {
+        case 1:
+          names.push_back(rng.Bernoulli(0.7) ? Pick(types, &rng)
+                                             : Pick(brands, &rng));
+          break;
+        case 2:
+          names.push_back(Pick(brands, &rng));
+          names.push_back(Pick(types, &rng));
+          break;
+        case 3:
+          names.push_back(Pick(brands, &rng));
+          names.push_back(Pick(features, &rng));
+          names.push_back(Pick(types, &rng));
+          break;
+        default:
+          names.push_back(Pick(brands, &rng));
+          names.push_back(Pick(features, &rng));
+          names.push_back(Pick(features, &rng));
+          names.push_back(Pick(types, &rng));
+          break;
+      }
+      std::vector<PropertyId> ids;
+      ids.reserve(names.size());
+      for (const auto& n : names) ids.push_back(builder.Intern(n));
+      const PropertySet query = PropertySet::FromUnsorted(ids);
+      if (query.size() != length) continue;  // duplicate names drawn
+      if (!seen.insert(query).second) {
+        // Saturated? Widen the query once in a while so we cannot stall.
+        if (attempt == 199 && length < 4) ++length;
+        continue;
+      }
+      builder.AddQuery(names);
+      accepted = true;
+      ++made;
+    }
+  }
+
+  const Cost cost = config.uniform_cost;
+  builder.PriceAllClassifiers([cost](const PropertySet&) { return cost; });
+  return std::move(builder).Build();
+}
+
+}  // namespace mc3::data

@@ -1,0 +1,31 @@
+// Reconstruction of the BestBuy dataset ("BB", Table 1): ~1000 electronics
+// queries, uniform classifier costs, 95% of queries with at most two
+// properties, maximum length 4. The original dump used by [13] is not
+// distributed; this generator reproduces every marginal the paper states
+// (count, cost uniformity, length histogram, max length) over a realistic
+// electronics vocabulary with Zipf-like property reuse, which is what
+// Figure 3a depends on. See DESIGN.md, "Substitutions".
+#ifndef MC3_DATA_BESTBUY_H_
+#define MC3_DATA_BESTBUY_H_
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace mc3::data {
+
+/// Parameters of the BB-like workload; defaults follow Table 1.
+struct BestBuyConfig {
+  size_t num_queries = 1000;
+  uint64_t seed = 7;
+  /// All classifiers get this cost (the BB dataset has uniform weights).
+  Cost uniform_cost = 1;
+};
+
+/// Generates the dataset (deterministic for a fixed config). Property names
+/// are electronics-domain strings ("samsung", "tv", "wireless", ...).
+Instance GenerateBestBuy(const BestBuyConfig& config);
+
+}  // namespace mc3::data
+
+#endif  // MC3_DATA_BESTBUY_H_

@@ -1,0 +1,41 @@
+// Instance (de)serialization in a simple CSV dialect, so workloads can be
+// exported to / imported from catalog pipelines:
+//
+//   # comment lines start with '#'
+//   Q,<prop>,<prop>,...          one row per query
+//   C,<cost>,<prop>,<prop>,...   one row per priced classifier
+//
+// Properties are arbitrary strings, interned to dense ids on load.
+#ifndef MC3_DATA_IO_H_
+#define MC3_DATA_IO_H_
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "util/status.h"
+
+namespace mc3::data {
+
+/// Serializes `instance` to the CSV dialect above (using property names when
+/// available, ids otherwise).
+std::string InstanceToCsv(const Instance& instance);
+
+/// Parses an instance from CSV text. Rows may appear in any order.
+Result<Instance> InstanceFromCsv(const std::string& text);
+
+/// File variants.
+Status SaveInstance(const Instance& instance, const std::string& path);
+Result<Instance> LoadInstance(const std::string& path);
+
+/// Serializes a solved plan: one row per classifier to train,
+/// `C,<cost>,<prop>,...`, in canonical order. The file is itself a valid
+/// cost-table fragment of the instance CSV dialect.
+std::string SolutionToCsv(const Instance& instance,
+                          const mc3::Solution& solution);
+Status SaveSolution(const Instance& instance, const mc3::Solution& solution,
+                    const std::string& path);
+
+}  // namespace mc3::data
+
+#endif  // MC3_DATA_IO_H_

@@ -1,0 +1,54 @@
+// Reconstruction of the private e-commerce dataset ("P", Table 1): 10,000
+// popular queries of lengths 1-6, integer classifier costs in [1, 63], a
+// union of category sub-datasets (Electronics, Fashion, Home & Garden), with
+// the fashion category holding ~1000 queries of which 96% are short. The
+// cost model reproduces the paper's motivating phenomenon: a conjunction
+// classifier is sometimes cheaper than the sum — or even the minimum — of
+// its parts. The real data is proprietary; see DESIGN.md, "Substitutions".
+#ifndef MC3_DATA_PRIVATE_DATASET_H_
+#define MC3_DATA_PRIVATE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace mc3::data {
+
+/// Parameters of the P-like workload; defaults follow Table 1.
+struct PrivateConfig {
+  uint64_t seed = 42;
+  size_t electronics_queries = 5500;
+  size_t home_garden_queries = 3500;
+  size_t fashion_queries = 1000;
+  int64_t cost_min = 1;
+  int64_t cost_max = 63;
+  /// Probability that a multi-property classifier is an "easy conjunction",
+  /// cheaper than its cheapest part (the Adidas-Juventus effect of
+  /// Example 1.1).
+  double easy_conjunction_probability = 0.25;
+};
+
+/// The generated dataset with category extents (the paper's 1000-query
+/// Figure-3d point is the fashion category specifically, not a random
+/// sample).
+struct PrivateDataset {
+  Instance instance;
+  struct Category {
+    std::string name;
+    size_t first_query;  ///< index into instance.queries()
+    size_t num_queries;
+  };
+  std::vector<Category> categories;
+
+  /// Query indices of the named category (empty when absent).
+  std::vector<size_t> CategoryQueryIndices(const std::string& name) const;
+};
+
+/// Generates the dataset (deterministic for a fixed config).
+PrivateDataset GeneratePrivate(const PrivateConfig& config);
+
+}  // namespace mc3::data
+
+#endif  // MC3_DATA_PRIVATE_DATASET_H_

@@ -1,0 +1,72 @@
+// Query-log ingestion: the front half of the paper's motivating pipeline.
+//
+// The introduction describes free-text searches ("white adidas juventus
+// shirt") being translated into conjunctive property queries. This module
+// implements a pragmatic version of that translation for building MC3
+// instances out of raw search logs:
+//
+//   raw log lines ->  tokenize/normalize  ->  aggregate identical queries
+//                 ->  property-set queries with frequencies
+//                 ->  priced Instance (via a cost model) + query weights
+//
+// The frequencies feed the budgeted partial-cover extension directly
+// (important queries = frequent queries).
+#ifndef MC3_DATA_QUERY_LOG_H_
+#define MC3_DATA_QUERY_LOG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace mc3::data {
+
+/// Tokenization / aggregation options.
+struct QueryLogOptions {
+  /// Tokens in this list are dropped ("shirt", "for", ...). Matching is
+  /// case-insensitive after normalization.
+  std::vector<std::string> stopwords = {"a",   "an",  "and", "for", "in",
+                                        "of",  "on",  "the", "to",  "with"};
+  /// Queries with more than this many distinct properties are dropped
+  /// (mirrors the paper's omission of very long queries).
+  size_t max_query_length = 10;
+  /// Queries seen fewer than this many times are dropped (rare queries do
+  /// not justify classifier construction).
+  size_t min_frequency = 1;
+};
+
+/// Aggregated log: distinct property-set queries with frequencies.
+struct QueryLog {
+  Instance instance;  ///< queries only; no classifier costs yet
+  /// frequency[i] = how often instance.queries()[i] occurred in the log.
+  std::vector<size_t> frequency;
+  size_t total_lines = 0;
+  size_t dropped_lines = 0;  ///< empty/too-long/too-rare lines
+};
+
+/// Parses raw free-text log lines. Tokens are lowercased; non-alphanumeric
+/// characters split tokens; stopwords are removed; duplicate tokens within
+/// a line collapse (a property set). Lines that end up empty are dropped.
+QueryLog ParseQueryLog(const std::vector<std::string>& lines,
+                       const QueryLogOptions& options = {});
+
+/// A simple classifier-cost estimator for ingested logs: every property p
+/// gets a labeling difficulty (from `property_difficulty` when present,
+/// `default_difficulty` otherwise), a singleton classifier costs its
+/// difficulty, and a conjunction costs `subadditivity` times the sum of its
+/// parts (clamped below by the cheapest part times `floor_factor`) — the
+/// first-order shape of the costs the paper's data exhibits. Prices every
+/// classifier in C_Q.
+struct CostEstimatorOptions {
+  std::unordered_map<std::string, Cost> property_difficulty;
+  Cost default_difficulty = 5;
+  double subadditivity = 0.75;
+  double floor_factor = 0.4;
+};
+Status EstimateCosts(Instance* instance, const CostEstimatorOptions& options);
+
+}  // namespace mc3::data
+
+#endif  // MC3_DATA_QUERY_LOG_H_

@@ -1,0 +1,92 @@
+#include "flow/bipartite_vertex_cover.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mc3::flow {
+
+Result<BipartiteVcSolution> SolveBipartiteVertexCover(
+    const BipartiteVcInstance& instance, MaxFlowAlgorithm algorithm) {
+  const auto num_left = static_cast<int32_t>(instance.left_weights.size());
+  const auto num_right = static_cast<int32_t>(instance.right_weights.size());
+
+  // Sum of finite weights; used as the clamp for infinite weights. If every
+  // edge has at least one finite endpoint, the all-finite-vertices cover is
+  // feasible and costs at most this sum, so a clamped vertex can never be
+  // part of a minimum cut.
+  double finite_sum = 0;
+  for (double w : instance.left_weights) {
+    if (w < 0) return Status::InvalidArgument("negative left vertex weight");
+    if (std::isfinite(w)) finite_sum += w;
+  }
+  for (double w : instance.right_weights) {
+    if (w < 0) return Status::InvalidArgument("negative right vertex weight");
+    if (std::isfinite(w)) finite_sum += w;
+  }
+  const double clamp = finite_sum + 1;
+
+  for (const auto& [l, r] : instance.edges) {
+    if (l < 0 || l >= num_left || r < 0 || r >= num_right) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (!std::isfinite(instance.left_weights[l]) &&
+        !std::isfinite(instance.right_weights[r])) {
+      return Status::Infeasible(
+          "edge with both endpoints of infinite weight has no finite cover");
+    }
+  }
+
+  // Node layout: 0 = source, 1..num_left = left, then right, then sink.
+  const NodeId source = 0;
+  const NodeId sink = 1 + num_left + num_right;
+  FlowNetwork net(sink + 1);
+  auto left_node = [&](int32_t l) { return 1 + l; };
+  auto right_node = [&](int32_t r) { return 1 + num_left + r; };
+
+  for (int32_t l = 0; l < num_left; ++l) {
+    const double w = instance.left_weights[l];
+    net.AddEdge(source, left_node(l), std::isfinite(w) ? w : clamp);
+  }
+  for (int32_t r = 0; r < num_right; ++r) {
+    const double w = instance.right_weights[r];
+    net.AddEdge(right_node(r), sink, std::isfinite(w) ? w : clamp);
+  }
+  // Edge capacities need only exceed any possible cut; clamp suffices.
+  for (const auto& [l, r] : instance.edges) {
+    net.AddEdge(left_node(l), right_node(r), clamp);
+  }
+
+  MaxFlow(&net, source, sink, algorithm);
+
+  // Source side of the min cut.
+  const std::vector<bool> reachable = net.ResidualReachable(source);
+
+  BipartiteVcSolution solution;
+  solution.left_in_cover.assign(num_left, false);
+  solution.right_in_cover.assign(num_right, false);
+  for (int32_t l = 0; l < num_left; ++l) {
+    if (!reachable[left_node(l)]) {
+      solution.left_in_cover[l] = true;
+      solution.weight += instance.left_weights[l];
+    }
+  }
+  for (int32_t r = 0; r < num_right; ++r) {
+    if (reachable[right_node(r)]) {
+      solution.right_in_cover[r] = true;
+      solution.weight += instance.right_weights[r];
+    }
+  }
+  return solution;
+}
+
+bool IsVertexCover(const BipartiteVcInstance& instance,
+                   const BipartiteVcSolution& solution) {
+  for (const auto& [l, r] : instance.edges) {
+    if (!solution.left_in_cover[l] && !solution.right_in_cover[r]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mc3::flow

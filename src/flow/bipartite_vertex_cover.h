@@ -1,0 +1,53 @@
+// Weighted Vertex Cover on bipartite graphs via max-flow (Theorem 2.3 of the
+// paper, reduction per [Baiou-Barahona 2016]). This is the engine behind the
+// exact k = 2 solver (Algorithm 2).
+#ifndef MC3_FLOW_BIPARTITE_VERTEX_COVER_H_
+#define MC3_FLOW_BIPARTITE_VERTEX_COVER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "flow/max_flow.h"
+#include "util/status.h"
+
+namespace mc3::flow {
+
+/// A bipartite graph with weighted vertices on both sides. Vertices may have
+/// weight +infinity, meaning they must never enter the cover (the paper models
+/// omitted classifiers this way); such weights are clamped internally.
+struct BipartiteVcInstance {
+  std::vector<double> left_weights;
+  std::vector<double> right_weights;
+  /// Edges as (left index, right index) pairs.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+};
+
+/// A vertex cover: the chosen vertices on each side, plus its total weight.
+struct BipartiteVcSolution {
+  std::vector<bool> left_in_cover;
+  std::vector<bool> right_in_cover;
+  double weight = 0;
+};
+
+/// Solves weighted vertex cover on a bipartite graph exactly.
+///
+/// Construction: source -> each left vertex with capacity w(l); each right
+/// vertex -> sink with capacity w(r); each edge (l, r) with infinite
+/// capacity. A minimum s-t cut corresponds to a minimum-weight cover: left
+/// vertices whose source edge is cut plus right vertices whose sink edge is
+/// cut. Infinite vertex weights are clamped to (sum of finite weights + 1).
+///
+/// Returns kInfeasible if some edge has both endpoints of infinite weight
+/// (no finite cover exists).
+Result<BipartiteVcSolution> SolveBipartiteVertexCover(
+    const BipartiteVcInstance& instance,
+    MaxFlowAlgorithm algorithm = MaxFlowAlgorithm::kDinic);
+
+/// Verifies that `solution` covers every edge of `instance`; test helper.
+bool IsVertexCover(const BipartiteVcInstance& instance,
+                   const BipartiteVcSolution& solution);
+
+}  // namespace mc3::flow
+
+#endif  // MC3_FLOW_BIPARTITE_VERTEX_COVER_H_

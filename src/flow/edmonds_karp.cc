@@ -1,0 +1,54 @@
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "flow/max_flow.h"
+
+namespace mc3::flow {
+
+Capacity MaxFlowEdmondsKarp(FlowNetwork* network, NodeId source, NodeId sink) {
+  if (source == sink) return 0;
+  FlowNetwork& net = *network;
+  Capacity total = 0;
+  std::vector<int> parent_edge(net.NumNodes());
+  while (true) {
+    // BFS for the shortest augmenting path.
+    std::fill(parent_edge.begin(), parent_edge.end(), -1);
+    parent_edge[source] = -2;
+    std::deque<NodeId> queue{source};
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (int id : net.OutEdges(u)) {
+        const auto& e = net.edge(id);
+        if (e.residual > kCapacityEpsilon && parent_edge[e.to] == -1) {
+          parent_edge[e.to] = id;
+          if (e.to == sink) {
+            found = true;
+            break;
+          }
+          queue.push_back(e.to);
+        }
+      }
+    }
+    if (!found) break;
+    // Bottleneck along the path.
+    Capacity bottleneck = std::numeric_limits<Capacity>::infinity();
+    for (NodeId v = sink; v != source;) {
+      const int id = parent_edge[v];
+      bottleneck = std::min(bottleneck, net.edge(id).residual);
+      v = net.edge(id ^ 1).to;
+    }
+    for (NodeId v = sink; v != source;) {
+      const int id = parent_edge[v];
+      net.Push(id, bottleneck);
+      v = net.edge(id ^ 1).to;
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+}  // namespace mc3::flow

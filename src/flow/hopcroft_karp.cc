@@ -1,0 +1,146 @@
+#include "flow/hopcroft_karp.h"
+
+#include <deque>
+#include <limits>
+
+namespace mc3::flow {
+namespace {
+
+constexpr int32_t kInfDist = std::numeric_limits<int32_t>::max();
+
+/// Adjacency of left vertices.
+std::vector<std::vector<int32_t>> BuildAdjacency(const BipartiteGraph& graph) {
+  std::vector<std::vector<int32_t>> adj(graph.num_left);
+  for (const auto& [l, r] : graph.edges) adj[l].push_back(r);
+  return adj;
+}
+
+class HopcroftKarp {
+ public:
+  explicit HopcroftKarp(const BipartiteGraph& graph)
+      : adj_(BuildAdjacency(graph)),
+        num_left_(graph.num_left),
+        match_left_(graph.num_left, -1),
+        match_right_(graph.num_right, -1),
+        dist_(graph.num_left, kInfDist) {}
+
+  Matching Run() {
+    int32_t size = 0;
+    while (Bfs()) {
+      for (int32_t l = 0; l < num_left_; ++l) {
+        if (match_left_[l] == -1 && Dfs(l)) ++size;
+      }
+    }
+    Matching m;
+    m.match_left = std::move(match_left_);
+    m.match_right = std::move(match_right_);
+    m.size = size;
+    return m;
+  }
+
+ private:
+  /// Layers free left vertices at distance 0 and alternates
+  /// unmatched/matched edges; returns whether an augmenting path exists.
+  bool Bfs() {
+    std::deque<int32_t> queue;
+    for (int32_t l = 0; l < num_left_; ++l) {
+      if (match_left_[l] == -1) {
+        dist_[l] = 0;
+        queue.push_back(l);
+      } else {
+        dist_[l] = kInfDist;
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const int32_t l = queue.front();
+      queue.pop_front();
+      for (int32_t r : adj_[l]) {
+        const int32_t l2 = match_right_[r];
+        if (l2 == -1) {
+          found_free_right = true;
+        } else if (dist_[l2] == kInfDist) {
+          dist_[l2] = dist_[l] + 1;
+          queue.push_back(l2);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  bool Dfs(int32_t l) {
+    for (int32_t r : adj_[l]) {
+      const int32_t l2 = match_right_[r];
+      if (l2 == -1 || (dist_[l2] == dist_[l] + 1 && Dfs(l2))) {
+        match_left_[l] = r;
+        match_right_[r] = l;
+        return true;
+      }
+    }
+    dist_[l] = kInfDist;
+    return false;
+  }
+
+  std::vector<std::vector<int32_t>> adj_;
+  const int32_t num_left_;
+  std::vector<int32_t> match_left_;
+  std::vector<int32_t> match_right_;
+  std::vector<int32_t> dist_;
+};
+
+}  // namespace
+
+Matching MaxMatchingHopcroftKarp(const BipartiteGraph& graph) {
+  return HopcroftKarp(graph).Run();
+}
+
+UnweightedVertexCover MinVertexCoverKoenig(const BipartiteGraph& graph) {
+  const Matching matching = MaxMatchingHopcroftKarp(graph);
+  const auto adj = BuildAdjacency(graph);
+
+  // Koenig: let Z = vertices reachable from unmatched left vertices by
+  // alternating paths (unmatched edge left->right, matched edge right->left).
+  // Cover = (L \ Z) union (R intersect Z).
+  std::vector<bool> left_visited(graph.num_left, false);
+  std::vector<bool> right_visited(graph.num_right, false);
+  std::deque<int32_t> queue;
+  for (int32_t l = 0; l < graph.num_left; ++l) {
+    if (matching.match_left[l] == -1) {
+      left_visited[l] = true;
+      queue.push_back(l);
+    }
+  }
+  while (!queue.empty()) {
+    const int32_t l = queue.front();
+    queue.pop_front();
+    for (int32_t r : adj[l]) {
+      if (matching.match_left[l] == r) continue;  // only unmatched edges L->R
+      if (right_visited[r]) continue;
+      right_visited[r] = true;
+      const int32_t l2 = matching.match_right[r];
+      if (l2 != -1 && !left_visited[l2]) {
+        left_visited[l2] = true;
+        queue.push_back(l2);
+      }
+    }
+  }
+
+  UnweightedVertexCover cover;
+  cover.left_in_cover.assign(graph.num_left, false);
+  cover.right_in_cover.assign(graph.num_right, false);
+  for (int32_t l = 0; l < graph.num_left; ++l) {
+    if (!left_visited[l]) {
+      cover.left_in_cover[l] = true;
+      ++cover.size;
+    }
+  }
+  for (int32_t r = 0; r < graph.num_right; ++r) {
+    if (right_visited[r]) {
+      cover.right_in_cover[r] = true;
+      ++cover.size;
+    }
+  }
+  return cover;
+}
+
+}  // namespace mc3::flow

@@ -1,0 +1,46 @@
+// Maximum bipartite matching (Hopcroft-Karp) and minimum *unweighted* vertex
+// cover via Koenig's theorem.
+//
+// This is the substrate for the "Mixed" baseline of [Dushkin et al.,
+// EDBT 2019], which solves MC3 with uniform classifier costs and k <= 2
+// exactly: with unit weights, bipartite WVC degenerates to unweighted VC,
+// i.e. maximum matching.
+#ifndef MC3_FLOW_HOPCROFT_KARP_H_
+#define MC3_FLOW_HOPCROFT_KARP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mc3::flow {
+
+/// An unweighted bipartite graph given by its edge list.
+struct BipartiteGraph {
+  int32_t num_left = 0;
+  int32_t num_right = 0;
+  std::vector<std::pair<int32_t, int32_t>> edges;
+};
+
+/// A maximum matching: match_left[l] = matched right vertex or -1; likewise
+/// match_right.
+struct Matching {
+  std::vector<int32_t> match_left;
+  std::vector<int32_t> match_right;
+  int32_t size = 0;
+};
+
+/// Computes a maximum matching in O(E sqrt V).
+Matching MaxMatchingHopcroftKarp(const BipartiteGraph& graph);
+
+/// Minimum unweighted vertex cover derived from a maximum matching via
+/// Koenig's theorem: |cover| = |matching|.
+struct UnweightedVertexCover {
+  std::vector<bool> left_in_cover;
+  std::vector<bool> right_in_cover;
+  int32_t size = 0;
+};
+UnweightedVertexCover MinVertexCoverKoenig(const BipartiteGraph& graph);
+
+}  // namespace mc3::flow
+
+#endif  // MC3_FLOW_HOPCROFT_KARP_H_

@@ -1,0 +1,26 @@
+#include "flow/network.h"
+
+#include <deque>
+
+namespace mc3::flow {
+
+std::vector<bool> FlowNetwork::ResidualReachable(NodeId source) const {
+  std::vector<bool> seen(NumNodes(), false);
+  std::deque<NodeId> queue;
+  seen[source] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (int id : head_[u]) {
+      const Edge& e = edges_[id];
+      if (e.residual > kCapacityEpsilon && !seen[e.to]) {
+        seen[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace mc3::flow

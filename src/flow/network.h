@@ -1,0 +1,102 @@
+// Residual flow-network representation shared by all max-flow algorithms.
+//
+// This is the substrate behind Algorithm 2 of the paper: MC3 with k = 2 is
+// reduced to bipartite Weighted Vertex Cover, which in turn reduces to
+// Max-Flow (Theorem 2.3 / [Baiou-Barahona 2016]).
+#ifndef MC3_FLOW_NETWORK_H_
+#define MC3_FLOW_NETWORK_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mc3::flow {
+
+/// Node index within a FlowNetwork.
+using NodeId = int32_t;
+/// Edge capacities/flows. Instances built from classifier costs use finite
+/// doubles; "infinite" capacities must be clamped by the caller (see
+/// BipartiteVertexCover) so that every algorithm terminates.
+using Capacity = double;
+
+/// Tolerance under which a residual capacity is treated as zero. All
+/// workloads in this library use costs that are exactly representable
+/// (integers or small sums thereof), so this guards only against accumulated
+/// rounding in long augmenting chains.
+inline constexpr Capacity kCapacityEpsilon = 1e-9;
+
+/// Directed flow network with paired residual edges.
+///
+/// Every AddEdge(u, v, c) also creates the reverse residual edge (v, u, 0);
+/// the two are stored adjacently (ids e and e^1), the standard pairing trick.
+/// Max-flow algorithms mutate residual capacities in place; Flow(e) recovers
+/// the flow pushed through a forward edge.
+class FlowNetwork {
+ public:
+  struct Edge {
+    NodeId to;
+    Capacity residual;  ///< remaining capacity
+    Capacity original;  ///< capacity at construction (0 for reverse edges)
+  };
+
+  /// Creates a network with `num_nodes` nodes and no edges.
+  explicit FlowNetwork(NodeId num_nodes) : head_(num_nodes) {}
+
+  /// Adds a node, returning its id.
+  NodeId AddNode() {
+    head_.emplace_back();
+    return static_cast<NodeId>(head_.size()) - 1;
+  }
+
+  /// Adds a directed edge with the given capacity. Returns the forward edge
+  /// id; the paired reverse edge has id `id ^ 1`.
+  int AddEdge(NodeId from, NodeId to, Capacity capacity) {
+    assert(from >= 0 && from < NumNodes());
+    assert(to >= 0 && to < NumNodes());
+    assert(capacity >= 0);
+    const int id = static_cast<int>(edges_.size());
+    edges_.push_back(Edge{to, capacity, capacity});
+    edges_.push_back(Edge{from, 0, 0});
+    head_[from].push_back(id);
+    head_[to].push_back(id + 1);
+    return id;
+  }
+
+  NodeId NumNodes() const { return static_cast<NodeId>(head_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  Edge& edge(int id) { return edges_[id]; }
+  const Edge& edge(int id) const { return edges_[id]; }
+
+  /// Edge ids (forward and residual) leaving `node`.
+  const std::vector<int>& OutEdges(NodeId node) const { return head_[node]; }
+
+  /// Flow currently pushed through forward edge `id`.
+  Capacity Flow(int id) const {
+    return edges_[id].original - edges_[id].residual;
+  }
+
+  /// Pushes `amount` along edge `id` (and pulls it back on the pair).
+  void Push(int id, Capacity amount) {
+    edges_[id].residual -= amount;
+    edges_[id ^ 1].residual += amount;
+  }
+
+  /// Restores all residual capacities to the original capacities.
+  void ResetFlow() {
+    for (auto& e : edges_) e.residual = e.original;
+  }
+
+  /// Nodes reachable from `source` via edges with positive residual
+  /// capacity. After a max-flow computation this is the source side of a
+  /// minimum s-t cut.
+  std::vector<bool> ResidualReachable(NodeId source) const;
+
+ private:
+  std::vector<std::vector<int>> head_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace mc3::flow
+
+#endif  // MC3_FLOW_NETWORK_H_

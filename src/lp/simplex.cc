@@ -1,0 +1,281 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mc3::lp {
+namespace {
+
+constexpr double kTol = 1e-8;
+/// Iterations of Dantzig pricing before switching to Bland's rule, which is
+/// slower per step but provably cycle-free.
+constexpr int kBlandThreshold = 20000;
+
+/// Dense tableau simplex. Column layout: structural vars, then slack/surplus
+/// vars, then artificial vars; the last column is the RHS. One extra row
+/// holds the (phase-specific) objective.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp)
+      : num_structural_(lp.num_vars), num_rows_(lp.constraints.size()) {
+    // Count slack/surplus and artificial columns. Rows are normalized so
+    // rhs >= 0 first (flipping the sense when multiplying by -1).
+    senses_.reserve(num_rows_);
+    rhs_.reserve(num_rows_);
+    for (const auto& c : lp.constraints) {
+      ConstraintSense sense = c.sense;
+      double rhs = c.rhs;
+      double sign = 1;
+      if (rhs < 0) {
+        sign = -1;
+        rhs = -rhs;
+        if (sense == ConstraintSense::kLessEqual) {
+          sense = ConstraintSense::kGreaterEqual;
+        } else if (sense == ConstraintSense::kGreaterEqual) {
+          sense = ConstraintSense::kLessEqual;
+        }
+      }
+      senses_.push_back(sense);
+      rhs_.push_back(rhs);
+      signs_.push_back(sign);
+      if (sense != ConstraintSense::kEqual) ++num_slack_;
+      if (sense != ConstraintSense::kLessEqual) ++num_artificial_;
+    }
+    num_cols_ = num_structural_ + num_slack_ + num_artificial_;
+    a_.assign(num_rows_, std::vector<double>(num_cols_ + 1, 0.0));
+    basis_.assign(num_rows_, -1);
+
+    int slack_col = num_structural_;
+    int art_col = num_structural_ + num_slack_;
+    artificial_start_ = art_col;
+    for (size_t i = 0; i < lp.constraints.size(); ++i) {
+      auto& row = a_[i];
+      for (const auto& [var, coeff] : lp.constraints[i].terms) {
+        row[var] += signs_[i] * coeff;
+      }
+      row[num_cols_] = rhs_[i];
+      switch (senses_[i]) {
+        case ConstraintSense::kLessEqual:
+          row[slack_col] = 1;
+          basis_[i] = slack_col++;
+          break;
+        case ConstraintSense::kGreaterEqual:
+          row[slack_col] = -1;
+          ++slack_col;
+          row[art_col] = 1;
+          basis_[i] = art_col++;
+          break;
+        case ConstraintSense::kEqual:
+          row[art_col] = 1;
+          basis_[i] = art_col++;
+          break;
+      }
+    }
+  }
+
+  int num_cols() const { return num_cols_; }
+  int artificial_start() const { return artificial_start_; }
+  int num_artificial() const { return num_artificial_; }
+
+  /// Runs simplex minimizing `costs` (size num_cols_) over non-forbidden
+  /// columns. Returns kUnbounded if a descent direction has no ratio limit.
+  LpOutcome Optimize(const std::vector<double>& costs,
+                     const std::vector<bool>& forbidden) {
+    // Reduced-cost row: z_j - c_j form. We maintain obj_row_[j] =
+    // c_j - c_B . B^{-1} A_j (so entering columns have obj_row_[j] < 0).
+    obj_row_.assign(num_cols_ + 1, 0.0);
+    for (int j = 0; j <= num_cols_; ++j) {
+      obj_row_[j] = (j < num_cols_) ? costs[j] : 0.0;
+    }
+    // Price out the current basis.
+    for (int i = 0; i < num_rows_; ++i) {
+      const double cb = costs[basis_[i]];
+      if (cb != 0) {
+        for (int j = 0; j <= num_cols_; ++j) obj_row_[j] -= cb * a_[i][j];
+      }
+    }
+
+    int iterations = 0;
+    while (true) {
+      ++iterations;
+      const bool bland = iterations > kBlandThreshold;
+      // Pricing: pick the entering column.
+      int enter = -1;
+      double best = -kTol;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (forbidden[j]) continue;
+        if (obj_row_[j] < best) {
+          if (bland) {
+            enter = j;
+            break;  // Bland: first improving column
+          }
+          best = obj_row_[j];
+          enter = j;
+        }
+      }
+      if (enter < 0) return LpOutcome::kOptimal;
+
+      // Ratio test: pick the leaving row.
+      int leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < num_rows_; ++i) {
+        const double coeff = a_[i][enter];
+        if (coeff > kTol) {
+          const double ratio = a_[i][num_cols_] / coeff;
+          if (ratio < best_ratio - kTol ||
+              (ratio < best_ratio + kTol && leave >= 0 &&
+               basis_[i] < basis_[leave])) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return LpOutcome::kUnbounded;
+      Pivot(leave, enter);
+    }
+  }
+
+  /// Pivots so that column `enter` becomes basic in row `leave`.
+  void Pivot(int leave, int enter) {
+    auto& prow = a_[leave];
+    const double pivot = prow[enter];
+    for (int j = 0; j <= num_cols_; ++j) prow[j] /= pivot;
+    prow[enter] = 1.0;  // exact
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == leave) continue;
+      const double factor = a_[i][enter];
+      if (std::abs(factor) < kTol) {
+        a_[i][enter] = 0;
+        continue;
+      }
+      for (int j = 0; j <= num_cols_; ++j) a_[i][j] -= factor * prow[j];
+      a_[i][enter] = 0;  // exact
+    }
+    const double ofactor = obj_row_[enter];
+    if (std::abs(ofactor) > 0) {
+      for (int j = 0; j <= num_cols_; ++j) obj_row_[j] -= ofactor * prow[j];
+      obj_row_[enter] = 0;
+    }
+    basis_[leave] = enter;
+  }
+
+  /// Objective value of the current basic solution for cost vector `costs`.
+  double ObjectiveValue(const std::vector<double>& costs) const {
+    double total = 0;
+    for (int i = 0; i < num_rows_; ++i) {
+      total += costs[basis_[i]] * a_[i][num_cols_];
+    }
+    return total;
+  }
+
+  /// Attempts to drive basic artificial variables (at value zero after
+  /// phase 1) out of the basis; rows where this is impossible are redundant
+  /// and their basic artificial stays at zero, harmlessly.
+  void PivotOutArtificials() {
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < artificial_start_) continue;
+      for (int j = 0; j < artificial_start_; ++j) {
+        if (std::abs(a_[i][j]) > kTol) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Extracts structural variable values from the current basis.
+  std::vector<double> StructuralValues() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < num_structural_) {
+        x[basis_[i]] = a_[i][num_cols_];
+      }
+    }
+    return x;
+  }
+
+ private:
+  const int num_structural_;
+  const int num_rows_;
+  int num_slack_ = 0;
+  int num_artificial_ = 0;
+  int num_cols_ = 0;
+  int artificial_start_ = 0;
+  std::vector<ConstraintSense> senses_;
+  std::vector<double> rhs_;
+  std::vector<double> signs_;
+  std::vector<std::vector<double>> a_;
+  std::vector<double> obj_row_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveSimplex(const LinearProgram& lp) {
+  if (lp.num_vars < 0) return Status::InvalidArgument("negative num_vars");
+  if (static_cast<int32_t>(lp.objective.size()) > lp.num_vars) {
+    return Status::InvalidArgument("objective longer than num_vars");
+  }
+  for (double c : lp.objective) {
+    if (!std::isfinite(c)) {
+      return Status::InvalidArgument("non-finite objective coefficient");
+    }
+  }
+  for (const auto& c : lp.constraints) {
+    if (!std::isfinite(c.rhs)) {
+      return Status::InvalidArgument("non-finite constraint rhs");
+    }
+    for (const auto& [var, coeff] : c.terms) {
+      if (var < 0 || var >= lp.num_vars) {
+        return Status::InvalidArgument("constraint references unknown var");
+      }
+      if (!std::isfinite(coeff)) {
+        return Status::InvalidArgument("non-finite constraint coefficient");
+      }
+    }
+  }
+
+  Tableau tableau(lp);
+  const int num_cols = tableau.num_cols();
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (tableau.num_artificial() > 0) {
+    std::vector<double> phase1_costs(num_cols, 0.0);
+    for (int j = tableau.artificial_start(); j < num_cols; ++j) {
+      phase1_costs[j] = 1.0;
+    }
+    std::vector<bool> forbidden(num_cols, false);
+    const LpOutcome outcome = tableau.Optimize(phase1_costs, forbidden);
+    if (outcome == LpOutcome::kUnbounded) {
+      // Phase-1 objective is bounded below by 0; unbounded indicates a bug.
+      return Status::Internal("phase-1 LP reported unbounded");
+    }
+    if (tableau.ObjectiveValue(phase1_costs) > 1e-6) {
+      LpSolution sol;
+      sol.outcome = LpOutcome::kInfeasible;
+      return sol;
+    }
+    tableau.PivotOutArtificials();
+  }
+
+  // Phase 2: minimize the true objective with artificials locked out.
+  std::vector<double> costs(num_cols, 0.0);
+  for (size_t j = 0; j < lp.objective.size(); ++j) costs[j] = lp.objective[j];
+  std::vector<bool> forbidden(num_cols, false);
+  for (int j = tableau.artificial_start(); j < num_cols; ++j) {
+    forbidden[j] = true;
+  }
+  const LpOutcome outcome = tableau.Optimize(costs, forbidden);
+  LpSolution sol;
+  sol.outcome = outcome;
+  if (outcome == LpOutcome::kOptimal) {
+    sol.values = tableau.StructuralValues();
+    sol.objective = 0;
+    for (size_t j = 0; j < lp.objective.size(); ++j) {
+      sol.objective += lp.objective[j] * sol.values[j];
+    }
+  }
+  return sol;
+}
+
+}  // namespace mc3::lp

@@ -1,0 +1,60 @@
+// Dense two-phase primal simplex solver.
+//
+// Substrate for the LP-based f-approximation for Weighted Set Cover
+// [Vazirani 2013, ch. 14] used by Algorithm 3: solve the LP relaxation
+// min c.x s.t. (for each element) sum of x_S over covering sets >= 1,
+// x >= 0, then round x_S >= 1/f up to 1.
+//
+// The solver handles general LPs (<=, >=, = constraints, non-negative
+// variables, minimization). It is intended for the small-to-medium
+// instances on which the literal LP-rounding variant runs; the scalable
+// default f-approximation in this library is primal-dual (see
+// setcover/primal_dual.h), which needs no LP solve.
+#ifndef MC3_LP_SIMPLEX_H_
+#define MC3_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mc3::lp {
+
+/// Direction of a linear constraint.
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// A linear program: minimize objective . x subject to the constraints and
+/// x >= 0.
+struct LinearProgram {
+  int32_t num_vars = 0;
+  /// Objective coefficients (minimization); missing entries are zero.
+  std::vector<double> objective;
+
+  struct Constraint {
+    /// Sparse row: (variable index, coefficient) pairs.
+    std::vector<std::pair<int32_t, double>> terms;
+    ConstraintSense sense = ConstraintSense::kLessEqual;
+    double rhs = 0;
+  };
+  std::vector<Constraint> constraints;
+};
+
+/// Outcome class of a solve.
+enum class LpOutcome { kOptimal, kInfeasible, kUnbounded };
+
+/// Solution of a linear program.
+struct LpSolution {
+  LpOutcome outcome = LpOutcome::kOptimal;
+  double objective = 0;        ///< valid when optimal
+  std::vector<double> values;  ///< primal values, size num_vars
+};
+
+/// Solves `lp` with the two-phase tableau simplex (Dantzig pricing with a
+/// Bland's-rule fallback for anti-cycling). Returns InvalidArgument on
+/// malformed input (bad indices, non-finite coefficients).
+Result<LpSolution> SolveSimplex(const LinearProgram& lp);
+
+}  // namespace mc3::lp
+
+#endif  // MC3_LP_SIMPLEX_H_

@@ -1,0 +1,68 @@
+#include "setcover/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mc3::setcover {
+
+Result<WscSolution> SolveWscExact(const WscInstance& instance,
+                                  int32_t max_elements) {
+  if (instance.num_elements > max_elements) {
+    return Status::InvalidArgument(
+        "universe too large for the exact set-cover DP");
+  }
+  const int32_t n = instance.num_elements;
+  const uint32_t full = n == 0 ? 0 : (1u << n) - 1;
+
+  // Set masks; keep only finite-cost, non-empty sets.
+  std::vector<uint32_t> masks;
+  std::vector<SetId> ids;
+  std::vector<double> costs;
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    const WscSet& s = instance.sets[i];
+    if (!std::isfinite(s.cost) || s.elements.empty()) continue;
+    uint32_t mask = 0;
+    for (ElementId e : s.elements) mask |= 1u << e;
+    masks.push_back(mask);
+    ids.push_back(static_cast<SetId>(i));
+    costs.push_back(s.cost);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<int32_t> via(full + 1, -1);
+  std::vector<uint32_t> from(full + 1, 0);
+  dp[0] = 0;
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    if (mask == full) break;
+    // Branch on the first uncovered element: some chosen set must contain
+    // it, which prunes the transition fan-out without losing optimality.
+    uint32_t first_uncovered = 0;
+    while (mask & (1u << first_uncovered)) ++first_uncovered;
+    for (size_t s = 0; s < masks.size(); ++s) {
+      if (!(masks[s] & (1u << first_uncovered))) continue;
+      const uint32_t next = mask | masks[s];
+      const double cost = dp[mask] + costs[s];
+      if (cost < dp[next]) {
+        dp[next] = cost;
+        via[next] = static_cast<int32_t>(s);
+        from[next] = mask;
+      }
+    }
+  }
+  if (dp[full] == kInf) {
+    return Status::Infeasible("some element is in no finite-cost set");
+  }
+  WscSolution solution;
+  solution.cost = dp[full];
+  for (uint32_t mask = full; mask != 0; mask = from[mask]) {
+    solution.selected.push_back(ids[via[mask]]);
+  }
+  std::sort(solution.selected.begin(), solution.selected.end());
+  return solution;
+}
+
+}  // namespace mc3::setcover

@@ -1,0 +1,22 @@
+// Exact Weighted Set Cover via dynamic programming over element subsets:
+// dp[mask] = cheapest cost covering at least the elements in mask.
+// O(2^n * m) time, O(2^n) space — the textbook exact algorithm for small
+// universes [Hua et al. 2009/2010 study this family for multicover]. Used
+// as an oracle by the test suite and available for small planning problems.
+#ifndef MC3_SETCOVER_EXACT_H_
+#define MC3_SETCOVER_EXACT_H_
+
+#include "setcover/instance.h"
+#include "util/status.h"
+
+namespace mc3::setcover {
+
+/// Solves WSC exactly. Returns InvalidArgument when the universe exceeds
+/// `max_elements` (default 22: 4M dp states) and kInfeasible when some
+/// element is in no finite-cost set.
+Result<WscSolution> SolveWscExact(const WscInstance& instance,
+                                  int32_t max_elements = 22);
+
+}  // namespace mc3::setcover
+
+#endif  // MC3_SETCOVER_EXACT_H_

@@ -1,0 +1,141 @@
+#include "setcover/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace mc3::setcover {
+namespace {
+
+/// Ensures every element belongs to at least one finite-cost set.
+Status CheckFeasible(const WscInstance& instance) {
+  std::vector<bool> coverable(instance.num_elements, false);
+  for (const WscSet& s : instance.sets) {
+    if (!std::isfinite(s.cost)) continue;
+    for (ElementId e : s.elements) coverable[e] = true;
+  }
+  for (ElementId e = 0; e < instance.num_elements; ++e) {
+    if (!coverable[e]) {
+      return Status::Infeasible("element " + std::to_string(e) +
+                                " is in no finite-cost set");
+    }
+  }
+  return Status::OK();
+}
+
+int32_t CountUncovered(const WscSet& s, const std::vector<bool>& covered) {
+  int32_t count = 0;
+  for (ElementId e : s.elements) {
+    if (!covered[e]) ++count;
+  }
+  return count;
+}
+
+/// Selects `id`, marking its elements covered. Returns how many were new.
+int32_t Select(const WscInstance& instance, SetId id,
+               std::vector<bool>* covered, int32_t* remaining,
+               WscSolution* solution) {
+  int32_t newly = 0;
+  for (ElementId e : instance.sets[id].elements) {
+    if (!(*covered)[e]) {
+      (*covered)[e] = true;
+      ++newly;
+    }
+  }
+  *remaining -= newly;
+  solution->selected.push_back(id);
+  solution->cost += instance.sets[id].cost;
+  return newly;
+}
+
+/// Selects every zero-cost set that covers something new. Shared by both
+/// variants so their outputs stay identical.
+void SelectFreeSets(const WscInstance& instance, std::vector<bool>* covered,
+                    int32_t* remaining, WscSolution* solution) {
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    const WscSet& s = instance.sets[i];
+    if (s.cost == 0 && CountUncovered(s, *covered) > 0) {
+      Select(instance, static_cast<SetId>(i), covered, remaining, solution);
+    }
+  }
+}
+
+}  // namespace
+
+Result<WscSolution> SolveGreedy(const WscInstance& instance) {
+  MC3_RETURN_IF_ERROR(CheckFeasible(instance));
+  std::vector<bool> covered(instance.num_elements, false);
+  int32_t remaining = instance.num_elements;
+  WscSolution solution;
+  SelectFreeSets(instance, &covered, &remaining, &solution);
+
+  struct Entry {
+    double ratio;
+    SetId id;
+    bool operator<(const Entry& other) const {
+      // priority_queue is a max-heap: higher ratio wins; ties to lower id.
+      if (ratio != other.ratio) return ratio < other.ratio;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    const WscSet& s = instance.sets[i];
+    if (s.cost <= 0 || !std::isfinite(s.cost) || s.elements.empty()) continue;
+    heap.push(Entry{static_cast<double>(s.elements.size()) / s.cost,
+                    static_cast<SetId>(i)});
+  }
+
+  while (remaining > 0 && !heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    const int32_t count = CountUncovered(instance.sets[top.id], covered);
+    if (count == 0) continue;
+    const double ratio =
+        static_cast<double>(count) / instance.sets[top.id].cost;
+    // Ratios only decrease as coverage grows, so a stale entry can safely be
+    // re-inserted with its refreshed ratio; a fresh entry is the argmax.
+    if (ratio == top.ratio) {
+      Select(instance, top.id, &covered, &remaining, &solution);
+    } else {
+      heap.push(Entry{ratio, top.id});
+    }
+  }
+  if (remaining > 0) {
+    return Status::Internal("greedy terminated with uncovered elements");
+  }
+  return solution;
+}
+
+Result<WscSolution> SolveGreedyNaive(const WscInstance& instance) {
+  MC3_RETURN_IF_ERROR(CheckFeasible(instance));
+  std::vector<bool> covered(instance.num_elements, false);
+  int32_t remaining = instance.num_elements;
+  WscSolution solution;
+  SelectFreeSets(instance, &covered, &remaining, &solution);
+
+  while (remaining > 0) {
+    SetId best = -1;
+    double best_ratio = -1;
+    for (size_t i = 0; i < instance.sets.size(); ++i) {
+      const WscSet& s = instance.sets[i];
+      if (s.cost <= 0 || !std::isfinite(s.cost)) continue;
+      const int32_t count = CountUncovered(s, covered);
+      if (count == 0) continue;
+      const double ratio = static_cast<double>(count) / s.cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<SetId>(i);
+      }
+    }
+    if (best < 0) {
+      return Status::Internal("greedy terminated with uncovered elements");
+    }
+    Select(instance, best, &covered, &remaining, &solution);
+  }
+  return solution;
+}
+
+}  // namespace mc3::setcover

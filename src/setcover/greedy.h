@@ -1,0 +1,31 @@
+// Greedy Weighted Set Cover [Chvatal 1979]: at each step select the set
+// maximizing (newly covered elements) / cost. Approximation factor
+// H(Delta) <= ln Delta + 1.
+//
+// Two implementations with identical selections (deterministic tie-breaks):
+//   * naive      — recomputes every ratio per iteration, O(n m) [6];
+//   * lazy heap  — priority queue with lazy re-evaluation,
+//                  O(log m * sum |S|) [Cormode-Karloff-Wirth 2010].
+// The lazy variant is what Algorithm 3 uses; the naive one serves as an
+// oracle in tests and a baseline in the micro-benchmarks.
+#ifndef MC3_SETCOVER_GREEDY_H_
+#define MC3_SETCOVER_GREEDY_H_
+
+#include "setcover/instance.h"
+#include "util/status.h"
+
+namespace mc3::setcover {
+
+/// Greedy WSC via a lazy-deletion max-heap. Zero-cost sets that cover at
+/// least one uncovered element are selected up front (their ratio is
+/// infinite). Infinite-cost sets are never selected. Returns kInfeasible if
+/// some element is in no finite-cost set.
+Result<WscSolution> SolveGreedy(const WscInstance& instance);
+
+/// Reference greedy recomputing all ratios each round; same tie-breaking
+/// (higher ratio first, then lower set id) and hence identical output.
+Result<WscSolution> SolveGreedyNaive(const WscInstance& instance);
+
+}  // namespace mc3::setcover
+
+#endif  // MC3_SETCOVER_GREEDY_H_

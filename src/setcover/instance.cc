@@ -1,0 +1,108 @@
+#include "setcover/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mc3::setcover {
+
+Status ValidateWsc(const WscInstance& instance) {
+  if (instance.num_elements < 0) {
+    return Status::InvalidArgument("negative num_elements");
+  }
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    const WscSet& s = instance.sets[i];
+    if (s.cost < 0 || std::isnan(s.cost)) {
+      return Status::InvalidArgument("set " + std::to_string(i) +
+                                     " has invalid cost");
+    }
+    for (size_t j = 0; j < s.elements.size(); ++j) {
+      if (s.elements[j] < 0 || s.elements[j] >= instance.num_elements) {
+        return Status::InvalidArgument("set " + std::to_string(i) +
+                                       " references unknown element");
+      }
+      if (j > 0 && s.elements[j] <= s.elements[j - 1]) {
+        return Status::InvalidArgument("set " + std::to_string(i) +
+                                       " elements not sorted-unique");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int32_t WscFrequency(const WscInstance& instance) {
+  std::vector<int32_t> counts(instance.num_elements, 0);
+  for (const WscSet& s : instance.sets) {
+    if (!std::isfinite(s.cost)) continue;
+    for (ElementId e : s.elements) ++counts[e];
+  }
+  int32_t f = 0;
+  for (int32_t c : counts) f = std::max(f, c);
+  return f;
+}
+
+int32_t WscDegree(const WscInstance& instance) {
+  size_t degree = 0;
+  for (const WscSet& s : instance.sets) {
+    if (!std::isfinite(s.cost)) continue;
+    degree = std::max(degree, s.elements.size());
+  }
+  return static_cast<int32_t>(degree);
+}
+
+std::vector<std::vector<SetId>> BuildElementIndex(
+    const WscInstance& instance) {
+  std::vector<std::vector<SetId>> index(instance.num_elements);
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    const WscSet& s = instance.sets[i];
+    if (!std::isfinite(s.cost)) continue;
+    for (ElementId e : s.elements) {
+      index[e].push_back(static_cast<SetId>(i));
+    }
+  }
+  return index;
+}
+
+bool WscCovers(const WscInstance& instance, const WscSolution& solution) {
+  std::vector<bool> covered(instance.num_elements, false);
+  for (SetId id : solution.selected) {
+    for (ElementId e : instance.sets[id].elements) covered[e] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool b) { return b; });
+}
+
+WscSolution PruneRedundantSets(const WscInstance& instance,
+                               const WscSolution& solution) {
+  // cover_count[e] = how many selected sets cover e.
+  std::vector<int32_t> cover_count(instance.num_elements, 0);
+  for (SetId id : solution.selected) {
+    for (ElementId e : instance.sets[id].elements) ++cover_count[e];
+  }
+  // Try to drop sets from most expensive to least.
+  std::vector<SetId> order = solution.selected;
+  std::stable_sort(order.begin(), order.end(), [&](SetId a, SetId b) {
+    return instance.sets[a].cost > instance.sets[b].cost;
+  });
+  std::vector<bool> dropped_lookup(instance.sets.size(), false);
+  for (SetId id : order) {
+    const WscSet& s = instance.sets[id];
+    const bool redundant =
+        std::all_of(s.elements.begin(), s.elements.end(),
+                    [&](ElementId e) { return cover_count[e] >= 2; });
+    if (redundant) {
+      dropped_lookup[id] = true;
+      for (ElementId e : s.elements) --cover_count[e];
+    }
+  }
+  WscSolution pruned;
+  for (SetId id : solution.selected) {
+    if (!dropped_lookup[id]) {
+      pruned.selected.push_back(id);
+      pruned.cost += instance.sets[id].cost;
+    }
+  }
+  return pruned;
+}
+
+}  // namespace mc3::setcover

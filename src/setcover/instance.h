@@ -1,0 +1,64 @@
+// Weighted Set Cover (WSC) instance model, the target of the paper's
+// Section 5 reduction: elements are (query, property) occurrences, sets are
+// classifiers.
+#ifndef MC3_SETCOVER_INSTANCE_H_
+#define MC3_SETCOVER_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mc3::setcover {
+
+/// Element index within a WSC instance; elements are dense 0..num_elements-1.
+using ElementId = int32_t;
+/// Set index within a WSC instance.
+using SetId = int32_t;
+
+/// One candidate set: the elements it covers and its cost.
+struct WscSet {
+  std::vector<ElementId> elements;  ///< sorted, unique
+  double cost = 0;
+};
+
+/// A Weighted Set Cover instance.
+struct WscInstance {
+  ElementId num_elements = 0;
+  std::vector<WscSet> sets;
+};
+
+/// Checks structural validity: element ids in range, sorted-unique element
+/// lists, non-negative costs.
+Status ValidateWsc(const WscInstance& instance);
+
+/// The frequency parameter f: the maximum, over elements, of the number of
+/// (finite-cost) sets containing the element. Zero for empty instances.
+int32_t WscFrequency(const WscInstance& instance);
+
+/// The degree parameter Delta: the cardinality of the largest finite-cost
+/// set. Zero for empty instances.
+int32_t WscDegree(const WscInstance& instance);
+
+/// For each element, the ids of the finite-cost sets that contain it.
+std::vector<std::vector<SetId>> BuildElementIndex(const WscInstance& instance);
+
+/// A solution: the chosen set ids (in selection order) and their total cost.
+struct WscSolution {
+  std::vector<SetId> selected;
+  double cost = 0;
+};
+
+/// True iff the union of the selected sets covers every element.
+bool WscCovers(const WscInstance& instance, const WscSolution& solution);
+
+/// Post-pass: drops selected sets that are redundant (every element they
+/// cover is also covered by another selected set), scanning in decreasing
+/// cost order so the most expensive redundancies go first. Preserves
+/// coverage; never increases cost. Returns the pruned solution.
+WscSolution PruneRedundantSets(const WscInstance& instance,
+                               const WscSolution& solution);
+
+}  // namespace mc3::setcover
+
+#endif  // MC3_SETCOVER_INSTANCE_H_

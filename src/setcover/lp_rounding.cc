@@ -1,0 +1,82 @@
+#include "setcover/lp_rounding.h"
+
+#include <cmath>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace mc3::setcover {
+namespace {
+
+/// Builds the LP relaxation over the finite-cost sets. `var_to_set` maps LP
+/// variable indices back to set ids.
+Result<lp::LinearProgram> BuildRelaxation(const WscInstance& instance,
+                                          std::vector<SetId>* var_to_set) {
+  lp::LinearProgram relaxation;
+  std::vector<int32_t> set_to_var(instance.sets.size(), -1);
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    if (!std::isfinite(instance.sets[i].cost)) continue;
+    set_to_var[i] = relaxation.num_vars++;
+    var_to_set->push_back(static_cast<SetId>(i));
+    relaxation.objective.push_back(instance.sets[i].cost);
+  }
+  const auto element_index = BuildElementIndex(instance);
+  for (ElementId e = 0; e < instance.num_elements; ++e) {
+    if (element_index[e].empty()) {
+      return Status::Infeasible("element " + std::to_string(e) +
+                                " is in no finite-cost set");
+    }
+    lp::LinearProgram::Constraint c;
+    c.sense = lp::ConstraintSense::kGreaterEqual;
+    c.rhs = 1;
+    for (SetId id : element_index[e]) {
+      c.terms.emplace_back(set_to_var[id], 1.0);
+    }
+    relaxation.constraints.push_back(std::move(c));
+  }
+  return relaxation;
+}
+
+}  // namespace
+
+Result<WscSolution> SolveLpRounding(const WscInstance& instance) {
+  std::vector<SetId> var_to_set;
+  auto relaxation = BuildRelaxation(instance, &var_to_set);
+  if (!relaxation.ok()) return relaxation.status();
+  auto lp_solution = lp::SolveSimplex(*relaxation);
+  if (!lp_solution.ok()) return lp_solution.status();
+  if (lp_solution->outcome != lp::LpOutcome::kOptimal) {
+    // The relaxation is feasible by construction and bounded below by 0.
+    return Status::Internal("set-cover LP relaxation did not solve");
+  }
+
+  const int32_t f = WscFrequency(instance);
+  // f >= 1 because every element is in at least one finite-cost set.
+  const double threshold = 1.0 / f - 1e-9;
+  WscSolution solution;
+  for (size_t v = 0; v < var_to_set.size(); ++v) {
+    if (lp_solution->values[v] >= threshold) {
+      solution.selected.push_back(var_to_set[v]);
+      solution.cost += instance.sets[var_to_set[v]].cost;
+    }
+  }
+  if (!WscCovers(instance, solution)) {
+    // Cannot happen: each element's constraint forces some x_S >= 1/f.
+    return Status::Internal("LP rounding produced a non-cover");
+  }
+  return solution;
+}
+
+Result<double> SetCoverLpLowerBound(const WscInstance& instance) {
+  std::vector<SetId> var_to_set;
+  auto relaxation = BuildRelaxation(instance, &var_to_set);
+  if (!relaxation.ok()) return relaxation.status();
+  auto lp_solution = lp::SolveSimplex(*relaxation);
+  if (!lp_solution.ok()) return lp_solution.status();
+  if (lp_solution->outcome != lp::LpOutcome::kOptimal) {
+    return Status::Internal("set-cover LP relaxation did not solve");
+  }
+  return lp_solution->objective;
+}
+
+}  // namespace mc3::setcover

@@ -1,0 +1,26 @@
+// LP-rounding f-approximation for Weighted Set Cover [Vazirani 2013,
+// ch. 14]: solve the LP relaxation
+//     min sum c_S x_S   s.t.  sum_{S covering e} x_S >= 1,  x >= 0
+// and select every set with x_S >= 1/f. This is the literal algorithm the
+// paper cites for the f bound in Algorithm 3; it runs a dense simplex, so
+// it is intended for small/medium instances (the scalable equivalent is
+// setcover/primal_dual.h).
+#ifndef MC3_SETCOVER_LP_ROUNDING_H_
+#define MC3_SETCOVER_LP_ROUNDING_H_
+
+#include "setcover/instance.h"
+#include "util/status.h"
+
+namespace mc3::setcover {
+
+/// Runs LP rounding. Returns kInfeasible if some element is in no
+/// finite-cost set.
+Result<WscSolution> SolveLpRounding(const WscInstance& instance);
+
+/// Solves only the LP relaxation, returning its optimal objective (a lower
+/// bound on the optimal integral cover used in tests and ablations).
+Result<double> SetCoverLpLowerBound(const WscInstance& instance);
+
+}  // namespace mc3::setcover
+
+#endif  // MC3_SETCOVER_LP_ROUNDING_H_

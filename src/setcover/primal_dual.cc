@@ -1,0 +1,53 @@
+#include "setcover/primal_dual.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mc3::setcover {
+
+Result<WscSolution> SolvePrimalDual(const WscInstance& instance) {
+  const auto element_index = BuildElementIndex(instance);
+  for (ElementId e = 0; e < instance.num_elements; ++e) {
+    if (element_index[e].empty()) {
+      return Status::Infeasible("element " + std::to_string(e) +
+                                " is in no finite-cost set");
+    }
+  }
+
+  std::vector<double> residual(instance.sets.size());
+  for (size_t i = 0; i < instance.sets.size(); ++i) {
+    residual[i] = instance.sets[i].cost;
+  }
+  std::vector<bool> covered(instance.num_elements, false);
+  std::vector<bool> selected(instance.sets.size(), false);
+  WscSolution solution;
+
+  auto select = [&](SetId id) {
+    selected[id] = true;
+    solution.selected.push_back(id);
+    solution.cost += instance.sets[id].cost;
+    for (ElementId e : instance.sets[id].elements) covered[e] = true;
+  };
+
+  for (ElementId e = 0; e < instance.num_elements; ++e) {
+    if (covered[e]) continue;
+    // Raise this element's dual until some covering set becomes tight.
+    double delta = std::numeric_limits<double>::infinity();
+    for (SetId id : element_index[e]) {
+      if (!selected[id]) delta = std::min(delta, residual[id]);
+    }
+    // At least one covering set exists and unselected (else e were covered).
+    for (SetId id : element_index[e]) {
+      if (selected[id]) continue;
+      residual[id] -= delta;
+      if (residual[id] <= 1e-12) select(id);
+    }
+  }
+  if (!WscCovers(instance, solution)) {
+    return Status::Internal("primal-dual left elements uncovered");
+  }
+  return solution;
+}
+
+}  // namespace mc3::setcover

@@ -1,0 +1,22 @@
+// Primal-dual f-approximation for Weighted Set Cover (Bar-Yehuda & Even's
+// local-ratio scheme). Achieves the same factor-f guarantee as the LP-based
+// algorithm the paper cites [Vazirani 2013], with no LP solve, in
+// O(sum |S|) time — this is the scalable default f-method inside
+// Algorithm 3 (see lp_rounding.h for the literal LP variant).
+#ifndef MC3_SETCOVER_PRIMAL_DUAL_H_
+#define MC3_SETCOVER_PRIMAL_DUAL_H_
+
+#include "setcover/instance.h"
+#include "util/status.h"
+
+namespace mc3::setcover {
+
+/// Runs the primal-dual f-approximation. For each uncovered element (in
+/// element order) the minimum residual cost among its covering sets is paid
+/// as a dual increase; sets whose residual reaches zero are selected.
+/// Returns kInfeasible if some element is in no finite-cost set.
+Result<WscSolution> SolvePrimalDual(const WscInstance& instance);
+
+}  // namespace mc3::setcover
+
+#endif  // MC3_SETCOVER_PRIMAL_DUAL_H_

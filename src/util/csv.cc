@@ -1,0 +1,146 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mc3 {
+
+Result<CsvDocument> ParseCsv(const std::string& text) {
+  CsvDocument doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  bool row_has_content = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() -> Status {
+    if (in_quotes) {
+      return Status::IOError("unterminated quoted field");
+    }
+    if (row_has_content || !row.empty()) {
+      end_field();
+      // Skip comment rows (first field starts with '#') and all-empty rows.
+      bool all_empty = true;
+      for (const auto& f : row) {
+        if (!f.empty()) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (!all_empty && !(row.size() >= 1 && !row[0].empty() &&
+                          row[0][0] == '#')) {
+        doc.rows.push_back(std::move(row));
+      }
+      row.clear();
+    }
+    row_has_content = false;
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      row_has_content = true;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n': {
+        Status st = end_row();
+        if (!st.ok()) return st;
+        break;
+      }
+      default:
+        field += c;
+        field_started = true;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !row.empty() || field_started) {
+    Status st = end_row();
+    if (!st.ok()) return st;
+  }
+  if (in_quotes) return Status::IOError("unterminated quoted field");
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, std::string* out) {
+  if (!NeedsQuoting(field)) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string FormatCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(row[i], &out);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open file for writing: " + path);
+  out << FormatCsv(rows);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace mc3

@@ -1,0 +1,35 @@
+// Minimal CSV reading/writing for instance serialization and experiment
+// output. Supports the subset of RFC 4180 the library emits: comma
+// separation, double-quote quoting, quote escaping by doubling.
+#ifndef MC3_UTIL_CSV_H_
+#define MC3_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mc3 {
+
+/// A parsed CSV document: rows of string fields.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Empty lines are skipped; lines starting with '#' are
+/// treated as comments and skipped.
+Result<CsvDocument> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
+/// Serializes rows to CSV text, quoting fields that contain separators.
+std::string FormatCsv(const std::vector<std::vector<std::string>>& rows);
+
+/// Writes rows to a CSV file, creating/truncating it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace mc3
+
+#endif  // MC3_UTIL_CSV_H_

@@ -1,0 +1,44 @@
+// Minimal data-parallel helper for solving independent sub-instances
+// concurrently (paper Section 3, step 2: "This step allows us to solve all
+// sub-instances in parallel").
+#ifndef MC3_UTIL_PARALLEL_H_
+#define MC3_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mc3 {
+
+/// Runs fn(0), ..., fn(count-1) across up to `num_threads` worker threads
+/// (work-stealing via an atomic counter). `num_threads <= 1` runs inline.
+/// fn must be safe to call concurrently for distinct indices; exceptions
+/// must not escape fn.
+inline void ParallelFor(size_t count, size_t num_threads,
+                        const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const size_t workers = std::min(num_threads, count);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace mc3
+
+#endif  // MC3_UTIL_PARALLEL_H_

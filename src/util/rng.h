@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for dataset synthesis and
+// property-based tests. A thin wrapper over SplitMix64 + xoshiro256**, so
+// streams are reproducible across platforms and standard-library versions
+// (std::uniform_int_distribution is not portable across implementations).
+#ifndef MC3_UTIL_RNG_H_
+#define MC3_UTIL_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace mc3 {
+
+/// Deterministic, portable RNG (xoshiro256** seeded via SplitMix64).
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams on all
+  /// platforms.
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    const uint64_t range = hi - lo + 1;  // range == 0 means the full 2^64.
+    if (range == 0) return Next();
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = range * ((~uint64_t{0}) / range);
+    uint64_t v;
+    do {
+      v = Next();
+    } while (v >= limit);
+    return lo + (v % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mc3
+
+#endif  // MC3_UTIL_RNG_H_

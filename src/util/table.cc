@@ -1,0 +1,59 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace mc3 {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += (i == 0) ? "| " : " | ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::vector<std::vector<std::string>> all;
+  all.push_back(headers_);
+  all.insert(all.end(), rows_.begin(), rows_.end());
+  return FormatCsv(all);
+}
+
+}  // namespace mc3

@@ -1,0 +1,37 @@
+// Console table rendering for the benchmark harness: every figure/table
+// binary prints the paper's rows/series through this formatter so output is
+// uniform and machine-greppable.
+#ifndef MC3_UTIL_TABLE_H_
+#define MC3_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace mc3 {
+
+/// Accumulates rows and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string ToString() const;
+
+  /// Renders the body as CSV (for EXPERIMENTS.md ingestion).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_UTIL_TABLE_H_

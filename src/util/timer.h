@@ -1,0 +1,33 @@
+// Wall-clock timing for the experiment harness (figures 3c/3f report
+// running-time series).
+#ifndef MC3_UTIL_TIMER_H_
+#define MC3_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mc3 {
+
+/// Monotonic wall-clock stopwatch, started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_UTIL_TIMER_H_

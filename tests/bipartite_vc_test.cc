@@ -1,0 +1,181 @@
+#include "flow/bipartite_vertex_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace mc3::flow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Brute-force minimum weighted vertex cover (for cross-checks).
+double BruteForceVc(const BipartiteVcInstance& inst) {
+  const size_t nl = inst.left_weights.size();
+  const size_t nr = inst.right_weights.size();
+  double best = kInf;
+  for (uint32_t lm = 0; lm < (1u << nl); ++lm) {
+    for (uint32_t rm = 0; rm < (1u << nr); ++rm) {
+      bool covers = true;
+      for (const auto& [l, r] : inst.edges) {
+        if (!(lm & (1u << l)) && !(rm & (1u << r))) {
+          covers = false;
+          break;
+        }
+      }
+      if (!covers) continue;
+      double w = 0;
+      for (size_t i = 0; i < nl; ++i) {
+        if (lm & (1u << i)) w += inst.left_weights[i];
+      }
+      for (size_t i = 0; i < nr; ++i) {
+        if (rm & (1u << i)) w += inst.right_weights[i];
+      }
+      best = std::min(best, w);
+    }
+  }
+  return best;
+}
+
+TEST(BipartiteVcTest, SingleEdgePicksCheaperSide) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {5};
+  inst.right_weights = {2};
+  inst.edges = {{0, 0}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->weight, 2);
+  EXPECT_TRUE(sol->right_in_cover[0]);
+  EXPECT_FALSE(sol->left_in_cover[0]);
+  EXPECT_TRUE(IsVertexCover(inst, *sol));
+}
+
+TEST(BipartiteVcTest, StarPrefersCenter) {
+  // One left vertex connected to three right vertices; taking the center is
+  // cheaper than the three leaves.
+  BipartiteVcInstance inst;
+  inst.left_weights = {4};
+  inst.right_weights = {2, 2, 2};
+  inst.edges = {{0, 0}, {0, 1}, {0, 2}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->weight, 4);
+  EXPECT_TRUE(sol->left_in_cover[0]);
+}
+
+TEST(BipartiteVcTest, StarPrefersLeavesWhenCheap) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {10};
+  inst.right_weights = {2, 2, 2};
+  inst.edges = {{0, 0}, {0, 1}, {0, 2}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->weight, 6);
+}
+
+TEST(BipartiteVcTest, InfiniteWeightAvoided) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {kInf};
+  inst.right_weights = {7};
+  inst.edges = {{0, 0}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->weight, 7);
+  EXPECT_FALSE(sol->left_in_cover[0]);
+}
+
+TEST(BipartiteVcTest, BothEndpointsInfiniteIsInfeasible) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {kInf};
+  inst.right_weights = {kInf};
+  inst.edges = {{0, 0}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(BipartiteVcTest, NegativeWeightRejected) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {-1};
+  inst.right_weights = {1};
+  inst.edges = {{0, 0}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BipartiteVcTest, OutOfRangeEdgeRejected) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {1};
+  inst.right_weights = {1};
+  inst.edges = {{0, 3}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BipartiteVcTest, NoEdgesEmptyCover) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {1, 2};
+  inst.right_weights = {3};
+  auto sol = SolveBipartiteVertexCover(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->weight, 0);
+}
+
+TEST(BipartiteVcTest, ZeroWeightVerticesAreFree) {
+  BipartiteVcInstance inst;
+  inst.left_weights = {0, 5};
+  inst.right_weights = {5, 0};
+  inst.edges = {{0, 0}, {1, 1}};
+  auto sol = SolveBipartiteVertexCover(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->weight, 0);
+}
+
+class BipartiteVcRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, MaxFlowAlgorithm>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, BipartiteVcRandomTest,
+    ::testing::Combine(::testing::Range(0, 15),
+                       ::testing::Values(MaxFlowAlgorithm::kDinic,
+                                         MaxFlowAlgorithm::kPushRelabel,
+                                         MaxFlowAlgorithm::kEdmondsKarp)));
+
+TEST_P(BipartiteVcRandomTest, MatchesBruteForce) {
+  const auto [seed, algorithm] = GetParam();
+  Rng rng(seed);
+  BipartiteVcInstance inst;
+  const int nl = 1 + static_cast<int>(rng.UniformInt(0, 5));
+  const int nr = 1 + static_cast<int>(rng.UniformInt(0, 5));
+  for (int i = 0; i < nl; ++i) {
+    inst.left_weights.push_back(
+        rng.Bernoulli(0.1) ? kInf
+                           : static_cast<double>(rng.UniformInt(0, 10)));
+  }
+  for (int i = 0; i < nr; ++i) {
+    inst.right_weights.push_back(
+        rng.Bernoulli(0.1) ? kInf
+                           : static_cast<double>(rng.UniformInt(0, 10)));
+  }
+  const int m = static_cast<int>(rng.UniformInt(0, nl * nr));
+  for (int i = 0; i < m; ++i) {
+    inst.edges.emplace_back(static_cast<int32_t>(rng.UniformInt(0, nl - 1)),
+                            static_cast<int32_t>(rng.UniformInt(0, nr - 1)));
+  }
+  const double brute = BruteForceVc(inst);
+  auto sol = SolveBipartiteVertexCover(inst, algorithm);
+  if (std::isinf(brute)) {
+    EXPECT_FALSE(sol.ok());
+    return;
+  }
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_TRUE(IsVertexCover(inst, *sol));
+  EXPECT_NEAR(sol->weight, brute, 1e-6);
+}
+
+}  // namespace
+}  // namespace mc3::flow

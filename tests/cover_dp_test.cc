@@ -1,0 +1,93 @@
+#include "core/cover_dp.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+
+std::function<Cost(const PropertySet&)> CostsFrom(const Instance& inst) {
+  return [&inst](const PropertySet& c) { return inst.CostOf(c); };
+}
+
+TEST(CoverDpTest, SingletonQuery) {
+  Instance inst;
+  inst.SetCost(PS({0}), 3);
+  auto cover = MinCostQueryCover(PS({0}), CostsFrom(inst));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->cost, 3);
+  ASSERT_EQ(cover->classifiers.size(), 1u);
+  EXPECT_EQ(cover->classifiers[0], PS({0}));
+}
+
+TEST(CoverDpTest, PairPicksCheaperOption) {
+  Instance inst;
+  inst.SetCost(PS({0}), 2);
+  inst.SetCost(PS({1}), 2);
+  inst.SetCost(PS({0, 1}), 3);
+  auto cover = MinCostQueryCover(PS({0, 1}), CostsFrom(inst));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->cost, 3);
+  EXPECT_EQ(cover->classifiers.size(), 1u);
+}
+
+TEST(CoverDpTest, MixedCover) {
+  // {0,1,2}: best is {0,1} at 2 plus {2} at 1.
+  Instance inst;
+  inst.SetCost(PS({0}), 5);
+  inst.SetCost(PS({1}), 5);
+  inst.SetCost(PS({2}), 1);
+  inst.SetCost(PS({0, 1}), 2);
+  inst.SetCost(PS({0, 1, 2}), 4);
+  auto cover = MinCostQueryCover(PS({0, 1, 2}), CostsFrom(inst));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->cost, 3);
+  EXPECT_EQ(cover->classifiers.size(), 2u);
+}
+
+TEST(CoverDpTest, OverlappingClassifiersAllowed) {
+  Instance inst;
+  inst.SetCost(PS({0, 1}), 1);
+  inst.SetCost(PS({1, 2}), 1);
+  auto cover = MinCostQueryCover(PS({0, 1, 2}), CostsFrom(inst));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->cost, 2);
+}
+
+TEST(CoverDpTest, NoCoverReturnsNullopt) {
+  Instance inst;
+  inst.SetCost(PS({0}), 1);
+  auto cover = MinCostQueryCover(PS({0, 1}), CostsFrom(inst));
+  EXPECT_FALSE(cover.has_value());
+}
+
+TEST(CoverDpTest, ZeroCostClassifiersUsed) {
+  Instance inst;
+  inst.SetCost(PS({0}), 0);
+  inst.SetCost(PS({1}), 4);
+  inst.SetCost(PS({0, 1}), 3);
+  auto cover = MinCostQueryCover(PS({0, 1}), CostsFrom(inst));
+  ASSERT_TRUE(cover.has_value());
+  EXPECT_EQ(cover->cost, 3);  // XY at 3 beats X(0) + Y(4)
+}
+
+TEST(CoverDpTest, CoverUnionEqualsQuery) {
+  Instance inst;
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({2}), 1);
+  inst.SetCost(PS({1, 2}), 1);
+  auto cover = MinCostQueryCover(PS({0, 1, 2}), CostsFrom(inst));
+  ASSERT_TRUE(cover.has_value());
+  PropertySet unioned;
+  for (const PropertySet& c : cover->classifiers) {
+    unioned = unioned.UnionWith(c);
+  }
+  EXPECT_EQ(unioned, PS({0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace mc3

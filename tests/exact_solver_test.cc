@@ -1,0 +1,108 @@
+#include "core/exact_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cover_dp.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+
+TEST(ExactSolverTest, TrivialSingleton) {
+  Instance inst;
+  inst.AddQuery(PS({0}));
+  inst.SetCost(PS({0}), 2);
+  auto result = ExactSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 2);
+}
+
+TEST(ExactSolverTest, PaperExampleOptimum) {
+  auto result = ExactSolver().Solve(testing::PaperExample());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 7);
+  EXPECT_TRUE(Covers(testing::PaperExample(), result->solution));
+}
+
+TEST(ExactSolverTest, InfeasibleDetected) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  auto result = ExactSolver().Solve(inst);
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(ExactSolverTest, SharedClassifierCountedOnce) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.AddQuery(PS({0, 2}));
+  inst.SetCost(PS({0}), 10);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({2}), 1);
+  auto result = ExactSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 12);  // X once, plus Y and Z
+}
+
+TEST(ExactSolverTest, GuardsRejectOversizedInstances) {
+  ExactSolver::Limits limits;
+  limits.max_queries = 1;
+  const ExactSolver solver(limits);
+  Instance inst;
+  inst.AddQuery(PS({0}));
+  inst.AddQuery(PS({1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  auto result = solver.Solve(inst);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactSolverTest, ZeroCostClassifiersHandled) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 0);
+  inst.SetCost(PS({1}), 0);
+  inst.SetCost(PS({0, 1}), 1);
+  auto result = ExactSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 0);
+}
+
+// Exhaustive cross-check against per-query DP composition on instances
+// where queries are property-disjoint (there the optimum is separable).
+class ExactSeparableTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSeparableTest, ::testing::Range(0, 10));
+
+TEST_P(ExactSeparableTest, MatchesSeparableOptimum) {
+  Rng rng(GetParam() + 777);
+  Instance inst;
+  Cost expected = 0;
+  PropertyId base = 0;
+  for (int q = 0; q < 3; ++q) {
+    const size_t len = 1 + rng.UniformInt(0, 2);
+    std::vector<PropertyId> props;
+    for (size_t i = 0; i < len; ++i) props.push_back(base + i);
+    base += static_cast<PropertyId>(len);
+    inst.AddQuery(PropertySet::FromUnsorted(props));
+  }
+  for (const PropertySet& query : inst.queries()) {
+    ForEachNonEmptySubset(query, [&](const PropertySet& c) {
+      inst.SetCost(c, static_cast<Cost>(rng.UniformInt(1, 9)));
+    });
+  }
+  for (const PropertySet& query : inst.queries()) {
+    auto cover = MinCostQueryCover(query, [&](const PropertySet& c) {
+      return inst.CostOf(c);
+    });
+    ASSERT_TRUE(cover.has_value());
+    expected += cover->cost;
+  }
+  auto result = ExactSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->cost, expected);
+}
+
+}  // namespace
+}  // namespace mc3

@@ -1,0 +1,158 @@
+#include "flow/max_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mc3::flow {
+namespace {
+
+class MaxFlowAlgoTest : public ::testing::TestWithParam<MaxFlowAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, MaxFlowAlgoTest,
+    ::testing::Values(MaxFlowAlgorithm::kDinic, MaxFlowAlgorithm::kPushRelabel,
+                      MaxFlowAlgorithm::kEdmondsKarp),
+    [](const ::testing::TestParamInfo<MaxFlowAlgorithm>& info) {
+      return MaxFlowAlgorithmName(info.param);
+    });
+
+TEST_P(MaxFlowAlgoTest, SingleEdge) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 5);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 1, GetParam()), 5);
+}
+
+TEST_P(MaxFlowAlgoTest, SeriesTakesMin) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 5);
+  net.AddEdge(1, 2, 3);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 2, GetParam()), 3);
+}
+
+TEST_P(MaxFlowAlgoTest, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 4);
+  net.AddEdge(1, 3, 4);
+  net.AddEdge(0, 2, 6);
+  net.AddEdge(2, 3, 2);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 3, GetParam()), 6);
+}
+
+TEST_P(MaxFlowAlgoTest, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 5);
+  net.AddEdge(2, 3, 5);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 3, GetParam()), 0);
+}
+
+TEST_P(MaxFlowAlgoTest, ClassicCLRSNetwork) {
+  // CLRS figure 26.1: max flow 23.
+  FlowNetwork net(6);
+  net.AddEdge(0, 1, 16);
+  net.AddEdge(0, 2, 13);
+  net.AddEdge(1, 2, 10);
+  net.AddEdge(2, 1, 4);
+  net.AddEdge(1, 3, 12);
+  net.AddEdge(3, 2, 9);
+  net.AddEdge(2, 4, 14);
+  net.AddEdge(4, 3, 7);
+  net.AddEdge(3, 5, 20);
+  net.AddEdge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 5, GetParam()), 23);
+}
+
+TEST_P(MaxFlowAlgoTest, FractionalCapacities) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 0.5);
+  net.AddEdge(0, 1, 0.25);
+  net.AddEdge(1, 2, 10);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 2, GetParam()), 0.75);
+}
+
+TEST_P(MaxFlowAlgoTest, MinCutSeparatesSourceFromSink) {
+  FlowNetwork net(6);
+  net.AddEdge(0, 1, 16);
+  net.AddEdge(0, 2, 13);
+  net.AddEdge(1, 3, 12);
+  net.AddEdge(2, 4, 14);
+  net.AddEdge(3, 2, 9);
+  net.AddEdge(4, 3, 7);
+  net.AddEdge(3, 5, 20);
+  net.AddEdge(4, 5, 4);
+  const Capacity value = MaxFlow(&net, 0, 5, GetParam());
+  const auto reachable = net.ResidualReachable(0);
+  EXPECT_TRUE(reachable[0]);
+  EXPECT_FALSE(reachable[5]);
+  // Cut capacity (original caps of forward edges crossing the cut) equals
+  // the flow value.
+  Capacity cut = 0;
+  for (int id = 0; id < net.NumEdges(); id += 2) {
+    const auto& fwd = net.edge(id);
+    const auto& rev = net.edge(id + 1);
+    const NodeId from = rev.to;
+    if (reachable[from] && !reachable[fwd.to]) cut += fwd.original;
+  }
+  EXPECT_NEAR(cut, value, 1e-9);
+}
+
+TEST_P(MaxFlowAlgoTest, FlowConservationHolds) {
+  FlowNetwork net(5);
+  net.AddEdge(0, 1, 7);
+  net.AddEdge(0, 2, 9);
+  net.AddEdge(1, 3, 6);
+  net.AddEdge(2, 3, 4);
+  net.AddEdge(2, 1, 2);
+  net.AddEdge(3, 4, 12);
+  net.AddEdge(1, 4, 1);
+  const Capacity value = MaxFlow(&net, 0, 4, GetParam());
+  std::vector<Capacity> balance(5, 0);
+  for (int id = 0; id < net.NumEdges(); id += 2) {
+    const Capacity f = net.Flow(id);
+    EXPECT_GE(f, -1e-9);
+    EXPECT_LE(f, net.edge(id).original + 1e-9);
+    const NodeId from = net.edge(id + 1).to;
+    balance[from] -= f;
+    balance[net.edge(id).to] += f;
+  }
+  EXPECT_NEAR(balance[0], -value, 1e-9);
+  EXPECT_NEAR(balance[4], value, 1e-9);
+  for (NodeId v = 1; v < 4; ++v) EXPECT_NEAR(balance[v], 0, 1e-9);
+}
+
+TEST_P(MaxFlowAlgoTest, ResetFlowRestores) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 5);
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 1, GetParam()), 5);
+  net.ResetFlow();
+  EXPECT_DOUBLE_EQ(MaxFlow(&net, 0, 1, GetParam()), 5);
+}
+
+// Random graphs: all three algorithms must agree.
+class MaxFlowRandomTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowRandomTest, ::testing::Range(0, 20));
+
+TEST_P(MaxFlowRandomTest, AlgorithmsAgree) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 10));
+  const int m = static_cast<int>(rng.UniformInt(1, 3 * n));
+  FlowNetwork base(n);
+  for (int i = 0; i < m; ++i) {
+    const auto u = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    const auto v = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    if (u == v) continue;
+    base.AddEdge(u, v, static_cast<Capacity>(rng.UniformInt(0, 20)));
+  }
+  FlowNetwork net1 = base;
+  FlowNetwork net2 = base;
+  FlowNetwork net3 = base;
+  const Capacity dinic = MaxFlowDinic(&net1, 0, n - 1);
+  const Capacity push_relabel = MaxFlowPushRelabel(&net2, 0, n - 1);
+  const Capacity edmonds_karp = MaxFlowEdmondsKarp(&net3, 0, n - 1);
+  EXPECT_NEAR(dinic, edmonds_karp, 1e-6);
+  EXPECT_NEAR(push_relabel, edmonds_karp, 1e-6);
+}
+
+}  // namespace
+}  // namespace mc3::flow

@@ -1,0 +1,288 @@
+#include "core/general_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_solver.h"
+#include "core/k2_solver.h"
+#include "core/short_first_solver.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PaperExample;
+using testing::PS;
+using testing::RandomInstance;
+using testing::RandomInstanceConfig;
+
+TEST(GeneralSolverTest, SolvesPaperExampleOptimally) {
+  const Instance inst = PaperExample();
+  const GeneralSolver solver;
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Covers(inst, result->solution));
+  // The paper's optimal solution is {AC, AJ, W} at cost 7N.
+  EXPECT_EQ(result->cost, 7);
+}
+
+TEST(GeneralSolverTest, PaperExampleExactOptimumIsSeven) {
+  const Instance inst = PaperExample();
+  auto exact = ExactSolver().Solve(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->cost, 7);
+}
+
+TEST(GeneralSolverTest, PaperExampleSolutionStructure) {
+  const Instance inst = PaperExample();
+  const GeneralSolver solver;
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok());
+  // {AC, AJ, W}: three classifiers, one of them the white singleton.
+  EXPECT_EQ(result->solution.size(), 3u);
+  bool has_white_singleton = false;
+  for (const PropertySet& c : result->solution.classifiers()) {
+    if (c.size() == 1 && inst.CostOf(c) == 1) has_white_singleton = true;
+  }
+  EXPECT_TRUE(has_white_singleton);
+}
+
+TEST(GeneralSolverTest, SingleLongQuery) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2, 3}));
+  for (PropertyId p = 0; p < 4; ++p) inst.SetCost(PS({p}), 5);
+  inst.SetCost(PS({0, 1}), 1);
+  inst.SetCost(PS({2, 3}), 1);
+  const GeneralSolver solver;
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 2);
+}
+
+TEST(GeneralSolverTest, InfeasibleReported) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.SetCost(PS({0}), 1);
+  const GeneralSolver solver;
+  auto result = solver.Solve(inst);
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(GeneralSolverTest, NoAlgorithmConfiguredIsAnError) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  SolverOptions options;
+  options.run_greedy = false;
+  options.f_method = SolverOptions::FMethod::kNone;
+  options.preprocess = false;
+  const GeneralSolver solver(options);
+  auto result = solver.Solve(inst);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+class GeneralSolverGuaranteeTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralSolverGuaranteeTest,
+                         ::testing::Range(0, 30));
+
+TEST_P(GeneralSolverGuaranteeTest, WithinTheoremBound) {
+  RandomInstanceConfig config;
+  config.num_queries = 5;
+  config.pool = 7;
+  config.max_query_length = 4;
+  const Instance inst = RandomInstance(config, GetParam() * 41 + 17);
+  const GeneralSolver solver;
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Covers(inst, result->solution));
+
+  auto exact = ExactSolver().Solve(inst);
+  ASSERT_TRUE(exact.ok());
+  const double k = static_cast<double>(inst.MaxQueryLength());
+  const double incidence = static_cast<double>(inst.Incidence());
+  // Theorem 5.3 states min{ln I + ln(k-1) + 1, 2^(k-1)} via Delta <=
+  // I*(k-1); that misses full-length classifiers when I = 1 (a length-k
+  // classifier yields a WSC set of size k > (k-1)*1), so we test against
+  // the corrected degree bound Delta <= max(k, (k-1)*I). See EXPERIMENTS.md.
+  const double delta = std::max(k, (k - 1) * std::max(incidence, 1.0));
+  const double bound = std::min(std::log(std::max(delta, 1.0)) + 1.0,
+                                std::pow(2.0, k - 1));
+  EXPECT_LE(result->cost, bound * exact->cost + 1e-6)
+      << "cost " << result->cost << " vs opt " << exact->cost;
+}
+
+TEST_P(GeneralSolverGuaranteeTest, LpRoundingVariantAlsoCoversAndBounds) {
+  RandomInstanceConfig config;
+  config.num_queries = 4;
+  config.pool = 6;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 59 + 23);
+  SolverOptions options;
+  options.f_method = SolverOptions::FMethod::kLpRounding;
+  const GeneralSolver solver(options);
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Covers(inst, result->solution));
+  auto exact = ExactSolver().Solve(inst);
+  ASSERT_TRUE(exact.ok());
+  const double k = static_cast<double>(inst.MaxQueryLength());
+  EXPECT_LE(result->cost, std::pow(2.0, k - 1) * exact->cost + 1e-6);
+}
+
+TEST_P(GeneralSolverGuaranteeTest, GreedyOnlyStillCovers) {
+  RandomInstanceConfig config;
+  config.num_queries = 6;
+  config.pool = 8;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 71 + 29);
+  SolverOptions options;
+  options.f_method = SolverOptions::FMethod::kNone;
+  const GeneralSolver solver(options);
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Covers(inst, result->solution));
+}
+
+TEST_P(GeneralSolverGuaranteeTest, PreprocessingNeverHurtsQuality) {
+  RandomInstanceConfig config;
+  config.num_queries = 6;
+  config.pool = 7;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 83 + 31);
+  SolverOptions with;
+  SolverOptions without;
+  without.preprocess = false;
+  auto a = GeneralSolver(with).Solve(inst);
+  auto b = GeneralSolver(without).Solve(inst);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Not a theorem, but the paper reports preprocessing improves quality in
+  // practice; at minimum both must cover.
+  EXPECT_TRUE(Covers(inst, a->solution));
+  EXPECT_TRUE(Covers(inst, b->solution));
+}
+
+// On k <= 2 instances the general solver is only approximate; it must never
+// beat the exact k=2 solver, and must stay within its guarantee.
+class GeneralVsK2Test : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralVsK2Test, ::testing::Range(0, 20));
+
+TEST_P(GeneralVsK2Test, NeverBeatsExactK2) {
+  RandomInstanceConfig config;
+  config.num_queries = 8;
+  config.pool = 8;
+  config.max_query_length = 2;
+  const Instance inst = RandomInstance(config, GetParam() * 13 + 7);
+  auto general = GeneralSolver().Solve(inst);
+  auto k2 = K2ExactSolver().Solve(inst);
+  ASSERT_TRUE(general.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_GE(general->cost, k2->cost - 1e-9);
+}
+
+TEST(ExactComponentsTest, NeverWorseThanPureApproximation) {
+  for (int seed = 0; seed < 10; ++seed) {
+    RandomInstanceConfig config;
+    config.num_queries = 10;
+    config.pool = 14;  // several small components
+    config.max_query_length = 3;
+    const Instance inst = RandomInstance(config, seed * 457 + 3);
+    SolverOptions exact_small;
+    exact_small.exact_component_max_queries = 6;
+    auto approx = GeneralSolver().Solve(inst);
+    auto hybrid = GeneralSolver(exact_small).Solve(inst);
+    ASSERT_TRUE(approx.ok());
+    ASSERT_TRUE(hybrid.ok());
+    EXPECT_TRUE(Covers(inst, hybrid->solution));
+    EXPECT_LE(hybrid->cost, approx->cost + 1e-9);
+  }
+}
+
+TEST(ExactComponentsTest, SmallComponentsAttainOptimum) {
+  RandomInstanceConfig config;
+  config.num_queries = 6;
+  config.pool = 8;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, 12345);
+  SolverOptions exact_small;
+  exact_small.exact_component_max_queries = 8;
+  auto hybrid = GeneralSolver(exact_small).Solve(inst);
+  auto exact = ExactSolver().Solve(inst);
+  ASSERT_TRUE(hybrid.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(hybrid->cost, exact->cost);
+}
+
+TEST(ShortFirstTest, PaperExample) {
+  const Instance inst = PaperExample();
+  const ShortFirstSolver solver;
+  auto result = solver.Solve(inst);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Covers(inst, result->solution));
+  // The short query {chelsea, adidas} is solved exactly (AC, cost 3); the
+  // optimum overall is 7 and short-first attains it here.
+  EXPECT_EQ(result->cost, 7);
+}
+
+TEST(ShortFirstTest, AllShortDelegatesToK2) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({0, 1}), 3);
+  auto result = ShortFirstSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 2);
+}
+
+TEST(ShortFirstTest, AllLongDelegatesToGeneral) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  for (PropertyId p = 0; p < 3; ++p) inst.SetCost(PS({p}), 1);
+  auto result = ShortFirstSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 3);
+}
+
+TEST(ShortFirstTest, ReusesShortPhaseClassifiersForFree) {
+  // Short query xy selects XY? No: X=1, Y=1 beats XY=5. The long query xyz
+  // can then finish with Z only.
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({2}), 1);
+  inst.SetCost(PS({0, 1}), 5);
+  SolverOptions options;
+  options.short_first_reuse_selections = true;
+  auto result = ShortFirstSolver(options).Solve(inst);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost, 3);
+  // The paper-faithful SF (no reuse) may pay more but still covers.
+  auto faithful = ShortFirstSolver().Solve(inst);
+  ASSERT_TRUE(faithful.ok());
+  EXPECT_GE(faithful->cost, result->cost);
+}
+
+class ShortFirstSweepTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortFirstSweepTest, ::testing::Range(0, 20));
+
+TEST_P(ShortFirstSweepTest, CoversAndStaysReasonable) {
+  RandomInstanceConfig config;
+  config.num_queries = 7;
+  config.pool = 8;
+  config.max_query_length = 4;
+  const Instance inst = RandomInstance(config, GetParam() * 19 + 5);
+  auto result = ShortFirstSolver().Solve(inst);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Covers(inst, result->solution));
+  auto exact = ExactSolver().Solve(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GE(result->cost, exact->cost - 1e-9);
+}
+
+}  // namespace
+}  // namespace mc3

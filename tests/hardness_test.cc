@@ -1,0 +1,172 @@
+#include "core/hardness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_solver.h"
+#include "core/general_solver.h"
+#include "util/rng.h"
+
+namespace mc3 {
+namespace {
+
+/// Brute-force minimum set cover cardinality.
+int32_t BruteForceScOpt(const SetCoverInstance& sc) {
+  const size_t m = sc.sets.size();
+  int32_t best = -1;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::vector<bool> covered(sc.num_elements, false);
+    int32_t count = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        ++count;
+        for (int32_t e : sc.sets[i]) covered[e] = true;
+      }
+    }
+    bool all = true;
+    for (bool b : covered) all = all && b;
+    if (all && (best < 0 || count < best)) best = count;
+  }
+  return best;
+}
+
+bool ScCovers(const SetCoverInstance& sc, const std::vector<int32_t>& sets) {
+  std::vector<bool> covered(sc.num_elements, false);
+  for (int32_t s : sets) {
+    for (int32_t e : sc.sets[s]) covered[e] = true;
+  }
+  for (bool b : covered) {
+    if (!b) return false;
+  }
+  return true;
+}
+
+SetCoverInstance RandomSc(uint64_t seed) {
+  Rng rng(seed);
+  SetCoverInstance sc;
+  sc.num_elements = 2 + static_cast<int32_t>(rng.UniformInt(0, 4));
+  const int m = 2 + static_cast<int>(rng.UniformInt(0, 4));
+  sc.sets.resize(m);
+  // Every element goes into >= 2 sets (the f > 1 regime of Theorem 5.1).
+  for (int32_t e = 0; e < sc.num_elements; ++e) {
+    const auto a = rng.UniformInt(0, m - 1);
+    uint64_t b = rng.UniformInt(0, m - 1);
+    if (b == a) b = (b + 1) % m;
+    sc.sets[a].push_back(e);
+    sc.sets[b].push_back(e);
+    for (int s = 0; s < m; ++s) {
+      if (s != static_cast<int>(a) && s != static_cast<int>(b) &&
+          rng.Bernoulli(0.3)) {
+        sc.sets[s].push_back(e);
+      }
+    }
+  }
+  return sc;
+}
+
+TEST(Theorem51Test, BuildsExpectedStructure) {
+  // Element 0 in sets {0, 1}; element 1 in sets {1, 2}.
+  SetCoverInstance sc;
+  sc.num_elements = 2;
+  sc.sets = {{0}, {0, 1}, {1}};
+  auto red = ReduceSetCoverToMc3(sc);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->instance.NumQueries(), 2u);
+  // Every query contains the shared property e and has length f(element)+1.
+  for (const PropertySet& q : red->instance.queries()) {
+    EXPECT_TRUE(q.Contains(red->e_property));
+    EXPECT_EQ(q.size(), 3u);
+  }
+  // Pair {s0, s1} costs 0; pairs {s_i, e} cost 1.
+  EXPECT_EQ(red->instance.CostOf(PropertySet::Of({0, 1})), 0);
+  EXPECT_EQ(red->instance.CostOf(
+                PropertySet::Of({0, red->e_property})), 1);
+}
+
+TEST(Theorem51Test, RejectsUncoverableElement) {
+  SetCoverInstance sc;
+  sc.num_elements = 2;
+  sc.sets = {{0}};
+  auto red = ReduceSetCoverToMc3(sc);
+  EXPECT_FALSE(red.ok());
+}
+
+TEST(Theorem51Test, MergesDuplicateElements) {
+  SetCoverInstance sc;
+  sc.num_elements = 3;
+  sc.sets = {{0, 1, 2}, {0, 1}};  // elements 0 and 1 have equal membership
+  auto red = ReduceSetCoverToMc3(sc);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->instance.NumQueries(), 2u);
+}
+
+class Theorem51EquivalenceTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem51EquivalenceTest,
+                         ::testing::Range(0, 20));
+
+TEST_P(Theorem51EquivalenceTest, OptimaAndSolutionsCorrespond) {
+  const SetCoverInstance sc = RandomSc(GetParam() * 107 + 3);
+  const int32_t sc_opt = BruteForceScOpt(sc);
+  ASSERT_GE(sc_opt, 0);
+
+  auto red = ReduceSetCoverToMc3(sc);
+  ASSERT_TRUE(red.ok());
+  ASSERT_TRUE(red->instance.Validate().ok());
+
+  auto exact = ExactSolver().Solve(red->instance);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  // Cost preservation (the heart of the approximation-preserving proof).
+  EXPECT_DOUBLE_EQ(exact->cost, static_cast<double>(sc_opt));
+
+  // The extracted SC solution covers and has matching cardinality.
+  const auto sets = ExtractSetCoverSolution(*red, exact->solution);
+  EXPECT_TRUE(ScCovers(sc, sets));
+  EXPECT_LE(static_cast<double>(sets.size()), exact->cost + 1e-9);
+}
+
+TEST_P(Theorem51EquivalenceTest, ApproximateSolutionsMapToCovers) {
+  const SetCoverInstance sc = RandomSc(GetParam() * 211 + 9);
+  auto red = ReduceSetCoverToMc3(sc);
+  ASSERT_TRUE(red.ok());
+  auto approx = GeneralSolver().Solve(red->instance);
+  ASSERT_TRUE(approx.ok());
+  const auto sets = ExtractSetCoverSolution(*red, approx->solution);
+  EXPECT_TRUE(ScCovers(sc, sets));
+}
+
+TEST(Theorem52Test, SingleQueryConstruction) {
+  SetCoverInstance sc;
+  sc.num_elements = 4;
+  sc.sets = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+  auto inst = ReduceSetCoverToSingleQueryMc3(sc);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->NumQueries(), 1u);
+  EXPECT_EQ(inst->queries()[0].size(), 4u);
+  EXPECT_EQ(inst->costs().size(), 4u);
+  auto exact = ExactSolver().Solve(*inst);
+  ASSERT_TRUE(exact.ok());
+  // Min cover of {0,1,2,3} by the four pair-sets is 2.
+  EXPECT_DOUBLE_EQ(exact->cost, 2);
+}
+
+TEST(Theorem52Test, MatchesBruteForceOnRandomInstances) {
+  for (int seed = 0; seed < 10; ++seed) {
+    const SetCoverInstance sc = RandomSc(seed * 401 + 13);
+    const int32_t sc_opt = BruteForceScOpt(sc);
+    auto inst = ReduceSetCoverToSingleQueryMc3(sc);
+    ASSERT_TRUE(inst.ok());
+    auto exact = ExactSolver().Solve(*inst);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    EXPECT_DOUBLE_EQ(exact->cost, static_cast<double>(sc_opt));
+  }
+}
+
+TEST(Theorem52Test, RejectsUncoverableElement) {
+  SetCoverInstance sc;
+  sc.num_elements = 2;
+  sc.sets = {{0}};
+  auto inst = ReduceSetCoverToSingleQueryMc3(sc);
+  EXPECT_FALSE(inst.ok());
+}
+
+}  // namespace
+}  // namespace mc3

@@ -1,0 +1,118 @@
+#include "flow/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "util/rng.h"
+
+namespace mc3::flow {
+namespace {
+
+bool CoversAllEdges(const BipartiteGraph& g, const UnweightedVertexCover& vc) {
+  for (const auto& [l, r] : g.edges) {
+    if (!vc.left_in_cover[l] && !vc.right_in_cover[r]) return false;
+  }
+  return true;
+}
+
+/// Simple augmenting-path matching as an oracle.
+int32_t OracleMatching(const BipartiteGraph& g) {
+  std::vector<std::vector<int32_t>> adj(g.num_left);
+  for (const auto& [l, r] : g.edges) adj[l].push_back(r);
+  std::vector<int32_t> match_right(g.num_right, -1);
+  std::vector<bool> visited;
+  std::function<bool(int32_t)> try_match = [&](int32_t l) {
+    for (int32_t r : adj[l]) {
+      if (visited[r]) continue;
+      visited[r] = true;
+      if (match_right[r] == -1 || try_match(match_right[r])) {
+        match_right[r] = l;
+        return true;
+      }
+    }
+    return false;
+  };
+  int32_t size = 0;
+  for (int32_t l = 0; l < g.num_left; ++l) {
+    visited.assign(g.num_right, false);
+    if (try_match(l)) ++size;
+  }
+  return size;
+}
+
+TEST(HopcroftKarpTest, PerfectMatching) {
+  BipartiteGraph g{2, 2, {{0, 0}, {1, 1}}};
+  const Matching m = MaxMatchingHopcroftKarp(g);
+  EXPECT_EQ(m.size, 2);
+  EXPECT_EQ(m.match_left[0], 0);
+  EXPECT_EQ(m.match_left[1], 1);
+}
+
+TEST(HopcroftKarpTest, RequiresAugmenting) {
+  // Greedy left-to-right would match 0-0 and strand vertex 1.
+  BipartiteGraph g{2, 2, {{0, 0}, {0, 1}, {1, 0}}};
+  const Matching m = MaxMatchingHopcroftKarp(g);
+  EXPECT_EQ(m.size, 2);
+}
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  BipartiteGraph g{3, 2, {}};
+  EXPECT_EQ(MaxMatchingHopcroftKarp(g).size, 0);
+}
+
+TEST(HopcroftKarpTest, StarGraph) {
+  BipartiteGraph g{1, 4, {{0, 0}, {0, 1}, {0, 2}, {0, 3}}};
+  EXPECT_EQ(MaxMatchingHopcroftKarp(g).size, 1);
+}
+
+TEST(HopcroftKarpTest, MatchArraysConsistent) {
+  BipartiteGraph g{3, 3, {{0, 1}, {1, 0}, {1, 2}, {2, 2}}};
+  const Matching m = MaxMatchingHopcroftKarp(g);
+  for (int32_t l = 0; l < g.num_left; ++l) {
+    if (m.match_left[l] != -1) {
+      EXPECT_EQ(m.match_right[m.match_left[l]], l);
+    }
+  }
+}
+
+TEST(KoenigTest, CoverSizeEqualsMatching) {
+  BipartiteGraph g{3, 3, {{0, 0}, {0, 1}, {1, 1}, {2, 2}}};
+  const Matching m = MaxMatchingHopcroftKarp(g);
+  const UnweightedVertexCover vc = MinVertexCoverKoenig(g);
+  EXPECT_EQ(vc.size, m.size);
+  EXPECT_TRUE(CoversAllEdges(g, vc));
+}
+
+TEST(KoenigTest, PathGraph) {
+  // Path L0 - R0 - L1 - R1: max matching 2, min cover 2.
+  BipartiteGraph g{2, 2, {{0, 0}, {1, 0}, {1, 1}}};
+  const UnweightedVertexCover vc = MinVertexCoverKoenig(g);
+  EXPECT_EQ(vc.size, 2);
+  EXPECT_TRUE(CoversAllEdges(g, vc));
+}
+
+class HopcroftKarpRandomTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpRandomTest,
+                         ::testing::Range(0, 25));
+
+TEST_P(HopcroftKarpRandomTest, MatchesOracleAndKoenigHolds) {
+  Rng rng(GetParam() + 1000);
+  BipartiteGraph g;
+  g.num_left = 1 + static_cast<int32_t>(rng.UniformInt(0, 7));
+  g.num_right = 1 + static_cast<int32_t>(rng.UniformInt(0, 7));
+  const int m = static_cast<int>(rng.UniformInt(0, g.num_left * g.num_right));
+  for (int i = 0; i < m; ++i) {
+    g.edges.emplace_back(
+        static_cast<int32_t>(rng.UniformInt(0, g.num_left - 1)),
+        static_cast<int32_t>(rng.UniformInt(0, g.num_right - 1)));
+  }
+  const Matching matching = MaxMatchingHopcroftKarp(g);
+  EXPECT_EQ(matching.size, OracleMatching(g));
+  const UnweightedVertexCover vc = MinVertexCoverKoenig(g);
+  EXPECT_EQ(vc.size, matching.size);  // Koenig's theorem
+  EXPECT_TRUE(CoversAllEdges(g, vc));
+}
+
+}  // namespace
+}  // namespace mc3::flow

@@ -1,0 +1,85 @@
+#include "core/instance_util.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_solver.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+
+TEST(SubInstanceTest, KeepsSelectedQueriesAndRelevantCosts) {
+  const Instance inst = testing::PaperExample();
+  const Instance sub = SubInstance(inst, {1});  // the chelsea-adidas query
+  EXPECT_EQ(sub.NumQueries(), 1u);
+  EXPECT_EQ(sub.queries()[0], inst.queries()[1]);
+  // Only classifiers within {chelsea, adidas} survive: C, A, AC.
+  EXPECT_EQ(sub.costs().size(), 3u);
+  EXPECT_TRUE(sub.Validate().ok());
+}
+
+TEST(SubInstanceTest, EmptySelection) {
+  const Instance sub = SubInstance(testing::PaperExample(), {});
+  EXPECT_EQ(sub.NumQueries(), 0u);
+  EXPECT_TRUE(sub.costs().empty());
+}
+
+TEST(SubInstanceTest, CarriesPropertyNames) {
+  const Instance inst = testing::PaperExample();
+  const Instance sub = SubInstance(inst, {0});
+  EXPECT_EQ(sub.property_names(), inst.property_names());
+}
+
+TEST(RandomSubInstanceTest, DeterministicPerSeed) {
+  const Instance inst = testing::PaperExample();
+  const Instance a = RandomSubInstance(inst, 1, 5);
+  const Instance b = RandomSubInstance(inst, 1, 5);
+  ASSERT_EQ(a.NumQueries(), 1u);
+  EXPECT_EQ(a.queries()[0], b.queries()[0]);
+}
+
+TEST(RandomSubInstanceTest, CountClamped) {
+  const Instance inst = testing::PaperExample();
+  const Instance sub = RandomSubInstance(inst, 99, 1);
+  EXPECT_EQ(sub.NumQueries(), 2u);
+}
+
+TEST(RandomSubInstanceTest, SampledInstancesSolvable) {
+  testing::RandomInstanceConfig config;
+  config.num_queries = 10;
+  const Instance inst = testing::RandomInstance(config, 3);
+  for (size_t count : {2u, 5u, 8u}) {
+    const Instance sub = RandomSubInstance(inst, count, count * 17);
+    EXPECT_EQ(sub.NumQueries(), count);
+    EXPECT_TRUE(sub.Validate().ok());
+    auto result = ExactSolver().Solve(sub);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+TEST(BoundClassifierLengthTest, DropsLongClassifiers) {
+  const Instance inst = testing::PaperExample();
+  const Instance bounded = BoundClassifierLength(inst, 2);
+  EXPECT_EQ(bounded.CostOf(PS({0, 1, 2})), kInfiniteCost);  // JAW gone
+  EXPECT_EQ(bounded.NumQueries(), inst.NumQueries());
+  // All length-<=2 classifiers survive: 9 - 1 = 8.
+  EXPECT_EQ(bounded.costs().size(), 8u);
+  EXPECT_TRUE(bounded.IsFeasible());
+}
+
+TEST(BoundClassifierLengthTest, BoundedStillSolvableAndNoCheaper) {
+  const Instance inst = testing::PaperExample();
+  const Instance bounded = BoundClassifierLength(inst, 1);
+  auto bounded_result = ExactSolver().Solve(bounded);
+  auto full_result = ExactSolver().Solve(inst);
+  ASSERT_TRUE(bounded_result.ok());
+  ASSERT_TRUE(full_result.ok());
+  // Restricting the classifier menu can only increase the optimum.
+  EXPECT_GE(bounded_result->cost, full_result->cost);
+  EXPECT_EQ(bounded_result->cost, 16);  // all singletons
+}
+
+}  // namespace
+}  // namespace mc3

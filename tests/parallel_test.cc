@@ -1,0 +1,94 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/general_solver.h"
+#include "core/k2_solver.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::RandomInstance;
+using testing::RandomInstanceConfig;
+
+TEST(ParallelForTest, RunsAllIndicesInline) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(10, 1, [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, RunsAllIndicesThreaded) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(kCount, 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoOp) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(2);
+  ParallelFor(2, 16, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ParallelForTest, AccumulatesViaAtomics) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(100, 3, [&](size_t i) {
+    sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+class ParallelSolverTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSolverTest, ::testing::Range(0, 10));
+
+TEST_P(ParallelSolverTest, K2SameCostAsSequential) {
+  RandomInstanceConfig config;
+  config.num_queries = 20;
+  config.pool = 24;  // many components
+  config.max_query_length = 2;
+  const Instance inst = RandomInstance(config, GetParam() * 811 + 31);
+  SolverOptions parallel;
+  parallel.num_threads = 4;
+  auto seq = K2ExactSolver().Solve(inst);
+  auto par = K2ExactSolver(parallel).Solve(inst);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_DOUBLE_EQ(seq->cost, par->cost);
+  EXPECT_TRUE(Covers(inst, par->solution));
+}
+
+TEST_P(ParallelSolverTest, GeneralSameCostAsSequential) {
+  RandomInstanceConfig config;
+  config.num_queries = 18;
+  config.pool = 26;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 613 + 99);
+  SolverOptions parallel;
+  parallel.num_threads = 4;
+  auto seq = GeneralSolver().Solve(inst);
+  auto par = GeneralSolver(parallel).Solve(inst);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  // Components are solved independently and merged in deterministic order,
+  // so the result is identical, not merely equal in cost.
+  EXPECT_DOUBLE_EQ(seq->cost, par->cost);
+  EXPECT_EQ(seq->solution.Sorted(), par->solution.Sorted());
+}
+
+}  // namespace
+}  // namespace mc3

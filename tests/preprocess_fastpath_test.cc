@@ -1,0 +1,154 @@
+// Cross-checks the k <= 2 preprocessing fast path against the generic
+// implementation, and covers the solver options added around it.
+#include <gtest/gtest.h>
+
+#include "core/exact_solver.h"
+#include "core/general_solver.h"
+#include "core/k2_solver.h"
+#include "core/preprocess.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+using testing::RandomInstance;
+using testing::RandomInstanceConfig;
+
+class FastPathEquivalenceTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FastPathEquivalenceTest,
+                         ::testing::Range(0, 30));
+
+TEST_P(FastPathEquivalenceTest, SameForcedCostAndResidualOptimum) {
+  RandomInstanceConfig config;
+  config.num_queries = 8;
+  config.pool = 8;
+  config.max_query_length = 2;
+  config.zero_probability = 0.1;
+  const Instance inst = RandomInstance(config, GetParam() * 271 + 3);
+
+  PreprocessOptions generic;
+  generic.force_generic_path = true;
+  auto fast = Preprocess(inst);
+  auto slow = Preprocess(inst, generic);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+
+  // The two paths may make different (equally optimal) forced choices, so
+  // compare the invariant quantity: forced cost + optimal residual cost.
+  const ExactSolver exact;
+  auto total = [&](const PreprocessResult& pre) -> Cost {
+    Cost cost = pre.forced_cost;
+    for (const Instance& comp : pre.components) {
+      auto result = exact.Solve(comp);
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (result.ok()) cost += result->cost;
+    }
+    return cost;
+  };
+  EXPECT_DOUBLE_EQ(total(*fast), total(*slow));
+  // And both must equal the true optimum.
+  auto whole = exact.Solve(inst);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_DOUBLE_EQ(total(*fast), whole->cost);
+}
+
+TEST_P(FastPathEquivalenceTest, SameCoveredQueryCount) {
+  RandomInstanceConfig config;
+  config.num_queries = 10;
+  config.pool = 9;
+  config.max_query_length = 2;
+  const Instance inst = RandomInstance(config, GetParam() * 389 + 7);
+  PreprocessOptions generic;
+  generic.force_generic_path = true;
+  auto fast = Preprocess(inst);
+  auto slow = Preprocess(inst, generic);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast->stats.remaining_queries, slow->stats.remaining_queries);
+  EXPECT_EQ(fast->stats.queries_covered, slow->stats.queries_covered);
+  EXPECT_EQ(fast->stats.num_components, slow->stats.num_components);
+}
+
+TEST(FastPathTest, InfeasibleMatchesGeneric) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  PreprocessOptions generic;
+  generic.force_generic_path = true;
+  EXPECT_EQ(Preprocess(inst).status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Preprocess(inst, generic).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(FastPathTest, SingletonQueryForcedBothPaths) {
+  Instance inst;
+  inst.AddQuery(PS({3}));
+  inst.SetCost(PS({3}), 2);
+  PreprocessOptions generic;
+  generic.force_generic_path = true;
+  auto fast = Preprocess(inst);
+  auto slow = Preprocess(inst, generic);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast->forced_cost, 2);
+  EXPECT_EQ(slow->forced_cost, 2);
+  EXPECT_TRUE(fast->components.empty());
+  EXPECT_TRUE(slow->components.empty());
+}
+
+TEST(FastPathTest, StepTogglesHonored) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({0, 1}), 5);
+  PreprocessOptions off;
+  off.step1_forced_singletons = false;
+  off.step3_decompositions = false;
+  off.step4_k2_singleton_prune = false;
+  auto pre = Preprocess(inst, off);
+  ASSERT_TRUE(pre.ok());
+  // Nothing selected or removed: everything survives to the residual.
+  EXPECT_EQ(pre->forced_cost, 0);
+  ASSERT_EQ(pre->components.size(), 1u);
+  EXPECT_EQ(pre->components[0].costs().size(), 3u);
+}
+
+TEST(SolverOptionTest, VerificationOffStillSolvesCorrectly) {
+  RandomInstanceConfig config;
+  config.num_queries = 8;
+  config.pool = 8;
+  config.max_query_length = 2;
+  const Instance inst = RandomInstance(config, 77);
+  SolverOptions options;
+  options.verify_solution = false;
+  options.prune_unused = false;
+  auto result = K2ExactSolver(options).Solve(inst);
+  auto verified = K2ExactSolver().Solve(inst);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(Covers(inst, result->solution));
+  EXPECT_DOUBLE_EQ(result->cost, verified->cost);
+}
+
+TEST(SolverOptionTest, PruneNeverIncreasesCost) {
+  for (int seed = 0; seed < 10; ++seed) {
+    RandomInstanceConfig config;
+    config.num_queries = 7;
+    config.pool = 7;
+    config.max_query_length = 3;
+    const Instance inst = RandomInstance(config, seed * 37 + 5);
+    SolverOptions no_prune;
+    no_prune.prune_unused = false;
+    auto pruned = GeneralSolver().Solve(inst);
+    auto raw = GeneralSolver(no_prune).Solve(inst);
+    ASSERT_TRUE(pruned.ok());
+    ASSERT_TRUE(raw.ok());
+    EXPECT_LE(pruned->cost, raw->cost + 1e-9);
+    EXPECT_TRUE(Covers(inst, pruned->solution));
+  }
+}
+
+}  // namespace
+}  // namespace mc3

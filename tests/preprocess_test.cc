@@ -1,0 +1,289 @@
+#include "core/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_solver.h"
+#include "core/general_solver.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+using testing::RandomInstance;
+using testing::RandomInstanceConfig;
+
+TEST(PreprocessTest, SingletonQueryForcesItsClassifier) {
+  Instance inst;
+  inst.AddQuery(PS({0}));
+  inst.SetCost(PS({0}), 4);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_TRUE(pre->forced.Contains(PS({0})));
+  EXPECT_EQ(pre->forced_cost, 4);
+  EXPECT_EQ(pre->stats.singleton_queries_selected, 1u);
+  EXPECT_TRUE(pre->components.empty());  // the only query is covered
+  EXPECT_EQ(pre->stats.queries_covered, 1u);
+}
+
+TEST(PreprocessTest, ZeroWeightClassifiersSelected) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 0);
+  inst.SetCost(PS({1}), 0);
+  inst.SetCost(PS({0, 1}), 5);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->forced_cost, 0);
+  EXPECT_EQ(pre->stats.zero_weight_selected, 2u);
+  EXPECT_TRUE(pre->components.empty());  // X + Y covers xy for free
+}
+
+TEST(PreprocessTest, InfeasibleSingletonQuery) {
+  Instance inst;
+  inst.AddQuery(PS({0}));
+  // Its classifier is unpriced.
+  auto pre = Preprocess(inst);
+  EXPECT_FALSE(pre.ok());
+  EXPECT_EQ(pre.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(PreprocessTest, InfeasibleLongQuery) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  auto pre = Preprocess(inst);
+  EXPECT_EQ(pre.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(PreprocessTest, PartitionSplitsDisjointQueries) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.AddQuery(PS({2, 3}));
+  inst.AddQuery(PS({1, 4}));
+  for (PropertyId p = 0; p <= 4; ++p) inst.SetCost(PS({p}), 5);
+  // Price the pairs too, so no property has a unique candidate (otherwise
+  // step 3's forced selection covers everything before partitioning).
+  inst.SetCost(PS({0, 1}), 7);
+  inst.SetCost(PS({2, 3}), 7);
+  inst.SetCost(PS({1, 4}), 7);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  // {0,1} and {1,4} share property 1 -> one component; {2,3} another.
+  EXPECT_EQ(pre->stats.num_components, 2u);
+  ASSERT_EQ(pre->components.size(), 2u);
+  const size_t total_queries = pre->components[0].NumQueries() +
+                               pre->components[1].NumQueries();
+  EXPECT_EQ(total_queries, 3u);
+}
+
+TEST(PreprocessTest, PartitionDisabledEmitsSingleComponent) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.AddQuery(PS({2, 3}));
+  for (PropertyId p = 0; p <= 3; ++p) inst.SetCost(PS({p}), 5);
+  inst.SetCost(PS({0, 1}), 7);
+  inst.SetCost(PS({2, 3}), 7);
+  PreprocessOptions options;
+  options.step2_partition = false;
+  auto pre = Preprocess(inst, options);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->components.size(), 1u);
+  EXPECT_EQ(pre->components[0].NumQueries(), 2u);
+}
+
+TEST(PreprocessTest, Step3RemovesDominatedClassifier) {
+  // W(X) = W(Y) = 1, W(XY) = 3: XY is dominated (Observation 3.3).
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({0, 1}), 3);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_GE(pre->stats.classifiers_removed_step3, 1u);
+  // After removal each property has a unique candidate -> forced selection
+  // covers the query outright.
+  EXPECT_TRUE(pre->forced.Contains(PS({0})));
+  EXPECT_TRUE(pre->forced.Contains(PS({1})));
+  EXPECT_EQ(pre->forced_cost, 2);
+  EXPECT_TRUE(pre->components.empty());
+}
+
+TEST(PreprocessTest, Step3KeepsCheaperConjunction) {
+  // W(XY) = 1 < W(X) + W(Y): the conjunction survives.
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({0, 1}), 1);
+  PreprocessOptions options;
+  options.step4_k2_singleton_prune = false;  // isolate step 3
+  auto pre = Preprocess(inst, options);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->stats.classifiers_removed_step3, 0u);
+  ASSERT_EQ(pre->components.size(), 1u);
+  EXPECT_NE(pre->components[0].CostOf(PS({0, 1})), kInfiniteCost);
+}
+
+TEST(PreprocessTest, Step3UsesRecordedReplacements) {
+  // XY is removed (X+Y cheaper); when examining XYZ, the decomposition
+  // {XY, Z} must be priced via XY's replacement (X+Y), so XYZ at cost 4 is
+  // removed too (X+Y+Z = 3 <= 4).
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  inst.SetCost(PS({2}), 1);
+  inst.SetCost(PS({0, 1}), 5);
+  inst.SetCost(PS({0, 1, 2}), 4);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_GE(pre->stats.classifiers_removed_step3, 2u);
+  EXPECT_EQ(pre->forced_cost, 3);  // the three singletons, forced
+}
+
+TEST(PreprocessTest, Step4PrunesExpensiveSingleton) {
+  // X costs 10; queries xy and xz have pair classifiers at 3 + 3 <= 10, so
+  // Observation 3.4 selects both pairs and drops X.
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.AddQuery(PS({0, 2}));
+  inst.SetCost(PS({0}), 10);
+  inst.SetCost(PS({1}), 4);
+  inst.SetCost(PS({2}), 4);
+  inst.SetCost(PS({0, 1}), 3);
+  inst.SetCost(PS({0, 2}), 3);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  // Step 4 chains: dropping one singleton makes the pair selections free,
+  // which can trigger the condition for further singletons (line 13 of
+  // Algorithm 1) — here both Z (or Y) and X end up removed.
+  EXPECT_GE(pre->stats.singletons_removed_step4, 1u);
+  EXPECT_TRUE(pre->forced.Contains(PS({0, 1})));
+  EXPECT_TRUE(pre->forced.Contains(PS({0, 2})));
+  EXPECT_EQ(pre->forced_cost, 6);
+  EXPECT_TRUE(pre->components.empty());
+}
+
+TEST(PreprocessTest, Step4SkippedWhenLongQueriesRemain) {
+  // The length-3 query must survive step 3 (two cover options for
+  // properties 1 and 2), so step 4's k = 2 precondition fails.
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.AddQuery(PS({0, 3}));
+  for (PropertyId p = 0; p <= 3; ++p) inst.SetCost(PS({p}), 2);
+  inst.SetCost(PS({1, 2}), 3);
+  inst.SetCost(PS({0, 3}), 1);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->stats.singletons_removed_step4, 0u);
+  // And a long query indeed remains in the residual.
+  size_t max_len = 0;
+  for (const Instance& comp : pre->components) {
+    for (const PropertySet& q : comp.queries()) {
+      max_len = std::max(max_len, q.size());
+    }
+  }
+  EXPECT_EQ(max_len, 3u);
+}
+
+TEST(PreprocessTest, ResidualKeepsSelectedAtCostZero) {
+  // Singleton query {0} forces X; the residual query {0,1} should see X at
+  // cost 0.
+  Instance inst;
+  inst.AddQuery(PS({0}));
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 3);
+  inst.SetCost(PS({1}), 7);
+  inst.SetCost(PS({0, 1}), 2);
+  PreprocessOptions options;
+  options.step3_decompositions = false;
+  options.step4_k2_singleton_prune = false;
+  auto pre = Preprocess(inst, options);
+  ASSERT_TRUE(pre.ok());
+  ASSERT_EQ(pre->components.size(), 1u);
+  EXPECT_EQ(pre->components[0].CostOf(PS({0})), 0);
+  EXPECT_EQ(pre->components[0].CostOf(PS({1})), 7);
+}
+
+TEST(PreprocessTest, PaperExampleForcedSelections) {
+  const Instance inst = testing::PaperExample();
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  // Preprocessing must preserve optimality: forced cost plus an optimal
+  // solve of the residual equals 7 (verified end-to-end in solver tests);
+  // here we check it never overspends.
+  EXPECT_LE(pre->forced_cost, 7);
+}
+
+TEST(PreprocessTest, StatsCountRemainingClassifiers) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 2);
+  inst.SetCost(PS({1}), 2);
+  inst.SetCost(PS({0, 1}), 1);
+  PreprocessOptions options;
+  options.step4_k2_singleton_prune = false;
+  auto pre = Preprocess(inst, options);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->stats.remaining_queries, 1u);
+  EXPECT_EQ(pre->stats.remaining_classifiers, 3u);
+}
+
+// Property-based: preprocessing preserves the optimal cost.
+class PreprocessOptimalityTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessOptimalityTest,
+                         ::testing::Range(0, 40));
+
+TEST_P(PreprocessOptimalityTest, ForcedPlusResidualOptimumEqualsOptimum) {
+  RandomInstanceConfig config;
+  config.num_queries = 5;
+  config.pool = 6;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 101 + 13);
+  const ExactSolver exact;
+
+  auto whole = exact.Solve(inst);
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  Cost preprocessed_total = pre->forced_cost;
+  for (const Instance& comp : pre->components) {
+    auto comp_result = exact.Solve(comp);
+    ASSERT_TRUE(comp_result.ok()) << comp_result.status().ToString();
+    preprocessed_total += comp_result->cost;
+  }
+  EXPECT_DOUBLE_EQ(preprocessed_total, whole->cost);
+}
+
+TEST_P(PreprocessOptimalityTest, EveryQueryCoveredOrInExactlyOneComponent) {
+  RandomInstanceConfig config;
+  config.num_queries = 7;
+  config.pool = 9;
+  config.max_query_length = 4;
+  const Instance inst = RandomInstance(config, GetParam() * 7 + 3);
+  auto pre = Preprocess(inst);
+  ASSERT_TRUE(pre.ok());
+  size_t residual_queries = 0;
+  for (const Instance& comp : pre->components) {
+    residual_queries += comp.NumQueries();
+    EXPECT_TRUE(comp.Validate().ok());
+    EXPECT_TRUE(comp.IsFeasible());
+  }
+  size_t covered = 0;
+  for (const PropertySet& q : inst.queries()) {
+    Instance single;
+    single.AddQuery(q);
+    if (Covers(single, pre->forced)) ++covered;
+  }
+  // Queries covered by forced selections do not appear in components; the
+  // rest appear exactly once.
+  EXPECT_EQ(covered, pre->stats.queries_covered);
+  EXPECT_EQ(residual_queries + covered, inst.NumQueries());
+}
+
+}  // namespace
+}  // namespace mc3

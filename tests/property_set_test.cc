@@ -1,0 +1,140 @@
+#include "core/property_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+
+TEST(PropertySetTest, DefaultIsEmpty) {
+  PropertySet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(PropertySetTest, OfSortsAndDedups) {
+  const PropertySet s = PS({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.ids(), (std::vector<PropertyId>{1, 3, 5}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(PropertySetTest, FromUnsorted) {
+  const PropertySet s = PropertySet::FromUnsorted({9, 2, 2, 7});
+  EXPECT_EQ(s.ids(), (std::vector<PropertyId>{2, 7, 9}));
+}
+
+TEST(PropertySetTest, FromSortedKeepsIds) {
+  const PropertySet s = PropertySet::FromSorted({1, 4, 6});
+  EXPECT_EQ(s.ids(), (std::vector<PropertyId>{1, 4, 6}));
+}
+
+TEST(PropertySetTest, Contains) {
+  const PropertySet s = PS({2, 4, 8});
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(8));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(PropertySetTest, SubsetOf) {
+  EXPECT_TRUE(PS({1, 2}).IsSubsetOf(PS({1, 2, 3})));
+  EXPECT_TRUE(PS({1, 2, 3}).IsSubsetOf(PS({1, 2, 3})));
+  EXPECT_TRUE(PropertySet().IsSubsetOf(PS({1})));
+  EXPECT_FALSE(PS({1, 4}).IsSubsetOf(PS({1, 2, 3})));
+  EXPECT_FALSE(PS({1, 2, 3}).IsSubsetOf(PS({1, 2})));
+}
+
+TEST(PropertySetTest, Intersects) {
+  EXPECT_TRUE(PS({1, 5}).Intersects(PS({5, 9})));
+  EXPECT_FALSE(PS({1, 5}).Intersects(PS({2, 6})));
+  EXPECT_FALSE(PropertySet().Intersects(PS({1})));
+  EXPECT_FALSE(PS({1}).Intersects(PropertySet()));
+}
+
+TEST(PropertySetTest, UnionWith) {
+  EXPECT_EQ(PS({1, 3}).UnionWith(PS({2, 3})), PS({1, 2, 3}));
+  EXPECT_EQ(PS({1}).UnionWith(PropertySet()), PS({1}));
+}
+
+TEST(PropertySetTest, IntersectWith) {
+  EXPECT_EQ(PS({1, 2, 3}).IntersectWith(PS({2, 3, 4})), PS({2, 3}));
+  EXPECT_EQ(PS({1}).IntersectWith(PS({2})), PropertySet());
+}
+
+TEST(PropertySetTest, Minus) {
+  EXPECT_EQ(PS({1, 2, 3}).Minus(PS({2})), PS({1, 3}));
+  EXPECT_EQ(PS({1}).Minus(PS({1})), PropertySet());
+  EXPECT_EQ(PS({1}).Minus(PS({9})), PS({1}));
+}
+
+TEST(PropertySetTest, Plus) {
+  EXPECT_EQ(PS({1, 3}).Plus(2), PS({1, 2, 3}));
+  EXPECT_EQ(PS({1, 3}).Plus(3), PS({1, 3}));
+  EXPECT_EQ(PropertySet().Plus(7), PS({7}));
+}
+
+TEST(PropertySetTest, EqualityAndOrdering) {
+  EXPECT_EQ(PS({1, 2}), PS({2, 1}));
+  EXPECT_NE(PS({1, 2}), PS({1, 3}));
+  EXPECT_LT(PS({1, 2}), PS({1, 3}));
+  EXPECT_LT(PS({1}), PS({1, 0xFFFFFFFF}));
+}
+
+TEST(PropertySetTest, HashEqualSetsEqualHashes) {
+  EXPECT_EQ(PS({3, 1}).Hash(), PS({1, 3}).Hash());
+}
+
+TEST(PropertySetTest, HashSpreads) {
+  // Not a strict requirement, but catches degenerate hash implementations.
+  std::unordered_set<size_t> hashes;
+  for (PropertyId a = 0; a < 20; ++a) {
+    for (PropertyId b = a + 1; b < 20; ++b) {
+      hashes.insert(PS({a, b}).Hash());
+    }
+  }
+  EXPECT_GT(hashes.size(), 150u);
+}
+
+TEST(PropertySetTest, WorksAsUnorderedKey) {
+  std::unordered_set<PropertySet, PropertySetHash> set;
+  set.insert(PS({1, 2}));
+  set.insert(PS({2, 1}));
+  set.insert(PS({3}));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(PS({1, 2})));
+}
+
+TEST(PropertySetTest, ToStringNumeric) {
+  EXPECT_EQ(PS({2, 1}).ToString(), "{1,2}");
+  EXPECT_EQ(PropertySet().ToString(), "{}");
+}
+
+TEST(PropertySetTest, ToStringNamed) {
+  const std::vector<std::string> names{"adidas", "juventus", "white"};
+  EXPECT_EQ(PS({0, 1}).ToString(names), "adidas&juventus");
+  EXPECT_EQ(PS({2}).ToString(names), "white");
+  // Ids beyond the name table fall back to numbers.
+  EXPECT_EQ(PS({5}).ToString(names), "5");
+}
+
+TEST(PropertySetTest, LargeIdsRoundTrip) {
+  const PropertyId big = 0xFFFFFFFE;
+  const PropertySet s = PS({big, 0});
+  EXPECT_TRUE(s.Contains(big));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(PropertySetTest, IterationIsSorted) {
+  const PropertySet s = PS({9, 4, 7});
+  std::vector<PropertyId> seen(s.begin(), s.end());
+  EXPECT_EQ(seen, (std::vector<PropertyId>{4, 7, 9}));
+}
+
+}  // namespace
+}  // namespace mc3

@@ -1,0 +1,142 @@
+#include "data/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/general_solver.h"
+#include "core/partial_cover.h"
+
+namespace mc3::data {
+namespace {
+
+TEST(ParseQueryLogTest, TokenizesAndNormalizes) {
+  const QueryLog log = ParseQueryLog({"White ADIDAS  Juventus!! shirt"});
+  ASSERT_EQ(log.instance.NumQueries(), 1u);
+  // "shirt" is not a default stopword; four properties survive.
+  EXPECT_EQ(log.instance.queries()[0].size(), 4u);
+  const auto& names = log.instance.property_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "white"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "adidas"), names.end());
+}
+
+TEST(ParseQueryLogTest, DropsStopwords) {
+  const QueryLog log = ParseQueryLog({"tv for the kitchen"});
+  ASSERT_EQ(log.instance.NumQueries(), 1u);
+  EXPECT_EQ(log.instance.queries()[0].size(), 2u);  // tv, kitchen
+}
+
+TEST(ParseQueryLogTest, CustomStopwords) {
+  QueryLogOptions options;
+  options.stopwords = {"shirt"};
+  const QueryLog log = ParseQueryLog({"adidas shirt"}, options);
+  ASSERT_EQ(log.instance.NumQueries(), 1u);
+  EXPECT_EQ(log.instance.queries()[0].size(), 1u);
+}
+
+TEST(ParseQueryLogTest, AggregatesDuplicates) {
+  const QueryLog log = ParseQueryLog(
+      {"adidas juventus", "juventus adidas", "ADIDAS juventus", "sony tv"});
+  ASSERT_EQ(log.instance.NumQueries(), 2u);
+  EXPECT_EQ(log.frequency[0], 3u);
+  EXPECT_EQ(log.frequency[1], 1u);
+  EXPECT_TRUE(log.instance.Validate().ok());
+}
+
+TEST(ParseQueryLogTest, DuplicateTokensCollapse) {
+  const QueryLog log = ParseQueryLog({"red red red dress"});
+  ASSERT_EQ(log.instance.NumQueries(), 1u);
+  EXPECT_EQ(log.instance.queries()[0].size(), 2u);
+}
+
+TEST(ParseQueryLogTest, DropsEmptyAndTooLong) {
+  QueryLogOptions options;
+  options.max_query_length = 2;
+  const QueryLog log =
+      ParseQueryLog({"", "   !!!  ", "a b c d e", "tv"}, options);
+  EXPECT_EQ(log.instance.NumQueries(), 1u);
+  EXPECT_EQ(log.total_lines, 4u);
+  EXPECT_EQ(log.dropped_lines, 3u);
+}
+
+TEST(ParseQueryLogTest, MinFrequencyFilter) {
+  QueryLogOptions options;
+  options.min_frequency = 2;
+  const QueryLog log =
+      ParseQueryLog({"sony tv", "sony tv", "rare query"}, options);
+  ASSERT_EQ(log.instance.NumQueries(), 1u);
+  EXPECT_EQ(log.frequency[0], 2u);
+  EXPECT_EQ(log.dropped_lines, 1u);
+}
+
+TEST(EstimateCostsTest, PricesAllOfCq) {
+  QueryLog log = ParseQueryLog({"adidas juventus white", "adidas chelsea"});
+  ASSERT_TRUE(EstimateCosts(&log.instance, {}).ok());
+  EXPECT_TRUE(log.instance.Validate().ok());
+  EXPECT_TRUE(log.instance.IsFeasible());
+  // 2^3-1 + 2^2-1 - shared {adidas} = 9 classifiers.
+  EXPECT_EQ(log.instance.costs().size(), 9u);
+}
+
+TEST(EstimateCostsTest, HonorsDifficultyPriors) {
+  QueryLog log = ParseQueryLog({"adidas juventus"});
+  CostEstimatorOptions options;
+  options.property_difficulty["adidas"] = 10;
+  options.property_difficulty["juventus"] = 2;
+  options.subadditivity = 0.5;
+  ASSERT_TRUE(EstimateCosts(&log.instance, options).ok());
+  const auto& names = log.instance.property_names();
+  const auto id_of = [&](const std::string& name) {
+    return static_cast<PropertyId>(
+        std::find(names.begin(), names.end(), name) - names.begin());
+  };
+  EXPECT_EQ(log.instance.CostOf(PropertySet::Of({id_of("adidas")})), 10);
+  EXPECT_EQ(log.instance.CostOf(PropertySet::Of({id_of("juventus")})), 2);
+  // Pair: 0.5 * (10 + 2) = 6 — cheaper than the hard singleton.
+  EXPECT_EQ(log.instance.CostOf(
+                PropertySet::Of({id_of("adidas"), id_of("juventus")})),
+            6);
+}
+
+TEST(EstimateCostsTest, RejectsBadParameters) {
+  QueryLog log = ParseQueryLog({"tv"});
+  CostEstimatorOptions options;
+  options.subadditivity = 0;
+  EXPECT_FALSE(EstimateCosts(&log.instance, options).ok());
+}
+
+TEST(QueryLogPipelineTest, EndToEndSolve) {
+  const std::vector<std::string> raw = {
+      "white adidas juventus",  "adidas chelsea", "white adidas juventus",
+      "sony oled tv",           "sony tv",        "oled tv",
+      "adidas chelsea",         "sony tv",
+  };
+  QueryLog log = ParseQueryLog(raw);
+  ASSERT_TRUE(EstimateCosts(&log.instance, {}).ok());
+  auto result = GeneralSolver().Solve(log.instance);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Covers(log.instance, result->solution));
+}
+
+TEST(QueryLogPipelineTest, FrequenciesFeedBudgetedVariant) {
+  const std::vector<std::string> raw = {
+      "popular query", "popular query", "popular query", "niche search",
+  };
+  QueryLog log = ParseQueryLog(raw);
+  ASSERT_TRUE(EstimateCosts(&log.instance, {}).ok());
+  BudgetedInstance input;
+  input.instance = log.instance;
+  for (size_t f : log.frequency) {
+    input.query_weights.push_back(static_cast<double>(f));
+  }
+  input.budget = 8;  // enough for one two-property query at difficulty 5
+  auto result = SolveBudgetedGreedy(input);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The frequent query wins the budget.
+  ASSERT_EQ(result->covered_queries.size(), 1u);
+  EXPECT_EQ(result->covered_queries[0], 0u);
+  EXPECT_EQ(result->covered_weight, 3);
+}
+
+}  // namespace
+}  // namespace mc3::data

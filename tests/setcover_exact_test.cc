@@ -1,0 +1,144 @@
+#include "setcover/exact.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "setcover/greedy.h"
+#include "setcover/lp_rounding.h"
+#include "setcover/primal_dual.h"
+#include "util/rng.h"
+
+namespace mc3::setcover {
+namespace {
+
+WscInstance Make(ElementId num_elements,
+                 std::vector<std::pair<std::vector<ElementId>, double>> sets) {
+  WscInstance inst;
+  inst.num_elements = num_elements;
+  for (auto& [elements, cost] : sets) {
+    inst.sets.push_back(WscSet{std::move(elements), cost});
+  }
+  return inst;
+}
+
+TEST(WscExactTest, TrivialEmptyUniverse) {
+  WscInstance inst;
+  auto sol = SolveWscExact(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->cost, 0);
+  EXPECT_TRUE(sol->selected.empty());
+}
+
+TEST(WscExactTest, PrefersCheapCombination) {
+  const auto inst = Make(
+      3, {{{0, 1, 2}, 5.0}, {{0, 1}, 1.5}, {{2}, 1.0}, {{0}, 1.0},
+          {{1}, 1.0}});
+  auto sol = SolveWscExact(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->cost, 2.5);  // {0,1} + {2}
+  EXPECT_TRUE(WscCovers(inst, *sol));
+}
+
+TEST(WscExactTest, InfeasibleDetected) {
+  const auto inst = Make(2, {{{0}, 1.0}});
+  auto sol = SolveWscExact(inst);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(WscExactTest, InfiniteCostSetsIgnored) {
+  auto inst = Make(1, {{{0}, 1.0}, {{0}, 1.0}});
+  inst.sets[0].cost = std::numeric_limits<double>::infinity();
+  auto sol = SolveWscExact(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->selected, (std::vector<SetId>{1}));
+}
+
+TEST(WscExactTest, UniverseGuard) {
+  WscInstance inst;
+  inst.num_elements = 30;
+  auto sol = SolveWscExact(inst);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WscExactTest, ZeroCostSetsFree) {
+  const auto inst = Make(2, {{{0, 1}, 0.0}, {{0}, 3.0}, {{1}, 3.0}});
+  auto sol = SolveWscExact(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->cost, 0);
+}
+
+class WscExactSweepTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, WscExactSweepTest, ::testing::Range(0, 30));
+
+TEST_P(WscExactSweepTest, ApproximationsNeverBeatExact) {
+  Rng rng(GetParam() * 101 + 9);
+  WscInstance inst;
+  inst.num_elements = 1 + static_cast<ElementId>(rng.UniformInt(0, 9));
+  const int m = 2 + static_cast<int>(rng.UniformInt(0, 10));
+  for (int i = 0; i < m; ++i) {
+    WscSet s;
+    for (ElementId e = 0; e < inst.num_elements; ++e) {
+      if (rng.Bernoulli(0.4)) s.elements.push_back(e);
+    }
+    if (s.elements.empty()) s.elements.push_back(0);
+    s.cost = 1 + double(rng.UniformInt(0, 15));
+    inst.sets.push_back(std::move(s));
+  }
+  {  // guarantee feasibility
+    WscSet all;
+    for (ElementId e = 0; e < inst.num_elements; ++e) all.elements.push_back(e);
+    all.cost = 40;
+    inst.sets.push_back(std::move(all));
+  }
+  auto exact = SolveWscExact(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(WscCovers(inst, *exact));
+  for (auto solve : {&SolveGreedy, &SolvePrimalDual, &SolveLpRounding}) {
+    auto approx = solve(inst);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_GE(approx->cost, exact->cost - 1e-9);
+  }
+}
+
+TEST_P(WscExactSweepTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 67 + 21);
+  WscInstance inst;
+  inst.num_elements = 1 + static_cast<ElementId>(rng.UniformInt(0, 5));
+  const int m = 1 + static_cast<int>(rng.UniformInt(0, 7));
+  for (int i = 0; i < m; ++i) {
+    WscSet s;
+    for (ElementId e = 0; e < inst.num_elements; ++e) {
+      if (rng.Bernoulli(0.5)) s.elements.push_back(e);
+    }
+    if (s.elements.empty()) continue;
+    s.cost = double(rng.UniformInt(0, 9));
+    inst.sets.push_back(std::move(s));
+  }
+  // Brute force over set subsets.
+  double brute = std::numeric_limits<double>::infinity();
+  for (uint32_t mask = 0; mask < (1u << inst.sets.size()); ++mask) {
+    double cost = 0;
+    uint32_t covered = 0;
+    for (size_t i = 0; i < inst.sets.size(); ++i) {
+      if (mask & (1u << i)) {
+        cost += inst.sets[i].cost;
+        for (ElementId e : inst.sets[i].elements) covered |= 1u << e;
+      }
+    }
+    if (covered == (inst.num_elements == 0
+                        ? 0u
+                        : (1u << inst.num_elements) - 1)) {
+      brute = std::min(brute, cost);
+    }
+  }
+  auto exact = SolveWscExact(inst);
+  if (std::isinf(brute)) {
+    EXPECT_FALSE(exact.ok());
+  } else {
+    ASSERT_TRUE(exact.ok());
+    EXPECT_DOUBLE_EQ(exact->cost, brute);
+  }
+}
+
+}  // namespace
+}  // namespace mc3::setcover

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "setcover/greedy.h"
+#include "setcover/instance.h"
+#include "setcover/lp_rounding.h"
+#include "setcover/primal_dual.h"
+#include "util/rng.h"
+
+namespace mc3::setcover {
+namespace {
+
+WscInstance MakeInstance(ElementId num_elements,
+                         std::vector<std::pair<std::vector<ElementId>, double>>
+                             sets) {
+  WscInstance inst;
+  inst.num_elements = num_elements;
+  for (auto& [elements, cost] : sets) {
+    inst.sets.push_back(WscSet{std::move(elements), cost});
+  }
+  return inst;
+}
+
+/// Brute-force optimum for cross-checks (up to ~15 sets).
+double BruteForceOpt(const WscInstance& inst) {
+  double best = std::numeric_limits<double>::infinity();
+  const size_t m = inst.sets.size();
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::vector<bool> covered(inst.num_elements, false);
+    double cost = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (1u << i)) {
+        cost += inst.sets[i].cost;
+        for (ElementId e : inst.sets[i].elements) covered[e] = true;
+      }
+    }
+    bool all = true;
+    for (bool b : covered) all = all && b;
+    if (all) best = std::min(best, cost);
+  }
+  return best;
+}
+
+WscInstance RandomWsc(uint64_t seed, int max_sets = 10) {
+  Rng rng(seed);
+  WscInstance inst;
+  inst.num_elements = 1 + static_cast<ElementId>(rng.UniformInt(0, 7));
+  const int m = 1 + static_cast<int>(rng.UniformInt(0, max_sets - 1));
+  for (int i = 0; i < m; ++i) {
+    WscSet s;
+    for (ElementId e = 0; e < inst.num_elements; ++e) {
+      if (rng.Bernoulli(0.45)) s.elements.push_back(e);
+    }
+    s.cost = static_cast<double>(rng.UniformInt(0, 12));
+    if (!s.elements.empty()) inst.sets.push_back(std::move(s));
+  }
+  // Guarantee feasibility with one expensive full set.
+  WscSet full;
+  for (ElementId e = 0; e < inst.num_elements; ++e) full.elements.push_back(e);
+  full.cost = 30;
+  inst.sets.push_back(std::move(full));
+  return inst;
+}
+
+TEST(WscInstanceTest, ValidateAcceptsGood) {
+  const auto inst = MakeInstance(3, {{{0, 1}, 1.0}, {{2}, 2.0}});
+  EXPECT_TRUE(ValidateWsc(inst).ok());
+}
+
+TEST(WscInstanceTest, ValidateRejectsUnsorted) {
+  const auto inst = MakeInstance(3, {{{1, 0}, 1.0}});
+  EXPECT_FALSE(ValidateWsc(inst).ok());
+}
+
+TEST(WscInstanceTest, ValidateRejectsOutOfRange) {
+  const auto inst = MakeInstance(2, {{{0, 5}, 1.0}});
+  EXPECT_FALSE(ValidateWsc(inst).ok());
+}
+
+TEST(WscInstanceTest, FrequencyAndDegree) {
+  const auto inst =
+      MakeInstance(3, {{{0, 1}, 1.0}, {{0, 2}, 1.0}, {{0}, 1.0}});
+  EXPECT_EQ(WscFrequency(inst), 3);  // element 0 in three sets
+  EXPECT_EQ(WscDegree(inst), 2);
+}
+
+TEST(WscInstanceTest, FrequencyIgnoresInfiniteCostSets) {
+  auto inst = MakeInstance(1, {{{0}, 1.0}, {{0}, 1.0}});
+  inst.sets[1].cost = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(WscFrequency(inst), 1);
+}
+
+TEST(WscInstanceTest, CoversChecksUnion) {
+  const auto inst = MakeInstance(3, {{{0, 1}, 1.0}, {{2}, 1.0}});
+  WscSolution sol;
+  sol.selected = {0, 1};
+  EXPECT_TRUE(WscCovers(inst, sol));
+  sol.selected = {0};
+  EXPECT_FALSE(WscCovers(inst, sol));
+}
+
+TEST(GreedyTest, PicksBestRatio) {
+  // Set {0,1,2} at cost 3 (ratio 1) vs singletons at cost 0.5 (ratio 2).
+  const auto inst = MakeInstance(
+      3, {{{0, 1, 2}, 3.0}, {{0}, 0.5}, {{1}, 0.5}, {{2}, 0.5}});
+  auto sol = SolveGreedy(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->cost, 1.5);
+  EXPECT_EQ(sol->selected.size(), 3u);
+}
+
+TEST(GreedyTest, ZeroCostSetsSelectedFirst) {
+  const auto inst = MakeInstance(2, {{{0}, 0.0}, {{0, 1}, 5.0}, {{1}, 1.0}});
+  auto sol = SolveGreedy(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->cost, 1.0);
+}
+
+TEST(GreedyTest, InfeasibleReported) {
+  const auto inst = MakeInstance(2, {{{0}, 1.0}});
+  auto sol = SolveGreedy(inst);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(GreedyTest, InfiniteCostSetUnusable) {
+  auto inst = MakeInstance(1, {{{0}, 1.0}});
+  inst.sets[0].cost = std::numeric_limits<double>::infinity();
+  auto sol = SolveGreedy(inst);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(GreedyTest, EmptyInstanceIsTriviallyCovered) {
+  WscInstance inst;
+  auto sol = SolveGreedy(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->cost, 0);
+}
+
+class GreedyEquivalenceTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyEquivalenceTest,
+                         ::testing::Range(0, 30));
+
+TEST_P(GreedyEquivalenceTest, LazyHeapMatchesNaive) {
+  const WscInstance inst = RandomWsc(GetParam() * 31 + 5);
+  auto lazy = SolveGreedy(inst);
+  auto naive = SolveGreedyNaive(inst);
+  ASSERT_TRUE(lazy.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(lazy->selected, naive->selected);
+  EXPECT_DOUBLE_EQ(lazy->cost, naive->cost);
+}
+
+class GreedyBoundTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyBoundTest, ::testing::Range(0, 25));
+
+TEST_P(GreedyBoundTest, WithinHarmonicFactorOfOptimum) {
+  const WscInstance inst = RandomWsc(GetParam() * 17 + 3);
+  const double opt = BruteForceOpt(inst);
+  auto sol = SolveGreedy(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(WscCovers(inst, *sol));
+  const int degree = WscDegree(inst);
+  double harmonic = 0;
+  for (int i = 1; i <= degree; ++i) harmonic += 1.0 / i;
+  EXPECT_LE(sol->cost, harmonic * opt + 1e-9);
+}
+
+TEST(PrimalDualTest, SimpleInstance) {
+  const auto inst = MakeInstance(2, {{{0, 1}, 1.0}, {{0}, 1.0}, {{1}, 1.0}});
+  auto sol = SolvePrimalDual(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(WscCovers(inst, *sol));
+  // Element 0's dual raise makes both {0,1} and {0} tight, and the scheme
+  // selects every tight set: cost 2 = f * OPT, the worst case of the
+  // guarantee.
+  EXPECT_DOUBLE_EQ(sol->cost, 2.0);
+}
+
+TEST(PrimalDualTest, InfeasibleReported) {
+  const auto inst = MakeInstance(2, {{{0}, 1.0}});
+  auto sol = SolvePrimalDual(inst);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+class PrimalDualBoundTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimalDualBoundTest, ::testing::Range(0, 25));
+
+TEST_P(PrimalDualBoundTest, WithinFrequencyFactorOfOptimum) {
+  const WscInstance inst = RandomWsc(GetParam() * 13 + 7);
+  const double opt = BruteForceOpt(inst);
+  auto sol = SolvePrimalDual(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(WscCovers(inst, *sol));
+  EXPECT_LE(sol->cost, WscFrequency(inst) * opt + 1e-9);
+}
+
+TEST(LpRoundingTest, SimpleInstance) {
+  const auto inst = MakeInstance(2, {{{0, 1}, 1.0}, {{0}, 3.0}, {{1}, 3.0}});
+  auto sol = SolveLpRounding(inst);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(WscCovers(inst, *sol));
+  EXPECT_DOUBLE_EQ(sol->cost, 1.0);
+}
+
+class LpRoundingBoundTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRoundingBoundTest, ::testing::Range(0, 20));
+
+TEST_P(LpRoundingBoundTest, WithinFrequencyFactorOfOptimum) {
+  const WscInstance inst = RandomWsc(GetParam() * 29 + 11, /*max_sets=*/8);
+  const double opt = BruteForceOpt(inst);
+  auto sol = SolveLpRounding(inst);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_TRUE(WscCovers(inst, *sol));
+  EXPECT_LE(sol->cost, WscFrequency(inst) * opt + 1e-6);
+}
+
+TEST_P(LpRoundingBoundTest, LpLowerBoundBelowOptimum) {
+  const WscInstance inst = RandomWsc(GetParam() * 37 + 1, /*max_sets=*/8);
+  const double opt = BruteForceOpt(inst);
+  auto bound = SetCoverLpLowerBound(inst);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_LE(*bound, opt + 1e-6);
+}
+
+TEST(PruneRedundantTest, DropsSubsumedSet) {
+  const auto inst =
+      MakeInstance(2, {{{0, 1}, 2.0}, {{0}, 1.0}, {{1}, 1.0}});
+  WscSolution sol;
+  sol.selected = {0, 1, 2};
+  sol.cost = 4.0;
+  const WscSolution pruned = PruneRedundantSets(inst, sol);
+  EXPECT_TRUE(WscCovers(inst, pruned));
+  EXPECT_LE(pruned.cost, sol.cost);
+  // The most expensive redundancy (the pair set) goes first, leaving the
+  // two singletons.
+  EXPECT_EQ(pruned.selected.size(), 2u);
+  EXPECT_DOUBLE_EQ(pruned.cost, 2.0);
+}
+
+TEST(PruneRedundantTest, NoOpWhenTight) {
+  const auto inst = MakeInstance(2, {{{0}, 1.0}, {{1}, 1.0}});
+  WscSolution sol;
+  sol.selected = {0, 1};
+  sol.cost = 2.0;
+  const WscSolution pruned = PruneRedundantSets(inst, sol);
+  EXPECT_EQ(pruned.selected.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mc3::setcover

@@ -1,0 +1,221 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mc3::lp {
+namespace {
+
+LinearProgram::Constraint Row(
+    std::vector<std::pair<int32_t, double>> terms, ConstraintSense sense,
+    double rhs) {
+  LinearProgram::Constraint c;
+  c.terms = std::move(terms);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(SimplexTest, TrivialMinimumAtZero) {
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->outcome, LpOutcome::kOptimal);
+  EXPECT_DOUBLE_EQ(sol->objective, 0);
+}
+
+TEST(SimplexTest, SimpleCoverLp) {
+  // min x0 + x1  s.t. x0 + x1 >= 1 -> objective 1.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.constraints.push_back(
+      Row({{0, 1}, {1, 1}}, ConstraintSense::kGreaterEqual, 1));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->outcome, LpOutcome::kOptimal);
+  EXPECT_NEAR(sol->objective, 1, 1e-8);
+}
+
+TEST(SimplexTest, WeightedCoverPrefersCheapVariable) {
+  // min 5 x0 + x1  s.t. x0 + x1 >= 1 -> pick x1.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {5, 1};
+  lp.constraints.push_back(
+      Row({{0, 1}, {1, 1}}, ConstraintSense::kGreaterEqual, 1));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 1, 1e-8);
+  EXPECT_NEAR(sol->values[1], 1, 1e-8);
+  EXPECT_NEAR(sol->values[0], 0, 1e-8);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // min -(3x + 5y) s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (textbook example);
+  // optimum at (2, 6) with objective -36.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-3, -5};
+  lp.constraints.push_back(Row({{0, 1}}, ConstraintSense::kLessEqual, 4));
+  lp.constraints.push_back(Row({{1, 2}}, ConstraintSense::kLessEqual, 12));
+  lp.constraints.push_back(
+      Row({{0, 3}, {1, 2}}, ConstraintSense::kLessEqual, 18));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->outcome, LpOutcome::kOptimal);
+  EXPECT_NEAR(sol->objective, -36, 1e-7);
+  EXPECT_NEAR(sol->values[0], 2, 1e-7);
+  EXPECT_NEAR(sol->values[1], 6, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 3 -> x = 3, y = 0, objective 3.
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 2};
+  lp.constraints.push_back(Row({{0, 1}, {1, 1}}, ConstraintSense::kEqual, 3));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 3, 1e-8);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // -x <= -2 is x >= 2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints.push_back(Row({{0, -1}}, ConstraintSense::kLessEqual, -2));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 2, 1e-8);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  // x <= 1 and x >= 2.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints.push_back(Row({{0, 1}}, ConstraintSense::kLessEqual, 1));
+  lp.constraints.push_back(Row({{0, 1}}, ConstraintSense::kGreaterEqual, 2));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  // min -x, x >= 0, no upper bound.
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {-1};
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->outcome, LpOutcome::kUnbounded);
+}
+
+TEST(SimplexTest, DegenerateTiesHandled) {
+  // Multiple constraints meeting at the optimum (degenerate vertex).
+  LinearProgram lp;
+  lp.num_vars = 2;
+  lp.objective = {-1, -1};
+  lp.constraints.push_back(Row({{0, 1}, {1, 1}}, ConstraintSense::kLessEqual, 2));
+  lp.constraints.push_back(Row({{0, 1}}, ConstraintSense::kLessEqual, 1));
+  lp.constraints.push_back(Row({{1, 1}}, ConstraintSense::kLessEqual, 1));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, -2, 1e-8);
+}
+
+TEST(SimplexTest, RejectsBadVariableIndex) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints.push_back(Row({{3, 1}}, ConstraintSense::kLessEqual, 1));
+  auto sol = SolveSimplex(lp);
+  EXPECT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, RejectsNonFiniteCoefficient) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {std::numeric_limits<double>::infinity()};
+  auto sol = SolveSimplex(lp);
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(SimplexTest, RedundantConstraintsHandled) {
+  LinearProgram lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.constraints.push_back(Row({{0, 1}}, ConstraintSense::kGreaterEqual, 1));
+  lp.constraints.push_back(Row({{0, 2}}, ConstraintSense::kGreaterEqual, 2));
+  lp.constraints.push_back(Row({{0, 1}}, ConstraintSense::kEqual, 1));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 1, 1e-8);
+}
+
+TEST(SimplexTest, DualValueOfFractionalVertexCoverLp) {
+  // Triangle-like fractional cover: min x0+x1+x2 with pairwise sums >= 1
+  // has LP optimum 1.5 (each variable 0.5) — integral optimum would be 2.
+  LinearProgram lp;
+  lp.num_vars = 3;
+  lp.objective = {1, 1, 1};
+  lp.constraints.push_back(
+      Row({{0, 1}, {1, 1}}, ConstraintSense::kGreaterEqual, 1));
+  lp.constraints.push_back(
+      Row({{1, 1}, {2, 1}}, ConstraintSense::kGreaterEqual, 1));
+  lp.constraints.push_back(
+      Row({{0, 1}, {2, 1}}, ConstraintSense::kGreaterEqual, 1));
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 1.5, 1e-7);
+}
+
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 15));
+
+TEST_P(SimplexRandomTest, FeasibleBoundedLpSatisfiesConstraints) {
+  // Random LPs of the covering form (always feasible, bounded): verify the
+  // reported solution is feasible and its objective matches its values.
+  Rng rng(GetParam() + 99);
+  LinearProgram lp;
+  lp.num_vars = 2 + static_cast<int>(rng.UniformInt(0, 4));
+  for (int v = 0; v < lp.num_vars; ++v) {
+    lp.objective.push_back(1 + double(rng.UniformInt(0, 9)));
+  }
+  const int rows = 1 + static_cast<int>(rng.UniformInt(0, 5));
+  for (int r = 0; r < rows; ++r) {
+    LinearProgram::Constraint c;
+    c.sense = ConstraintSense::kGreaterEqual;
+    c.rhs = 1 + double(rng.UniformInt(0, 3));
+    for (int v = 0; v < lp.num_vars; ++v) {
+      if (rng.Bernoulli(0.6)) {
+        c.terms.emplace_back(v, 1 + double(rng.UniformInt(0, 2)));
+      }
+    }
+    if (c.terms.empty()) c.terms.emplace_back(0, 1.0);
+    lp.constraints.push_back(std::move(c));
+  }
+  auto sol = SolveSimplex(lp);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->outcome, LpOutcome::kOptimal);
+  double objective = 0;
+  for (int v = 0; v < lp.num_vars; ++v) {
+    EXPECT_GE(sol->values[v], -1e-8);
+    objective += lp.objective[v] * sol->values[v];
+  }
+  EXPECT_NEAR(objective, sol->objective, 1e-6);
+  for (const auto& c : lp.constraints) {
+    double lhs = 0;
+    for (const auto& [v, coeff] : c.terms) lhs += coeff * sol->values[v];
+    EXPECT_GE(lhs, c.rhs - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace mc3::lp

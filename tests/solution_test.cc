@@ -1,0 +1,177 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+
+Instance TwoQueryInstance() {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));     // xy
+  inst.AddQuery(PS({1, 2, 3}));  // yzw
+  for (const PropertySet& c : {PS({0}), PS({1}), PS({2}), PS({3})}) {
+    inst.SetCost(c, 2);
+  }
+  inst.SetCost(PS({0, 1}), 3);
+  inst.SetCost(PS({2, 3}), 1);
+  return inst;
+}
+
+TEST(SolutionTest, AddDeduplicates) {
+  Solution s;
+  EXPECT_TRUE(s.Add(PS({1, 2})));
+  EXPECT_FALSE(s.Add(PS({2, 1})));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(PS({1, 2})));
+}
+
+TEST(SolutionTest, MergeUnions) {
+  Solution a;
+  a.Add(PS({1}));
+  Solution b;
+  b.Add(PS({1}));
+  b.Add(PS({2}));
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(SolutionTest, TotalCost) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({2, 3}));
+  EXPECT_EQ(s.TotalCost(inst), 4);
+}
+
+TEST(SolutionTest, TotalCostInfiniteForUnpriced) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({1, 2}));  // not priced
+  EXPECT_EQ(s.TotalCost(inst), kInfiniteCost);
+}
+
+TEST(SolutionTest, SortedIsCanonical) {
+  Solution s;
+  s.Add(PS({2}));
+  s.Add(PS({1}));
+  s.Add(PS({1, 2}));
+  const auto sorted = s.Sorted();
+  EXPECT_EQ(sorted[0], PS({1}));
+  EXPECT_EQ(sorted[1], PS({1, 2}));
+  EXPECT_EQ(sorted[2], PS({2}));
+}
+
+TEST(CoverageTest, PairClassifierCoversPairQuery) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({1}));
+  s.Add(PS({2, 3}));
+  // Query 0 covered by XY; query 1 covered by Y + ZW.
+  const CoverageReport report = VerifyCoverage(inst, s);
+  EXPECT_TRUE(report.covers_all);
+  EXPECT_TRUE(report.uncovered_queries.empty());
+}
+
+TEST(CoverageTest, DetectsUncovered) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({2, 3}));  // query 1 misses property 1
+  const CoverageReport report = VerifyCoverage(inst, s);
+  EXPECT_FALSE(report.covers_all);
+  ASSERT_EQ(report.uncovered_queries.size(), 1u);
+  EXPECT_EQ(report.uncovered_queries[0], 1u);
+}
+
+TEST(CoverageTest, SupersetClassifierDoesNotCover) {
+  // A classifier testing a strict superset of a query cannot be used for
+  // it: union(T) must equal the query exactly.
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.SetCost(PS({0, 1, 2}), 1);
+  Solution s;
+  s.Add(PS({0, 1, 2}));
+  const CoverageReport report = VerifyCoverage(inst, s);
+  EXPECT_FALSE(report.covers_all);
+  ASSERT_EQ(report.uncovered_queries.size(), 1u);
+  EXPECT_EQ(report.uncovered_queries[0], 0u);  // xy is not covered by XYZ
+}
+
+TEST(CoverageTest, OverlappingClassifiersCover) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({1, 2}));
+  EXPECT_TRUE(Covers(inst, s));
+}
+
+TEST(CoverageTest, WitnessesListSubsetClassifiers) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({1}));
+  s.Add(PS({2, 3}));
+  const CoverageReport report = VerifyCoverage(inst, s);
+  // Query 0's witnesses: XY and Y (both subsets of xy).
+  EXPECT_EQ(report.witnesses[0].size(), 2u);
+  // Query 1's witnesses: Y and ZW.
+  EXPECT_EQ(report.witnesses[1].size(), 2u);
+}
+
+TEST(PruneUnusedTest, DropsRedundantClassifier) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({1}));
+  s.Add(PS({2, 3}));
+  s.Add(PS({0}));  // never needed: XY covers query 0 cheaper than X+Y
+  const Solution pruned = PruneUnusedClassifiers(inst, s);
+  EXPECT_TRUE(Covers(inst, pruned));
+  EXPECT_LE(pruned.TotalCost(inst), s.TotalCost(inst));
+  EXPECT_FALSE(pruned.Contains(PS({0})));
+}
+
+TEST(PruneUnusedTest, KeepsEverythingWhenAllNeeded) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0, 1}));
+  s.Add(PS({1}));
+  s.Add(PS({2, 3}));
+  const Solution pruned = PruneUnusedClassifiers(inst, s);
+  EXPECT_EQ(pruned.size(), 3u);
+}
+
+TEST(PruneUnusedTest, NonCoveringSolutionReturnedUntouched) {
+  const Instance inst = TwoQueryInstance();
+  Solution s;
+  s.Add(PS({0}));
+  const Solution pruned = PruneUnusedClassifiers(inst, s);
+  EXPECT_EQ(pruned.size(), 1u);
+}
+
+TEST(PruneUnusedTest, PrefersCheaperWitness) {
+  // Both XY (cost 3) and {X, Y} (cost 4) are present; the witness should
+  // keep the pair classifier and drop the singletons.
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 2);
+  inst.SetCost(PS({1}), 2);
+  inst.SetCost(PS({0, 1}), 3);
+  Solution s;
+  s.Add(PS({0}));
+  s.Add(PS({1}));
+  s.Add(PS({0, 1}));
+  const Solution pruned = PruneUnusedClassifiers(inst, s);
+  EXPECT_EQ(pruned.size(), 1u);
+  EXPECT_TRUE(pruned.Contains(PS({0, 1})));
+}
+
+}  // namespace
+}  // namespace mc3

@@ -1,0 +1,76 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+
+TEST(StatsTest, EmptyInstance) {
+  const InstanceStats stats = ComputeStats(Instance{});
+  EXPECT_EQ(stats.num_queries, 0u);
+  EXPECT_EQ(stats.num_classifiers, 0u);
+  EXPECT_EQ(stats.max_query_length, 0u);
+  EXPECT_EQ(stats.fraction_short, 0);
+  EXPECT_TRUE(stats.feasible);  // vacuously
+}
+
+TEST(StatsTest, PaperExampleStats) {
+  const InstanceStats stats = ComputeStats(testing::PaperExample());
+  EXPECT_EQ(stats.num_queries, 2u);
+  EXPECT_EQ(stats.num_properties, 4u);
+  EXPECT_EQ(stats.num_classifiers, 9u);
+  EXPECT_EQ(stats.max_query_length, 3u);
+  EXPECT_EQ(stats.min_cost, 1);
+  EXPECT_EQ(stats.max_cost, 5);
+  EXPECT_DOUBLE_EQ(stats.fraction_short, 0.5);  // the chelsea query
+  // A (adidas) appears in both queries: incidence 2.
+  EXPECT_EQ(stats.incidence, 2u);
+  EXPECT_TRUE(stats.feasible);
+}
+
+TEST(StatsTest, LengthHistogram) {
+  Instance inst;
+  inst.AddQuery(PS({0}));
+  inst.AddQuery(PS({1, 2}));
+  inst.AddQuery(PS({3, 4}));
+  inst.AddQuery(PS({0, 1, 2}));
+  const InstanceStats stats = ComputeStats(inst);
+  ASSERT_EQ(stats.length_histogram.size(), 4u);
+  EXPECT_EQ(stats.length_histogram[1], 1u);
+  EXPECT_EQ(stats.length_histogram[2], 2u);
+  EXPECT_EQ(stats.length_histogram[3], 1u);
+  EXPECT_DOUBLE_EQ(stats.fraction_short, 0.75);
+}
+
+TEST(StatsTest, InfeasibleFlag) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  EXPECT_FALSE(ComputeStats(inst).feasible);
+}
+
+TEST(StatsTest, InfiniteCostsExcludedFromRange) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 2);
+  inst.SetCost(PS({1}), 7);
+  const InstanceStats stats = ComputeStats(inst);
+  EXPECT_EQ(stats.min_cost, 2);
+  EXPECT_EQ(stats.max_cost, 7);
+  EXPECT_EQ(stats.num_classifiers, 2u);
+}
+
+TEST(StatsTest, StatsRowRendersTableOneStyle) {
+  const std::string row = StatsRow("BB", ComputeStats(testing::PaperExample()));
+  EXPECT_NE(row.find("BB"), std::string::npos);
+  EXPECT_NE(row.find("2 queries"), std::string::npos);
+  EXPECT_NE(row.find("max cost 5"), std::string::npos);
+  EXPECT_NE(row.find("max length 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mc3

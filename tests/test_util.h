@@ -1,0 +1,88 @@
+// Shared helpers for the MC3 test suite.
+#ifndef MC3_TESTS_TEST_UTIL_H_
+#define MC3_TESTS_TEST_UTIL_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/property_set.h"
+#include "util/rng.h"
+
+namespace mc3::testing {
+
+/// Shorthand: PS({1, 2, 3}).
+inline PropertySet PS(std::initializer_list<PropertyId> ids) {
+  return PropertySet::Of(ids);
+}
+
+/// Configuration for random instances used in property-based sweeps.
+struct RandomInstanceConfig {
+  size_t num_queries = 6;
+  size_t pool = 8;             ///< property universe size
+  size_t max_query_length = 3;
+  int64_t cost_min = 1;
+  int64_t cost_max = 20;
+  /// Probability that a non-singleton classifier is priced at all;
+  /// singletons are always priced (keeps instances feasible).
+  double priced_probability = 0.8;
+  /// Probability that a priced classifier gets weight zero.
+  double zero_probability = 0.05;
+};
+
+/// Generates a random feasible instance (singleton classifiers always
+/// priced). Deterministic per seed.
+inline Instance RandomInstance(const RandomInstanceConfig& config,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Instance instance;
+  std::unordered_set<PropertySet, PropertySetHash> seen;
+  size_t guard = 0;
+  while (instance.NumQueries() < config.num_queries &&
+         ++guard < config.num_queries * 100) {
+    const size_t len = static_cast<size_t>(
+        rng.UniformInt(1, std::min(config.max_query_length, config.pool)));
+    std::vector<PropertyId> props;
+    std::unordered_set<PropertyId> used;
+    while (props.size() < len) {
+      const auto p = static_cast<PropertyId>(rng.UniformInt(0, config.pool - 1));
+      if (used.insert(p).second) props.push_back(p);
+    }
+    PropertySet q = PropertySet::FromUnsorted(std::move(props));
+    if (seen.insert(q).second) instance.AddQuery(std::move(q));
+  }
+  for (const PropertySet& q : instance.queries()) {
+    ForEachNonEmptySubset(q, [&](const PropertySet& c) {
+      if (instance.CostOf(c) != kInfiniteCost) return;
+      if (c.size() > 1 && !rng.Bernoulli(config.priced_probability)) return;
+      Cost cost = static_cast<Cost>(
+          rng.UniformInt(config.cost_min, config.cost_max));
+      if (rng.Bernoulli(config.zero_probability)) cost = 0;
+      instance.SetCost(c, cost);
+    });
+  }
+  return instance;
+}
+
+/// The running example of the paper (Example 1.1): two soccer-shirt queries
+/// with costs C:5, A:5, J:5, W:1, AC:3, AW:5, AJ:3, JW:4, JAW:5. The optimal
+/// solution is {AC, AJ, W} at cost 7.
+inline Instance PaperExample() {
+  InstanceBuilder b;
+  b.AddQuery({"juventus", "white", "adidas"});
+  b.AddQuery({"chelsea", "adidas"});
+  b.SetCost({"chelsea"}, 5);
+  b.SetCost({"adidas"}, 5);
+  b.SetCost({"juventus"}, 5);
+  b.SetCost({"white"}, 1);
+  b.SetCost({"adidas", "chelsea"}, 3);
+  b.SetCost({"adidas", "white"}, 5);
+  b.SetCost({"adidas", "juventus"}, 3);
+  b.SetCost({"juventus", "white"}, 4);
+  b.SetCost({"juventus", "adidas", "white"}, 5);
+  return std::move(b).Build();
+}
+
+}  // namespace mc3::testing
+
+#endif  // MC3_TESTS_TEST_UTIL_H_

@@ -1,0 +1,180 @@
+#include "core/wsc_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_solver.h"
+#include "setcover/greedy.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace mc3 {
+namespace {
+
+using testing::PS;
+using testing::RandomInstance;
+using testing::RandomInstanceConfig;
+
+/// The Figure 2 instance: P = {x,y,z,v}, Q = {xyz, yzv}, all relevant
+/// classifiers priced at 1.
+Instance Figure2Instance() {
+  Instance inst;
+  inst.AddQuery(PS({0, 1, 2}));
+  inst.AddQuery(PS({1, 2, 3}));
+  for (const PropertySet& q :
+       {PS({0, 1, 2}), PS({1, 2, 3})}) {
+    ForEachNonEmptySubset(q, [&](const PropertySet& c) {
+      inst.SetCost(c, 1);
+    });
+  }
+  return inst;
+}
+
+TEST(WscReductionTest, Figure2ElementCount) {
+  const WscReduction red = ReduceToWsc(Figure2Instance());
+  // Elements: one per (query, property) occurrence = 3 + 3.
+  EXPECT_EQ(red.wsc.num_elements, 6);
+}
+
+TEST(WscReductionTest, Figure2SetCount) {
+  const WscReduction red = ReduceToWsc(Figure2Instance());
+  // C_Q: subsets of xyz (7) + subsets of yzv (7) - shared {y},{z},{yz} (3).
+  EXPECT_EQ(red.wsc.sets.size(), 11u);
+}
+
+TEST(WscReductionTest, SharedClassifierCoversBothQueries) {
+  const WscReduction red = ReduceToWsc(Figure2Instance());
+  // The set for YZ covers 4 elements: y and z in both queries.
+  bool found = false;
+  for (size_t i = 0; i < red.wsc.sets.size(); ++i) {
+    if (red.set_to_classifier[i] == PS({1, 2})) {
+      EXPECT_EQ(red.wsc.sets[i].elements.size(), 4u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WscReductionTest, FullQueryClassifierCoversOnlyItsQuery) {
+  const WscReduction red = ReduceToWsc(Figure2Instance());
+  for (size_t i = 0; i < red.wsc.sets.size(); ++i) {
+    if (red.set_to_classifier[i] == PS({0, 1, 2})) {
+      EXPECT_EQ(red.wsc.sets[i].elements.size(), 3u);
+    }
+  }
+}
+
+TEST(WscReductionTest, ClassifierNotSubsetOfQueryCoversNothingThere) {
+  // xyv is not a classifier (not a subset of any query) and must not appear.
+  const WscReduction red = ReduceToWsc(Figure2Instance());
+  for (const PropertySet& c : red.set_to_classifier) {
+    EXPECT_TRUE(c.IsSubsetOf(PS({0, 1, 2})) || c.IsSubsetOf(PS({1, 2, 3})));
+  }
+}
+
+TEST(WscReductionTest, UnpricedClassifiersExcluded) {
+  Instance inst;
+  inst.AddQuery(PS({0, 1}));
+  inst.SetCost(PS({0}), 1);
+  inst.SetCost(PS({1}), 1);
+  // The pair {0,1} is unpriced.
+  const WscReduction red = ReduceToWsc(inst);
+  EXPECT_EQ(red.wsc.sets.size(), 2u);
+}
+
+TEST(WscReductionTest, CostsCarryOver) {
+  const Instance inst = testing::PaperExample();
+  const WscReduction red = ReduceToWsc(inst);
+  for (size_t i = 0; i < red.wsc.sets.size(); ++i) {
+    EXPECT_EQ(red.wsc.sets[i].cost, inst.CostOf(red.set_to_classifier[i]));
+  }
+}
+
+TEST(WscReductionTest, ValidatesStructurally) {
+  const WscReduction red = ReduceToWsc(testing::PaperExample());
+  EXPECT_TRUE(setcover::ValidateWsc(red.wsc).ok());
+}
+
+TEST(WscReductionTest, FrequencyBoundedByTwoPowKMinusOne) {
+  // Section 5.2: f = 2^(k-1) when all classifiers are priced.
+  RandomInstanceConfig config;
+  config.num_queries = 5;
+  config.pool = 8;
+  config.max_query_length = 4;
+  config.priced_probability = 1.0;
+  for (int seed = 0; seed < 10; ++seed) {
+    const Instance inst = RandomInstance(config, seed * 7 + 2);
+    const WscReduction red = ReduceToWsc(inst);
+    const double k = static_cast<double>(inst.MaxQueryLength());
+    EXPECT_LE(setcover::WscFrequency(red.wsc), std::pow(2.0, k - 1) + 1e-9);
+  }
+}
+
+TEST(WscReductionTest, DegreeBoundedByLengthTimesIncidence) {
+  RandomInstanceConfig config;
+  config.num_queries = 6;
+  config.pool = 6;
+  config.max_query_length = 3;
+  for (int seed = 0; seed < 10; ++seed) {
+    const Instance inst = RandomInstance(config, seed * 13 + 5);
+    const WscReduction red = ReduceToWsc(inst);
+    const auto k = static_cast<int32_t>(inst.MaxQueryLength());
+    const auto incidence = static_cast<int32_t>(inst.Incidence());
+    EXPECT_LE(setcover::WscDegree(red.wsc), k * incidence);
+  }
+}
+
+// Cost-preserving equivalence: solving the reduction optimally gives the
+// MC3 optimum (the reduction's headline property).
+class WscEquivalenceTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, WscEquivalenceTest, ::testing::Range(0, 20));
+
+TEST_P(WscEquivalenceTest, OptimaMatch) {
+  RandomInstanceConfig config;
+  config.num_queries = 4;
+  config.pool = 6;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 53 + 29);
+  const WscReduction red = ReduceToWsc(inst);
+
+  // Brute-force the WSC optimum.
+  double wsc_opt = std::numeric_limits<double>::infinity();
+  const size_t m = red.wsc.sets.size();
+  ASSERT_LE(m, 22u);
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    std::vector<bool> covered(red.wsc.num_elements, false);
+    double cost = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (1ull << i)) {
+        cost += red.wsc.sets[i].cost;
+        for (auto e : red.wsc.sets[i].elements) covered[e] = true;
+      }
+    }
+    if (cost >= wsc_opt) continue;
+    bool all = true;
+    for (bool b : covered) all = all && b;
+    if (all) wsc_opt = cost;
+  }
+
+  auto exact = ExactSolver().Solve(inst);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(wsc_opt, exact->cost, 1e-9);
+}
+
+TEST_P(WscEquivalenceTest, WscSolutionsMapToCovers) {
+  RandomInstanceConfig config;
+  config.num_queries = 5;
+  config.pool = 7;
+  config.max_query_length = 3;
+  const Instance inst = RandomInstance(config, GetParam() * 67 + 41);
+  const WscReduction red = ReduceToWsc(inst);
+  auto greedy = setcover::SolveGreedy(red.wsc);
+  ASSERT_TRUE(greedy.ok());
+  const Solution mapped = WscSolutionToMc3(red, *greedy);
+  EXPECT_TRUE(Covers(inst, mapped));
+  EXPECT_NEAR(mapped.TotalCost(inst), greedy->cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace mc3

@@ -1,0 +1,341 @@
+// mc3 — command-line interface to the MC3 library.
+//
+//   mc3 stats <workload.csv>
+//       Print Table-1-style statistics of a workload.
+//
+//   mc3 solve <workload.csv> [--solver general|k2|short-first|local-greedy|
+//             query-oriented|property-oriented|exact] [--no-preprocess]
+//             [--threads N] [--exact-components N] [--plan]
+//             [--out plan.csv]
+//       Choose the classifiers to train; --plan additionally prints the
+//       per-query evaluation plan; --out writes the plan as CSV.
+//
+//   mc3 generate --dataset bestbuy|private|synthetic [--n N] [--seed S]
+//             -o <out.csv>
+//       Write one of the paper's reconstructed workloads as CSV.
+//
+//   mc3 preprocess <workload.csv>
+//       Run Algorithm 1 alone and report what it pruned.
+//
+//   mc3 ingest <log.txt> -o <workload.csv> [--default-cost D]
+//       Turn a raw free-text query log (one search per line) into a priced
+//       MC3 workload (tokenize, aggregate, estimate costs).
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mc3.h"
+#include "data/bestbuy.h"
+#include "data/io.h"
+#include "data/private_dataset.h"
+#include "data/query_log.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace mc3;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  mc3 stats <workload.csv>\n"
+      "  mc3 solve <workload.csv> [--solver NAME] [--no-preprocess]\n"
+      "            [--threads N] [--exact-components N] [--plan]\n"
+      "  mc3 generate --dataset bestbuy|private|synthetic [--n N]\n"
+      "            [--seed S] -o <out.csv>\n"
+      "  mc3 preprocess <workload.csv>\n"
+      "  mc3 ingest <log.txt> -o <workload.csv> [--default-cost D]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Instance> Load(const std::string& path) {
+  return data::LoadInstance(path);
+}
+
+int CmdStats(const std::string& path) {
+  auto instance = Load(path);
+  if (!instance.ok()) return Fail(instance.status());
+  const InstanceStats stats = ComputeStats(*instance);
+  std::printf("queries:        %zu\n", stats.num_queries);
+  std::printf("properties:     %zu\n", stats.num_properties);
+  std::printf("classifiers:    %zu (priced)\n", stats.num_classifiers);
+  std::printf("max length k:   %zu\n", stats.max_query_length);
+  std::printf("short (<=2):    %.1f%%\n", 100 * stats.fraction_short);
+  std::printf("cost range:     [%.2f, %.2f]\n", stats.min_cost,
+              stats.max_cost);
+  std::printf("incidence I:    %zu\n", stats.incidence);
+  std::printf("feasible:       %s\n", stats.feasible ? "yes" : "NO");
+  std::printf("length histogram:");
+  for (size_t l = 1; l < stats.length_histogram.size(); ++l) {
+    std::printf(" %zu:%zu", l, stats.length_histogram[l]);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdSolve(const std::string& path, const std::string& solver_name,
+             const SolverOptions& options, bool print_plan,
+             const std::string& out_path) {
+  auto instance = Load(path);
+  if (!instance.ok()) return Fail(instance.status());
+
+  std::unique_ptr<Solver> solver;
+  if (solver_name == "general") {
+    solver = std::make_unique<GeneralSolver>(options);
+  } else if (solver_name == "k2") {
+    solver = std::make_unique<K2ExactSolver>(options);
+  } else if (solver_name == "short-first") {
+    solver = std::make_unique<ShortFirstSolver>(options);
+  } else if (solver_name == "local-greedy") {
+    solver = std::make_unique<LocalGreedySolver>();
+  } else if (solver_name == "query-oriented") {
+    solver = std::make_unique<QueryOrientedSolver>();
+  } else if (solver_name == "property-oriented") {
+    solver = std::make_unique<PropertyOrientedSolver>();
+  } else if (solver_name == "exact") {
+    solver = std::make_unique<ExactSolver>();
+  } else if (solver_name == "auto") {
+    if (instance->MaxQueryLength() <= 2) {
+      solver = std::make_unique<K2ExactSolver>(options);
+    } else {
+      solver = std::make_unique<GeneralSolver>(options);
+    }
+  } else {
+    std::fprintf(stderr, "unknown solver '%s'\n", solver_name.c_str());
+    return 2;
+  }
+
+  auto result = solver->Solve(*instance);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("solver:      %s\n", solver->Name().c_str());
+  std::printf("total cost:  %.2f\n", result->cost);
+  std::printf("classifiers: %zu\n", result->solution.size());
+  for (const PropertySet& c : result->solution.Sorted()) {
+    std::printf("  [%s]  cost %.2f\n",
+                c.ToString(instance->property_names()).c_str(),
+                instance->CostOf(c));
+  }
+  if (!out_path.empty()) {
+    if (Status status = data::SaveSolution(*instance, result->solution,
+                                           out_path);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("plan written to %s\n", out_path.c_str());
+  }
+  if (print_plan) {
+    std::printf("evaluation plan:\n");
+    const CoverageReport report = VerifyCoverage(*instance, result->solution);
+    for (size_t qi = 0; qi < instance->NumQueries(); ++qi) {
+      std::printf("  %s <- AND of:",
+                  instance->queries()[qi]
+                      .ToString(instance->property_names())
+                      .c_str());
+      for (const PropertySet& c : report.witnesses[qi]) {
+        std::printf(" [%s]", c.ToString(instance->property_names()).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdGenerate(const std::string& dataset, size_t n, uint64_t seed,
+                const std::string& out) {
+  Instance instance;
+  if (dataset == "bestbuy") {
+    data::BestBuyConfig config;
+    if (n > 0) config.num_queries = n;
+    config.seed = seed;
+    instance = data::GenerateBestBuy(config);
+  } else if (dataset == "private") {
+    data::PrivateConfig config;
+    if (n > 0) {
+      config.electronics_queries = n * 55 / 100;
+      config.home_garden_queries = n * 35 / 100;
+      config.fashion_queries = n - config.electronics_queries -
+                               config.home_garden_queries;
+    }
+    config.seed = seed;
+    instance = std::move(data::GeneratePrivate(config).instance);
+  } else if (dataset == "synthetic") {
+    data::SyntheticConfig config;
+    if (n > 0) config.num_queries = n;
+    config.seed = seed;
+    instance = data::GenerateSynthetic(config);
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset.c_str());
+    return 2;
+  }
+  if (Status status = data::SaveInstance(instance, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %zu queries / %zu classifiers to %s\n",
+              instance.NumQueries(), instance.costs().size(), out.c_str());
+  return 0;
+}
+
+int CmdIngest(const std::string& path, const std::string& out,
+              Cost default_cost) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  std::string current;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += static_cast<char>(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  std::fclose(in);
+
+  data::QueryLog log = data::ParseQueryLog(lines);
+  data::CostEstimatorOptions cost_options;
+  cost_options.default_difficulty = default_cost;
+  if (Status status = data::EstimateCosts(&log.instance, cost_options);
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = data::SaveInstance(log.instance, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf(
+      "ingested %zu lines (%zu dropped) -> %zu distinct queries, %zu priced "
+      "classifiers -> %s\n",
+      log.total_lines, log.dropped_lines, log.instance.NumQueries(),
+      log.instance.costs().size(), out.c_str());
+  return 0;
+}
+
+int CmdPreprocess(const std::string& path) {
+  auto instance = Load(path);
+  if (!instance.ok()) return Fail(instance.status());
+  auto pre = Preprocess(*instance);
+  if (!pre.ok()) return Fail(pre.status());
+  const PreprocessStats& stats = pre->stats;
+  std::printf("forced selections:     %zu (cost %.2f)\n",
+              pre->forced.size(), pre->forced_cost);
+  std::printf("  singleton queries:   %zu\n",
+              stats.singleton_queries_selected);
+  std::printf("  zero-weight:         %zu\n", stats.zero_weight_selected);
+  std::printf("  step-3 forced:       %zu\n", stats.forced_selections_step3);
+  std::printf("  step-4 selections:   %zu\n", stats.selections_step4);
+  std::printf("classifiers removed:   %zu (step 3) + %zu (step 4)\n",
+              stats.classifiers_removed_step3, stats.singletons_removed_step4);
+  std::printf("queries covered:       %zu of %zu\n", stats.queries_covered,
+              instance->NumQueries());
+  std::printf("residual:              %zu queries, %zu classifiers, "
+              "%zu independent components\n",
+              stats.remaining_queries, stats.remaining_classifiers,
+              stats.num_components);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  auto flag_value = [&](const std::string& flag) -> const std::string* {
+    for (size_t i = 0; i + 1 < args.size(); ++i) {
+      if (args[i] == flag) return &args[i + 1];
+    }
+    return nullptr;
+  };
+  auto has_flag = [&](const std::string& flag) {
+    for (const auto& a : args) {
+      if (a == flag) return true;
+    }
+    return false;
+  };
+  auto positional = [&]() -> const std::string* {
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (args[i].rfind("--", 0) == 0) {
+        ++i;  // skip the flag's value
+        continue;
+      }
+      if (i > 0 && args[i - 1].rfind("--", 0) == 0 &&
+          (args[i - 1] == "--solver" || args[i - 1] == "--n" ||
+           args[i - 1] == "--seed" || args[i - 1] == "--dataset" ||
+           args[i - 1] == "--threads" || args[i - 1] == "--exact-components" ||
+           args[i - 1] == "--default-cost" || args[i - 1] == "--out" ||
+           args[i - 1] == "-o")) {
+        continue;
+      }
+      return &args[i];
+    }
+    return nullptr;
+  };
+
+  if (command == "stats") {
+    const std::string* path = positional();
+    if (path == nullptr) return Usage();
+    return CmdStats(*path);
+  }
+  if (command == "solve") {
+    const std::string* path = positional();
+    if (path == nullptr) return Usage();
+    const std::string* solver = flag_value("--solver");
+    SolverOptions options;
+    if (has_flag("--no-preprocess")) options.preprocess = false;
+    if (const std::string* threads = flag_value("--threads")) {
+      options.num_threads = std::strtoul(threads->c_str(), nullptr, 10);
+    }
+    if (const std::string* ec = flag_value("--exact-components")) {
+      options.exact_component_max_queries =
+          std::strtoul(ec->c_str(), nullptr, 10);
+    }
+    const std::string* out = flag_value("--out");
+    return CmdSolve(*path, solver != nullptr ? *solver : "auto", options,
+                    has_flag("--plan"), out != nullptr ? *out : "");
+  }
+  if (command == "generate") {
+    const std::string* dataset = flag_value("--dataset");
+    const std::string* out = flag_value("-o");
+    if (dataset == nullptr || out == nullptr) return Usage();
+    size_t n = 0;
+    uint64_t seed = 1;
+    if (const std::string* v = flag_value("--n")) {
+      n = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    if (const std::string* v = flag_value("--seed")) {
+      seed = std::strtoull(v->c_str(), nullptr, 10);
+    }
+    return CmdGenerate(*dataset, n, seed, *out);
+  }
+  if (command == "preprocess") {
+    const std::string* path = positional();
+    if (path == nullptr) return Usage();
+    return CmdPreprocess(*path);
+  }
+  if (command == "ingest") {
+    const std::string* path = positional();
+    const std::string* out = flag_value("-o");
+    if (path == nullptr || out == nullptr) return Usage();
+    Cost default_cost = 5;
+    if (const std::string* v = flag_value("--default-cost")) {
+      default_cost = std::strtod(v->c_str(), nullptr);
+    }
+    return CmdIngest(*path, *out, default_cost);
+  }
+  return Usage();
+}
