@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_p_short.dir/bench_fig3b_p_short.cc.o"
+  "CMakeFiles/bench_fig3b_p_short.dir/bench_fig3b_p_short.cc.o.d"
+  "bench_fig3b_p_short"
+  "bench_fig3b_p_short.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_p_short.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

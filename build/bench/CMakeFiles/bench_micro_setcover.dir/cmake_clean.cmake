@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_setcover.dir/bench_micro_setcover.cc.o"
+  "CMakeFiles/bench_micro_setcover.dir/bench_micro_setcover.cc.o.d"
+  "bench_micro_setcover"
+  "bench_micro_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

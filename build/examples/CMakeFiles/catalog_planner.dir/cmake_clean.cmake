@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_planner.dir/catalog_planner.cpp.o"
+  "CMakeFiles/catalog_planner.dir/catalog_planner.cpp.o.d"
+  "catalog_planner"
+  "catalog_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_valued.cpp" "examples/CMakeFiles/multi_valued.dir/multi_valued.cpp.o" "gcc" "examples/CMakeFiles/multi_valued.dir/multi_valued.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mc3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mc3_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mc3_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcover/CMakeFiles/mc3_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mc3_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

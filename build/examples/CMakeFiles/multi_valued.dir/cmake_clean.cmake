@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_valued.dir/multi_valued.cpp.o"
+  "CMakeFiles/multi_valued.dir/multi_valued.cpp.o.d"
+  "multi_valued"
+  "multi_valued.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_valued.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

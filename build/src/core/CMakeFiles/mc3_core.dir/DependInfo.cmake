@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/mc3_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/cover_dp.cc" "src/core/CMakeFiles/mc3_core.dir/cover_dp.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/cover_dp.cc.o.d"
+  "/root/repo/src/core/exact_solver.cc" "src/core/CMakeFiles/mc3_core.dir/exact_solver.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/exact_solver.cc.o.d"
+  "/root/repo/src/core/general_solver.cc" "src/core/CMakeFiles/mc3_core.dir/general_solver.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/general_solver.cc.o.d"
+  "/root/repo/src/core/hardness.cc" "src/core/CMakeFiles/mc3_core.dir/hardness.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/hardness.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/core/CMakeFiles/mc3_core.dir/instance.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/instance.cc.o.d"
+  "/root/repo/src/core/instance_util.cc" "src/core/CMakeFiles/mc3_core.dir/instance_util.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/instance_util.cc.o.d"
+  "/root/repo/src/core/k2_solver.cc" "src/core/CMakeFiles/mc3_core.dir/k2_solver.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/k2_solver.cc.o.d"
+  "/root/repo/src/core/multi_valued.cc" "src/core/CMakeFiles/mc3_core.dir/multi_valued.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/multi_valued.cc.o.d"
+  "/root/repo/src/core/partial_cover.cc" "src/core/CMakeFiles/mc3_core.dir/partial_cover.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/partial_cover.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/core/CMakeFiles/mc3_core.dir/preprocess.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/preprocess.cc.o.d"
+  "/root/repo/src/core/property_set.cc" "src/core/CMakeFiles/mc3_core.dir/property_set.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/property_set.cc.o.d"
+  "/root/repo/src/core/shared_labeling.cc" "src/core/CMakeFiles/mc3_core.dir/shared_labeling.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/shared_labeling.cc.o.d"
+  "/root/repo/src/core/short_first_solver.cc" "src/core/CMakeFiles/mc3_core.dir/short_first_solver.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/short_first_solver.cc.o.d"
+  "/root/repo/src/core/solution.cc" "src/core/CMakeFiles/mc3_core.dir/solution.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/solution.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/core/CMakeFiles/mc3_core.dir/solver.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/solver.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/mc3_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/wsc_reduction.cc" "src/core/CMakeFiles/mc3_core.dir/wsc_reduction.cc.o" "gcc" "src/core/CMakeFiles/mc3_core.dir/wsc_reduction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mc3_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcover/CMakeFiles/mc3_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mc3_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/bestbuy.cc" "src/data/CMakeFiles/mc3_data.dir/bestbuy.cc.o" "gcc" "src/data/CMakeFiles/mc3_data.dir/bestbuy.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/mc3_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/mc3_data.dir/io.cc.o.d"
+  "/root/repo/src/data/private_dataset.cc" "src/data/CMakeFiles/mc3_data.dir/private_dataset.cc.o" "gcc" "src/data/CMakeFiles/mc3_data.dir/private_dataset.cc.o.d"
+  "/root/repo/src/data/query_log.cc" "src/data/CMakeFiles/mc3_data.dir/query_log.cc.o" "gcc" "src/data/CMakeFiles/mc3_data.dir/query_log.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/mc3_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/mc3_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mc3_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mc3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mc3_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcover/CMakeFiles/mc3_setcover.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mc3_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

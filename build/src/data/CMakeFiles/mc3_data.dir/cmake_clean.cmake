@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc3_data.dir/bestbuy.cc.o"
+  "CMakeFiles/mc3_data.dir/bestbuy.cc.o.d"
+  "CMakeFiles/mc3_data.dir/io.cc.o"
+  "CMakeFiles/mc3_data.dir/io.cc.o.d"
+  "CMakeFiles/mc3_data.dir/private_dataset.cc.o"
+  "CMakeFiles/mc3_data.dir/private_dataset.cc.o.d"
+  "CMakeFiles/mc3_data.dir/query_log.cc.o"
+  "CMakeFiles/mc3_data.dir/query_log.cc.o.d"
+  "CMakeFiles/mc3_data.dir/synthetic.cc.o"
+  "CMakeFiles/mc3_data.dir/synthetic.cc.o.d"
+  "libmc3_data.a"
+  "libmc3_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc3_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

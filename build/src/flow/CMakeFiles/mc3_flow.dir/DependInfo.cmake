@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/bipartite_vertex_cover.cc" "src/flow/CMakeFiles/mc3_flow.dir/bipartite_vertex_cover.cc.o" "gcc" "src/flow/CMakeFiles/mc3_flow.dir/bipartite_vertex_cover.cc.o.d"
+  "/root/repo/src/flow/dinic.cc" "src/flow/CMakeFiles/mc3_flow.dir/dinic.cc.o" "gcc" "src/flow/CMakeFiles/mc3_flow.dir/dinic.cc.o.d"
+  "/root/repo/src/flow/edmonds_karp.cc" "src/flow/CMakeFiles/mc3_flow.dir/edmonds_karp.cc.o" "gcc" "src/flow/CMakeFiles/mc3_flow.dir/edmonds_karp.cc.o.d"
+  "/root/repo/src/flow/hopcroft_karp.cc" "src/flow/CMakeFiles/mc3_flow.dir/hopcroft_karp.cc.o" "gcc" "src/flow/CMakeFiles/mc3_flow.dir/hopcroft_karp.cc.o.d"
+  "/root/repo/src/flow/network.cc" "src/flow/CMakeFiles/mc3_flow.dir/network.cc.o" "gcc" "src/flow/CMakeFiles/mc3_flow.dir/network.cc.o.d"
+  "/root/repo/src/flow/push_relabel.cc" "src/flow/CMakeFiles/mc3_flow.dir/push_relabel.cc.o" "gcc" "src/flow/CMakeFiles/mc3_flow.dir/push_relabel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc3_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc3_flow.dir/bipartite_vertex_cover.cc.o"
+  "CMakeFiles/mc3_flow.dir/bipartite_vertex_cover.cc.o.d"
+  "CMakeFiles/mc3_flow.dir/dinic.cc.o"
+  "CMakeFiles/mc3_flow.dir/dinic.cc.o.d"
+  "CMakeFiles/mc3_flow.dir/edmonds_karp.cc.o"
+  "CMakeFiles/mc3_flow.dir/edmonds_karp.cc.o.d"
+  "CMakeFiles/mc3_flow.dir/hopcroft_karp.cc.o"
+  "CMakeFiles/mc3_flow.dir/hopcroft_karp.cc.o.d"
+  "CMakeFiles/mc3_flow.dir/network.cc.o"
+  "CMakeFiles/mc3_flow.dir/network.cc.o.d"
+  "CMakeFiles/mc3_flow.dir/push_relabel.cc.o"
+  "CMakeFiles/mc3_flow.dir/push_relabel.cc.o.d"
+  "libmc3_flow.a"
+  "libmc3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc3_lp.dir/simplex.cc.o"
+  "CMakeFiles/mc3_lp.dir/simplex.cc.o.d"
+  "libmc3_lp.a"
+  "libmc3_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc3_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmc3_lp.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/setcover/exact.cc" "src/setcover/CMakeFiles/mc3_setcover.dir/exact.cc.o" "gcc" "src/setcover/CMakeFiles/mc3_setcover.dir/exact.cc.o.d"
+  "/root/repo/src/setcover/greedy.cc" "src/setcover/CMakeFiles/mc3_setcover.dir/greedy.cc.o" "gcc" "src/setcover/CMakeFiles/mc3_setcover.dir/greedy.cc.o.d"
+  "/root/repo/src/setcover/instance.cc" "src/setcover/CMakeFiles/mc3_setcover.dir/instance.cc.o" "gcc" "src/setcover/CMakeFiles/mc3_setcover.dir/instance.cc.o.d"
+  "/root/repo/src/setcover/lp_rounding.cc" "src/setcover/CMakeFiles/mc3_setcover.dir/lp_rounding.cc.o" "gcc" "src/setcover/CMakeFiles/mc3_setcover.dir/lp_rounding.cc.o.d"
+  "/root/repo/src/setcover/primal_dual.cc" "src/setcover/CMakeFiles/mc3_setcover.dir/primal_dual.cc.o" "gcc" "src/setcover/CMakeFiles/mc3_setcover.dir/primal_dual.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mc3_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mc3_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

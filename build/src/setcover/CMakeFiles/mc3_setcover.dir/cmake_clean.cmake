@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc3_setcover.dir/exact.cc.o"
+  "CMakeFiles/mc3_setcover.dir/exact.cc.o.d"
+  "CMakeFiles/mc3_setcover.dir/greedy.cc.o"
+  "CMakeFiles/mc3_setcover.dir/greedy.cc.o.d"
+  "CMakeFiles/mc3_setcover.dir/instance.cc.o"
+  "CMakeFiles/mc3_setcover.dir/instance.cc.o.d"
+  "CMakeFiles/mc3_setcover.dir/lp_rounding.cc.o"
+  "CMakeFiles/mc3_setcover.dir/lp_rounding.cc.o.d"
+  "CMakeFiles/mc3_setcover.dir/primal_dual.cc.o"
+  "CMakeFiles/mc3_setcover.dir/primal_dual.cc.o.d"
+  "libmc3_setcover.a"
+  "libmc3_setcover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc3_setcover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc3_util.dir/csv.cc.o"
+  "CMakeFiles/mc3_util.dir/csv.cc.o.d"
+  "CMakeFiles/mc3_util.dir/status.cc.o"
+  "CMakeFiles/mc3_util.dir/status.cc.o.d"
+  "CMakeFiles/mc3_util.dir/table.cc.o"
+  "CMakeFiles/mc3_util.dir/table.cc.o.d"
+  "libmc3_util.a"
+  "libmc3_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc3_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cover_dp_test.dir/cover_dp_test.cc.o"
+  "CMakeFiles/cover_dp_test.dir/cover_dp_test.cc.o.d"
+  "cover_dp_test"
+  "cover_dp_test.pdb"
+  "cover_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cover_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

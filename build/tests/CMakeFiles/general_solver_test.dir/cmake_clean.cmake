@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_solver_test.dir/general_solver_test.cc.o"
+  "CMakeFiles/general_solver_test.dir/general_solver_test.cc.o.d"
+  "general_solver_test"
+  "general_solver_test.pdb"
+  "general_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

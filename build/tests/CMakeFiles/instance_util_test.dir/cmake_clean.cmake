@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_util_test.dir/instance_util_test.cc.o"
+  "CMakeFiles/instance_util_test.dir/instance_util_test.cc.o.d"
+  "instance_util_test"
+  "instance_util_test.pdb"
+  "instance_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

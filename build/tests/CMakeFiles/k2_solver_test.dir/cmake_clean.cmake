@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k2_solver_test.dir/k2_solver_test.cc.o"
+  "CMakeFiles/k2_solver_test.dir/k2_solver_test.cc.o.d"
+  "k2_solver_test"
+  "k2_solver_test.pdb"
+  "k2_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k2_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

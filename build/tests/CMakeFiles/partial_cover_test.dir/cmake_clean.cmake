@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_cover_test.dir/partial_cover_test.cc.o"
+  "CMakeFiles/partial_cover_test.dir/partial_cover_test.cc.o.d"
+  "partial_cover_test"
+  "partial_cover_test.pdb"
+  "partial_cover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_cover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

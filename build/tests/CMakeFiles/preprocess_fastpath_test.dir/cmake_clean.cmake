@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocess_fastpath_test.dir/preprocess_fastpath_test.cc.o"
+  "CMakeFiles/preprocess_fastpath_test.dir/preprocess_fastpath_test.cc.o.d"
+  "preprocess_fastpath_test"
+  "preprocess_fastpath_test.pdb"
+  "preprocess_fastpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocess_fastpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

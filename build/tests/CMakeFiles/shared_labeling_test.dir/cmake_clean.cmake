@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_labeling_test.dir/shared_labeling_test.cc.o"
+  "CMakeFiles/shared_labeling_test.dir/shared_labeling_test.cc.o.d"
+  "shared_labeling_test"
+  "shared_labeling_test.pdb"
+  "shared_labeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_labeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

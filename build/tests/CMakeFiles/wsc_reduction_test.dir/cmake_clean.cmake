@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_reduction_test.dir/wsc_reduction_test.cc.o"
+  "CMakeFiles/wsc_reduction_test.dir/wsc_reduction_test.cc.o.d"
+  "wsc_reduction_test"
+  "wsc_reduction_test.pdb"
+  "wsc_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

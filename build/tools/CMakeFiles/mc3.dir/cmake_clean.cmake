@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc3.dir/mc3_cli.cc.o"
+  "CMakeFiles/mc3.dir/mc3_cli.cc.o.d"
+  "mc3"
+  "mc3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

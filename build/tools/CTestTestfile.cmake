@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/mc3" "generate" "--dataset" "synthetic" "--n" "60" "--seed" "2" "-o" "/root/repo/build/cli_smoke_workload.csv")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/mc3" "stats" "/root/repo/build/cli_smoke_workload.csv")
+set_tests_properties(cli_stats PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_solve "/root/repo/build/tools/mc3" "solve" "/root/repo/build/cli_smoke_workload.csv" "--solver" "general" "--plan")
+set_tests_properties(cli_solve PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_solve_threads "/root/repo/build/tools/mc3" "solve" "/root/repo/build/cli_smoke_workload.csv" "--threads" "2" "--exact-components" "6")
+set_tests_properties(cli_solve_threads PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_preprocess "/root/repo/build/tools/mc3" "preprocess" "/root/repo/build/cli_smoke_workload.csv")
+set_tests_properties(cli_preprocess PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/mc3")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ingest "/root/repo/build/tools/mc3" "ingest" "/root/repo/build/cli_smoke_log.txt" "-o" "/root/repo/build/cli_smoke_ingested.csv")
+set_tests_properties(cli_ingest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_ingest_solve "/root/repo/build/tools/mc3" "solve" "/root/repo/build/cli_smoke_ingested.csv" "--plan")
+set_tests_properties(cli_ingest_solve PROPERTIES  DEPENDS "cli_ingest" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_solve_out "/root/repo/build/tools/mc3" "solve" "/root/repo/build/cli_smoke_workload.csv" "--out" "/root/repo/build/cli_smoke_plan.csv")
+set_tests_properties(cli_solve_out PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
