@@ -2,6 +2,7 @@
 
 #include "core/exact_solver.h"
 
+#include "core/k2_solver.h"
 #include "core/wsc_reduction.h"
 #include "setcover/greedy.h"
 #include "setcover/lp_rounding.h"
@@ -28,6 +29,24 @@ Status SolveComponent(const Instance& component, const SolverOptions& options,
       return exact.status();
     }
     // Too large for the oracle after all; fall through to approximation.
+  }
+  // All-short components are in the exact PTIME regime (Theorem 4.1): route
+  // them through Algorithm 2 instead of the WSC approximation — the same
+  // path they would take were they the whole instance. Only an upgrade of
+  // the configured pipeline: with every WSC algorithm disabled the
+  // misconfiguration error below still fires.
+  const bool wsc_enabled =
+      options.run_greedy || options.f_method != SolverOptions::FMethod::kNone;
+  if (wsc_enabled && component.NumQueries() > 0 &&
+      component.MaxQueryLength() <= 2) {
+    SolverOptions k2_options = options;
+    k2_options.num_threads = 1;          // already inside the component loop
+    k2_options.verify_solution = false;  // the outer FinishSolve verifies
+    k2_options.prune_unused = false;
+    auto exact = K2ExactSolver(std::move(k2_options)).Solve(component);
+    if (!exact.ok()) return exact.status();
+    out->Merge(exact->solution);
+    return Status::OK();
   }
   const WscReduction reduction = ReduceToWsc(component);
 

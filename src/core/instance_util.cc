@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
 
 #include "util/rng.h"
+#include "util/union_find.h"
 
 namespace mc3 {
 
@@ -38,6 +40,48 @@ Instance RandomSubInstance(const Instance& instance, size_t count,
   indices.resize(count);
   std::sort(indices.begin(), indices.end());  // keep original query order
   return SubInstance(instance, indices);
+}
+
+ComponentPartition PartitionQueries(const std::vector<PropertySet>& queries,
+                                    const std::vector<size_t>& query_indices) {
+  ComponentPartition partition;
+  partition.component_of.assign(query_indices.size(), 0);
+  if (query_indices.empty()) return partition;
+
+  UnionFind uf;
+  for (size_t qi : query_indices) {
+    const auto& ids = queries[qi].ids();
+    for (size_t j = 1; j < ids.size(); ++j) uf.Union(ids[j - 1], ids[j]);
+  }
+  std::unordered_map<PropertyId, size_t> root_to_component;
+  for (size_t idx = 0; idx < query_indices.size(); ++idx) {
+    const PropertyId root = uf.Find(*queries[query_indices[idx]].begin());
+    const auto [it, inserted] =
+        root_to_component.emplace(root, partition.num_components);
+    if (inserted) ++partition.num_components;
+    partition.component_of[idx] = it->second;
+  }
+  return partition;
+}
+
+ComponentPartition PartitionQueries(const std::vector<PropertySet>& queries) {
+  std::vector<size_t> all(queries.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  return PartitionQueries(queries, all);
+}
+
+std::vector<Instance> DecomposeComponents(const Instance& instance) {
+  const ComponentPartition partition = PartitionQueries(instance.queries());
+  std::vector<std::vector<size_t>> members(partition.num_components);
+  for (size_t qi = 0; qi < instance.NumQueries(); ++qi) {
+    members[partition.component_of[qi]].push_back(qi);
+  }
+  std::vector<Instance> components;
+  components.reserve(members.size());
+  for (const std::vector<size_t>& indices : members) {
+    components.push_back(SubInstance(instance, indices));
+  }
+  return components;
 }
 
 Instance BoundClassifierLength(const Instance& instance, size_t max_length) {

@@ -27,6 +27,33 @@ Instance RandomSubInstance(const Instance& instance, size_t count,
 /// singletons so feasibility is preserved whenever singletons are priced.
 Instance BoundClassifierLength(const Instance& instance, size_t max_length);
 
+/// Assignment of queries to connected components of the shared-property
+/// graph (paper Section 3, Observation 3.2): two queries are connected iff
+/// they share a property, and connected queries must be solved together.
+struct ComponentPartition {
+  size_t num_components = 0;
+  /// component_of[i] is the component (0..num_components-1) of the i-th
+  /// partitioned query. Ids are assigned in order of first appearance, so
+  /// the partition is deterministic for a fixed query order.
+  std::vector<size_t> component_of;
+};
+
+/// Partitions the queries at `query_indices` (indices into `queries`) into
+/// shared-property components. `component_of` is parallel to
+/// `query_indices`.
+ComponentPartition PartitionQueries(const std::vector<PropertySet>& queries,
+                                    const std::vector<size_t>& query_indices);
+
+/// Partitions all of `queries`.
+ComponentPartition PartitionQueries(const std::vector<PropertySet>& queries);
+
+/// Splits `instance` into its independent sub-instances (Algorithm 1
+/// step 2), restricting each component's cost table to its relevant
+/// classifiers. Unlike Preprocess, no pruning is applied: the components of
+/// the raw instance are returned as-is. Solving the components separately
+/// and uniting the solutions solves the original instance.
+std::vector<Instance> DecomposeComponents(const Instance& instance);
+
 }  // namespace mc3
 
 #endif  // MC3_CORE_INSTANCE_UTIL_H_

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/instance_util.h"
+
 namespace mc3 {
 namespace {
 
@@ -34,35 +36,6 @@ struct SubsetRef {
   CEntry* entry;
   const PropertySet* set;
   uint32_t mask;
-};
-
-/// Union-find over property ids for the step-2 partition.
-class UnionFind {
- public:
-  PropertyId Find(PropertyId x) {
-    Ensure(x);
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void Union(PropertyId a, PropertyId b) {
-    a = Find(a);
-    b = Find(b);
-    if (a != b) parent_[a] = b;
-  }
-
- private:
-  void Ensure(PropertyId x) {
-    if (x >= parent_.size()) {
-      const size_t old = parent_.size();
-      parent_.resize(x + 1);
-      std::iota(parent_.begin() + old, parent_.end(),
-                static_cast<PropertyId>(old));
-    }
-  }
-  std::vector<PropertyId> parent_;
 };
 
 class Worker {
@@ -434,20 +407,9 @@ class Worker {
     std::vector<size_t> component_of(alive_ids.size(), 0);
     size_t num_components = 1;
     if (options_.step2_partition) {
-      UnionFind uf;
-      for (size_t qi : alive_ids) {
-        const auto& ids = queries_[qi].ids();
-        for (size_t j = 1; j < ids.size(); ++j) uf.Union(ids[j - 1], ids[j]);
-      }
-      std::unordered_map<PropertyId, size_t> root_to_component;
-      num_components = 0;
-      for (size_t idx = 0; idx < alive_ids.size(); ++idx) {
-        const PropertyId root = uf.Find(*queries_[alive_ids[idx]].begin());
-        const auto [it, inserted] =
-            root_to_component.emplace(root, num_components);
-        if (inserted) ++num_components;
-        component_of[idx] = it->second;
-      }
+      ComponentPartition partition = PartitionQueries(queries_, alive_ids);
+      num_components = partition.num_components;
+      component_of = std::move(partition.component_of);
     }
     result_.stats.num_components = num_components;
 
@@ -724,20 +686,10 @@ class K2Worker {
     std::vector<size_t> component_of(alive_ids.size(), 0);
     size_t num_components = 1;
     if (options_.step2_partition) {
-      UnionFind uf;
-      for (size_t qi : alive_ids) {
-        uf.Union(static_cast<PropertyId>(queries_[qi].a),
-                 static_cast<PropertyId>(queries_[qi].b));
-      }
-      std::unordered_map<PropertyId, size_t> roots;
-      num_components = 0;
-      for (size_t idx = 0; idx < alive_ids.size(); ++idx) {
-        const PropertyId root =
-            uf.Find(static_cast<PropertyId>(queries_[alive_ids[idx]].a));
-        const auto [it, inserted] = roots.emplace(root, num_components);
-        if (inserted) ++num_components;
-        component_of[idx] = it->second;
-      }
+      ComponentPartition partition =
+          PartitionQueries(input_.queries(), alive_ids);
+      num_components = partition.num_components;
+      component_of = std::move(partition.component_of);
     }
     result_.stats.num_components = num_components;
     result_.components.assign(num_components, Instance{});

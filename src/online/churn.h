@@ -1,0 +1,63 @@
+// Synthetic churn workloads for the serving engine: a sharded variant of
+// the paper's synthetic dataset (disjoint per-domain property pools, the
+// shape of an e-commerce catalog with independent categories) and a
+// deterministic generator of add/remove batches against a base workload.
+#ifndef MC3_ONLINE_CHURN_H_
+#define MC3_ONLINE_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace mc3::online {
+
+/// A union of independent synthetic workloads with disjoint property pools
+/// (each domain's property ids are offset past the previous domains').
+/// Models per-category query logs: the shared-property graph has at least
+/// `num_domains` connected components, so updates stay local. Total queries
+/// = num_domains * domain.num_queries.
+struct ShardedSyntheticConfig {
+  size_t num_domains = 100;
+  /// Per-domain generator configuration (num_queries is per domain); each
+  /// domain d is generated with seed `domain.seed + d`.
+  data::SyntheticConfig domain;
+};
+
+Instance GenerateShardedSynthetic(const ShardedSyntheticConfig& config);
+
+/// Deterministic add/remove batches over a base instance's query set.
+/// Removes sample uniformly from the live queries; adds revive uniformly
+/// sampled retired ones (so every added query's classifiers are priced by
+/// the base cost table). Until removals have built a retired pool, batches
+/// contain fewer adds than requested.
+class ChurnGenerator {
+ public:
+  struct Batch {
+    std::vector<PropertySet> add;
+    std::vector<PropertySet> remove;
+  };
+
+  ChurnGenerator(const Instance& base, uint64_t seed);
+
+  /// Produces the next batch: `removes` queries leave, `adds` return.
+  Batch Next(size_t adds, size_t removes);
+
+  size_t NumLive() const { return live_.size(); }
+  size_t NumRetired() const { return retired_.size(); }
+
+ private:
+  /// Removes and returns a uniform element of `pool` (swap-with-last).
+  size_t Draw(std::vector<size_t>* pool);
+
+  std::vector<PropertySet> queries_;
+  std::vector<size_t> live_;     ///< indices into queries_
+  std::vector<size_t> retired_;  ///< indices into queries_
+  Rng rng_;
+};
+
+}  // namespace mc3::online
+
+#endif  // MC3_ONLINE_CHURN_H_

@@ -1,0 +1,361 @@
+#include "online/online_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "core/general_solver.h"
+#include "core/instance_util.h"
+#include "core/k2_solver.h"
+#include "core/short_first_solver.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace mc3::online {
+
+OnlineEngine::OnlineEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+Result<UpdateStats> OnlineEngine::Initialize(const Instance& instance) {
+  if (!instance.property_names().empty()) {
+    names_ = instance.property_names();
+  }
+  for (const auto& [classifier, cost] : instance.costs()) {
+    MC3_RETURN_IF_ERROR(SetCost(classifier, cost));
+  }
+  return ApplyUpdate(instance.queries(), {});
+}
+
+Status OnlineEngine::SetCost(const PropertySet& classifier, Cost cost) {
+  if (classifier.empty()) {
+    return Status::InvalidArgument("cannot price the empty classifier");
+  }
+  if (!std::isfinite(cost) || cost < 0) {
+    return Status::InvalidArgument(
+        "classifier cost must be finite and non-negative (costs can be "
+        "added or re-priced, never removed)");
+  }
+  costs_[classifier] = cost;
+  return Status::OK();
+}
+
+Cost OnlineEngine::CostOf(const PropertySet& classifier) const {
+  const auto it = costs_.find(classifier);
+  return it == costs_.end() ? kInfiniteCost : it->second;
+}
+
+bool OnlineEngine::Coverable(const PropertySet& query) const {
+  std::unordered_set<PropertyId> covered;
+  ForEachNonEmptySubset(query, [&](const PropertySet& sub) {
+    if (costs_.count(sub) == 0) return;
+    for (PropertyId p : sub) covered.insert(p);
+  });
+  return covered.size() == query.size();
+}
+
+Instance OnlineEngine::BuildSubInstance(
+    const std::vector<size_t>& slots) const {
+  Instance sub;
+  sub.set_property_names(names_);
+  for (size_t slot : slots) sub.AddQuery(queries_[slot]);
+  for (const PropertySet& q : sub.queries()) {
+    ForEachNonEmptySubset(q, [&](const PropertySet& classifier) {
+      const auto it = costs_.find(classifier);
+      if (it != costs_.end()) sub.SetCost(classifier, it->second);
+    });
+  }
+  return sub;
+}
+
+Status OnlineEngine::SolveComponent(const Instance& sub,
+                                    Component* out) const {
+  SolverOptions inner = options_.solver_options;
+  // The engine parallelizes across components; a component is solved by one
+  // worker.
+  inner.num_threads = 1;
+
+  EngineOptions::SolverKind kind = options_.solver;
+  if (kind == EngineOptions::SolverKind::kAuto) {
+    kind = sub.MaxQueryLength() <= 2 ? EngineOptions::SolverKind::kK2Exact
+                                     : EngineOptions::SolverKind::kGeneral;
+  }
+  Result<SolveResult> solved = [&]() -> Result<SolveResult> {
+    switch (kind) {
+      case EngineOptions::SolverKind::kK2Exact:
+        return K2ExactSolver(inner).Solve(sub);
+      case EngineOptions::SolverKind::kShortFirst:
+        return ShortFirstSolver(inner).Solve(sub);
+      case EngineOptions::SolverKind::kAuto:
+      case EngineOptions::SolverKind::kGeneral:
+        break;
+    }
+    return GeneralSolver(inner).Solve(sub);
+  }();
+  if (!solved.ok()) return solved.status();
+  out->solution = std::move(solved->solution);
+  out->cost = solved->cost;
+  return Status::OK();
+}
+
+Result<UpdateStats> OnlineEngine::ApplyUpdate(
+    const std::vector<PropertySet>& add,
+    const std::vector<PropertySet>& remove) {
+  UpdateStats stats;
+
+  // Resolve the batch against the live set before touching anything, so a
+  // rejected batch leaves the engine untouched. Removes apply first; a
+  // query both removed and (re-)added nets out to its prior state.
+  std::unordered_set<PropertySet, PropertySetHash> added_set(add.begin(),
+                                                             add.end());
+  std::vector<size_t> remove_slots;
+  std::unordered_set<size_t> remove_slot_set;
+  for (const PropertySet& q : remove) {
+    if (added_set.count(q) > 0) continue;  // cancelled by the add below
+    const auto it = slot_of_.find(q);
+    if (it == slot_of_.end() || !live_[it->second]) {
+      ++stats.missing_removes;
+      continue;
+    }
+    if (remove_slot_set.insert(it->second).second) {
+      remove_slots.push_back(it->second);
+    }
+  }
+  std::vector<PropertySet> to_add;
+  std::unordered_set<PropertySet, PropertySetHash> to_add_set;
+  for (const PropertySet& q : add) {
+    if (q.empty()) {
+      return Status::InvalidArgument("cannot add the empty query");
+    }
+    const auto it = slot_of_.find(q);
+    if ((it != slot_of_.end() && live_[it->second]) ||
+        !to_add_set.insert(q).second) {
+      ++stats.duplicate_adds;
+      continue;
+    }
+    if (options_.solver == EngineOptions::SolverKind::kK2Exact &&
+        q.size() > 2) {
+      return Status::InvalidArgument(
+          "query " + q.ToString(names_) +
+          " has length > 2 but the engine is configured for K2ExactSolver");
+    }
+    if (!Coverable(q)) {
+      return Status::Infeasible(
+          "query " + q.ToString(names_) +
+          " cannot be covered by finite-cost classifiers of the engine's "
+          "table");
+    }
+    to_add.push_back(q);
+  }
+
+  ++counters_.updates;
+  if (to_add.empty() && remove_slots.empty()) return stats;
+
+  Timer timer;
+
+  // Locate the dirty components: owners of removed queries and of every
+  // already-indexed property of an added query.
+  std::vector<size_t> dirty;
+  for (size_t slot : remove_slots) dirty.push_back(component_of_slot_[slot]);
+  for (const PropertySet& q : to_add) {
+    for (PropertyId p : q) {
+      const auto it = component_of_prop_.find(p);
+      if (it != component_of_prop_.end()) dirty.push_back(it->second);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  stats.components_dirtied = dirty.size();
+
+  // Apply removals (slots are tombstoned, never erased, so a removed query
+  // can be revived in place later).
+  for (size_t slot : remove_slots) {
+    live_[slot] = false;
+    --num_live_;
+  }
+  stats.queries_removed = remove_slots.size();
+
+  // The dirty region: surviving queries of dirty components plus the adds.
+  std::vector<size_t> region;
+  for (size_t cid : dirty) {
+    const Component& component = components_.at(cid);
+    for (size_t slot : component.queries) {
+      if (live_[slot]) region.push_back(slot);
+    }
+  }
+  for (const PropertySet& q : to_add) {
+    size_t slot;
+    const auto it = slot_of_.find(q);
+    if (it != slot_of_.end()) {
+      slot = it->second;  // revive the tombstoned slot
+    } else {
+      slot = queries_.size();
+      queries_.push_back(q);
+      live_.push_back(false);
+      component_of_slot_.push_back(0);
+      slot_of_.emplace(q, slot);
+    }
+    live_[slot] = true;
+    ++num_live_;
+    region.push_back(slot);
+  }
+  stats.queries_added = to_add.size();
+  stats.queries_touched = region.size();
+
+  // Retire the dirty components and their property-index entries (the
+  // region's new partition re-registers the properties still in use).
+  for (size_t cid : dirty) {
+    const Component& component = components_.at(cid);
+    for (size_t slot : component.queries) {
+      for (PropertyId p : queries_[slot]) {
+        const auto it = component_of_prop_.find(p);
+        if (it != component_of_prop_.end() && it->second == cid) {
+          component_of_prop_.erase(it);
+        }
+      }
+    }
+    total_cost_ -= component.cost;
+    components_.erase(cid);
+  }
+
+  // Lazy repartition of the dirty region only (adds may have merged dirty
+  // components; removes may have split them).
+  std::sort(region.begin(), region.end());
+  const ComponentPartition partition = PartitionQueries(queries_, region);
+  std::vector<std::vector<size_t>> groups(partition.num_components);
+  for (size_t idx = 0; idx < region.size(); ++idx) {
+    groups[partition.component_of[idx]].push_back(region[idx]);
+  }
+
+  // Re-solve the new components, in parallel across components.
+  std::vector<Component> fresh(groups.size());
+  std::vector<Status> statuses(groups.size());
+  ParallelFor(groups.size(), options_.solver_options.num_threads,
+              [&](size_t i) {
+                fresh[i].queries = std::move(groups[i]);
+                statuses[i] =
+                    SolveComponent(BuildSubInstance(fresh[i].queries),
+                                   &fresh[i]);
+              });
+  Status first_error;
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    // A failed solve (possible only through an engine bug: adds are
+    // pre-checked coverable and costs are never removed) is committed with
+    // an infinite cost so the structural index stays consistent.
+    if (!statuses[i].ok()) {
+      if (first_error.ok()) first_error = statuses[i];
+      fresh[i].solution = Solution{};
+      fresh[i].cost = kInfiniteCost;
+    }
+    const size_t cid = next_component_id_++;
+    for (size_t slot : fresh[i].queries) {
+      component_of_slot_[slot] = cid;
+      for (PropertyId p : queries_[slot]) component_of_prop_[p] = cid;
+    }
+    total_cost_ += fresh[i].cost;
+    components_.emplace(cid, std::move(fresh[i]));
+  }
+  stats.components_resolved = fresh.size();
+  stats.resolve_seconds = timer.Seconds();
+
+  counters_.queries_added += stats.queries_added;
+  counters_.queries_removed += stats.queries_removed;
+  counters_.components_resolved += stats.components_resolved;
+  counters_.queries_touched += stats.queries_touched;
+  counters_.resolve_seconds += stats.resolve_seconds;
+
+  if (!first_error.ok()) return first_error;
+  return stats;
+}
+
+Result<UpdateStats> OnlineEngine::AddQueries(
+    const std::vector<PropertySet>& queries) {
+  return ApplyUpdate(queries, {});
+}
+
+Result<UpdateStats> OnlineEngine::RemoveQueries(
+    const std::vector<PropertySet>& queries) {
+  return ApplyUpdate({}, queries);
+}
+
+Solution OnlineEngine::CurrentSolution() const {
+  std::vector<size_t> ids;
+  ids.reserve(components_.size());
+  for (const auto& [cid, component] : components_) ids.push_back(cid);
+  std::sort(ids.begin(), ids.end());
+  Solution merged;
+  for (size_t cid : ids) merged.Merge(components_.at(cid).solution);
+  return merged;
+}
+
+Instance OnlineEngine::LiveInstance() const {
+  std::vector<size_t> slots;
+  for (size_t slot = 0; slot < queries_.size(); ++slot) {
+    if (live_[slot]) slots.push_back(slot);
+  }
+  return BuildSubInstance(slots);
+}
+
+Status OnlineEngine::CheckInvariants() const {
+  size_t live_count = 0;
+  for (size_t slot = 0; slot < queries_.size(); ++slot) {
+    if (live_[slot]) ++live_count;
+  }
+  if (live_count != num_live_) {
+    return Status::Internal("live-query counter out of sync");
+  }
+
+  // Components partition the live slots, and slot/property indexes agree.
+  size_t partitioned = 0;
+  std::unordered_map<PropertyId, size_t> expected_props;
+  Cost component_sum = 0;
+  for (const auto& [cid, component] : components_) {
+    if (component.queries.empty()) {
+      return Status::Internal("empty component in the registry");
+    }
+    for (size_t slot : component.queries) {
+      if (slot >= queries_.size() || !live_[slot]) {
+        return Status::Internal("component lists a dead query slot");
+      }
+      if (component_of_slot_[slot] != cid) {
+        return Status::Internal("slot index disagrees with the registry");
+      }
+      ++partitioned;
+      for (PropertyId p : queries_[slot]) {
+        const auto [it, inserted] = expected_props.emplace(p, cid);
+        if (!inserted && it->second != cid) {
+          return Status::Internal("property shared across components");
+        }
+      }
+    }
+    component_sum += component.cost;
+  }
+  if (partitioned != num_live_) {
+    return Status::Internal("components do not partition the live queries");
+  }
+  if (expected_props.size() != component_of_prop_.size()) {
+    return Status::Internal("property index size mismatch");
+  }
+  for (const auto& [p, cid] : expected_props) {
+    const auto it = component_of_prop_.find(p);
+    if (it == component_of_prop_.end() || it->second != cid) {
+      return Status::Internal("property index entry mismatch");
+    }
+  }
+  const Cost tolerance = 1e-6 * (1 + std::abs(component_sum));
+  if (std::abs(component_sum - total_cost_) > tolerance) {
+    return Status::Internal("aggregate cost out of sync with components");
+  }
+
+  // The maintained cover must equal VerifyCoverage on the live instance.
+  const Instance live = LiveInstance();
+  const CoverageReport report = VerifyCoverage(live, CurrentSolution());
+  if (!report.covers_all) {
+    return Status::Internal(
+        std::to_string(report.uncovered_queries.size()) +
+        " live queries uncovered by the maintained solution");
+  }
+  return Status::OK();
+}
+
+}  // namespace mc3::online

@@ -1,0 +1,186 @@
+// Incremental serving engine: component-scoped re-solve over an evolving
+// query log.
+//
+// The paper's setting is an e-commerce query log that changes continuously
+// (Section 6), yet the batch solvers recompute everything on any change.
+// Observation 3.2 (Algorithm 1 step 2) says the instance decomposes into
+// independent connected components of the shared-property graph — so a
+// single update can only invalidate the components whose property sets it
+// touches. The engine exploits this:
+//
+//   * it owns a live query set and classifier cost table;
+//   * a property -> component index (components partition the properties of
+//     live queries) locates the components an update touches;
+//   * adds can merge components, removes can split them; instead of
+//     maintaining a decremental connectivity structure, the partition is
+//     recomputed lazily for the dirty region only (a fresh union-find over
+//     the touched components' queries);
+//   * each dirty component is re-solved from scratch through the existing
+//     batch machinery (GeneralSolver / K2ExactSolver / ShortFirstSolver),
+//     dirty components in parallel via SolverOptions::num_threads;
+//   * untouched components keep their stored Solution verbatim.
+//
+// Work per update is proportional to the dirty region, not the universe —
+// the same observation sub-linear Set Cover algorithms build on (Indyk et
+// al., arXiv:1902.03534). See docs/online.md for the full model.
+#ifndef MC3_ONLINE_ONLINE_ENGINE_H_
+#define MC3_ONLINE_ONLINE_ENGINE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "core/solver.h"
+#include "util/status.h"
+
+namespace mc3::online {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Which batch solver re-solves a dirty component. kAuto picks
+  /// K2ExactSolver when the component's queries all have length <= 2 (the
+  /// exact PTIME regime) and GeneralSolver otherwise.
+  enum class SolverKind { kAuto, kGeneral, kK2Exact, kShortFirst };
+  SolverKind solver = SolverKind::kAuto;
+
+  /// Options forwarded to the per-component solver. `num_threads` is used
+  /// by the engine itself to re-solve dirty components concurrently; the
+  /// inner solvers always run single-threaded (their instances are single
+  /// components already).
+  SolverOptions solver_options;
+};
+
+/// Diagnostics of one update batch.
+struct UpdateStats {
+  size_t queries_added = 0;
+  size_t queries_removed = 0;
+  size_t duplicate_adds = 0;    ///< adds ignored: query already live
+  size_t missing_removes = 0;   ///< removes ignored: query not live
+  /// Pre-existing components invalidated by the batch (merged, split,
+  /// shrunk or grown).
+  size_t components_dirtied = 0;
+  /// Components solved by this update (the dirty region's new partition).
+  size_t components_resolved = 0;
+  /// Live queries in the dirty region (re-solved queries).
+  size_t queries_touched = 0;
+  /// Wall time of the update: repartition + sub-instance builds + solves.
+  double resolve_seconds = 0;
+};
+
+/// Cumulative counters over the engine's lifetime.
+struct EngineCounters {
+  size_t updates = 0;
+  size_t queries_added = 0;
+  size_t queries_removed = 0;
+  size_t components_resolved = 0;
+  size_t queries_touched = 0;
+  double resolve_seconds = 0;
+};
+
+/// The incremental engine. Not thread-safe: callers serialize updates (the
+/// engine parallelizes internally across dirty components).
+class OnlineEngine {
+ public:
+  explicit OnlineEngine(EngineOptions options = {});
+
+  /// Merges `instance`'s cost table into the engine's and adds all its
+  /// queries as one batch. Property names are adopted.
+  Result<UpdateStats> Initialize(const Instance& instance);
+
+  /// Prices `classifier` (overwriting any previous price). Costs can be
+  /// added or re-priced but never removed: `cost` must be finite and
+  /// non-negative, and re-pricing does not re-solve components that already
+  /// bought the classifier (their stored cost keeps the old price until
+  /// something else dirties them).
+  Status SetCost(const PropertySet& classifier, Cost cost);
+
+  /// Price of `classifier` in the engine's table; +infinity when absent.
+  Cost CostOf(const PropertySet& classifier) const;
+
+  /// Applies one update batch: removes first, then adds. Only the touched
+  /// components are repartitioned and re-solved. Fails without mutating
+  /// anything when an added query is empty, or is not coverable by
+  /// finite-cost classifiers of the engine's table (price its subsets
+  /// first).
+  Result<UpdateStats> ApplyUpdate(const std::vector<PropertySet>& add,
+                                  const std::vector<PropertySet>& remove);
+
+  /// Convenience wrappers over ApplyUpdate.
+  Result<UpdateStats> AddQueries(const std::vector<PropertySet>& queries);
+  Result<UpdateStats> RemoveQueries(const std::vector<PropertySet>& queries);
+
+  /// Aggregate construction cost of the maintained cover (sum of the
+  /// per-component solve costs).
+  Cost TotalCost() const { return total_cost_; }
+
+  /// Union of the per-component solutions: the classifiers to keep trained.
+  Solution CurrentSolution() const;
+
+  /// Materializes the current instance: live queries plus the relevant
+  /// finite-cost classifiers.
+  Instance LiveInstance() const;
+
+  size_t NumQueries() const { return num_live_; }
+  size_t NumComponents() const { return components_.size(); }
+  const EngineCounters& counters() const { return counters_; }
+
+  const std::vector<std::string>& property_names() const { return names_; }
+  void set_property_names(std::vector<std::string> names) {
+    names_ = std::move(names);
+  }
+
+  /// Invariant checker (O(instance)): the maintained cover passes
+  /// VerifyCoverage on the live instance, the component index partitions
+  /// the live queries and their properties exactly, and the cached
+  /// aggregate cost matches the per-component solutions.
+  Status CheckInvariants() const;
+
+ private:
+  struct Component {
+    std::vector<size_t> queries;  ///< live query slots of this component
+    Solution solution;
+    Cost cost = 0;
+  };
+
+  /// True iff every property of `query` is covered by some finite-cost
+  /// classifier of the table that is a subset of `query`.
+  bool Coverable(const PropertySet& query) const;
+
+  /// Builds the sub-instance over the live queries in `slots`.
+  Instance BuildSubInstance(const std::vector<size_t>& slots) const;
+
+  /// Solves `sub` with the configured solver. On success stores solution
+  /// and cost into `out`.
+  Status SolveComponent(const Instance& sub, Component* out) const;
+
+  EngineOptions options_;
+
+  /// Every query ever seen, with tombstones; `slot_of_` maps a query to its
+  /// slot so removed queries can be revived in place.
+  std::vector<PropertySet> queries_;
+  std::vector<bool> live_;
+  std::unordered_map<PropertySet, size_t, PropertySetHash> slot_of_;
+  size_t num_live_ = 0;
+
+  CostMap costs_;
+  std::vector<std::string> names_;
+
+  /// Component registry; ids are never reused.
+  std::unordered_map<size_t, Component> components_;
+  size_t next_component_id_ = 0;
+  /// Slot -> owning component id (valid for live slots only).
+  std::vector<size_t> component_of_slot_;
+  /// Property -> owning component id. A property of a live query belongs to
+  /// exactly one component.
+  std::unordered_map<PropertyId, size_t> component_of_prop_;
+
+  Cost total_cost_ = 0;
+  EngineCounters counters_;
+};
+
+}  // namespace mc3::online
+
+#endif  // MC3_ONLINE_ONLINE_ENGINE_H_

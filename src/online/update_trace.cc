@@ -1,0 +1,89 @@
+#include "online/update_trace.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace mc3::online {
+namespace {
+
+/// Splits on whitespace and commas, dropping empty tokens.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == ',') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace
+
+Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
+                                     std::vector<std::string> base_names) {
+  UpdateTrace trace;
+  trace.property_names = std::move(base_names);
+  std::unordered_map<std::string, PropertyId> interned;
+  for (PropertyId id = 0; id < trace.property_names.size(); ++id) {
+    interned.emplace(trace.property_names[id], id);
+  }
+
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    std::vector<std::string> tokens = Tokenize(lines[ln]);
+    if (tokens.empty() || tokens[0][0] == '#') {
+      ++trace.skipped_lines;
+      continue;
+    }
+    TraceOp op;
+    size_t first = 0;
+    if (tokens[0] == "+" || tokens[0] == "add") {
+      first = 1;
+    } else if (tokens[0] == "-" || tokens[0] == "remove") {
+      op.kind = TraceOp::Kind::kRemove;
+      first = 1;
+    }
+    if (first >= tokens.size()) {
+      return Status::InvalidArgument("trace line " + std::to_string(ln + 1) +
+                                     ": operation without a query");
+    }
+    std::vector<PropertyId> ids;
+    for (size_t t = first; t < tokens.size(); ++t) {
+      const auto [it, inserted] = interned.emplace(
+          tokens[t], static_cast<PropertyId>(trace.property_names.size()));
+      if (inserted) trace.property_names.push_back(tokens[t]);
+      ids.push_back(it->second);
+    }
+    op.query = PropertySet::FromUnsorted(std::move(ids));
+    trace.ops.push_back(std::move(op));
+  }
+  return trace;
+}
+
+Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
+                                    std::vector<std::string> base_names) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::NotFound("cannot open trace file " + path);
+  }
+  std::vector<std::string> lines;
+  std::string current;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += static_cast<char>(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  std::fclose(in);
+  return ParseUpdateTrace(lines, std::move(base_names));
+}
+
+}  // namespace mc3::online

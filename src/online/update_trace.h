@@ -1,0 +1,58 @@
+// Update-trace parsing for the serving engine: a textual log of query
+// additions and retirements replayed against an OnlineEngine (the `mc3
+// serve` subcommand).
+//
+// Format, one operation per line:
+//
+//   # comments and blank lines are skipped
+//   + white adidas juventus     add the query {white, adidas, juventus}
+//   - sony tv                   remove the query {sony, tv}
+//   add,white,adidas            CSV spelling of the same operations
+//   remove,sony,tv
+//   white adidas                a line with no marker is an add
+//                               (raw query-log style)
+//
+// Properties are separated by whitespace or commas and are matched
+// case-sensitively against the base workload's property names (the same
+// convention as the instance CSV dialect); unseen names are interned as new
+// properties.
+#ifndef MC3_ONLINE_UPDATE_TRACE_H_
+#define MC3_ONLINE_UPDATE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/property_set.h"
+#include "util/status.h"
+
+namespace mc3::online {
+
+/// One trace operation.
+struct TraceOp {
+  enum class Kind { kAdd, kRemove };
+  Kind kind = Kind::kAdd;
+  PropertySet query;
+};
+
+/// A parsed trace plus the property-name table grown while parsing.
+struct UpdateTrace {
+  std::vector<TraceOp> ops;
+  /// The base name table extended with names first seen in the trace
+  /// (index = PropertyId). Hand this to the engine via set_property_names.
+  std::vector<std::string> property_names;
+  size_t skipped_lines = 0;  ///< comments and blank lines
+};
+
+/// Parses `lines` against the `base_names` id table (typically the base
+/// workload's property names). Fails on a line whose query is empty after
+/// removing the marker.
+Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
+                                     std::vector<std::string> base_names);
+
+/// File variant: reads `path` line by line.
+Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
+                                    std::vector<std::string> base_names);
+
+}  // namespace mc3::online
+
+#endif  // MC3_ONLINE_UPDATE_TRACE_H_

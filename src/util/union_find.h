@@ -1,0 +1,50 @@
+// Disjoint-set forest over dense ids, growing on demand. Used for the
+// shared-property component partition (paper Section 3, Observation 3.2)
+// both offline (Algorithm 1 step 2) and online (the serving engine's
+// dirty-region repartition).
+#ifndef MC3_UTIL_UNION_FIND_H_
+#define MC3_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace mc3 {
+
+/// Union-find with path halving. Ids outside the current range are adopted
+/// lazily as singletons.
+class UnionFind {
+ public:
+  uint32_t Find(uint32_t x) {
+    Ensure(x);
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+ private:
+  void Ensure(uint32_t x) {
+    if (x >= parent_.size()) {
+      const size_t old = parent_.size();
+      parent_.resize(static_cast<size_t>(x) + 1);
+      std::iota(parent_.begin() + old, parent_.end(),
+                static_cast<uint32_t>(old));
+    }
+  }
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace mc3
+
+#endif  // MC3_UTIL_UNION_FIND_H_

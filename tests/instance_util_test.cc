@@ -59,6 +59,64 @@ TEST(RandomSubInstanceTest, SampledInstancesSolvable) {
   }
 }
 
+TEST(PartitionQueriesTest, SplitsOnSharedProperties) {
+  const std::vector<PropertySet> queries = {PS({0, 1}), PS({2, 3}),
+                                            PS({1, 4}), PS({5})};
+  const ComponentPartition partition = PartitionQueries(queries);
+  EXPECT_EQ(partition.num_components, 3u);
+  // Ids in first-appearance order.
+  EXPECT_EQ(partition.component_of,
+            (std::vector<size_t>{0, 1, 0, 2}));
+}
+
+TEST(PartitionQueriesTest, SubsetOfQueries) {
+  const std::vector<PropertySet> queries = {PS({0, 1}), PS({1, 2}),
+                                            PS({3})};
+  // Without the middle query, {0,1} and {3} are separate components.
+  const ComponentPartition partition = PartitionQueries(queries, {0, 2});
+  EXPECT_EQ(partition.num_components, 2u);
+  EXPECT_EQ(partition.component_of, (std::vector<size_t>{0, 1}));
+
+  const ComponentPartition empty = PartitionQueries(queries, {});
+  EXPECT_EQ(empty.num_components, 0u);
+}
+
+TEST(DecomposeComponentsTest, ComponentsSolveIndependently) {
+  InstanceBuilder b;
+  b.AddQuery({"a", "b"});
+  b.AddQuery({"c", "d"});
+  b.SetCost({"a"}, 1);
+  b.SetCost({"b"}, 2);
+  b.SetCost({"a", "b"}, 2);
+  b.SetCost({"c"}, 3);
+  b.SetCost({"d"}, 4);
+  const Instance inst = std::move(b).Build();
+
+  const std::vector<Instance> components = DecomposeComponents(inst);
+  ASSERT_EQ(components.size(), 2u);
+  Cost total = 0;
+  size_t queries = 0;
+  for (const Instance& component : components) {
+    EXPECT_TRUE(component.Validate().ok());
+    auto solved = ExactSolver().Solve(component);
+    ASSERT_TRUE(solved.ok());
+    total += solved->cost;
+    queries += component.NumQueries();
+  }
+  EXPECT_EQ(queries, inst.NumQueries());
+  auto whole = ExactSolver().Solve(inst);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(total, whole->cost);
+}
+
+TEST(DecomposeComponentsTest, SingleComponentAndEmpty) {
+  EXPECT_TRUE(DecomposeComponents(Instance{}).empty());
+  const std::vector<Instance> one =
+      DecomposeComponents(testing::PaperExample());
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].NumQueries(), 2u);
+}
+
 TEST(BoundClassifierLengthTest, DropsLongClassifiers) {
   const Instance inst = testing::PaperExample();
   const Instance bounded = BoundClassifierLength(inst, 2);

@@ -1,0 +1,320 @@
+#include "online/online_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/general_solver.h"
+#include "core/instance_util.h"
+#include "core/k2_solver.h"
+#include "data/synthetic.h"
+#include "online/churn.h"
+#include "online/update_trace.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using online::ChurnGenerator;
+using online::EngineOptions;
+using online::OnlineEngine;
+using online::UpdateStats;
+using testing::PS;
+
+EngineOptions GeneralEngineOptions(size_t threads = 1) {
+  EngineOptions options;
+  options.solver = EngineOptions::SolverKind::kGeneral;
+  options.solver_options.num_threads = threads;
+  return options;
+}
+
+/// From-scratch cost of the engine's live instance under the same pipeline.
+Cost BatchCost(const OnlineEngine& engine) {
+  SolverOptions options;  // defaults match GeneralEngineOptions
+  auto result = GeneralSolver(options).Solve(engine.LiveInstance());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->cost : kInfiniteCost;
+}
+
+TEST(OnlineEngineTest, InitializeMatchesBatchSolve) {
+  OnlineEngine engine(GeneralEngineOptions());
+  const Instance inst = testing::PaperExample();
+  auto stats = engine.Initialize(inst);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->queries_added, 2u);
+  EXPECT_EQ(engine.NumQueries(), 2u);
+  EXPECT_EQ(engine.NumComponents(), 1u);  // the queries share "adidas"
+  EXPECT_EQ(engine.TotalCost(), 7);       // the paper's optimum
+  EXPECT_EQ(engine.TotalCost(), BatchCost(engine));
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+}
+
+TEST(OnlineEngineTest, EmptyEngine) {
+  OnlineEngine engine;
+  EXPECT_EQ(engine.NumQueries(), 0u);
+  EXPECT_EQ(engine.NumComponents(), 0u);
+  EXPECT_EQ(engine.TotalCost(), 0);
+  EXPECT_TRUE(engine.CurrentSolution().empty());
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+  // Removing from an empty engine is a counted no-op.
+  auto stats = engine.RemoveQueries({PS({0, 1})});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->missing_removes, 1u);
+  EXPECT_EQ(stats->components_resolved, 0u);
+}
+
+TEST(OnlineEngineTest, RemoveLastQueryEmptiesTheEngine) {
+  OnlineEngine engine(GeneralEngineOptions());
+  ASSERT_TRUE(engine.Initialize(testing::PaperExample()).ok());
+  auto stats = engine.RemoveQueries(engine.LiveInstance().queries());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->queries_removed, 2u);
+  EXPECT_EQ(stats->components_resolved, 0u);
+  EXPECT_EQ(engine.NumQueries(), 0u);
+  EXPECT_EQ(engine.NumComponents(), 0u);
+  EXPECT_EQ(engine.TotalCost(), 0);
+  EXPECT_TRUE(engine.CurrentSolution().empty());
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+  // And the engine keeps working afterwards: revive one query.
+  auto revived = engine.AddQueries({testing::PaperExample().queries()[1]});
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ(engine.NumQueries(), 1u);
+  EXPECT_EQ(engine.TotalCost(), BatchCost(engine));
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+}
+
+TEST(OnlineEngineTest, ComponentMergeAndSplit) {
+  InstanceBuilder b;
+  b.AddQuery({"a", "b"});
+  b.AddQuery({"c", "d"});
+  b.SetCost({"a"}, 1);
+  b.SetCost({"b"}, 1);
+  b.SetCost({"c"}, 1);
+  b.SetCost({"d"}, 1);
+  b.SetCost({"b", "c"}, 1);
+  const Instance inst = std::move(b).Build();
+
+  OnlineEngine engine(GeneralEngineOptions());
+  ASSERT_TRUE(engine.Initialize(inst).ok());
+  EXPECT_EQ(engine.NumComponents(), 2u);
+
+  // {b, c} bridges the two components: they merge into one. (Builder
+  // interning is first-appearance order: a=0, b=1, c=2, d=3.)
+  const PropertySet bridge = PS({1, 2});
+  auto merged = engine.AddQueries({bridge});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->components_dirtied, 2u);
+  EXPECT_EQ(merged->components_resolved, 1u);
+  EXPECT_EQ(merged->queries_touched, 3u);
+  EXPECT_EQ(engine.NumComponents(), 1u);
+  EXPECT_EQ(engine.TotalCost(), BatchCost(engine));
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+
+  // Removing the bridge splits the component back in two.
+  auto split = engine.RemoveQueries({bridge});
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->components_dirtied, 1u);
+  EXPECT_EQ(split->components_resolved, 2u);
+  EXPECT_EQ(engine.NumComponents(), 2u);
+  EXPECT_EQ(engine.TotalCost(), BatchCost(engine));
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+}
+
+TEST(OnlineEngineTest, IsolatedAddTouchesOnlyItsComponent) {
+  OnlineEngine engine(GeneralEngineOptions());
+  ASSERT_TRUE(engine.Initialize(testing::PaperExample()).ok());
+  ASSERT_TRUE(engine.SetCost(PS({100}), 2).ok());
+  ASSERT_TRUE(engine.SetCost(PS({101}), 2).ok());
+  auto stats = engine.AddQueries({PS({100, 101})});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->components_dirtied, 0u);
+  EXPECT_EQ(stats->components_resolved, 1u);
+  EXPECT_EQ(stats->queries_touched, 1u);
+  EXPECT_EQ(engine.NumComponents(), 2u);
+  EXPECT_EQ(engine.TotalCost(), 7 + 4);
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+}
+
+TEST(OnlineEngineTest, DuplicateAddAndMissingRemoveAreNoOps) {
+  OnlineEngine engine(GeneralEngineOptions());
+  ASSERT_TRUE(engine.Initialize(testing::PaperExample()).ok());
+  const Cost before = engine.TotalCost();
+
+  auto dup = engine.AddQueries({testing::PaperExample().queries()[0]});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->duplicate_adds, 1u);
+  EXPECT_EQ(dup->components_resolved, 0u);
+  EXPECT_EQ(engine.TotalCost(), before);
+
+  auto missing = engine.RemoveQueries({PS({7, 8, 9})});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->missing_removes, 1u);
+  EXPECT_EQ(engine.TotalCost(), before);
+  EXPECT_EQ(engine.counters().updates, 3u);  // init + the two no-ops
+}
+
+TEST(OnlineEngineTest, InfeasibleAddRejectedWithoutMutation) {
+  OnlineEngine engine(GeneralEngineOptions());
+  ASSERT_TRUE(engine.Initialize(testing::PaperExample()).ok());
+  const Cost before = engine.TotalCost();
+  const size_t components = engine.NumComponents();
+
+  // Property 99 has no priced classifier: the add must be rejected atomically
+  // (the feasible first query must not slip in either).
+  auto stats = engine.ApplyUpdate(
+      {testing::PaperExample().queries()[0], PS({99})}, {});
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(engine.TotalCost(), before);
+  EXPECT_EQ(engine.NumComponents(), components);
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+
+  auto empty = engine.AddQueries({PropertySet{}});
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineEngineTest, RepricingAppliesOnNextResolve) {
+  InstanceBuilder b;
+  b.AddQuery({"a", "b"});
+  b.SetCost({"a"}, 5);
+  b.SetCost({"b"}, 5);
+  b.SetCost({"a", "b"}, 20);
+  const Instance inst = std::move(b).Build();
+
+  OnlineEngine engine(GeneralEngineOptions());
+  ASSERT_TRUE(engine.Initialize(inst).ok());
+  EXPECT_EQ(engine.TotalCost(), 10);  // two singletons
+
+  // Cheaper pair price takes effect when the component is next re-solved.
+  ASSERT_TRUE(engine.SetCost(inst.queries()[0], 3).ok());
+  EXPECT_EQ(engine.TotalCost(), 10);  // not yet re-solved
+  ASSERT_TRUE(engine.RemoveQueries({inst.queries()[0]}).ok());
+  ASSERT_TRUE(engine.AddQueries({inst.queries()[0]}).ok());
+  EXPECT_EQ(engine.TotalCost(), 3);
+  EXPECT_TRUE(engine.CheckInvariants().ok());
+
+  // Removing a price is not allowed.
+  EXPECT_FALSE(engine.SetCost(inst.queries()[0], kInfiniteCost).ok());
+  EXPECT_FALSE(engine.SetCost(inst.queries()[0], -1).ok());
+}
+
+TEST(OnlineEngineTest, K2AutoMatchesExactSolver) {
+  testing::RandomInstanceConfig config;
+  config.num_queries = 30;
+  config.pool = 20;
+  config.max_query_length = 2;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Instance inst = testing::RandomInstance(config, seed);
+    OnlineEngine engine;  // kAuto: every component is k <= 2 -> exact
+    ASSERT_TRUE(engine.Initialize(inst).ok());
+    auto exact = K2ExactSolver().Solve(inst);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    EXPECT_DOUBLE_EQ(engine.TotalCost(), exact->cost) << "seed " << seed;
+    EXPECT_TRUE(engine.CheckInvariants().ok());
+  }
+}
+
+/// The ISSUE's headline equivalence: random add/remove traces on synthetic
+/// instances; after every batch the engine's cover cost equals a
+/// from-scratch GeneralSolver::Solve on the live instance (same options =>
+/// identical cost, by the determinism of the pipeline).
+TEST(OnlineEngineTest, RandomChurnMatchesBatchSolve) {
+  for (uint64_t seed : {7u, 11u}) {
+    data::SyntheticConfig config;
+    config.num_queries = 120;
+    config.seed = seed;
+    const Instance base = data::GenerateSynthetic(config);
+
+    OnlineEngine engine(GeneralEngineOptions());
+    ASSERT_TRUE(engine.Initialize(base).ok());
+    ASSERT_EQ(engine.NumQueries(), base.NumQueries());
+    EXPECT_DOUBLE_EQ(engine.TotalCost(), BatchCost(engine));
+
+    ChurnGenerator churn(base, /*seed=*/seed * 13);
+    for (int round = 0; round < 6; ++round) {
+      const ChurnGenerator::Batch batch = churn.Next(/*adds=*/6,
+                                                     /*removes=*/9);
+      auto stats = engine.ApplyUpdate(batch.add, batch.remove);
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      ASSERT_TRUE(engine.CheckInvariants().ok()) << "seed " << seed
+                                                 << " round " << round;
+      EXPECT_DOUBLE_EQ(engine.TotalCost(), BatchCost(engine))
+          << "seed " << seed << " round " << round;
+    }
+    EXPECT_EQ(engine.NumQueries(), churn.NumLive());
+  }
+}
+
+TEST(OnlineEngineTest, ParallelResolveMatchesSequential) {
+  data::SyntheticConfig config;
+  config.num_queries = 150;
+  config.seed = 42;
+  const Instance base = data::GenerateSynthetic(config);
+
+  OnlineEngine sequential(GeneralEngineOptions(1));
+  OnlineEngine parallel(GeneralEngineOptions(4));
+  ASSERT_TRUE(sequential.Initialize(base).ok());
+  ASSERT_TRUE(parallel.Initialize(base).ok());
+  EXPECT_DOUBLE_EQ(sequential.TotalCost(), parallel.TotalCost());
+
+  ChurnGenerator churn_a(base, 99);
+  ChurnGenerator churn_b(base, 99);
+  for (int round = 0; round < 4; ++round) {
+    const auto batch_a = churn_a.Next(5, 10);
+    const auto batch_b = churn_b.Next(5, 10);
+    ASSERT_TRUE(sequential.ApplyUpdate(batch_a.add, batch_a.remove).ok());
+    ASSERT_TRUE(parallel.ApplyUpdate(batch_b.add, batch_b.remove).ok());
+    EXPECT_DOUBLE_EQ(sequential.TotalCost(), parallel.TotalCost());
+  }
+  EXPECT_TRUE(parallel.CheckInvariants().ok());
+}
+
+TEST(UpdateTraceTest, ParsesMarkersCsvAndComments) {
+  auto trace = online::ParseUpdateTrace(
+      {"# header", "", "+ white adidas", "- sony tv", "add,white,adidas",
+       "remove,sony,tv", "plain query"},
+      {"white"});
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->ops.size(), 5u);
+  EXPECT_EQ(trace->skipped_lines, 2u);
+  EXPECT_EQ(trace->ops[0].kind, online::TraceOp::Kind::kAdd);
+  EXPECT_EQ(trace->ops[1].kind, online::TraceOp::Kind::kRemove);
+  EXPECT_EQ(trace->ops[0].query, trace->ops[2].query);
+  EXPECT_EQ(trace->ops[1].query, trace->ops[3].query);
+  EXPECT_EQ(trace->ops[4].kind, online::TraceOp::Kind::kAdd);
+  // "white" kept its base id; new names were interned after it.
+  EXPECT_EQ(trace->property_names[0], "white");
+  EXPECT_TRUE(trace->ops[0].query.Contains(0));
+
+  auto bad = online::ParseUpdateTrace({"+"}, {});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ChurnGeneratorTest, DeterministicAndConsistent) {
+  const Instance base = data::GenerateSynthetic({.num_queries = 50, .seed = 3});
+  ChurnGenerator a(base, 5);
+  ChurnGenerator b(base, 5);
+  for (int i = 0; i < 3; ++i) {
+    const auto batch_a = a.Next(4, 8);
+    const auto batch_b = b.Next(4, 8);
+    EXPECT_EQ(batch_a.add, batch_b.add);
+    EXPECT_EQ(batch_a.remove, batch_b.remove);
+  }
+  EXPECT_EQ(a.NumLive() + a.NumRetired(), base.NumQueries());
+}
+
+TEST(ShardedSyntheticTest, DomainsAreDisjointComponents) {
+  online::ShardedSyntheticConfig config;
+  config.num_domains = 5;
+  config.domain.num_queries = 20;
+  config.domain.seed = 1;
+  const Instance inst = online::GenerateShardedSynthetic(config);
+  EXPECT_EQ(inst.NumQueries(), 100u);
+  EXPECT_TRUE(inst.Validate().ok());
+  const ComponentPartition partition = PartitionQueries(inst.queries());
+  EXPECT_GE(partition.num_components, config.num_domains);
+}
+
+}  // namespace
+}  // namespace mc3

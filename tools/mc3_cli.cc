@@ -21,11 +21,24 @@
 //       Turn a raw free-text query log (one search per line) into a priced
 //       MC3 workload (tokenize, aggregate, estimate costs).
 //
+//   mc3 serve <workload.csv> --trace <trace.txt> [--solver NAME]
+//             [--threads N] [--batch N] [--default-cost D]
+//             [--verify-every N] [--verbose]
+//       Load the workload into the incremental serving engine and replay an
+//       update trace ('+ props...' adds a query, '- props...' removes one;
+//       see src/online/update_trace.h), re-solving only the dirty
+//       components per batch. --batch groups N trace operations per update
+//       (default 1); --default-cost prices classifiers of added queries
+//       missing from the workload's table; --verify-every runs the
+//       engine's invariant checker every N batches.
+//
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/mc3.h"
@@ -34,6 +47,8 @@
 #include "data/private_dataset.h"
 #include "data/query_log.h"
 #include "data/synthetic.h"
+#include "online/online_engine.h"
+#include "online/update_trace.h"
 
 namespace {
 
@@ -49,7 +64,10 @@ int Usage() {
       "  mc3 generate --dataset bestbuy|private|synthetic [--n N]\n"
       "            [--seed S] -o <out.csv>\n"
       "  mc3 preprocess <workload.csv>\n"
-      "  mc3 ingest <log.txt> -o <workload.csv> [--default-cost D]\n");
+      "  mc3 ingest <log.txt> -o <workload.csv> [--default-cost D]\n"
+      "  mc3 serve <workload.csv> --trace <trace.txt> [--solver NAME]\n"
+      "            [--threads N] [--batch N] [--default-cost D]\n"
+      "            [--verify-every N] [--verbose]\n");
   return 2;
 }
 
@@ -224,6 +242,138 @@ int CmdIngest(const std::string& path, const std::string& out,
   return 0;
 }
 
+struct ServeConfig {
+  std::string solver = "auto";
+  size_t threads = 1;
+  size_t batch = 1;         ///< trace operations per engine update
+  Cost default_cost = -1;   ///< < 0 = no auto-pricing of unknown classifiers
+  size_t verify_every = 0;  ///< 0 = only verify at the end
+  bool verbose = false;
+};
+
+int CmdServe(const std::string& workload_path, const std::string& trace_path,
+             const ServeConfig& config) {
+  auto instance = Load(workload_path);
+  if (!instance.ok()) return Fail(instance.status());
+
+  online::EngineOptions options;
+  if (config.solver == "auto") {
+    options.solver = online::EngineOptions::SolverKind::kAuto;
+  } else if (config.solver == "general") {
+    options.solver = online::EngineOptions::SolverKind::kGeneral;
+  } else if (config.solver == "k2") {
+    options.solver = online::EngineOptions::SolverKind::kK2Exact;
+  } else if (config.solver == "short-first") {
+    options.solver = online::EngineOptions::SolverKind::kShortFirst;
+  } else {
+    std::fprintf(stderr, "unknown serve solver '%s'\n", config.solver.c_str());
+    return 2;
+  }
+  options.solver_options.num_threads = config.threads;
+
+  online::OnlineEngine engine(options);
+  auto init = engine.Initialize(*instance);
+  if (!init.ok()) return Fail(init.status());
+  std::printf("loaded:     %zu queries, %zu components, cost %.2f "
+              "(%.1f ms)\n",
+              engine.NumQueries(), engine.NumComponents(), engine.TotalCost(),
+              1e3 * init->resolve_seconds);
+
+  auto trace =
+      online::LoadUpdateTrace(trace_path, instance->property_names());
+  if (!trace.ok()) return Fail(trace.status());
+  engine.set_property_names(trace->property_names);
+  std::printf("trace:      %zu operations (%zu lines skipped)\n",
+              trace->ops.size(), trace->skipped_lines);
+
+  // Price classifiers the trace introduces but the workload doesn't know.
+  if (config.default_cost >= 0) {
+    Instance added;
+    added.set_property_names(trace->property_names);
+    std::unordered_set<PropertySet, PropertySetHash> seen;
+    for (const online::TraceOp& op : trace->ops) {
+      if (op.kind == online::TraceOp::Kind::kAdd &&
+          seen.insert(op.query).second) {
+        added.AddQuery(op.query);
+      }
+    }
+    data::CostEstimatorOptions estimator;
+    estimator.default_difficulty = config.default_cost;
+    if (Status status = data::EstimateCosts(&added, estimator);
+        !status.ok()) {
+      return Fail(status);
+    }
+    size_t priced = 0;
+    for (const auto& [classifier, cost] : added.costs()) {
+      if (engine.CostOf(classifier) != kInfiniteCost) continue;
+      if (Status status = engine.SetCost(classifier, cost); !status.ok()) {
+        return Fail(status);
+      }
+      ++priced;
+    }
+    std::printf("priced:     %zu new classifiers at default difficulty "
+                "%.2f\n",
+                priced, config.default_cost);
+  }
+
+  const size_t batch_size = std::max<size_t>(1, config.batch);
+  size_t batches = 0;
+  for (size_t at = 0; at < trace->ops.size(); at += batch_size) {
+    std::vector<PropertySet> add;
+    std::vector<PropertySet> remove;
+    const size_t end = std::min(at + batch_size, trace->ops.size());
+    for (size_t i = at; i < end; ++i) {
+      if (trace->ops[i].kind == online::TraceOp::Kind::kAdd) {
+        add.push_back(trace->ops[i].query);
+      } else {
+        remove.push_back(trace->ops[i].query);
+      }
+    }
+    auto stats = engine.ApplyUpdate(add, remove);
+    if (!stats.ok()) return Fail(stats.status());
+    ++batches;
+    if (config.verbose) {
+      std::printf("batch %-5zu +%zu -%zu | %zu dirty -> %zu resolved, "
+                  "%zu queries touched, %.2f ms | cost %.2f, "
+                  "%zu components\n",
+                  batches, stats->queries_added, stats->queries_removed,
+                  stats->components_dirtied, stats->components_resolved,
+                  stats->queries_touched, 1e3 * stats->resolve_seconds,
+                  engine.TotalCost(), engine.NumComponents());
+    }
+    if (config.verify_every > 0 && batches % config.verify_every == 0) {
+      if (Status status = engine.CheckInvariants(); !status.ok()) {
+        return Fail(status);
+      }
+    }
+  }
+  if (Status status = engine.CheckInvariants(); !status.ok()) {
+    return Fail(status);
+  }
+
+  // Initialize() is counted in the cumulative counters; subtract its stats
+  // so the summary reflects the replay alone.
+  const online::EngineCounters& counters = engine.counters();
+  const double replay_seconds =
+      counters.resolve_seconds - init->resolve_seconds;
+  std::printf("replayed:   %zu batches (+%zu / -%zu queries)\n", batches,
+              counters.queries_added - init->queries_added,
+              counters.queries_removed - init->queries_removed);
+  std::printf("re-solved:  %zu components, %zu queries touched, "
+              "%.1f ms total (%.2f ms/batch)\n",
+              counters.components_resolved - init->components_resolved,
+              counters.queries_touched - init->queries_touched,
+              1e3 * replay_seconds,
+              batches > 0 ? 1e3 * replay_seconds /
+                                static_cast<double>(batches)
+                          : 0.0);
+  std::printf("final:      %zu queries, %zu components, cost %.2f "
+              "(invariants ok)\n",
+              engine.NumQueries(), engine.NumComponents(),
+              engine.TotalCost());
+  return 0;
+}
+
 int CmdPreprocess(const std::string& path) {
   auto instance = Load(path);
   if (!instance.ok()) return Fail(instance.status());
@@ -278,7 +428,8 @@ int main(int argc, char** argv) {
            args[i - 1] == "--seed" || args[i - 1] == "--dataset" ||
            args[i - 1] == "--threads" || args[i - 1] == "--exact-components" ||
            args[i - 1] == "--default-cost" || args[i - 1] == "--out" ||
-           args[i - 1] == "-o")) {
+           args[i - 1] == "--trace" || args[i - 1] == "--batch" ||
+           args[i - 1] == "--verify-every" || args[i - 1] == "-o")) {
         continue;
       }
       return &args[i];
@@ -326,6 +477,27 @@ int main(int argc, char** argv) {
     const std::string* path = positional();
     if (path == nullptr) return Usage();
     return CmdPreprocess(*path);
+  }
+  if (command == "serve") {
+    const std::string* path = positional();
+    const std::string* trace = flag_value("--trace");
+    if (path == nullptr || trace == nullptr) return Usage();
+    ServeConfig config;
+    if (const std::string* v = flag_value("--solver")) config.solver = *v;
+    if (const std::string* v = flag_value("--threads")) {
+      config.threads = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    if (const std::string* v = flag_value("--batch")) {
+      config.batch = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    if (const std::string* v = flag_value("--default-cost")) {
+      config.default_cost = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = flag_value("--verify-every")) {
+      config.verify_every = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    config.verbose = has_flag("--verbose");
+    return CmdServe(*path, *trace, config);
   }
   if (command == "ingest") {
     const std::string* path = positional();
