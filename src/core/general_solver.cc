@@ -4,6 +4,7 @@
 
 #include "core/k2_solver.h"
 #include "core/wsc_reduction.h"
+#include "obs/trace.h"
 #include "setcover/greedy.h"
 #include "setcover/lp_rounding.h"
 #include "setcover/primal_dual.h"
@@ -15,9 +16,12 @@ namespace {
 
 Status SolveComponent(const Instance& component, const SolverOptions& options,
                       Solution* out) {
+  obs::ScopedSpan span("general_component");
+  span.AddStat("queries", static_cast<double>(component.NumQueries()));
   // Extension: tiny components can be closed exactly.
   if (options.exact_component_max_queries > 0 &&
       component.NumQueries() <= options.exact_component_max_queries) {
+    obs::ScopedSpan exact_span("exact_component");
     ExactSolver::Limits limits;
     limits.max_queries = options.exact_component_max_queries;
     auto exact = ExactSolver(limits).Solve(component);
@@ -48,7 +52,15 @@ Status SolveComponent(const Instance& component, const SolverOptions& options,
     out->Merge(exact->solution);
     return Status::OK();
   }
-  const WscReduction reduction = ReduceToWsc(component);
+  obs::ScopedSpan wsc_span("wsc");
+  const WscReduction reduction = [&] {
+    obs::ScopedSpan reduce_span("wsc_reduce");
+    WscReduction r = ReduceToWsc(component);
+    reduce_span.AddStat("elements",
+                        static_cast<double>(r.wsc.num_elements));
+    reduce_span.AddStat("sets", static_cast<double>(r.wsc.sets.size()));
+    return r;
+  }();
 
   bool have_best = false;
   setcover::WscSolution best;
@@ -86,6 +98,7 @@ Status SolveComponent(const Instance& component, const SolverOptions& options,
 }  // namespace
 
 Result<SolveResult> GeneralSolver::Solve(const Instance& instance) const {
+  obs::ScopedSpan span("general_solver");
   Timer preprocess_timer;
   Solution solution;
   std::vector<Instance> components;
@@ -108,7 +121,9 @@ Result<SolveResult> GeneralSolver::Solve(const Instance& instance) const {
   Timer solve_timer;
   std::vector<Solution> component_solutions(components.size());
   std::vector<Status> component_statuses(components.size());
+  const obs::TraceContext trace_context = obs::CurrentTraceContext();
   ParallelFor(components.size(), options_.num_threads, [&](size_t i) {
+    obs::ScopedSpanAdoption adopt(trace_context);
     component_statuses[i] =
         SolveComponent(components[i], options_, &component_solutions[i]);
   });

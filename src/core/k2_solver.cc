@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "flow/bipartite_vertex_cover.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -22,38 +24,47 @@ namespace {
 /// the cover.
 Status SolveComponent(const Instance& component,
                       flow::MaxFlowAlgorithm algorithm, Solution* out) {
+  obs::ScopedSpan span("k2_component");
   flow::BipartiteVcInstance vc;
   std::unordered_map<PropertyId, int32_t> left_index;
   std::vector<PropertyId> left_property;
-  auto left_of = [&](PropertyId p) {
-    const auto [it, inserted] =
-        left_index.emplace(p, static_cast<int32_t>(vc.left_weights.size()));
-    if (inserted) {
-      vc.left_weights.push_back(component.CostOf(PropertySet::Of({p})));
-      left_property.push_back(p);
-    }
-    return it->second;
-  };
-
   std::vector<const PropertySet*> right_query;  // length-2 queries only
-  for (const PropertySet& q : component.queries()) {
-    if (q.size() > 2) {
-      return Status::InvalidArgument(
-          "k=2 solver given query of length " + std::to_string(q.size()));
-    }
-    const auto r = static_cast<int32_t>(vc.right_weights.size());
-    if (q.size() == 1) {
-      // Force the singleton classifier into the cover.
-      vc.right_weights.push_back(kInfiniteCost);
-      right_query.push_back(nullptr);
-      vc.edges.emplace_back(left_of(*q.begin()), r);
-    } else {
-      vc.right_weights.push_back(component.CostOf(q));
-      right_query.push_back(&q);
-      for (PropertyId p : q) vc.edges.emplace_back(left_of(p), r);
-    }
-  }
+  {
+    obs::ScopedSpan build("build_vc");
+    auto left_of = [&](PropertyId p) {
+      const auto [it, inserted] =
+          left_index.emplace(p, static_cast<int32_t>(vc.left_weights.size()));
+      if (inserted) {
+        vc.left_weights.push_back(component.CostOf(PropertySet::Of({p})));
+        left_property.push_back(p);
+      }
+      return it->second;
+    };
 
+    for (const PropertySet& q : component.queries()) {
+      if (q.size() > 2) {
+        return Status::InvalidArgument(
+            "k=2 solver given query of length " + std::to_string(q.size()));
+      }
+      const auto r = static_cast<int32_t>(vc.right_weights.size());
+      if (q.size() == 1) {
+        // Force the singleton classifier into the cover.
+        vc.right_weights.push_back(kInfiniteCost);
+        right_query.push_back(nullptr);
+        vc.edges.emplace_back(left_of(*q.begin()), r);
+      } else {
+        vc.right_weights.push_back(component.CostOf(q));
+        right_query.push_back(&q);
+        for (PropertyId p : q) vc.edges.emplace_back(left_of(p), r);
+      }
+    }
+    build.AddStat("left", static_cast<double>(vc.left_weights.size()));
+    build.AddStat("right", static_cast<double>(vc.right_weights.size()));
+    build.AddStat("edges", static_cast<double>(vc.edges.size()));
+  }
+  span.AddStat("queries", static_cast<double>(component.queries().size()));
+
+  obs::ScopedSpan flow_span("maxflow");
   auto cover = flow::SolveBipartiteVertexCover(vc, algorithm);
   if (!cover.ok()) {
     if (cover.status().code() == StatusCode::kInfeasible) {
@@ -83,6 +94,7 @@ Result<SolveResult> K2ExactSolver::Solve(const Instance& instance) const {
     return Status::InvalidArgument(
         "K2ExactSolver requires max query length <= 2; use GeneralSolver");
   }
+  obs::ScopedSpan span("k2_solver");
   Timer preprocess_timer;
   Solution solution;
   std::vector<Instance> components;
@@ -105,10 +117,15 @@ Result<SolveResult> K2ExactSolver::Solve(const Instance& instance) const {
   Timer solve_timer;
   std::vector<Solution> component_solutions(components.size());
   std::vector<Status> component_statuses(components.size());
+  const obs::TraceContext trace_context = obs::CurrentTraceContext();
   ParallelFor(components.size(), options_.num_threads, [&](size_t i) {
+    obs::ScopedSpanAdoption adopt(trace_context);
     component_statuses[i] = SolveComponent(components[i], options_.max_flow,
                                            &component_solutions[i]);
   });
+  obs::MetricsRegistry::Global()
+      .GetCounter("k2.components_solved")
+      .Add(components.size());
   for (size_t i = 0; i < components.size(); ++i) {
     MC3_RETURN_IF_ERROR(component_statuses[i]);
     solution.Merge(component_solutions[i]);

@@ -11,9 +11,33 @@
 #include <unordered_set>
 
 #include "core/instance_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace mc3 {
 namespace {
+
+/// Cumulative registry counters shared by both preprocessing workers; the
+/// span stats cover the per-solve view, these cover the process lifetime.
+void RecordPreprocessMetrics(const PreprocessStats& stats, double seconds) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& runs = registry.GetCounter("preprocess.runs");
+  static obs::Counter& covered =
+      registry.GetCounter("preprocess.queries_covered");
+  static obs::Counter& removed =
+      registry.GetCounter("preprocess.classifiers_removed");
+  static obs::Counter& forced = registry.GetCounter("preprocess.forced");
+  static obs::Histogram& latency =
+      registry.GetHistogram("preprocess.seconds");
+  runs.Add();
+  covered.Add(stats.queries_covered);
+  removed.Add(stats.classifiers_removed_step3 +
+              stats.singletons_removed_step4);
+  forced.Add(stats.singleton_queries_selected + stats.zero_weight_selected +
+             stats.forced_selections_step3 + stats.selections_step4);
+  latency.Record(seconds);
+}
 
 enum class CState : uint8_t { kPresent, kSelected, kRemoved };
 
@@ -87,13 +111,44 @@ class Worker {
   }
 
   Result<PreprocessResult> Run() {
+    obs::ScopedSpan span("preprocess");
     MC3_RETURN_IF_ERROR(CheckFeasible());
-    if (options_.step1_forced_singletons) StepOne();
-    if (options_.step3_decompositions) {
-      MC3_RETURN_IF_ERROR(StepThree());
+    if (options_.step1_forced_singletons) {
+      obs::ScopedSpan step("step1");
+      StepOne();
+      step.AddStat("singleton_queries",
+                   static_cast<double>(
+                       result_.stats.singleton_queries_selected));
+      step.AddStat("zero_weight",
+                   static_cast<double>(result_.stats.zero_weight_selected));
     }
-    if (options_.step4_k2_singleton_prune) StepFour();
-    StepTwoPartition();
+    if (options_.step3_decompositions) {
+      obs::ScopedSpan step("step3");
+      MC3_RETURN_IF_ERROR(StepThree());
+      step.AddStat("passes", result_.stats.step3_passes);
+      step.AddStat("removed", static_cast<double>(
+                                  result_.stats.classifiers_removed_step3));
+      step.AddStat("forced", static_cast<double>(
+                                 result_.stats.forced_selections_step3));
+    }
+    if (options_.step4_k2_singleton_prune) {
+      obs::ScopedSpan step("step4");
+      StepFour();
+      step.AddStat("singletons_removed",
+                   static_cast<double>(result_.stats.singletons_removed_step4));
+      step.AddStat("selections",
+                   static_cast<double>(result_.stats.selections_step4));
+    }
+    {
+      obs::ScopedSpan step("partition");
+      StepTwoPartition();
+      step.AddStat("components",
+                   static_cast<double>(result_.stats.num_components));
+      step.AddStat("remaining_queries",
+                   static_cast<double>(result_.stats.remaining_queries));
+    }
+    span.AddStat("queries_covered",
+                 static_cast<double>(result_.stats.queries_covered));
     return std::move(result_);
   }
 
@@ -489,11 +544,44 @@ class K2Worker {
   }
 
   Result<PreprocessResult> Run() {
+    obs::ScopedSpan span("preprocess");
     MC3_RETURN_IF_ERROR(CheckFeasible());
-    if (options_.step1_forced_singletons) StepOne();
-    if (options_.step3_decompositions) StepThree();
-    if (options_.step4_k2_singleton_prune) StepFour();
-    StepTwoPartition();
+    if (options_.step1_forced_singletons) {
+      obs::ScopedSpan step("step1");
+      StepOne();
+      step.AddStat("singleton_queries",
+                   static_cast<double>(
+                       result_.stats.singleton_queries_selected));
+      step.AddStat("zero_weight",
+                   static_cast<double>(result_.stats.zero_weight_selected));
+    }
+    if (options_.step3_decompositions) {
+      obs::ScopedSpan step("step3");
+      StepThree();
+      step.AddStat("passes", result_.stats.step3_passes);
+      step.AddStat("removed", static_cast<double>(
+                                  result_.stats.classifiers_removed_step3));
+      step.AddStat("forced", static_cast<double>(
+                                 result_.stats.forced_selections_step3));
+    }
+    if (options_.step4_k2_singleton_prune) {
+      obs::ScopedSpan step("step4");
+      StepFour();
+      step.AddStat("singletons_removed",
+                   static_cast<double>(result_.stats.singletons_removed_step4));
+      step.AddStat("selections",
+                   static_cast<double>(result_.stats.selections_step4));
+    }
+    {
+      obs::ScopedSpan step("partition");
+      StepTwoPartition();
+      step.AddStat("components",
+                   static_cast<double>(result_.stats.num_components));
+      step.AddStat("remaining_queries",
+                   static_cast<double>(result_.stats.remaining_queries));
+    }
+    span.AddStat("queries_covered",
+                 static_cast<double>(result_.stats.queries_covered));
     return std::move(result_);
   }
 
@@ -749,10 +837,13 @@ class K2Worker {
 
 Result<PreprocessResult> Preprocess(const Instance& instance,
                                     const PreprocessOptions& options) {
-  if (instance.MaxQueryLength() <= 2 && !options.force_generic_path) {
-    return K2Worker(instance, options).Run();
-  }
-  return Worker(instance, options).Run();
+  Timer timer;
+  Result<PreprocessResult> result =
+      (instance.MaxQueryLength() <= 2 && !options.force_generic_path)
+          ? K2Worker(instance, options).Run()
+          : Worker(instance, options).Run();
+  if (result.ok()) RecordPreprocessMetrics(result->stats, timer.Seconds());
+  return result;
 }
 
 }  // namespace mc3

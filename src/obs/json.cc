@@ -1,0 +1,349 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mc3::obs {
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+void AppendJsonEscaped(std::string_view value, std::string* out) {
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::Indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": prefix already emitted
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().has_value) out_ += ',';
+  stack_.back().has_value = true;
+  Indent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame{false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool had_values = stack_.back().has_value;
+  stack_.pop_back();
+  if (had_values) Indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame{false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool had_values = stack_.back().has_value;
+  stack_.pop_back();
+  if (had_values) Indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (stack_.back().has_value) out_ += ',';
+  stack_.back().has_value = true;
+  Indent();
+  out_ += '"';
+  AppendJsonEscaped(key, &out_);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  AppendJsonEscaped(value, &out_);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buf[32];
+  // %.17g round-trips doubles; trim to a compact form for whole numbers.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Take() {
+  std::string result = std::move(out_);
+  out_.clear();
+  stack_.clear();
+  pending_key_ = false;
+  result += '\n';
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    MC3_RETURN_IF_ERROR(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error("bad \\u escape");
+            }
+            // Reports only ever escape control characters; decode the BMP
+            // code point as UTF-8.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        MC3_RETURN_IF_ERROR(ParseString(&key));
+        SkipWhitespace();
+        if (!Consume(':')) return Error("expected ':'");
+        JsonValue member;
+        MC3_RETURN_IF_ERROR(ParseValue(&member, depth + 1));
+        out->object.emplace_back(std::move(key), std::move(member));
+        SkipWhitespace();
+        if (Consume('}')) return Status::OK();
+        if (!Consume(',')) return Error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      while (true) {
+        JsonValue element;
+        MC3_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+        out->array.push_back(std::move(element));
+        SkipWhitespace();
+        if (Consume(']')) return Status::OK();
+        if (!Consume(',')) return Error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return ParseLiteral("null");
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      // Copy the token to a buffer first: the string_view is not guaranteed
+      // to be null-terminated, which strtod requires.
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) != 0 ||
+              text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+              text_[end] == 'e' || text_[end] == 'E')) {
+        ++end;
+      }
+      const std::string token(text_.substr(pos_, end - pos_));
+      char* parsed_end = nullptr;
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = std::strtod(token.c_str(), &parsed_end);
+      if (parsed_end != token.c_str() + token.size()) {
+        return Error("invalid number");
+      }
+      pos_ = end;
+      return Status::OK();
+    }
+    return Error("unexpected character");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace mc3::obs

@@ -1,0 +1,82 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// to render SolveReport / bench reports, and a small recursive-descent
+// parser used to validate emitted reports against their schema. Both are
+// deliberately tiny (no external dependency, no DOM mutation API): reports
+// are write-once documents and validation only needs read access.
+#ifndef MC3_OBS_JSON_H_
+#define MC3_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mc3::obs {
+
+/// Streaming JSON writer with two-space pretty printing. Commas and
+/// indentation are managed internally; callers interleave Key() with value
+/// calls inside objects and plain value calls inside arrays. Non-finite
+/// numbers (JSON has no Infinity/NaN) are written as null.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Finalizes and returns the document (the writer is left empty).
+  std::string Take();
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  std::string out_;
+  /// One frame per open container: whether it already holds a value (for
+  /// comma placement) and whether it is an object (for key bookkeeping).
+  struct Frame {
+    bool has_value = false;
+    bool is_object = false;
+  };
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;  ///< a Key() was written, value comes next
+};
+
+/// Appends the JSON escape of `value` (without surrounding quotes) to `out`.
+void AppendJsonEscaped(std::string_view value, std::string* out);
+
+/// Parsed JSON value (immutable tree). Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error). Returns
+/// kInvalidArgument with a position-annotated message on malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace mc3::obs
+
+#endif  // MC3_OBS_JSON_H_

@@ -1,0 +1,184 @@
+// Process-wide metrics for the solver hot paths: monotonic counters, gauges
+// and latency/value histograms, collected in a thread-safe registry and
+// exportable as JSON (the "metrics" section of SolveReport).
+//
+// Design constraints (see docs/observability.md):
+//   * recording must be cheap enough to leave on in production — counters
+//     and histograms are lock-free atomics; the registry mutex is only taken
+//     on first lookup of a name (instrumented sites cache the handle in a
+//     function-local static);
+//   * the whole layer compiles away under -DMC3_OBS=OFF (the
+//     MC3_OBS_DISABLED preprocessor flag): the same API degrades to inlined
+//     no-ops so call sites never need #ifdefs.
+#ifndef MC3_OBS_METRICS_H_
+#define MC3_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#if !defined(MC3_OBS_DISABLED)
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace mc3::obs {
+
+/// Point-in-time copy of one histogram's state.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< 0 when count == 0
+  double max = 0;
+  /// Occupancy of the exponential buckets; buckets[i] counts samples in
+  /// [2^i * 1e-7, 2^(i+1) * 1e-7) with the first/last buckets open-ended.
+  std::vector<uint64_t> buckets;
+
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+/// Point-in-time copy of the whole registry.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+#if !defined(MC3_OBS_DISABLED)
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Lock-free histogram over non-negative doubles with exponential buckets
+/// sized for latencies in seconds (0.1 microsecond granularity at the low
+/// end, ~1.5 hours at the high end) — but any non-negative quantity works
+/// (the greedy's coverage-per-pick distribution uses one too).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 36;
+
+  /// Bucket index for `value`: floor(log2(value / 1e-7)), clamped.
+  static int BucketOf(double value);
+  /// Inclusive lower bound of bucket `i` (0 for the first bucket).
+  static double BucketLowerBound(int i);
+
+  void Record(double value);
+  HistogramSnapshot Snap() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0};
+};
+
+/// Name -> metric registry. Handles returned by the Get* methods are stable
+/// for the lifetime of the process (metrics are never deleted; ResetAll
+/// zeroes values in place), so instrumented sites can cache them.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumented code.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Zeroes every registered metric (names and handles survive). The bench
+  /// runner calls this between cases so each case reports its own deltas.
+  void ResetAll();
+
+  MetricsSnapshot Snap() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#else  // MC3_OBS_DISABLED: the same API as inlined no-ops.
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  double Value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 36;
+  static int BucketOf(double) { return 0; }
+  static double BucketLowerBound(int) { return 0; }
+  void Record(double) {}
+  HistogramSnapshot Snap() const { return {}; }
+  void Reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& GetCounter(const std::string&) { return counter_; }
+  Gauge& GetGauge(const std::string&) { return gauge_; }
+  Histogram& GetHistogram(const std::string&) { return histogram_; }
+  void ResetAll() {}
+  MetricsSnapshot Snap() const { return {}; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // MC3_OBS_DISABLED
+
+/// True when the library was built with observability compiled in.
+inline constexpr bool kObsEnabled =
+#if !defined(MC3_OBS_DISABLED)
+    true;
+#else
+    false;
+#endif
+
+}  // namespace mc3::obs
+
+#endif  // MC3_OBS_METRICS_H_

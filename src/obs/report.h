@@ -1,0 +1,83 @@
+// JSON solve/bench reports: the machine-readable export of the
+// observability layer, written by `mc3 solve --report`, `mc3 serve
+// --report` and the unified `mc3 bench` runner (which emits
+// BENCH_*.json files tracking the perf trajectory across PRs).
+//
+// Two schemas, both versioned and validated by this module (the schemas are
+// documented in docs/observability.md):
+//   * mc3.solve_report/1 — one solve (or serve replay): header, instance
+//     shape, result, span tree, metrics snapshot;
+//   * mc3.bench_report/1 — a list of named bench cases, each a solve report
+//     body, plus the merged metrics snapshot.
+#ifndef MC3_OBS_REPORT_H_
+#define MC3_OBS_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace mc3::obs {
+
+inline constexpr const char kSolveReportSchema[] = "mc3.solve_report/1";
+inline constexpr const char kBenchReportSchema[] = "mc3.bench_report/1";
+
+/// Header + scalar sections of one solve report.
+struct SolveReportMeta {
+  std::string tool;    ///< "solve", "serve", "bench"
+  std::string solver;  ///< solver Name() or engine description
+  std::string workload;
+
+  // Instance shape.
+  size_t num_queries = 0;
+  size_t num_classifiers = 0;
+  size_t num_properties = 0;
+  size_t max_query_length = 0;
+
+  // Result.
+  double cost = 0;
+  size_t solution_size = 0;
+  size_t num_components = 0;
+  double total_seconds = 0;
+};
+
+/// One case of a bench report: a meta block plus its solve's span tree.
+struct BenchCase {
+  SolveReportMeta meta;
+  const Trace* trace = nullptr;  ///< borrowed; must outlive rendering
+};
+
+/// Renders a complete solve report document: meta + `trace`'s span tree +
+/// `metrics`. Always includes an "obs_enabled" flag so consumers know
+/// whether empty phases mean "nothing ran" or "compiled out".
+std::string RenderSolveReport(const SolveReportMeta& meta, const Trace& trace,
+                              const MetricsSnapshot& metrics);
+
+/// Renders a bench report over `cases` (each with its own trace).
+std::string RenderBenchReport(const std::vector<BenchCase>& cases,
+                              const MetricsSnapshot& metrics, bool quick,
+                              double scale);
+
+/// Validates a solve-report document against mc3.solve_report/1: parses the
+/// JSON and checks the presence and types of every required field
+/// (recursively for the span tree). Returns kInvalidArgument with the first
+/// violation found.
+Status ValidateSolveReportJson(const std::string& json);
+
+/// Validates a bench-report document against mc3.bench_report/1. In
+/// addition to structural checks, when the document declares obs_enabled
+/// it requires the per-phase timings the perf trajectory is tracked on:
+/// the four preprocessing steps, the k2 max-flow solve, the greedy and
+/// f-approximation WSC phases, and the online update path.
+Status ValidateBenchReportJson(const std::string& json);
+
+/// Renders `metrics` as a JSON object into `writer` (value position).
+/// Exposed for the CLI's report assembly.
+void RenderMetrics(const MetricsSnapshot& metrics, JsonWriter* writer);
+
+}  // namespace mc3::obs
+
+#endif  // MC3_OBS_REPORT_H_

@@ -9,6 +9,8 @@
 #include "core/instance_util.h"
 #include "core/k2_solver.h"
 #include "core/short_first_solver.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -151,6 +153,7 @@ Result<UpdateStats> OnlineEngine::ApplyUpdate(
   ++counters_.updates;
   if (to_add.empty() && remove_slots.empty()) return stats;
 
+  obs::ScopedSpan span("online_update");
   Timer timer;
 
   // Locate the dirty components: owners of removed queries and of every
@@ -221,18 +224,31 @@ Result<UpdateStats> OnlineEngine::ApplyUpdate(
   // Lazy repartition of the dirty region only (adds may have merged dirty
   // components; removes may have split them).
   std::sort(region.begin(), region.end());
-  const ComponentPartition partition = PartitionQueries(queries_, region);
-  std::vector<std::vector<size_t>> groups(partition.num_components);
-  for (size_t idx = 0; idx < region.size(); ++idx) {
-    groups[partition.component_of[idx]].push_back(region[idx]);
+  std::vector<std::vector<size_t>> groups;
+  {
+    obs::ScopedSpan repartition_span("repartition");
+    const ComponentPartition partition = PartitionQueries(queries_, region);
+    groups.resize(partition.num_components);
+    for (size_t idx = 0; idx < region.size(); ++idx) {
+      groups[partition.component_of[idx]].push_back(region[idx]);
+    }
+    repartition_span.AddStat("region_queries",
+                             static_cast<double>(region.size()));
+    repartition_span.AddStat("components",
+                             static_cast<double>(groups.size()));
   }
 
   // Re-solve the new components, in parallel across components.
   std::vector<Component> fresh(groups.size());
   std::vector<Status> statuses(groups.size());
+  const obs::TraceContext trace_context = obs::CurrentTraceContext();
   ParallelFor(groups.size(), options_.solver_options.num_threads,
               [&](size_t i) {
+                obs::ScopedSpanAdoption adopt(trace_context);
+                obs::ScopedSpan solve_span("solve_component");
                 fresh[i].queries = std::move(groups[i]);
+                solve_span.AddStat(
+                    "queries", static_cast<double>(fresh[i].queries.size()));
                 statuses[i] =
                     SolveComponent(BuildSubInstance(fresh[i].queries),
                                    &fresh[i]);
@@ -263,6 +279,26 @@ Result<UpdateStats> OnlineEngine::ApplyUpdate(
   counters_.components_resolved += stats.components_resolved;
   counters_.queries_touched += stats.queries_touched;
   counters_.resolve_seconds += stats.resolve_seconds;
+
+  span.AddStat("queries_added", static_cast<double>(stats.queries_added));
+  span.AddStat("queries_removed", static_cast<double>(stats.queries_removed));
+  span.AddStat("components_dirtied",
+               static_cast<double>(stats.components_dirtied));
+  span.AddStat("components_resolved",
+               static_cast<double>(stats.components_resolved));
+  span.AddStat("queries_touched",
+               static_cast<double>(stats.queries_touched));
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& updates = registry.GetCounter("online.updates");
+    static obs::Counter& touched =
+        registry.GetCounter("online.queries_touched");
+    static obs::Histogram& latency =
+        registry.GetHistogram("online.resolve_seconds");
+    updates.Add();
+    touched.Add(stats.queries_touched);
+    latency.Record(stats.resolve_seconds);
+  }
 
   if (!first_error.ok()) return first_error;
   return stats;

@@ -6,6 +6,9 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mc3::setcover {
 namespace {
 
@@ -50,6 +53,17 @@ int32_t Select(const WscInstance& instance, SetId id,
   return newly;
 }
 
+/// Process-lifetime counters for the greedy loop; the per-solve picture
+/// lives in the "greedy" span stats.
+void RecordGreedyPick(int32_t newly_covered) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& picks = registry.GetCounter("setcover.greedy.picks");
+  static obs::Histogram& coverage =
+      registry.GetHistogram("setcover.greedy.coverage_per_pick");
+  picks.Add();
+  coverage.Record(newly_covered);
+}
+
 /// Selects every zero-cost set that covers something new. Shared by both
 /// variants so their outputs stay identical.
 void SelectFreeSets(const WscInstance& instance, std::vector<bool>* covered,
@@ -65,6 +79,7 @@ void SelectFreeSets(const WscInstance& instance, std::vector<bool>* covered,
 }  // namespace
 
 Result<WscSolution> SolveGreedy(const WscInstance& instance) {
+  obs::ScopedSpan span("greedy");
   MC3_RETURN_IF_ERROR(CheckFeasible(instance));
   std::vector<bool> covered(instance.num_elements, false);
   int32_t remaining = instance.num_elements;
@@ -88,9 +103,12 @@ Result<WscSolution> SolveGreedy(const WscInstance& instance) {
                     static_cast<SetId>(i)});
   }
 
+  size_t picks = 0;
+  size_t sets_scanned = 0;
   while (remaining > 0 && !heap.empty()) {
     const Entry top = heap.top();
     heap.pop();
+    ++sets_scanned;
     const int32_t count = CountUncovered(instance.sets[top.id], covered);
     if (count == 0) continue;
     const double ratio =
@@ -98,7 +116,10 @@ Result<WscSolution> SolveGreedy(const WscInstance& instance) {
     // Ratios only decrease as coverage grows, so a stale entry can safely be
     // re-inserted with its refreshed ratio; a fresh entry is the argmax.
     if (ratio == top.ratio) {
-      Select(instance, top.id, &covered, &remaining, &solution);
+      const int32_t newly =
+          Select(instance, top.id, &covered, &remaining, &solution);
+      ++picks;
+      RecordGreedyPick(newly);
     } else {
       heap.push(Entry{ratio, top.id});
     }
@@ -106,6 +127,10 @@ Result<WscSolution> SolveGreedy(const WscInstance& instance) {
   if (remaining > 0) {
     return Status::Internal("greedy terminated with uncovered elements");
   }
+  span.AddStat("elements", static_cast<double>(instance.num_elements));
+  span.AddStat("picks", static_cast<double>(picks));
+  span.AddStat("sets_scanned", static_cast<double>(sets_scanned));
+  span.AddStat("cost", solution.cost);
   return solution;
 }
 

@@ -4,9 +4,12 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace mc3::setcover {
 
 Result<WscSolution> SolvePrimalDual(const WscInstance& instance) {
+  obs::ScopedSpan span("primal_dual");
   const auto element_index = BuildElementIndex(instance);
   for (ElementId e = 0; e < instance.num_elements; ++e) {
     if (element_index[e].empty()) {
@@ -30,8 +33,10 @@ Result<WscSolution> SolvePrimalDual(const WscInstance& instance) {
     for (ElementId e : instance.sets[id].elements) covered[e] = true;
   };
 
+  size_t rounds = 0;
   for (ElementId e = 0; e < instance.num_elements; ++e) {
     if (covered[e]) continue;
+    ++rounds;
     // Raise this element's dual until some covering set becomes tight.
     double delta = std::numeric_limits<double>::infinity();
     for (SetId id : element_index[e]) {
@@ -47,6 +52,10 @@ Result<WscSolution> SolvePrimalDual(const WscInstance& instance) {
   if (!WscCovers(instance, solution)) {
     return Status::Internal("primal-dual left elements uncovered");
   }
+  span.AddStat("elements", static_cast<double>(instance.num_elements));
+  span.AddStat("rounds", static_cast<double>(rounds));
+  span.AddStat("selected", static_cast<double>(solution.selected.size()));
+  span.AddStat("cost", solution.cost);
   return solution;
 }
 

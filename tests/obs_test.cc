@@ -1,0 +1,315 @@
+// Tests of the observability layer: metrics registry (including
+// concurrency), span tracing, JSON writer/parser round trips and report
+// schema validation. The span-dependent assertions are gated on
+// MC3_OBS_DISABLED so the suite also passes in an MC3_OBS=OFF build.
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mc3.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+#include "util/parallel.h"
+
+namespace mc3 {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::ParseJson;
+
+TEST(JsonWriterTest, RendersNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("a \"quoted\" \n value");
+  w.Key("count").Int(42);
+  w.Key("pi").Number(3.5);
+  w.Key("bad").Number(std::nan(""));
+  w.Key("flag").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("list").BeginArray();
+  w.Int(1);
+  w.BeginObject();
+  w.Key("x").Int(2);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  const std::string json = w.Take();
+
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->Find("name")->string, "a \"quoted\" \n value");
+  EXPECT_EQ(parsed->Find("count")->number, 42);
+  EXPECT_EQ(parsed->Find("pi")->number, 3.5);
+  EXPECT_EQ(parsed->Find("bad")->kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(parsed->Find("flag")->boolean);
+  EXPECT_EQ(parsed->Find("nothing")->kind, JsonValue::Kind::kNull);
+  ASSERT_TRUE(parsed->Find("list")->is_array());
+  ASSERT_EQ(parsed->Find("list")->array.size(), 2u);
+  EXPECT_EQ(parsed->Find("list")->array[1].Find("x")->number, 2);
+}
+
+TEST(JsonParserTest, AcceptsScalarsAndRejectsGarbage) {
+  EXPECT_TRUE(ParseJson("true").ok());
+  EXPECT_TRUE(ParseJson("-12.5e2").ok());
+  EXPECT_TRUE(ParseJson("\"\\u0041\\t\"").ok());
+  EXPECT_TRUE(ParseJson("[]").ok());
+  EXPECT_TRUE(ParseJson("{}").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+}
+
+TEST(JsonParserTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParserTest, RoundTripsEscapes) {
+  std::string out;
+  obs::AppendJsonEscaped("tab\t nl\n quote\" back\\ bell\x07", &out);
+  auto parsed = ParseJson("\"" + out + "\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string, "tab\t nl\n quote\" back\\ bell\x07");
+}
+
+TEST(MetricsTest, CountersGaugesHistograms) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Counter& counter = registry.GetCounter("test.counter");
+  obs::Gauge& gauge = registry.GetGauge("test.gauge");
+  obs::Histogram& histogram = registry.GetHistogram("test.histogram");
+  counter.Add();
+  counter.Add(4);
+  gauge.Set(2.5);
+  histogram.Record(0.001);
+  histogram.Record(0.004);
+
+  if (!obs::kObsEnabled) return;  // no-op build: nothing to snapshot
+  const obs::MetricsSnapshot snap = registry.Snap();
+  EXPECT_EQ(snap.counters.at("test.counter"), 5u);
+  EXPECT_EQ(snap.gauges.at("test.gauge"), 2.5);
+  const obs::HistogramSnapshot& h = snap.histograms.at("test.histogram");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 0.005);
+  EXPECT_EQ(h.min, 0.001);
+  EXPECT_EQ(h.max, 0.004);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0025);
+
+  // Handles survive ResetAll; values restart from zero.
+  registry.ResetAll();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(registry.Snap().histograms.at("test.histogram").count, 0u);
+}
+
+TEST(MetricsTest, HistogramBucketsAreMonotonic) {
+  if (!obs::kObsEnabled) return;
+  EXPECT_EQ(obs::Histogram::BucketOf(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketLowerBound(0), 0);
+  int last = 0;
+  for (double v = 1e-8; v < 1e4; v *= 3) {
+    const int b = obs::Histogram::BucketOf(v);
+    EXPECT_GE(b, last);
+    EXPECT_LT(b, obs::Histogram::kNumBuckets);
+    if (b > 0) {
+      EXPECT_LE(obs::Histogram::BucketLowerBound(b), v);
+    }
+    last = b;
+  }
+}
+
+TEST(MetricsTest, ConcurrentRecordingLosesNothing) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Counter& counter = registry.GetCounter("test.concurrent.counter");
+  obs::Histogram& histogram =
+      registry.GetHistogram("test.concurrent.histogram");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        histogram.Record(1e-6 * (1 + ((t + i) % 7)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (!obs::kObsEnabled) return;
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const obs::HistogramSnapshot h =
+      registry.Snap().histograms.at("test.concurrent.histogram");
+  EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.min, 1e-6);
+  EXPECT_EQ(h.max, 7e-6);
+  uint64_t bucketed = 0;
+  for (uint64_t b : h.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, h.count);
+}
+
+#if !defined(MC3_OBS_DISABLED)
+
+TEST(TraceTest, BuildsSpanTreeWithStats) {
+  obs::Trace trace("root");
+  {
+    obs::ScopedTraceActivation activate(&trace);
+    obs::ScopedSpan outer("outer");
+    outer.AddStat("n", 3);
+    {
+      obs::ScopedSpan inner("inner");
+      inner.AddStat("m", 1);
+    }
+    { obs::ScopedSpan inner("inner"); }
+  }
+  const obs::SpanNode& root = *trace.root();
+  EXPECT_EQ(root.name, "root");
+  ASSERT_EQ(root.children.size(), 1u);
+  const obs::SpanNode& outer = *root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_GE(outer.seconds, 0);
+  ASSERT_EQ(outer.stats.size(), 1u);
+  EXPECT_EQ(outer.stats[0].first, "n");
+  EXPECT_EQ(outer.stats[0].second, 3);
+  EXPECT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(root.CountSpans("inner"), 2u);
+  EXPECT_NE(root.FindSpan("inner"), nullptr);
+  EXPECT_GE(root.TotalSeconds("outer"), root.TotalSeconds("inner"));
+}
+
+TEST(TraceTest, InactiveSpansAreNoOps) {
+  // No activation: spans must not crash and must record nothing.
+  obs::ScopedSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  span.AddStat("ignored", 1);
+}
+
+TEST(TraceTest, ActivationRestoresPreviousContext) {
+  obs::Trace a("a");
+  obs::Trace b("b");
+  {
+    obs::ScopedTraceActivation activate_a(&a);
+    {
+      obs::ScopedTraceActivation activate_b(&b);
+      obs::ScopedSpan span("in_b");
+    }
+    obs::ScopedSpan span("in_a");
+  }
+  EXPECT_EQ(a.root()->CountSpans("in_a"), 1u);
+  EXPECT_EQ(a.root()->CountSpans("in_b"), 0u);
+  EXPECT_EQ(b.root()->CountSpans("in_b"), 1u);
+  EXPECT_EQ(obs::CurrentTraceContext().trace, nullptr);
+}
+
+TEST(TraceTest, ParallelWorkersAdoptTheParentSpan) {
+  obs::Trace trace("root");
+  {
+    obs::ScopedTraceActivation activate(&trace);
+    obs::ScopedSpan parent("parent");
+    const obs::TraceContext context = obs::CurrentTraceContext();
+    ParallelFor(32, 4, [&](size_t) {
+      obs::ScopedSpanAdoption adopt(context);
+      obs::ScopedSpan child("worker");
+    });
+  }
+  const obs::SpanNode* parent = trace.root()->FindSpan("parent");
+  ASSERT_NE(parent, nullptr);
+  EXPECT_EQ(parent->CountSpans("worker"), 32u);
+}
+
+TEST(TraceTest, SolverSolvePopulatesPhases) {
+  obs::Trace trace("solve");
+  {
+    obs::ScopedTraceActivation activate(&trace);
+    GeneralSolver solver{SolverOptions{}};
+    auto result = solver.Solve(mc3::testing::PaperExample());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->cost, 7);
+  }
+  const obs::SpanNode& root = *trace.root();
+  EXPECT_NE(root.FindSpan("general_solver"), nullptr);
+  EXPECT_NE(root.FindSpan("preprocess"), nullptr);
+  EXPECT_NE(root.FindSpan("step1"), nullptr);
+  EXPECT_NE(root.FindSpan("step3"), nullptr);
+  EXPECT_NE(root.FindSpan("partition"), nullptr);
+}
+
+#endif  // !MC3_OBS_DISABLED
+
+obs::SolveReportMeta TestMeta() {
+  obs::SolveReportMeta meta;
+  meta.tool = "bench";
+  meta.solver = "mc3g";
+  meta.workload = "unit";
+  meta.num_queries = 2;
+  meta.num_classifiers = 9;
+  meta.num_properties = 5;
+  meta.max_query_length = 3;
+  meta.cost = 7;
+  meta.solution_size = 3;
+  meta.num_components = 1;
+  meta.total_seconds = 0.001;
+  return meta;
+}
+
+TEST(ReportTest, SolveReportValidates) {
+  obs::Trace trace("solve");
+  {
+    obs::ScopedTraceActivation activate(&trace);
+    obs::ScopedSpan span("preprocess");
+    span.AddStat("queries_covered", 2);
+  }
+  const std::string json = obs::RenderSolveReport(
+      TestMeta(), trace, obs::MetricsRegistry::Global().Snap());
+  EXPECT_TRUE(obs::ValidateSolveReportJson(json).ok())
+      << obs::ValidateSolveReportJson(json).ToString();
+  // A bench document it is not.
+  EXPECT_FALSE(obs::ValidateBenchReportJson(json).ok());
+}
+
+TEST(ReportTest, ValidationCatchesCorruption) {
+  obs::Trace trace("solve");
+  const std::string json = obs::RenderSolveReport(
+      TestMeta(), trace, obs::MetricsRegistry::Global().Snap());
+  ASSERT_TRUE(obs::ValidateSolveReportJson(json).ok());
+
+  // Strip the result section: must fail validation.
+  std::string corrupted = json;
+  const size_t at = corrupted.find("\"result\"");
+  ASSERT_NE(at, std::string::npos);
+  corrupted.replace(at, 8, "\"broken\"");
+  EXPECT_FALSE(obs::ValidateSolveReportJson(corrupted).ok());
+  EXPECT_FALSE(obs::ValidateSolveReportJson("{}").ok());
+  EXPECT_FALSE(obs::ValidateSolveReportJson("not json").ok());
+}
+
+TEST(ReportTest, BenchReportRequiresPhasesWhenEnabled) {
+  obs::Trace trace("bench");
+  std::vector<obs::BenchCase> cases;
+  cases.push_back(obs::BenchCase{TestMeta(), &trace});
+  const std::string json = obs::RenderBenchReport(
+      cases, obs::MetricsRegistry::Global().Snap(), true, 0.05);
+  const Status status = obs::ValidateBenchReportJson(json);
+  if (obs::kObsEnabled) {
+    // An empty span tree cannot carry the required phases.
+    EXPECT_FALSE(status.ok());
+  } else {
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mc3

@@ -1,0 +1,133 @@
+// Metamorphic testing of the serving engine: after any sequence of
+// add/remove batches, the engine must be indistinguishable from a fresh
+// engine (or batch solver) given the final live set — same cost, full
+// coverage, consistent internal indexes. Covers sharded workloads (many
+// small components), a giant single component, and k <= 2 instances where
+// the per-component solver is exact.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/general_solver.h"
+#include "core/k2_solver.h"
+#include "online/churn.h"
+#include "online/online_engine.h"
+#include "tests/test_util.h"
+
+namespace mc3 {
+namespace {
+
+using online::ChurnGenerator;
+using online::EngineOptions;
+using online::OnlineEngine;
+
+/// Full metamorphic check of `engine` against a from-scratch batch solve of
+/// its live instance with the same pipeline.
+void CheckAgainstBatch(const OnlineEngine& engine, const std::string& label) {
+  ASSERT_TRUE(engine.CheckInvariants().ok()) << label;
+  const Instance live = engine.LiveInstance();
+  const Solution maintained = engine.CurrentSolution();
+  const CoverageReport coverage = VerifyCoverage(live, maintained);
+  EXPECT_TRUE(coverage.covers_all)
+      << label << ": " << coverage.uncovered_queries.size()
+      << " live queries uncovered";
+
+  SolverOptions options;  // defaults — identical to the engine's inner solve
+  auto batch = GeneralSolver(options).Solve(live);
+  ASSERT_TRUE(batch.ok()) << label << ": " << batch.status().ToString();
+  EXPECT_DOUBLE_EQ(engine.TotalCost(), batch->cost) << label;
+}
+
+TEST(OnlineMetamorphicTest, ShardedChurnMatchesBatchEveryBatch) {
+  online::ShardedSyntheticConfig config;
+  config.num_domains = 6;
+  config.domain.num_queries = 18;
+  config.domain.seed = 11;
+  const Instance base = online::GenerateShardedSynthetic(config);
+
+  EngineOptions engine_options;
+  engine_options.solver = EngineOptions::SolverKind::kGeneral;
+  OnlineEngine engine(engine_options);
+  ASSERT_TRUE(engine.Initialize(base).ok());
+  CheckAgainstBatch(engine, "after initialize");
+
+  ChurnGenerator churn(base, /*seed=*/3);
+  for (int b = 0; b < 12; ++b) {
+    const ChurnGenerator::Batch batch = churn.Next(/*adds=*/4, /*removes=*/7);
+    auto stats = engine.ApplyUpdate(batch.add, batch.remove);
+    ASSERT_TRUE(stats.ok()) << "batch " << b << ": "
+                            << stats.status().ToString();
+    CheckAgainstBatch(engine, "batch " + std::to_string(b));
+  }
+}
+
+TEST(OnlineMetamorphicTest, GiantComponentChurn) {
+  // A hub property shared by every query keeps the whole live set one
+  // component, so each update repartitions and re-solves everything — the
+  // engine's worst case must still match the batch solver.
+  constexpr PropertyId kHub = 0;
+  Instance base;
+  mc3::testing::RandomInstanceConfig config;
+  config.num_queries = 14;
+  config.pool = 6;
+  config.max_query_length = 2;
+  const Instance raw = mc3::testing::RandomInstance(config, /*seed=*/5);
+  for (const PropertySet& q : raw.queries()) {
+    std::vector<PropertyId> props(q.begin(), q.end());
+    for (PropertyId& p : props) ++p;  // make room for the hub id
+    props.push_back(kHub);
+    base.AddQuery(PropertySet::FromUnsorted(std::move(props)));
+  }
+  for (const PropertySet& q : base.queries()) {
+    ForEachNonEmptySubset(q, [&](const PropertySet& c) {
+      if (base.CostOf(c) == kInfiniteCost) {
+        base.SetCost(c, 1 + static_cast<Cost>(c.size()));
+      }
+    });
+  }
+
+  OnlineEngine engine;  // kAuto
+  ASSERT_TRUE(engine.Initialize(base).ok());
+  EXPECT_EQ(engine.NumComponents(), 1u);
+  CheckAgainstBatch(engine, "giant after initialize");
+
+  ChurnGenerator churn(base, /*seed=*/7);
+  for (int b = 0; b < 10; ++b) {
+    const ChurnGenerator::Batch batch = churn.Next(/*adds=*/3, /*removes=*/4);
+    auto stats = engine.ApplyUpdate(batch.add, batch.remove);
+    ASSERT_TRUE(stats.ok()) << "batch " << b;
+    CheckAgainstBatch(engine, "giant batch " + std::to_string(b));
+    ASSERT_LE(engine.NumComponents(), 1u) << "batch " << b;
+  }
+}
+
+TEST(OnlineMetamorphicTest, K2ChurnStaysExact) {
+  // On k <= 2 instances the engine's per-component solver is exact, so the
+  // maintained cost must equal the independent brute-force optimum of the
+  // live instance — a stronger oracle than batch-solve equality.
+  mc3::testing::RandomInstanceConfig config;
+  config.num_queries = 10;
+  config.pool = 8;
+  config.max_query_length = 2;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const Instance base = mc3::testing::RandomInstance(config, seed);
+    OnlineEngine engine;  // kAuto -> k2-exact per component
+    ASSERT_TRUE(engine.Initialize(base).ok()) << "seed " << seed;
+    ChurnGenerator churn(base, seed);
+    for (int b = 0; b < 6; ++b) {
+      const ChurnGenerator::Batch batch = churn.Next(2, 3);
+      auto stats = engine.ApplyUpdate(batch.add, batch.remove);
+      ASSERT_TRUE(stats.ok()) << "seed " << seed << " batch " << b;
+      ASSERT_TRUE(engine.CheckInvariants().ok())
+          << "seed " << seed << " batch " << b;
+      const Cost optimum =
+          mc3::testing::BruteForceOptimum(engine.LiveInstance());
+      EXPECT_DOUBLE_EQ(engine.TotalCost(), optimum)
+          << "seed " << seed << " batch " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mc3

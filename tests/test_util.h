@@ -64,6 +64,74 @@ inline Instance RandomInstance(const RandomInstanceConfig& config,
   return instance;
 }
 
+/// Exact optimum by exhaustive branching, independent of the library's
+/// solvers — the oracle of the differential test suite. Branches on the
+/// first (query, property) pair not yet covered, trying every priced
+/// classifier that covers it (a subset of the query containing the
+/// property); each level selects a new classifier, so the recursion depth
+/// is bounded by the number of priced classifiers. Exponential: keep
+/// instances tiny (n <= 8, pool <= 8).
+///
+/// Returns kInfiniteCost when no finite-cost cover exists.
+inline Cost BruteForceOptimum(const Instance& instance) {
+  // Priced classifiers, deduplicated (selected ones are reused for free).
+  std::vector<const PropertySet*> classifiers;
+  std::vector<Cost> costs;
+  for (const auto& [classifier, cost] : instance.costs()) {
+    classifiers.push_back(&classifier);
+    costs.push_back(cost);
+  }
+  std::vector<bool> selected(classifiers.size(), false);
+  Cost best = kInfiniteCost;
+
+  // First query with an uncovered property under the current selection,
+  // and that property.
+  struct Uncovered {
+    size_t query = 0;
+    PropertyId property = 0;
+    bool found = false;
+  };
+  auto first_uncovered = [&]() {
+    Uncovered result;
+    for (size_t qi = 0; qi < instance.NumQueries() && !result.found; ++qi) {
+      const PropertySet& q = instance.queries()[qi];
+      for (PropertyId p : q) {
+        bool covered = false;
+        for (size_t ci = 0; ci < classifiers.size() && !covered; ++ci) {
+          covered = selected[ci] && classifiers[ci]->Contains(p) &&
+                    classifiers[ci]->IsSubsetOf(q);
+        }
+        if (!covered) {
+          result = {qi, p, true};
+          break;
+        }
+      }
+    }
+    return result;
+  };
+
+  auto search = [&](auto&& self, Cost spent) -> void {
+    if (spent >= best) return;  // cost-bound pruning
+    const Uncovered gap = first_uncovered();
+    if (!gap.found) {
+      best = spent;
+      return;
+    }
+    const PropertySet& q = instance.queries()[gap.query];
+    for (size_t ci = 0; ci < classifiers.size(); ++ci) {
+      if (selected[ci] || !classifiers[ci]->Contains(gap.property) ||
+          !classifiers[ci]->IsSubsetOf(q) || costs[ci] == kInfiniteCost) {
+        continue;
+      }
+      selected[ci] = true;
+      self(self, spent + costs[ci]);
+      selected[ci] = false;
+    }
+  };
+  search(search, 0);
+  return best;
+}
+
 /// The running example of the paper (Example 1.1): two soccer-shirt queries
 /// with costs C:5, A:5, J:5, W:1, AC:3, AW:5, AJ:3, JW:4, JAW:5. The optimal
 /// solution is {AC, AJ, W} at cost 7.

@@ -32,6 +32,17 @@
 //       missing from the workload's table; --verify-every runs the
 //       engine's invariant checker every N batches.
 //
+//   mc3 bench [--quick] [--seed S] [--report out.json]
+//       Unified observability bench: runs a general solve, a k<=2 exact
+//       solve and an online churn replay over synthetic workloads, each
+//       under a fresh phase trace, and writes a mc3.bench_report/1 JSON
+//       document (default BENCH_mc3.json) with per-phase timings. The
+//       emitted report is self-validated against the schema; a violation
+//       is a runtime failure. --quick shrinks the workloads for smoke runs.
+//
+//   `solve` and `serve` additionally accept --report <out.json> to export a
+//   mc3.solve_report/1 document (phase trace + metrics snapshot) of the run.
+//
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 #include <algorithm>
 #include <cstdio>
@@ -47,8 +58,12 @@
 #include "data/private_dataset.h"
 #include "data/query_log.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "online/online_engine.h"
 #include "online/update_trace.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -67,7 +82,9 @@ int Usage() {
       "  mc3 ingest <log.txt> -o <workload.csv> [--default-cost D]\n"
       "  mc3 serve <workload.csv> --trace <trace.txt> [--solver NAME]\n"
       "            [--threads N] [--batch N] [--default-cost D]\n"
-      "            [--verify-every N] [--verbose]\n");
+      "            [--verify-every N] [--verbose]\n"
+      "  mc3 bench [--quick] [--seed S] [--report out.json]\n"
+      "(solve and serve also accept --report <out.json>)\n");
   return 2;
 }
 
@@ -78,6 +95,43 @@ int Fail(const Status& status) {
 
 Result<Instance> Load(const std::string& path) {
   return data::LoadInstance(path);
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), out);
+  const bool flushed = std::fclose(out) == 0;
+  if (written != content.size() || !flushed) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+/// Fills the instance-shape section of a report header.
+void DescribeInstance(const Instance& instance, obs::SolveReportMeta* meta) {
+  meta->num_queries = instance.NumQueries();
+  meta->num_classifiers = instance.costs().size();
+  meta->num_properties = instance.NumProperties();
+  meta->max_query_length = instance.MaxQueryLength();
+}
+
+/// Renders, schema-validates and writes a solve report; validation failure
+/// is a runtime error (the emitted document is the product).
+int WriteSolveReport(const obs::SolveReportMeta& meta, const obs::Trace& trace,
+                     const std::string& path) {
+  const std::string json = obs::RenderSolveReport(
+      meta, trace, obs::MetricsRegistry::Global().Snap());
+  if (Status status = obs::ValidateSolveReportJson(json); !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = WriteFile(path, json); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("report written to %s\n", path.c_str());
+  return 0;
 }
 
 int CmdStats(const std::string& path) {
@@ -103,7 +157,7 @@ int CmdStats(const std::string& path) {
 
 int CmdSolve(const std::string& path, const std::string& solver_name,
              const SolverOptions& options, bool print_plan,
-             const std::string& out_path) {
+             const std::string& out_path, const std::string& report_path) {
   auto instance = Load(path);
   if (!instance.ok()) return Fail(instance.status());
 
@@ -133,7 +187,13 @@ int CmdSolve(const std::string& path, const std::string& solver_name,
     return 2;
   }
 
-  auto result = solver->Solve(*instance);
+  obs::Trace trace("solve");
+  Timer timer;
+  Result<SolveResult> result = [&] {
+    obs::ScopedTraceActivation activate(&trace);
+    return solver->Solve(*instance);
+  }();
+  const double total_seconds = timer.Seconds();
   if (!result.ok()) return Fail(result.status());
   std::printf("solver:      %s\n", solver->Name().c_str());
   std::printf("total cost:  %.2f\n", result->cost);
@@ -163,6 +223,20 @@ int CmdSolve(const std::string& path, const std::string& solver_name,
         std::printf(" [%s]", c.ToString(instance->property_names()).c_str());
       }
       std::printf("\n");
+    }
+  }
+  if (!report_path.empty()) {
+    obs::SolveReportMeta meta;
+    meta.tool = "solve";
+    meta.solver = solver->Name();
+    meta.workload = path;
+    DescribeInstance(*instance, &meta);
+    meta.cost = result->cost;
+    meta.solution_size = result->solution.size();
+    meta.num_components = result->num_components;
+    meta.total_seconds = total_seconds;
+    if (int code = WriteSolveReport(meta, trace, report_path); code != 0) {
+      return code;
     }
   }
   return 0;
@@ -249,6 +323,7 @@ struct ServeConfig {
   Cost default_cost = -1;   ///< < 0 = no auto-pricing of unknown classifiers
   size_t verify_every = 0;  ///< 0 = only verify at the end
   bool verbose = false;
+  std::string report;  ///< empty = no JSON report
 };
 
 int CmdServe(const std::string& workload_path, const std::string& trace_path,
@@ -272,6 +347,9 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
   options.solver_options.num_threads = config.threads;
 
   online::OnlineEngine engine(options);
+  obs::Trace obs_trace("serve");
+  obs::ScopedTraceActivation activate(&obs_trace);
+  Timer total_timer;
   auto init = engine.Initialize(*instance);
   if (!init.ok()) return Fail(init.status());
   std::printf("loaded:     %zu queries, %zu components, cost %.2f "
@@ -371,6 +449,21 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
               "(invariants ok)\n",
               engine.NumQueries(), engine.NumComponents(),
               engine.TotalCost());
+  if (!config.report.empty()) {
+    obs::SolveReportMeta meta;
+    meta.tool = "serve";
+    meta.solver = config.solver;
+    meta.workload = workload_path;
+    DescribeInstance(engine.LiveInstance(), &meta);
+    meta.cost = engine.TotalCost();
+    meta.solution_size = engine.CurrentSolution().size();
+    meta.num_components = engine.NumComponents();
+    meta.total_seconds = total_timer.Seconds();
+    if (int code = WriteSolveReport(meta, obs_trace, config.report);
+        code != 0) {
+      return code;
+    }
+  }
   return 0;
 }
 
@@ -395,6 +488,140 @@ int CmdPreprocess(const std::string& path) {
               "%zu independent components\n",
               stats.remaining_queries, stats.remaining_classifiers,
               stats.num_components);
+  return 0;
+}
+
+/// Solves `instance` under a fresh phase trace and appends the bench case.
+int RunBenchSolveCase(const char* name, const Instance& instance,
+                      const Solver& solver,
+                      std::vector<std::unique_ptr<obs::Trace>>* traces,
+                      std::vector<obs::BenchCase>* cases) {
+  auto trace = std::make_unique<obs::Trace>(name);
+  Timer timer;
+  Result<SolveResult> result = [&] {
+    obs::ScopedTraceActivation activate(trace.get());
+    return solver.Solve(instance);
+  }();
+  const double seconds = timer.Seconds();
+  if (!result.ok()) return Fail(result.status());
+
+  obs::SolveReportMeta meta;
+  meta.tool = "bench";
+  meta.solver = solver.Name();
+  meta.workload = name;
+  DescribeInstance(instance, &meta);
+  meta.cost = result->cost;
+  meta.solution_size = result->solution.size();
+  meta.num_components = result->num_components;
+  meta.total_seconds = seconds;
+  std::printf("case %-14s %6zu queries | cost %10.2f, %5zu classifiers, "
+              "%7.1f ms\n",
+              name, instance.NumQueries(), result->cost,
+              result->solution.size(), 1e3 * seconds);
+  cases->push_back(obs::BenchCase{meta, trace.get()});
+  traces->push_back(std::move(trace));
+  return 0;
+}
+
+int CmdBench(bool quick, uint64_t seed, const std::string& report_path) {
+  const double scale = quick ? 0.05 : 1.0;
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(100, static_cast<size_t>(n * scale));
+  };
+  std::vector<std::unique_ptr<obs::Trace>> traces;
+  std::vector<obs::BenchCase> cases;
+
+  // Case 1: the general pipeline (Algorithm 1 + WSC greedy / primal-dual)
+  // on the paper's mixed-length synthetic workload.
+  {
+    data::SyntheticConfig config;
+    config.num_queries = scaled(20000);
+    config.seed = seed;
+    const Instance instance = data::GenerateSynthetic(config);
+    if (int code = RunBenchSolveCase("general", instance,
+                                     GeneralSolver(SolverOptions{}), &traces,
+                                     &cases);
+        code != 0) {
+      return code;
+    }
+  }
+
+  // Case 2: the exact k <= 2 path (Algorithm 2: vertex cover via max-flow).
+  {
+    data::SyntheticConfig config;
+    config.num_queries = scaled(20000);
+    config.max_query_length = 2;
+    config.seed = seed + 1;
+    const Instance instance = data::GenerateSynthetic(config);
+    if (int code = RunBenchSolveCase("k2", instance,
+                                     K2ExactSolver(SolverOptions{}), &traces,
+                                     &cases);
+        code != 0) {
+      return code;
+    }
+  }
+
+  // Case 3: online churn — initialize the serving engine, then remove and
+  // re-add sliding batches so the dirty-region repartition and component
+  // re-solve paths are exercised.
+  {
+    data::SyntheticConfig config;
+    config.num_queries = scaled(5000);
+    config.seed = seed + 2;
+    const Instance instance = data::GenerateSynthetic(config);
+    online::OnlineEngine engine{online::EngineOptions{}};
+    auto trace = std::make_unique<obs::Trace>("online");
+    Timer timer;
+    Status status = [&]() -> Status {
+      obs::ScopedTraceActivation activate(trace.get());
+      auto init = engine.Initialize(instance);
+      if (!init.ok()) return init.status();
+      const auto& queries = instance.queries();
+      const size_t batch = std::max<size_t>(1, queries.size() / 20);
+      const size_t batches = std::min<size_t>(5, queries.size() / batch);
+      for (size_t b = 0; b < batches; ++b) {
+        const auto begin = queries.begin() + b * batch;
+        const std::vector<PropertySet> chunk(begin, begin + batch);
+        auto removed = engine.RemoveQueries(chunk);
+        if (!removed.ok()) return removed.status();
+        auto added = engine.AddQueries(chunk);
+        if (!added.ok()) return added.status();
+      }
+      return engine.CheckInvariants();
+    }();
+    const double seconds = timer.Seconds();
+    if (!status.ok()) return Fail(status);
+
+    obs::SolveReportMeta meta;
+    meta.tool = "bench";
+    meta.solver = "online:auto";
+    meta.workload = "online";
+    DescribeInstance(instance, &meta);
+    meta.cost = engine.TotalCost();
+    meta.solution_size = engine.CurrentSolution().size();
+    meta.num_components = engine.NumComponents();
+    meta.total_seconds = seconds;
+    std::printf("case %-14s %6zu queries | cost %10.2f, %5zu classifiers, "
+                "%7.1f ms\n",
+                "online", instance.NumQueries(), meta.cost,
+                meta.solution_size, 1e3 * seconds);
+    cases.push_back(obs::BenchCase{meta, trace.get()});
+    traces.push_back(std::move(trace));
+  }
+
+  const std::string json = obs::RenderBenchReport(
+      cases, obs::MetricsRegistry::Global().Snap(), quick, scale);
+  if (Status status = obs::ValidateBenchReportJson(json); !status.ok()) {
+    return Fail(status);
+  }
+  const std::string path =
+      report_path.empty() ? "BENCH_mc3.json" : report_path;
+  if (Status status = WriteFile(path, json); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("report:        %s (%s, schema %s)\n", path.c_str(),
+              obs::kObsEnabled ? "validated" : "validated; obs compiled out",
+              obs::kBenchReportSchema);
   return 0;
 }
 
@@ -429,7 +656,8 @@ int main(int argc, char** argv) {
            args[i - 1] == "--threads" || args[i - 1] == "--exact-components" ||
            args[i - 1] == "--default-cost" || args[i - 1] == "--out" ||
            args[i - 1] == "--trace" || args[i - 1] == "--batch" ||
-           args[i - 1] == "--verify-every" || args[i - 1] == "-o")) {
+           args[i - 1] == "--verify-every" || args[i - 1] == "--report" ||
+           args[i - 1] == "-o")) {
         continue;
       }
       return &args[i];
@@ -456,8 +684,10 @@ int main(int argc, char** argv) {
           std::strtoul(ec->c_str(), nullptr, 10);
     }
     const std::string* out = flag_value("--out");
+    const std::string* report = flag_value("--report");
     return CmdSolve(*path, solver != nullptr ? *solver : "auto", options,
-                    has_flag("--plan"), out != nullptr ? *out : "");
+                    has_flag("--plan"), out != nullptr ? *out : "",
+                    report != nullptr ? *report : "");
   }
   if (command == "generate") {
     const std::string* dataset = flag_value("--dataset");
@@ -497,7 +727,17 @@ int main(int argc, char** argv) {
       config.verify_every = std::strtoul(v->c_str(), nullptr, 10);
     }
     config.verbose = has_flag("--verbose");
+    if (const std::string* v = flag_value("--report")) config.report = *v;
     return CmdServe(*path, *trace, config);
+  }
+  if (command == "bench") {
+    uint64_t seed = 1;
+    if (const std::string* v = flag_value("--seed")) {
+      seed = std::strtoull(v->c_str(), nullptr, 10);
+    }
+    const std::string* report = flag_value("--report");
+    return CmdBench(has_flag("--quick"), seed,
+                    report != nullptr ? *report : "");
   }
   if (command == "ingest") {
     const std::string* path = positional();
