@@ -8,6 +8,7 @@
 #include "bench/bench_util.h"
 #include "data/private_dataset.h"
 #include "util/rng.h"
+#include "util/float_cmp.h"
 
 namespace {
 
@@ -77,11 +78,11 @@ void SharedLabelingComparison() {
       if (model.label_costs.count(p) == 0) {
         const Cost single = instance.CostOf(PropertySet::Of({p}));
         model.label_costs[p] =
-            single == kInfiniteCost ? 3.0 : 0.6 * single;
+            IsInfiniteCost(single) ? 3.0 : 0.6 * single;
       }
     }
   }
-  for (const auto& [classifier, cost] : instance.costs()) {
+  for (const auto& [classifier, cost] : SortedCostEntries(instance.costs())) {
     Cost labels = 0;
     for (PropertyId p : classifier) labels += model.label_costs[p];
     model.base_costs[classifier] = std::max(0.0, cost - 0.6 * labels);

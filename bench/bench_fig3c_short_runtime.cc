@@ -5,6 +5,7 @@
 // way).
 #include "bench/bench_util.h"
 #include "data/synthetic.h"
+#include "util/float_cmp.h"
 
 int main() {
   using namespace mc3;
@@ -48,7 +49,7 @@ int main() {
         without.seconds > 0
             ? 100.0 * (1.0 - with.seconds / without.seconds)
             : 0;
-    if (with.ok && without.ok && with.cost != without.cost) {
+    if (with.ok && without.ok && !ApproxEq(with.cost, without.cost)) {
       std::fprintf(stderr,
                    "ERROR: preprocessing changed the optimal cost "
                    "(%f vs %f) at n=%zu\n",

@@ -5,8 +5,7 @@
 // MC3_BENCH_SCALE environment variable (a positive double; default 1.0 keeps
 // each binary's default workload, values > 1 approach the paper's full
 // sizes, values < 1 give a quick smoke run).
-#ifndef MC3_BENCH_BENCH_UTIL_H_
-#define MC3_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -89,4 +88,3 @@ inline void PrintHeader(const std::string& title) {
 
 }  // namespace mc3::bench
 
-#endif  // MC3_BENCH_BENCH_UTIL_H_

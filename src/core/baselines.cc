@@ -7,6 +7,7 @@
 
 #include "core/cover_dp.h"
 #include "flow/hopcroft_karp.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -54,7 +55,7 @@ Result<SolveResult> MixedSolver::Solve(const Instance& instance) const {
   std::unordered_set<PropertyId> forced_singletons;
   for (const PropertySet& q : instance.queries()) {
     if (q.size() != 1) continue;
-    if (instance.CostOf(q) == kInfiniteCost) {
+    if (IsInfiniteCost(instance.CostOf(q))) {
       return Status::Infeasible("singleton query without its classifier");
     }
     solution.Add(q);
@@ -62,13 +63,13 @@ Result<SolveResult> MixedSolver::Solve(const Instance& instance) const {
   }
   for (const PropertySet& q : instance.queries()) {
     if (q.size() == 1) continue;
-    const bool pair_priced = instance.CostOf(q) != kInfiniteCost;
+    const bool pair_priced = !IsInfiniteCost(instance.CostOf(q));
     std::vector<PropertyId> open;  // properties not already resolved
     bool open_priced = true;
     for (PropertyId p : q) {
       if (forced_singletons.count(p) > 0) continue;
       open.push_back(p);
-      if (instance.CostOf(PropertySet::Of({p})) == kInfiniteCost) {
+      if (IsInfiniteCost(instance.CostOf(PropertySet::Of({p})))) {
         open_priced = false;
       }
     }
@@ -147,11 +148,13 @@ Result<SolveResult> LocalGreedySolver::Solve(const Instance& instance) const {
     // Recompute covers of uncovered queries sharing a touched property, and
     // retire queries that are now fully covered for free.
     std::unordered_set<size_t> affected;
+    // mc3-lint: unordered-ok(keyed inserts into a set; order-independent)
     for (PropertyId p : touched) {
       for (size_t qi : by_prop[p]) {
         if (!covered[qi]) affected.insert(qi);
       }
     }
+    // mc3-lint: unordered-ok(per-query recompute is keyed and idempotent)
     for (size_t qi : affected) {
       covers[qi] = *MinCostQueryCover(instance.queries()[qi], effective);
     }

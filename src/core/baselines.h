@@ -1,6 +1,5 @@
 // Baseline algorithms from the paper's experimental study (Section 6.1).
-#ifndef MC3_CORE_BASELINES_H_
-#define MC3_CORE_BASELINES_H_
+#pragma once
 
 #include "core/solver.h"
 
@@ -49,4 +48,3 @@ class LocalGreedySolver : public Solver {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_BASELINES_H_

@@ -1,6 +1,7 @@
 #include "core/cover_dp.h"
 
 #include <cassert>
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -22,7 +23,7 @@ std::optional<QueryCover> MinCostQueryCover(
       if (mask & (1u << i)) scratch.push_back(ids[i]);
     }
     const Cost cost = cost_fn(PropertySet::FromSorted(scratch));
-    if (cost != kInfiniteCost) {
+    if (!IsInfiniteCost(cost)) {
       cand_masks.push_back(mask);
       cand_costs.push_back(cost);
     }
@@ -33,7 +34,7 @@ std::optional<QueryCover> MinCostQueryCover(
   std::vector<uint32_t> from(full + 1, 0);
   dp[0] = 0;
   for (uint32_t mask = 0; mask <= full; ++mask) {
-    if (dp[mask] == kInfiniteCost) continue;
+    if (IsInfiniteCost(dp[mask])) continue;
     for (size_t c = 0; c < cand_masks.size(); ++c) {
       const uint32_t next = mask | cand_masks[c];
       if (next == mask) continue;
@@ -45,7 +46,7 @@ std::optional<QueryCover> MinCostQueryCover(
       }
     }
   }
-  if (dp[full] == kInfiniteCost) return std::nullopt;
+  if (IsInfiniteCost(dp[full])) return std::nullopt;
 
   QueryCover cover;
   cover.cost = dp[full];

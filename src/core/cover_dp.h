@@ -3,8 +3,7 @@
 // "least costly cover" step), by the exact branch-and-bound oracle, and by
 // solution post-processing. Cost is O(4^|q|); query lengths are <= ~10 in
 // every workload the paper considers.
-#ifndef MC3_CORE_COVER_DP_H_
-#define MC3_CORE_COVER_DP_H_
+#pragma once
 
 #include <functional>
 #include <optional>
@@ -30,4 +29,3 @@ std::optional<QueryCover> MinCostQueryCover(
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_COVER_DP_H_

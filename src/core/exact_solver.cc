@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <unordered_set>
+#include "util/float_cmp.h"
 
 namespace mc3 {
 namespace {
@@ -13,6 +14,7 @@ class BranchAndBound {
       : instance_(instance), max_nodes_(max_nodes) {
     // All finite-cost classifiers, cheapest first (finds good incumbents
     // early, tightening the bound).
+    // mc3-lint: unordered-ok(sorted below with a total-order comparator)
     for (const auto& [classifier, cost] : instance.costs()) {
       classifiers_.push_back(classifier);
     }
@@ -32,7 +34,7 @@ class BranchAndBound {
       return Status::InvalidArgument(
           "exact search exceeded the node budget; instance too large");
     }
-    if (best_cost_ == kInfiniteCost) {
+    if (IsInfiniteCost(best_cost_)) {
       return Status::Infeasible("no finite-cost solution exists");
     }
     Solution solution;

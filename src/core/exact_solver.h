@@ -3,8 +3,7 @@
 // for the test suite, and (b) a practical option for small instances where
 // the true optimum is worth the compute. Guards reject instances beyond its
 // configured size limits.
-#ifndef MC3_CORE_EXACT_SOLVER_H_
-#define MC3_CORE_EXACT_SOLVER_H_
+#pragma once
 
 #include "core/solver.h"
 
@@ -36,4 +35,3 @@ class ExactSolver : public Solver {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_EXACT_SOLVER_H_

@@ -4,8 +4,7 @@
 // Set Cover -> run the greedy (ln Delta + 1)-approximation and a factor-f
 // algorithm -> keep the cheaper of the two outputs. The combined guarantee
 // is min{ln I + ln(k-1) + 1, 2^(k-1)} (Theorem 5.3).
-#ifndef MC3_CORE_GENERAL_SOLVER_H_
-#define MC3_CORE_GENERAL_SOLVER_H_
+#pragma once
 
 #include "core/solver.h"
 
@@ -27,4 +26,3 @@ class GeneralSolver : public Solver {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_GENERAL_SOLVER_H_

@@ -2,8 +2,7 @@
 // These build the MC3 instances used in the proofs of Theorems 5.1 and 5.2
 // from a Set Cover instance, and map solutions back. The test suite uses
 // them to verify the cost-preserving equivalence the proofs claim.
-#ifndef MC3_CORE_HARDNESS_H_
-#define MC3_CORE_HARDNESS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -52,4 +51,3 @@ Result<Instance> ReduceSetCoverToSingleQueryMc3(const SetCoverInstance& sc);
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_HARDNESS_H_

@@ -5,10 +5,21 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "util/float_cmp.h"
+
 namespace mc3 {
 
+std::vector<std::pair<PropertySet, Cost>> SortedCostEntries(
+    const CostMap& costs) {
+  std::vector<std::pair<PropertySet, Cost>> entries(costs.begin(),
+                                                    costs.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
 void Instance::SetCost(const PropertySet& classifier, Cost cost) {
-  if (cost == kInfiniteCost) {
+  if (IsInfiniteCost(cost)) {
     costs_.erase(classifier);
   } else {
     costs_[classifier] = cost;
@@ -41,6 +52,7 @@ size_t Instance::Incidence() const {
     });
   }
   size_t incidence = 0;
+  // mc3-lint: unordered-ok(max over all entries is visit-order independent)
   for (const auto& [classifier, count] : counts) {
     incidence = std::max(incidence, count);
   }
@@ -62,7 +74,8 @@ Status Instance::Validate() const {
   for (size_t i = 0; i < queries_.size(); ++i) {
     for (PropertyId p : queries_[i]) prop_queries[p].push_back(i);
   }
-  for (const auto& [classifier, cost] : costs_) {
+  // Sorted so the first reported validation error is deterministic.
+  for (const auto& [classifier, cost] : SortedCostEntries(costs_)) {
     if (classifier.empty()) {
       return Status::InvalidArgument("priced empty classifier");
     }
@@ -161,7 +174,7 @@ InstanceBuilder& InstanceBuilder::PriceAllClassifiers(
     const std::function<Cost(const PropertySet&)>& cost_fn) {
   for (const auto& q : instance_.queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& sub) {
-      if (instance_.CostOf(sub) == kInfiniteCost) {
+      if (IsInfiniteCost(instance_.CostOf(sub))) {
         instance_.SetCost(sub, cost_fn(sub));
       }
     });

@@ -4,8 +4,7 @@
 // explicit cost table have weight +infinity — the paper's convention for
 // classifiers that are omitted from the input (infeasible to train, cost
 // unbounded, or pruned in advance).
-#ifndef MC3_CORE_INSTANCE_H_
-#define MC3_CORE_INSTANCE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -28,6 +27,13 @@ inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::infinity();
 
 /// Map from classifier (property set) to its construction cost.
 using CostMap = std::unordered_map<PropertySet, Cost, PropertySetHash>;
+
+/// The entries of `costs` as a vector sorted by classifier (PropertySet's
+/// lexicographic order). Iterating a CostMap directly is order-unstable
+/// across platforms and insertion histories (lint rule R1); every loop whose
+/// effect can depend on visit order must go through this instead.
+std::vector<std::pair<PropertySet, Cost>> SortedCostEntries(
+    const CostMap& costs);
 
 /// An MC3 instance.
 class Instance {
@@ -118,4 +124,3 @@ class InstanceBuilder {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_INSTANCE_H_

@@ -6,6 +6,7 @@
 
 #include "util/rng.h"
 #include "util/union_find.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -19,7 +20,7 @@ Instance SubInstance(const Instance& instance,
   for (const PropertySet& q : sub.queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& classifier) {
       const Cost cost = instance.CostOf(classifier);
-      if (cost != kInfiniteCost) sub.SetCost(classifier, cost);
+      if (!IsInfiniteCost(cost)) sub.SetCost(classifier, cost);
     });
   }
   return sub;
@@ -88,7 +89,7 @@ Instance BoundClassifierLength(const Instance& instance, size_t max_length) {
   Instance bounded;
   bounded.set_property_names(instance.property_names());
   for (const PropertySet& q : instance.queries()) bounded.AddQuery(q);
-  for (const auto& [classifier, cost] : instance.costs()) {
+  for (const auto& [classifier, cost] : SortedCostEntries(instance.costs())) {
     if (classifier.size() <= max_length) bounded.SetCost(classifier, cost);
   }
   return bounded;

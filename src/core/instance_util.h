@@ -1,6 +1,5 @@
 // Instance manipulation helpers shared by solvers, generators and benches.
-#ifndef MC3_CORE_INSTANCE_UTIL_H_
-#define MC3_CORE_INSTANCE_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -56,4 +55,3 @@ std::vector<Instance> DecomposeComponents(const Instance& instance);
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_INSTANCE_UTIL_H_

@@ -5,8 +5,7 @@
 // bipartite Weighted Vertex Cover (left vertices = singleton classifiers,
 // right vertices = length-2 classifiers, two edges per query) -> reduce to
 // Max-Flow -> min cut -> translate the cover back to classifiers.
-#ifndef MC3_CORE_K2_SOLVER_H_
-#define MC3_CORE_K2_SOLVER_H_
+#pragma once
 
 #include "core/solver.h"
 
@@ -29,4 +28,3 @@ class K2ExactSolver : public Solver {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_K2_SOLVER_H_

@@ -12,8 +12,7 @@
 //   Property/Query/Mixed/LocalGreedy solvers — the paper's baselines
 //   ExactSolver                 — branch-and-bound oracle for small instances
 //   VerifyCoverage              — the coverage semantics, as a checker
-#ifndef MC3_CORE_MC3_H_
-#define MC3_CORE_MC3_H_
+#pragma once
 
 #include "core/baselines.h"           // IWYU pragma: export
 #include "core/cover_dp.h"            // IWYU pragma: export
@@ -34,4 +33,3 @@
 #include "core/stats.h"               // IWYU pragma: export
 #include "core/wsc_reduction.h"       // IWYU pragma: export
 
-#endif  // MC3_CORE_MC3_H_

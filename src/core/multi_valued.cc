@@ -6,6 +6,7 @@
 #include "core/wsc_reduction.h"
 #include "setcover/greedy.h"
 #include "setcover/primal_dual.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -31,7 +32,7 @@ Result<Instance> MergeToAttributes(
       merged.AddQuery(std::move(attr_query));
     }
   }
-  for (const auto& [classifier, cost] : attribute_costs) {
+  for (const auto& [classifier, cost] : SortedCostEntries(attribute_costs)) {
     merged.SetCost(classifier, cost);
   }
   return merged;
@@ -51,7 +52,7 @@ std::vector<size_t> PruneMultiValued(
     for (PropertyId p : multi_valued[i].value_properties) {
       if (used.count(p) == 0) continue;
       singleton_sum += instance.CostOf(PropertySet::Of({p}));
-      if (singleton_sum == kInfiniteCost) break;
+      if (IsInfiniteCost(singleton_sum)) break;
     }
     // Keep iff strictly cheaper than buying the singletons individually
     // (Section 5.3); an infinite singleton sum always keeps it.

@@ -9,8 +9,7 @@
 //     extended with one extra set per multi-valued classifier covering every
 //     occurrence of its value-properties, in any query — SolveWithMultiValued
 //     below.
-#ifndef MC3_CORE_MULTI_VALUED_H_
-#define MC3_CORE_MULTI_VALUED_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -75,4 +74,3 @@ Result<HybridSolveResult> SolveWithMultiValued(
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_MULTI_VALUED_H_

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "core/cover_dp.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 namespace {
@@ -76,7 +77,7 @@ Result<BudgetedResult> SolveBudgetedGreedy(const BudgetedInstance& input) {
     // Commit every query whose residual cover is free.
     bool progressed = false;
     for (size_t i = 0; i < n; ++i) {
-      if (!covered[i] && covers[i].has_value() && covers[i]->cost == 0) {
+      if (!covered[i] && covers[i].has_value() && IsZeroCost(covers[i]->cost)) {
         covered[i] = true;
         progressed = true;
       }
@@ -111,11 +112,13 @@ Result<BudgetedResult> SolveBudgetedGreedy(const BudgetedInstance& input) {
     covered[best] = true;
     // Refresh the residual covers of affected queries.
     std::unordered_set<size_t> affected;
+    // mc3-lint: unordered-ok(keyed inserts into a set; order-independent)
     for (PropertyId p : touched) {
       for (size_t qi : by_prop[p]) {
         if (!covered[qi]) affected.insert(qi);
       }
     }
+    // mc3-lint: unordered-ok(per-query recompute is keyed and idempotent)
     for (size_t qi : affected) {
       covers[qi] = MinCostQueryCover(instance.queries()[qi], effective);
     }
@@ -133,6 +136,7 @@ class BudgetedSearch {
  public:
   BudgetedSearch(const BudgetedInstance& input, uint64_t max_nodes)
       : input_(input), max_nodes_(max_nodes) {
+    // mc3-lint: unordered-ok(sorted into canonical order just below)
     for (const auto& [classifier, cost] : input.instance.costs()) {
       classifiers_.push_back(classifier);
     }

@@ -9,8 +9,7 @@
 // ships a practical heuristic (density-greedy over per-query minimum-cost
 // residual covers) plus an exact branch-and-bound oracle for small
 // instances, rather than an approximation scheme.
-#ifndef MC3_CORE_PARTIAL_COVER_H_
-#define MC3_CORE_PARTIAL_COVER_H_
+#pragma once
 
 #include <vector>
 
@@ -56,4 +55,3 @@ Result<BudgetedResult> SolveBudgetedExact(
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_PARTIAL_COVER_H_

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/timer.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 namespace {
@@ -74,6 +75,7 @@ class Worker {
     refs_.resize(n);
 
     table_.reserve(instance.costs().size());
+    // mc3-lint: unordered-ok(keyed inserts building the table)
     for (const auto& [classifier, cost] : instance.costs()) {
       table_.emplace(classifier,
                      CEntry{cost, kInfiniteCost, CState::kPresent, 0});
@@ -225,13 +227,22 @@ class Worker {
         }
       }
     }
+    // Selection order reaches the forced Solution and the touched-property
+    // list, so pick zero-cost classifiers in canonical order.
+    std::vector<std::pair<const PropertySet*, CEntry*>> zero_cost;
+    // mc3-lint: unordered-ok(candidates are sorted canonically below)
     for (auto& [classifier, entry] : table_) {
-      if (entry.state == CState::kPresent && entry.cost == 0) {
-        entry.state = CState::kSelected;
-        result_.forced.Add(classifier);
-        for (PropertyId p : classifier) touched_props_.push_back(p);
-        ++result_.stats.zero_weight_selected;
+      if (entry.state == CState::kPresent && IsZeroCost(entry.cost)) {
+        zero_cost.emplace_back(&classifier, &entry);
       }
+    }
+    std::sort(zero_cost.begin(), zero_cost.end(),
+              [](const auto& a, const auto& b) { return *a.first < *b.first; });
+    for (auto& [classifier, entry] : zero_cost) {
+      entry->state = CState::kSelected;
+      result_.forced.Add(*classifier);
+      for (PropertyId p : *classifier) touched_props_.push_back(p);
+      ++result_.stats.zero_weight_selected;
     }
     RefreshCoverage();
   }
@@ -322,7 +333,7 @@ class Worker {
           }
           Cost best = kInfiniteCost;
           for (uint32_t a = 1; a < local_full; ++a) {
-            if (eff_local[a] == kInfiniteCost) continue;
+            if (IsInfiniteCost(eff_local[a])) continue;
             best = std::min(best, eff_local[a] + min_superset[local_full ^ a]);
           }
           if (best <= ref.entry->cost) {
@@ -424,7 +435,7 @@ class Worker {
         }
         sum += pair_cost;
         pair_queries.push_back(qi);
-        if (sum == kInfiniteCost) break;
+        if (IsInfiniteCost(sum)) break;
       }
       if (pair_queries.empty() || sum > xit->second.cost) continue;
       // Select every pair, drop X, and recheck the other endpoints.
@@ -614,9 +625,9 @@ class K2Worker {
     for (size_t qi = 0; qi < queries_.size(); ++qi) {
       const QueryState& q = queries_[qi];
       const bool singles =
-          props_[q.a].cost != kInfiniteCost &&
-          (q.a == q.b || props_[q.b].cost != kInfiniteCost);
-      if (!singles && q.pair_cost == kInfiniteCost) {
+          !IsInfiniteCost(props_[q.a].cost) &&
+          (q.a == q.b || !IsInfiniteCost(props_[q.b].cost));
+      if (!singles && IsInfiniteCost(q.pair_cost)) {
         return Status::Infeasible(
             "query " +
             input_.queries()[qi].ToString(input_.property_names()) +
@@ -673,13 +684,13 @@ class K2Worker {
       }
     }
     for (int32_t p = 0; p < static_cast<int32_t>(props_.size()); ++p) {
-      if (props_[p].state == CState::kPresent && props_[p].cost == 0) {
+      if (props_[p].state == CState::kPresent && IsZeroCost(props_[p].cost)) {
         SelectSingle(p);
         ++result_.stats.zero_weight_selected;
       }
     }
     for (size_t qi = 0; qi < queries_.size(); ++qi) {
-      if (queries_[qi].alive && queries_[qi].pair_cost == 0 &&
+      if (queries_[qi].alive && IsZeroCost(queries_[qi].pair_cost) &&
           queries_[qi].pair_state == CState::kPresent) {
         SelectPair(qi);
         ++result_.stats.zero_weight_selected;
@@ -704,7 +715,7 @@ class K2Worker {
           ++result_.stats.classifiers_removed_step3;
         }
         // Forcing: when one cover side is gone, the other is mandatory.
-        const bool pair_gone = EffPair(q) == kInfiniteCost;
+        const bool pair_gone = IsInfiniteCost(EffPair(q));
         if (pair_gone) {
           for (int32_t p : {q.a, q.b}) {
             if (props_[p].state == CState::kPresent) {
@@ -713,8 +724,8 @@ class K2Worker {
               for (size_t other : prop_queries_[p]) next.push_back(other);
             }
           }
-        } else if (props_[q.a].cost == kInfiniteCost ||
-                   props_[q.b].cost == kInfiniteCost) {
+        } else if (IsInfiniteCost(props_[q.a].cost) ||
+                   IsInfiniteCost(props_[q.b].cost)) {
           if (q.pair_state == CState::kPresent) {
             SelectPair(qi);
             ++result_.stats.forced_selections_step3;
@@ -743,7 +754,7 @@ class K2Worker {
         if (!q.alive || q.a == q.b) continue;
         sum += EffPair(q);
         any = true;
-        if (sum == kInfiniteCost) break;
+        if (IsInfiniteCost(sum)) break;
       }
       if (!any || sum > props_[x].cost) continue;
       for (size_t qi : prop_queries_[x]) {
@@ -788,7 +799,7 @@ class K2Worker {
       const PropState& prop = props_[p];
       switch (prop.state) {
         case CState::kPresent:
-          if (prop.cost != kInfiniteCost) {
+          if (!IsInfiniteCost(prop.cost)) {
             component->SetCost(PropertySet::Of({prop.id}), prop.cost);
           }
           break;
@@ -808,7 +819,7 @@ class K2Worker {
       if (q.b != q.a) emit_single(&component, q.b);
       switch (q.pair_state) {
         case CState::kPresent:
-          if (q.pair_cost != kInfiniteCost) {
+          if (!IsInfiniteCost(q.pair_cost)) {
             component.SetCost(input_.queries()[qi], q.pair_cost);
           }
           break;

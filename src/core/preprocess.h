@@ -28,8 +28,7 @@
 //    selected. (This strictly generalizes the line-10 condition.)
 //  * Selected classifiers remain available to the residual instance at cost
 //    zero, exactly as the paper models selection.
-#ifndef MC3_CORE_PREPROCESS_H_
-#define MC3_CORE_PREPROCESS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -92,4 +91,3 @@ Result<PreprocessResult> Preprocess(const Instance& instance,
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_PREPROCESS_H_

@@ -6,8 +6,7 @@
 // Properties are dense uint32 ids. A PropertySet is a sorted-unique vector;
 // query lengths never exceed ~10 in any workload the paper considers, so
 // vector set-algebra beats bitsets over multi-thousand-property universes.
-#ifndef MC3_CORE_PROPERTY_SET_H_
-#define MC3_CORE_PROPERTY_SET_H_
+#pragma once
 
 #include <cstdint>
 #include <initializer_list>
@@ -84,4 +83,3 @@ struct PropertySetHash {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_PROPERTY_SET_H_

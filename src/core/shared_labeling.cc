@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/cover_dp.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -41,7 +42,7 @@ Instance FlattenToIndependentCosts(const Instance& instance,
   Instance flat;
   flat.set_property_names(instance.property_names());
   for (const PropertySet& q : instance.queries()) flat.AddQuery(q);
-  for (const auto& [classifier, base] : model.base_costs) {
+  for (const auto& [classifier, base] : SortedCostEntries(model.base_costs)) {
     flat.SetCost(classifier, model.StandaloneCost(classifier));
   }
   return flat;
@@ -50,11 +51,13 @@ Instance FlattenToIndependentCosts(const Instance& instance,
 namespace {
 
 Status ValidateModel(const SharedLabelingModel& model) {
+  // mc3-lint: unordered-ok(every violating entry yields the identical error)
   for (const auto& [classifier, base] : model.base_costs) {
     if (base < 0 || std::isnan(base)) {
       return Status::InvalidArgument("negative base cost");
     }
   }
+  // mc3-lint: unordered-ok(every violating entry yields the identical error)
   for (const auto& [p, cost] : model.label_costs) {
     if (cost < 0 || std::isnan(cost)) {
       return Status::InvalidArgument("negative label cost");
@@ -121,7 +124,7 @@ Result<SharedLabelingResult> SolveSharedLabelingGreedy(
     for (size_t i = 0; i < n; ++i) {
       if (covered[i]) continue;
       auto cover = MinCostQueryCover(instance.queries()[i], marginal);
-      if (cover.has_value() && cover->cost == 0) {
+      if (cover.has_value() && IsZeroCost(cover->cost)) {
         for (const PropertySet& c : cover->classifiers) {
           if (selected.insert(c).second) result.solution.Add(c);
         }
@@ -145,6 +148,7 @@ class SharedSearch {
   SharedSearch(const Instance& instance, const SharedLabelingModel& model,
                uint64_t max_nodes)
       : instance_(instance), model_(model), max_nodes_(max_nodes) {
+    // mc3-lint: unordered-ok(sorted below with a total-order comparator)
     for (const auto& [classifier, base] : model.base_costs) {
       classifiers_.push_back(classifier);
     }
@@ -163,7 +167,7 @@ class SharedSearch {
       return Status::InvalidArgument(
           "shared-labeling exact search exceeded its node budget");
     }
-    if (best_cost_ == kInfiniteCost) {
+    if (IsInfiniteCost(best_cost_)) {
       return Status::Infeasible(
           "no cover exists under the shared-labeling model");
     }

@@ -16,8 +16,7 @@
 // The plain MC3 reduction no longer applies (costs are not modular), so
 // this module provides a marginal-cost greedy in the spirit of Local-Greedy
 // plus an exact oracle for small instances.
-#ifndef MC3_CORE_SHARED_LABELING_H_
-#define MC3_CORE_SHARED_LABELING_H_
+#pragma once
 
 #include <unordered_map>
 #include <vector>
@@ -67,4 +66,3 @@ Instance FlattenToIndependentCosts(const Instance& instance,
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_SHARED_LABELING_H_

@@ -4,8 +4,7 @@
 // (the longer queries), with the already-selected classifiers available at
 // cost zero. The paper reports this to be the best strategy on workloads
 // where short queries dominate (e.g. the fashion category, 96% short).
-#ifndef MC3_CORE_SHORT_FIRST_SOLVER_H_
-#define MC3_CORE_SHORT_FIRST_SOLVER_H_
+#pragma once
 
 #include "core/solver.h"
 
@@ -26,4 +25,3 @@ class ShortFirstSolver : public Solver {
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_SHORT_FIRST_SOLVER_H_

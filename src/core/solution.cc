@@ -1,6 +1,7 @@
 #include "core/solution.h"
 
 #include <algorithm>
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -112,7 +113,7 @@ Solution PruneUnusedClassifiers(const Instance& instance,
     std::vector<uint32_t> parent_mask(full + 1, 0);
     dp[0] = 0;
     for (uint32_t mask = 0; mask <= full; ++mask) {
-      if (dp[mask] == kInfiniteCost) continue;
+      if (IsInfiniteCost(dp[mask])) continue;
       for (size_t c = 0; c < cand_masks.size(); ++c) {
         const uint32_t next = mask | cand_masks[c];
         if (next == mask) continue;
@@ -124,7 +125,7 @@ Solution PruneUnusedClassifiers(const Instance& instance,
         }
       }
     }
-    if (dp[full] == kInfiniteCost) {
+    if (IsInfiniteCost(dp[full])) {
       // Solution does not cover q (or only via unpriced classifiers);
       // pruning is not safe — return the input untouched.
       return solution;

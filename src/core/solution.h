@@ -6,8 +6,7 @@
 // selected classifiers that are subsets of q equals q. CoverageReport below
 // is the single source of truth for this check across solvers, tests and
 // benches.
-#ifndef MC3_CORE_SOLUTION_H_
-#define MC3_CORE_SOLUTION_H_
+#pragma once
 
 #include <string>
 #include <unordered_set>
@@ -74,4 +73,3 @@ Solution PruneUnusedClassifiers(const Instance& instance,
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_SOLUTION_H_

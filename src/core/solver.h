@@ -1,6 +1,5 @@
 // Common solver interface shared by the paper's algorithms and baselines.
-#ifndef MC3_CORE_SOLVER_H_
-#define MC3_CORE_SOLVER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -93,4 +92,3 @@ Result<SolveResult> FinishSolve(const Instance& instance, Solution solution,
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_SOLVER_H_

@@ -24,6 +24,7 @@ InstanceStats ComputeStats(const Instance& instance) {
           : static_cast<double>(short_queries) / stats.num_queries;
 
   bool first = true;
+  // mc3-lint: unordered-ok(count/min/max aggregation is order-independent)
   for (const auto& [classifier, cost] : instance.costs()) {
     if (!std::isfinite(cost)) continue;
     ++stats.num_classifiers;

@@ -1,7 +1,6 @@
 // Instance statistics (the quantities reported in Table 1 and quoted in the
 // paper's dataset descriptions).
-#ifndef MC3_CORE_STATS_H_
-#define MC3_CORE_STATS_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -35,4 +34,3 @@ std::string StatsRow(const std::string& name, const InstanceStats& stats);
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_STATS_H_

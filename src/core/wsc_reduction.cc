@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include "util/float_cmp.h"
 
 namespace mc3 {
 
@@ -28,7 +29,7 @@ WscReduction ReduceToWsc(const Instance& instance) {
     const PropertySet& q = queries[qi];
     const auto& ids = q.ids();
     ForEachNonEmptySubset(q, [&](const PropertySet& sub) {
-      if (instance.CostOf(sub) == kInfiniteCost) return;
+      if (IsInfiniteCost(instance.CostOf(sub))) return;
       auto& elements = covered[sub];
       size_t pos = 0;
       for (PropertyId p : sub) {
@@ -42,6 +43,7 @@ WscReduction ReduceToWsc(const Instance& instance) {
   // Canonical set order for determinism.
   std::vector<const PropertySet*> order;
   order.reserve(covered.size());
+  // mc3-lint: unordered-ok(sorted into the canonical order just below)
   for (const auto& [classifier, elements] : covered) {
     order.push_back(&classifier);
   }

@@ -5,8 +5,7 @@
 // set containing exactly the elements p_q with p in S and S subseteq q,
 // priced at W(S). Covers of the WSC instance correspond one-to-one,
 // cost-preservingly, to MC3 solutions (Figure 2 of the paper).
-#ifndef MC3_CORE_WSC_REDUCTION_H_
-#define MC3_CORE_WSC_REDUCTION_H_
+#pragma once
 
 #include <vector>
 
@@ -37,4 +36,3 @@ Solution WscSolutionToMc3(const WscReduction& reduction,
 
 }  // namespace mc3
 
-#endif  // MC3_CORE_WSC_REDUCTION_H_

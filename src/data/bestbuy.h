@@ -5,8 +5,7 @@
 // (count, cost uniformity, length histogram, max length) over a realistic
 // electronics vocabulary with Zipf-like property reuse, which is what
 // Figure 3a depends on. See DESIGN.md, "Substitutions".
-#ifndef MC3_DATA_BESTBUY_H_
-#define MC3_DATA_BESTBUY_H_
+#pragma once
 
 #include <cstdint>
 
@@ -28,4 +27,3 @@ Instance GenerateBestBuy(const BestBuyConfig& config);
 
 }  // namespace mc3::data
 
-#endif  // MC3_DATA_BESTBUY_H_

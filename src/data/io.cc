@@ -28,6 +28,7 @@ std::string InstanceToCsv(const Instance& instance) {
   }
   // Deterministic classifier order.
   std::vector<const PropertySet*> order;
+  // mc3-lint: unordered-ok(sorted into the canonical order just below)
   for (const auto& [classifier, cost] : instance.costs()) {
     order.push_back(&classifier);
   }

@@ -6,8 +6,7 @@
 //   C,<cost>,<prop>,<prop>,...   one row per priced classifier
 //
 // Properties are arbitrary strings, interned to dense ids on load.
-#ifndef MC3_DATA_IO_H_
-#define MC3_DATA_IO_H_
+#pragma once
 
 #include <string>
 
@@ -38,4 +37,3 @@ Status SaveSolution(const Instance& instance, const mc3::Solution& solution,
 
 }  // namespace mc3::data
 
-#endif  // MC3_DATA_IO_H_

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "util/rng.h"
+#include "util/float_cmp.h"
 
 namespace mc3::data {
 namespace {
@@ -128,7 +129,7 @@ PrivateDataset GeneratePrivate(const PrivateConfig& config) {
   };
   for (const PropertySet& q : instance.queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& classifier) {
-      if (instance.CostOf(classifier) != kInfiniteCost) return;
+      if (!IsInfiniteCost(instance.CostOf(classifier))) return;
       if (classifier.size() == 1) {
         instance.SetCost(classifier, singleton(*classifier.begin()));
         return;

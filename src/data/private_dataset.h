@@ -5,8 +5,7 @@
 // cost model reproduces the paper's motivating phenomenon: a conjunction
 // classifier is sometimes cheaper than the sum — or even the minimum — of
 // its parts. The real data is proprietary; see DESIGN.md, "Substitutions".
-#ifndef MC3_DATA_PRIVATE_DATASET_H_
-#define MC3_DATA_PRIVATE_DATASET_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -51,4 +50,3 @@ PrivateDataset GeneratePrivate(const PrivateConfig& config);
 
 }  // namespace mc3::data
 
-#endif  // MC3_DATA_PRIVATE_DATASET_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <unordered_set>
+#include "util/float_cmp.h"
 
 namespace mc3::data {
 namespace {
@@ -91,7 +92,7 @@ Status EstimateCosts(Instance* instance,
   };
   for (const PropertySet& q : instance->queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& classifier) {
-      if (instance->CostOf(classifier) != kInfiniteCost) return;
+      if (!IsInfiniteCost(instance->CostOf(classifier))) return;
       Cost sum = 0;
       Cost min_part = kInfiniteCost;
       for (PropertyId p : classifier) {

@@ -11,8 +11,7 @@
 //
 // The frequencies feed the budgeted partial-cover extension directly
 // (important queries = frequent queries).
-#ifndef MC3_DATA_QUERY_LOG_H_
-#define MC3_DATA_QUERY_LOG_H_
+#pragma once
 
 #include <string>
 #include <unordered_map>
@@ -69,4 +68,3 @@ Status EstimateCosts(Instance* instance, const CostEstimatorOptions& options);
 
 }  // namespace mc3::data
 
-#endif  // MC3_DATA_QUERY_LOG_H_

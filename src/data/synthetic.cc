@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/rng.h"
+#include "util/float_cmp.h"
 
 namespace mc3::data {
 
@@ -53,7 +54,7 @@ Instance GenerateSynthetic(const SyntheticConfig& config) {
   // Price every classifier in C_Q uniformly from [cost_min, cost_max].
   for (const PropertySet& q : instance.queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& classifier) {
-      if (instance.CostOf(classifier) == kInfiniteCost) {
+      if (IsInfiniteCost(instance.CostOf(classifier))) {
         instance.SetCost(classifier,
                          static_cast<Cost>(rng.UniformInt(
                              config.cost_min, config.cost_max)));

@@ -5,8 +5,7 @@
 //   * properties drawn uniformly from a pool of n/t properties, with t
 //     uniform in [2, sqrt(n)];
 //   * every classifier in C_Q priced uniformly from [1, 50] (integers).
-#ifndef MC3_DATA_SYNTHETIC_H_
-#define MC3_DATA_SYNTHETIC_H_
+#pragma once
 
 #include <cstdint>
 
@@ -32,4 +31,3 @@ Instance GenerateSynthetic(const SyntheticConfig& config);
 
 }  // namespace mc3::data
 
-#endif  // MC3_DATA_SYNTHETIC_H_

@@ -1,8 +1,7 @@
 // Weighted Vertex Cover on bipartite graphs via max-flow (Theorem 2.3 of the
 // paper, reduction per [Baiou-Barahona 2016]). This is the engine behind the
 // exact k = 2 solver (Algorithm 2).
-#ifndef MC3_FLOW_BIPARTITE_VERTEX_COVER_H_
-#define MC3_FLOW_BIPARTITE_VERTEX_COVER_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -50,4 +49,3 @@ bool IsVertexCover(const BipartiteVcInstance& instance,
 
 }  // namespace mc3::flow
 
-#endif  // MC3_FLOW_BIPARTITE_VERTEX_COVER_H_

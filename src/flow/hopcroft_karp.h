@@ -5,8 +5,7 @@
 // EDBT 2019], which solves MC3 with uniform classifier costs and k <= 2
 // exactly: with unit weights, bipartite WVC degenerates to unweighted VC,
 // i.e. maximum matching.
-#ifndef MC3_FLOW_HOPCROFT_KARP_H_
-#define MC3_FLOW_HOPCROFT_KARP_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -43,4 +42,3 @@ UnweightedVertexCover MinVertexCoverKoenig(const BipartiteGraph& graph);
 
 }  // namespace mc3::flow
 
-#endif  // MC3_FLOW_HOPCROFT_KARP_H_

@@ -9,8 +9,7 @@
 //                    the preflow-based competitors discussed in [2] and [36];
 //   * EdmondsKarp  — simple BFS augmentation, used as a cross-check oracle
 //                    in tests and as a baseline in the micro-benchmarks.
-#ifndef MC3_FLOW_MAX_FLOW_H_
-#define MC3_FLOW_MAX_FLOW_H_
+#pragma once
 
 #include "flow/network.h"
 
@@ -42,4 +41,3 @@ Capacity MaxFlow(FlowNetwork* network, NodeId source, NodeId sink,
 
 }  // namespace mc3::flow
 
-#endif  // MC3_FLOW_MAX_FLOW_H_

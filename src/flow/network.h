@@ -3,8 +3,7 @@
 // This is the substrate behind Algorithm 2 of the paper: MC3 with k = 2 is
 // reduced to bipartite Weighted Vertex Cover, which in turn reduces to
 // Max-Flow (Theorem 2.3 / [Baiou-Barahona 2016]).
-#ifndef MC3_FLOW_NETWORK_H_
-#define MC3_FLOW_NETWORK_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -99,4 +98,3 @@ class FlowNetwork {
 
 }  // namespace mc3::flow
 
-#endif  // MC3_FLOW_NETWORK_H_

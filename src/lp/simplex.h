@@ -10,8 +10,7 @@
 // instances on which the literal LP-rounding variant runs; the scalable
 // default f-approximation in this library is primal-dual (see
 // setcover/primal_dual.h), which needs no LP solve.
-#ifndef MC3_LP_SIMPLEX_H_
-#define MC3_LP_SIMPLEX_H_
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -57,4 +56,3 @@ Result<LpSolution> SolveSimplex(const LinearProgram& lp);
 
 }  // namespace mc3::lp
 
-#endif  // MC3_LP_SIMPLEX_H_

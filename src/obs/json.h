@@ -3,8 +3,7 @@
 // parser used to validate emitted reports against their schema. Both are
 // deliberately tiny (no external dependency, no DOM mutation API): reports
 // are write-once documents and validation only needs read access.
-#ifndef MC3_OBS_JSON_H_
-#define MC3_OBS_JSON_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -79,4 +78,3 @@ Result<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace mc3::obs
 
-#endif  // MC3_OBS_JSON_H_

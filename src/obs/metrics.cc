@@ -84,7 +84,9 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  // Destroying the registry at exit would race late metric updates.
+  // mc3-lint: new-delete-ok(intentionally leaked process-lifetime singleton)
+  static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 

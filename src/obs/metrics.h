@@ -10,8 +10,7 @@
 //   * the whole layer compiles away under -DMC3_OBS=OFF (the
 //     MC3_OBS_DISABLED preprocessor flag): the same API degrades to inlined
 //     no-ops so call sites never need #ifdefs.
-#ifndef MC3_OBS_METRICS_H_
-#define MC3_OBS_METRICS_H_
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -181,4 +180,3 @@ inline constexpr bool kObsEnabled =
 
 }  // namespace mc3::obs
 
-#endif  // MC3_OBS_METRICS_H_

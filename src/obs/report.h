@@ -9,8 +9,7 @@
 //     shape, result, span tree, metrics snapshot;
 //   * mc3.bench_report/1 — a list of named bench cases, each a solve report
 //     body, plus the merged metrics snapshot.
-#ifndef MC3_OBS_REPORT_H_
-#define MC3_OBS_REPORT_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -80,4 +79,3 @@ void RenderMetrics(const MetricsSnapshot& metrics, JsonWriter* writer);
 
 }  // namespace mc3::obs
 
-#endif  // MC3_OBS_REPORT_H_

@@ -12,8 +12,7 @@
 // parent is serialized by the Trace's mutex.
 //
 // With MC3_OBS_DISABLED the whole layer compiles to no-ops.
-#ifndef MC3_OBS_TRACE_H_
-#define MC3_OBS_TRACE_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -168,4 +167,3 @@ class ScopedSpan {
 
 }  // namespace mc3::obs
 
-#endif  // MC3_OBS_TRACE_H_

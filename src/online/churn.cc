@@ -27,7 +27,7 @@ Instance GenerateShardedSynthetic(const ShardedSyntheticConfig& config) {
       merged.AddQuery(OffsetSet(q, offset));
       max_id = std::max(max_id, *(q.end() - 1));
     }
-    for (const auto& [classifier, cost] : shard.costs()) {
+    for (const auto& [classifier, cost] : SortedCostEntries(shard.costs())) {
       merged.SetCost(OffsetSet(classifier, offset), cost);
     }
     offset += max_id + 1;

@@ -2,8 +2,7 @@
 // the paper's synthetic dataset (disjoint per-domain property pools, the
 // shape of an e-commerce catalog with independent categories) and a
 // deterministic generator of add/remove batches against a base workload.
-#ifndef MC3_ONLINE_CHURN_H_
-#define MC3_ONLINE_CHURN_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -60,4 +59,3 @@ class ChurnGenerator {
 
 }  // namespace mc3::online
 
-#endif  // MC3_ONLINE_CHURN_H_

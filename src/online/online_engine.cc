@@ -23,7 +23,8 @@ Result<UpdateStats> OnlineEngine::Initialize(const Instance& instance) {
   if (!instance.property_names().empty()) {
     names_ = instance.property_names();
   }
-  for (const auto& [classifier, cost] : instance.costs()) {
+  // Sorted so a failing classifier reports the same error on every run.
+  for (const auto& [classifier, cost] : SortedCostEntries(instance.costs())) {
     MC3_RETURN_IF_ERROR(SetCost(classifier, cost));
   }
   return ApplyUpdate(instance.queries(), {});
@@ -166,6 +167,9 @@ Result<UpdateStats> OnlineEngine::ApplyUpdate(
       if (it != component_of_prop_.end()) dirty.push_back(it->second);
     }
   }
+  // Determinism contract: dirty ids are collected from hash lookups, so sort
+  // and dedupe before anything downstream observes the order. Every later
+  // stage (region assembly, repartition, commit) iterates in this order.
   std::sort(dirty.begin(), dirty.end());
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   stats.components_dirtied = dirty.size();
@@ -222,7 +226,11 @@ Result<UpdateStats> OnlineEngine::ApplyUpdate(
   }
 
   // Lazy repartition of the dirty region only (adds may have merged dirty
-  // components; removes may have split them).
+  // components; removes may have split them). Sorting the region by query
+  // slot makes the re-solve order canonical: PartitionQueries numbers
+  // components by first appearance, so each fresh component is solved and
+  // committed in order of its smallest member slot regardless of the update
+  // batch's iteration history.
   std::sort(region.begin(), region.end());
   std::vector<std::vector<size_t>> groups;
   {
@@ -317,6 +325,7 @@ Result<UpdateStats> OnlineEngine::RemoveQueries(
 Solution OnlineEngine::CurrentSolution() const {
   std::vector<size_t> ids;
   ids.reserve(components_.size());
+  // mc3-lint: unordered-ok(ids are sorted before any order-sensitive use)
   for (const auto& [cid, component] : components_) ids.push_back(cid);
   std::sort(ids.begin(), ids.end());
   Solution merged;
@@ -345,6 +354,7 @@ Status OnlineEngine::CheckInvariants() const {
   size_t partitioned = 0;
   std::unordered_map<PropertyId, size_t> expected_props;
   Cost component_sum = 0;
+  // mc3-lint: unordered-ok(invariant scan; every failure is the same error)
   for (const auto& [cid, component] : components_) {
     if (component.queries.empty()) {
       return Status::Internal("empty component in the registry");
@@ -372,6 +382,7 @@ Status OnlineEngine::CheckInvariants() const {
   if (expected_props.size() != component_of_prop_.size()) {
     return Status::Internal("property index size mismatch");
   }
+  // mc3-lint: unordered-ok(invariant scan; every failure is the same error)
   for (const auto& [p, cid] : expected_props) {
     const auto it = component_of_prop_.find(p);
     if (it == component_of_prop_.end() || it->second != cid) {

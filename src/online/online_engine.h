@@ -23,8 +23,7 @@
 // Work per update is proportional to the dirty region, not the universe —
 // the same observation sub-linear Set Cover algorithms build on (Indyk et
 // al., arXiv:1902.03534). See docs/online.md for the full model.
-#ifndef MC3_ONLINE_ONLINE_ENGINE_H_
-#define MC3_ONLINE_ONLINE_ENGINE_H_
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -183,4 +182,3 @@ class OnlineEngine {
 
 }  // namespace mc3::online
 
-#endif  // MC3_ONLINE_ONLINE_ENGINE_H_

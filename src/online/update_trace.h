@@ -16,8 +16,7 @@
 // case-sensitively against the base workload's property names (the same
 // convention as the instance CSV dialect); unseen names are interned as new
 // properties.
-#ifndef MC3_ONLINE_UPDATE_TRACE_H_
-#define MC3_ONLINE_UPDATE_TRACE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -55,4 +54,3 @@ Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
 
 }  // namespace mc3::online
 
-#endif  // MC3_ONLINE_UPDATE_TRACE_H_

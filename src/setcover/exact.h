@@ -3,8 +3,7 @@
 // O(2^n * m) time, O(2^n) space — the textbook exact algorithm for small
 // universes [Hua et al. 2009/2010 study this family for multicover]. Used
 // as an oracle by the test suite and available for small planning problems.
-#ifndef MC3_SETCOVER_EXACT_H_
-#define MC3_SETCOVER_EXACT_H_
+#pragma once
 
 #include "setcover/instance.h"
 #include "util/status.h"
@@ -19,4 +18,3 @@ Result<WscSolution> SolveWscExact(const WscInstance& instance,
 
 }  // namespace mc3::setcover
 
-#endif  // MC3_SETCOVER_EXACT_H_

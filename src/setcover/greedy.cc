@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/float_cmp.h"
 
 namespace mc3::setcover {
 namespace {
@@ -70,7 +71,7 @@ void SelectFreeSets(const WscInstance& instance, std::vector<bool>* covered,
                     int32_t* remaining, WscSolution* solution) {
   for (size_t i = 0; i < instance.sets.size(); ++i) {
     const WscSet& s = instance.sets[i];
-    if (s.cost == 0 && CountUncovered(s, *covered) > 0) {
+    if (IsZeroCost(s.cost) && CountUncovered(s, *covered) > 0) {
       Select(instance, static_cast<SetId>(i), covered, remaining, solution);
     }
   }

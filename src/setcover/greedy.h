@@ -8,8 +8,7 @@
 //                  O(log m * sum |S|) [Cormode-Karloff-Wirth 2010].
 // The lazy variant is what Algorithm 3 uses; the naive one serves as an
 // oracle in tests and a baseline in the micro-benchmarks.
-#ifndef MC3_SETCOVER_GREEDY_H_
-#define MC3_SETCOVER_GREEDY_H_
+#pragma once
 
 #include "setcover/instance.h"
 #include "util/status.h"
@@ -28,4 +27,3 @@ Result<WscSolution> SolveGreedyNaive(const WscInstance& instance);
 
 }  // namespace mc3::setcover
 
-#endif  // MC3_SETCOVER_GREEDY_H_

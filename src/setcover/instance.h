@@ -1,8 +1,7 @@
 // Weighted Set Cover (WSC) instance model, the target of the paper's
 // Section 5 reduction: elements are (query, property) occurrences, sets are
 // classifiers.
-#ifndef MC3_SETCOVER_INSTANCE_H_
-#define MC3_SETCOVER_INSTANCE_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -61,4 +60,3 @@ WscSolution PruneRedundantSets(const WscInstance& instance,
 
 }  // namespace mc3::setcover
 
-#endif  // MC3_SETCOVER_INSTANCE_H_

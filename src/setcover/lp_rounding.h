@@ -5,8 +5,7 @@
 // paper cites for the f bound in Algorithm 3; it runs a dense simplex, so
 // it is intended for small/medium instances (the scalable equivalent is
 // setcover/primal_dual.h).
-#ifndef MC3_SETCOVER_LP_ROUNDING_H_
-#define MC3_SETCOVER_LP_ROUNDING_H_
+#pragma once
 
 #include "setcover/instance.h"
 #include "util/status.h"
@@ -23,4 +22,3 @@ Result<double> SetCoverLpLowerBound(const WscInstance& instance);
 
 }  // namespace mc3::setcover
 
-#endif  // MC3_SETCOVER_LP_ROUNDING_H_

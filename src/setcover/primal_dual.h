@@ -3,8 +3,7 @@
 // algorithm the paper cites [Vazirani 2013], with no LP solve, in
 // O(sum |S|) time — this is the scalable default f-method inside
 // Algorithm 3 (see lp_rounding.h for the literal LP variant).
-#ifndef MC3_SETCOVER_PRIMAL_DUAL_H_
-#define MC3_SETCOVER_PRIMAL_DUAL_H_
+#pragma once
 
 #include "setcover/instance.h"
 #include "util/status.h"
@@ -19,4 +18,3 @@ Result<WscSolution> SolvePrimalDual(const WscInstance& instance);
 
 }  // namespace mc3::setcover
 
-#endif  // MC3_SETCOVER_PRIMAL_DUAL_H_

@@ -1,8 +1,7 @@
 // Minimal CSV reading/writing for instance serialization and experiment
 // output. Supports the subset of RFC 4180 the library emits: comma
 // separation, double-quote quoting, quote escaping by doubling.
-#ifndef MC3_UTIL_CSV_H_
-#define MC3_UTIL_CSV_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -32,4 +31,3 @@ Status WriteCsvFile(const std::string& path,
 
 }  // namespace mc3
 
-#endif  // MC3_UTIL_CSV_H_

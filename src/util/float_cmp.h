@@ -1,0 +1,40 @@
+// Floating-point comparison helpers backing lint rule R2 (see
+// docs/static_analysis.md): costs and weights are doubles that flow through
+// sums and ratios, so exact ==/!= on them is either a rounding bug waiting
+// to happen or a deliberate sentinel test that deserves a named function.
+// The three helpers cover every intentional case in this codebase:
+//
+//   ApproxEq(a, b)     — tolerant equality for accumulated/derived costs.
+//   IsInfiniteCost(c)  — the kInfiniteCost "classifier omitted" sentinel.
+//                        Exactly equivalent to c == kInfiniteCost (true only
+//                        for +inf; false for NaN, -inf and every finite c).
+//   IsZeroCost(c)      — the exact-zero sentinel for free classifiers.
+//                        Zero is exactly representable and only ever assigned
+//                        (never computed), so exact comparison is correct.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace mc3 {
+
+/// Tolerant equality for cost values that went through arithmetic. Equal
+/// infinities compare equal; NaN compares unequal to everything.
+inline bool ApproxEq(double a, double b, double rel_tol = 1e-9,
+                     double abs_tol = 1e-12) {
+  if (a == b) return true;  // fast path; also +inf==+inf, -inf==-inf
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double diff = std::fabs(a - b);
+  return diff <= abs_tol ||
+         diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+/// True iff `c` is the kInfiniteCost sentinel (+infinity). `!IsInfiniteCost(c)`
+/// is exactly `c != kInfiniteCost`, including for NaN and -inf.
+inline bool IsInfiniteCost(double c) { return std::isinf(c) && c > 0; }
+
+/// True iff `c` is exactly zero (the "free classifier" sentinel; zero is
+/// assigned, never computed, so exact comparison is intended here).
+inline bool IsZeroCost(double c) { return c == 0; }
+
+}  // namespace mc3

@@ -1,8 +1,7 @@
 // Minimal data-parallel helper for solving independent sub-instances
 // concurrently (paper Section 3, step 2: "This step allows us to solve all
 // sub-instances in parallel").
-#ifndef MC3_UTIL_PARALLEL_H_
-#define MC3_UTIL_PARALLEL_H_
+#pragma once
 
 #include <atomic>
 #include <cstddef>
@@ -41,4 +40,3 @@ inline void ParallelFor(size_t count, size_t num_threads,
 
 }  // namespace mc3
 
-#endif  // MC3_UTIL_PARALLEL_H_

@@ -2,8 +2,7 @@
 // property-based tests. A thin wrapper over SplitMix64 + xoshiro256**, so
 // streams are reproducible across platforms and standard-library versions
 // (std::uniform_int_distribution is not portable across implementations).
-#ifndef MC3_UTIL_RNG_H_
-#define MC3_UTIL_RNG_H_
+#pragma once
 
 #include <cassert>
 #include <cstdint>
@@ -72,4 +71,3 @@ class Rng {
 
 }  // namespace mc3
 
-#endif  // MC3_UTIL_RNG_H_

@@ -1,8 +1,7 @@
 // Status / Result<T>: lightweight error propagation without exceptions,
 // following the RocksDB / Arrow idiom. Library entry points that can fail on
 // user input return Status (or Result<T>); programming errors are asserted.
-#ifndef MC3_UTIL_STATUS_H_
-#define MC3_UTIL_STATUS_H_
+#pragma once
 
 #include <cassert>
 #include <optional>
@@ -22,7 +21,9 @@ enum class StatusCode {
 };
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
-class Status {
+/// [[nodiscard]] is the compiler-enforced side of lint rule R5: a dropped
+/// Status is a swallowed error.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -61,7 +62,7 @@ class Status {
 
 /// Result<T> holds either a value or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -105,4 +106,3 @@ class Result {
     if (!_st.ok()) return _st;             \
   } while (0)
 
-#endif  // MC3_UTIL_STATUS_H_

@@ -1,8 +1,7 @@
 // Console table rendering for the benchmark harness: every figure/table
 // binary prints the paper's rows/series through this formatter so output is
 // uniform and machine-greppable.
-#ifndef MC3_UTIL_TABLE_H_
-#define MC3_UTIL_TABLE_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -34,4 +33,3 @@ class TablePrinter {
 
 }  // namespace mc3
 
-#endif  // MC3_UTIL_TABLE_H_

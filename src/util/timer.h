@@ -1,7 +1,6 @@
 // Wall-clock timing for the experiment harness (figures 3c/3f report
 // running-time series).
-#ifndef MC3_UTIL_TIMER_H_
-#define MC3_UTIL_TIMER_H_
+#pragma once
 
 #include <chrono>
 
@@ -30,4 +29,3 @@ class Timer {
 
 }  // namespace mc3
 
-#endif  // MC3_UTIL_TIMER_H_

@@ -2,8 +2,7 @@
 // shared-property component partition (paper Section 3, Observation 3.2)
 // both offline (Algorithm 1 step 2) and online (the serving engine's
 // dirty-region repartition).
-#ifndef MC3_UTIL_UNION_FIND_H_
-#define MC3_UTIL_UNION_FIND_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -47,4 +46,3 @@ class UnionFind {
 
 }  // namespace mc3
 
-#endif  // MC3_UTIL_UNION_FIND_H_

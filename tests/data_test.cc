@@ -136,6 +136,7 @@ TEST(PrivateTest, ConjunctionSometimesCheaperThanParts) {
   const Instance& inst = dataset.instance;
   size_t cheaper_than_min_part = 0;
   size_t examined = 0;
+  // mc3-lint: unordered-ok(counting aggregation is order-independent)
   for (const auto& [classifier, cost] : inst.costs()) {
     if (classifier.size() < 2) continue;
     Cost min_part = kInfiniteCost;

@@ -1,0 +1,256 @@
+// Determinism regression tests (lint rule R1's dynamic complement, see
+// docs/static_analysis.md): the same logical instance, built with shuffled
+// insertion histories, must produce byte-identical solutions. Unordered
+// containers iterate in an order that depends on how their content was
+// inserted, so any solver path that lets that order leak into tie-breaks or
+// solution assembly fails these tests.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_solver.h"
+#include "core/general_solver.h"
+#include "core/instance.h"
+#include "core/instance_util.h"
+#include "core/k2_solver.h"
+#include "core/solution.h"
+#include "online/online_engine.h"
+#include "tests/test_util.h"
+#include "util/float_cmp.h"
+#include "util/rng.h"
+
+namespace mc3 {
+namespace {
+
+using testing::RandomInstanceConfig;
+
+/// The sorted (query, cost-entry) content of a seeded random instance:
+/// distinct generic costs, so the optimum is unique and any ordering bug
+/// shows up as a different solution, not a cost tie.
+struct InstanceContent {
+  std::vector<PropertySet> queries;
+  std::vector<std::pair<PropertySet, Cost>> cost_entries;
+};
+
+InstanceContent SeededContent(uint64_t seed, size_t num_queries = 8) {
+  RandomInstanceConfig config;
+  config.num_queries = num_queries;
+  config.pool = 9;
+  config.max_query_length = 3;
+  config.zero_probability = 0;
+  const Instance base = testing::RandomInstance(config, seed);
+  InstanceContent content;
+  content.queries = base.queries();
+  content.cost_entries = SortedCostEntries(base.costs());
+  // Perturb costs to be pairwise distinct (generic costs => unique optimum)
+  // while keeping them comparable in magnitude.
+  Cost bump = 0;
+  for (auto& [classifier, cost] : content.cost_entries) {
+    bump += 1.0 / 1024;
+    cost += bump;
+  }
+  return content;
+}
+
+/// Builds the instance inserting cost entries (and optionally queries) in
+/// the order given by `perm_seed` — same logical instance, different
+/// unordered_map insertion history.
+Instance BuildShuffled(const InstanceContent& content, uint64_t perm_seed,
+                       bool shuffle_queries) {
+  std::vector<size_t> cost_order(content.cost_entries.size());
+  std::iota(cost_order.begin(), cost_order.end(), size_t{0});
+  std::vector<size_t> query_order(content.queries.size());
+  std::iota(query_order.begin(), query_order.end(), size_t{0});
+  Rng rng(perm_seed);
+  for (size_t i = cost_order.size(); i > 1; --i) {
+    std::swap(cost_order[i - 1],
+              cost_order[static_cast<size_t>(rng.UniformInt(0, i - 1))]);
+  }
+  if (shuffle_queries) {
+    for (size_t i = query_order.size(); i > 1; --i) {
+      std::swap(query_order[i - 1],
+                query_order[static_cast<size_t>(rng.UniformInt(0, i - 1))]);
+    }
+  }
+  Instance instance;
+  for (size_t qi : query_order) instance.AddQuery(content.queries[qi]);
+  for (size_t ci : cost_order) {
+    instance.SetCost(content.cost_entries[ci].first, content.cost_entries[ci].second);
+  }
+  return instance;
+}
+
+/// Canonical byte rendering of a solution: sorted classifiers + total cost
+/// at full precision.
+std::string Canonical(const Solution& solution, const Instance& instance) {
+  std::vector<PropertySet> sorted = solution.classifiers();
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const PropertySet& c : sorted) out += c.ToString() + ";";
+  char cost[64];
+  std::snprintf(cost, sizeof(cost), "%.17g",
+                solution.TotalCost(instance));
+  return out + cost;
+}
+
+template <typename SolverT>
+void ExpectSolverDeterministic(uint64_t seed) {
+  const InstanceContent content = SeededContent(seed);
+  std::string first_canonical;
+  std::string first_tostring;
+  for (uint64_t perm = 0; perm < 4; ++perm) {
+    const Instance instance =
+        BuildShuffled(content, /*perm_seed=*/perm * 71 + 5,
+                      /*shuffle_queries=*/false);
+    auto result = SolverT().Solve(instance);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    // Identical query order + shuffled cost-table history must yield a
+    // byte-identical solution, including classifier insertion order.
+    const std::string rendered = result->solution.ToString(instance);
+    const std::string canonical = Canonical(result->solution, instance);
+    if (perm == 0) {
+      first_tostring = rendered;
+      first_canonical = canonical;
+    } else {
+      EXPECT_EQ(rendered, first_tostring) << "seed " << seed;
+      EXPECT_EQ(canonical, first_canonical) << "seed " << seed;
+    }
+  }
+  // Shuffling the query list is a semantic reordering: the classifier set
+  // and cost must still match (canonical compare, not insertion order).
+  for (uint64_t perm = 0; perm < 2; ++perm) {
+    const Instance instance =
+        BuildShuffled(content, /*perm_seed=*/perm * 131 + 17,
+                      /*shuffle_queries=*/true);
+    auto result = SolverT().Solve(instance);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    EXPECT_EQ(Canonical(result->solution, instance), first_canonical)
+        << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, ExactSolver) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    ExpectSolverDeterministic<ExactSolver>(seed);
+  }
+}
+
+TEST(DeterminismTest, GeneralSolver) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    ExpectSolverDeterministic<GeneralSolver>(seed);
+  }
+}
+
+TEST(DeterminismTest, K2Solver) {
+  // K2 requires max query length 2.
+  RandomInstanceConfig config;
+  config.num_queries = 8;
+  config.pool = 7;
+  config.max_query_length = 2;
+  config.zero_probability = 0;
+  const Instance base = testing::RandomInstance(config, 31);
+  InstanceContent content;
+  content.queries = base.queries();
+  content.cost_entries = SortedCostEntries(base.costs());
+  Cost bump = 0;
+  for (auto& [classifier, cost] : content.cost_entries) {
+    bump += 1.0 / 1024;
+    cost += bump;
+  }
+  std::string first;
+  for (uint64_t perm = 0; perm < 4; ++perm) {
+    const Instance instance = BuildShuffled(content, perm * 37 + 3,
+                                            /*shuffle_queries=*/false);
+    auto result = K2ExactSolver().Solve(instance);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    const std::string rendered =
+        result->solution.ToString(instance) + "|" +
+        Canonical(result->solution, instance);
+    if (perm == 0) {
+      first = rendered;
+    } else {
+      EXPECT_EQ(rendered, first);
+    }
+  }
+}
+
+TEST(DeterminismTest, OnlineEngineInitializeAndSolution) {
+  const InstanceContent content = SeededContent(41);
+  std::string first;
+  for (uint64_t perm = 0; perm < 4; ++perm) {
+    const Instance instance = BuildShuffled(content, perm * 53 + 7,
+                                            /*shuffle_queries=*/false);
+    online::OnlineEngine engine;
+    auto stats = engine.Initialize(instance);
+    ASSERT_TRUE(stats.ok()) << stats.status().message();
+    const std::string rendered =
+        Canonical(engine.CurrentSolution(), instance);
+    if (perm == 0) {
+      first = rendered;
+    } else {
+      EXPECT_EQ(rendered, first);
+    }
+  }
+}
+
+// The contract online re-solve ordering relies on: component ids are
+// assigned in first-appearance order over the (sorted) query indices, i.e.
+// components are numbered by their smallest member query index.
+TEST(DeterminismTest, PartitionQueriesNumbersComponentsByFirstAppearance) {
+  const InstanceContent content = SeededContent(71, /*num_queries=*/12);
+  const Instance instance =
+      BuildShuffled(content, 3, /*shuffle_queries=*/false);
+  const ComponentPartition partition = PartitionQueries(instance.queries());
+  size_t next_fresh_id = 0;
+  for (size_t idx = 0; idx < partition.component_of.size(); ++idx) {
+    const size_t cid = partition.component_of[idx];
+    ASSERT_LE(cid, next_fresh_id) << "component ids must appear in order";
+    if (cid == next_fresh_id) ++next_fresh_id;
+  }
+  EXPECT_EQ(next_fresh_id, partition.num_components);
+}
+
+TEST(DeterminismTest, SortedCostEntriesIsCanonical) {
+  const InstanceContent content = SeededContent(51);
+  const Instance a = BuildShuffled(content, 1, /*shuffle_queries=*/false);
+  const Instance b = BuildShuffled(content, 2, /*shuffle_queries=*/false);
+  const auto ea = SortedCostEntries(a.costs());
+  const auto eb = SortedCostEntries(b.costs());
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_TRUE(ea[i].first == eb[i].first);
+    EXPECT_TRUE(ApproxEq(ea[i].second, eb[i].second));
+  }
+}
+
+// The preprocessing pipeline inside GeneralSolver covers the Preprocessor;
+// exercise the zero-cost forced-selection path explicitly (its selection
+// order reaches the forced Solution).
+TEST(DeterminismTest, ZeroCostSelectionOrder) {
+  InstanceContent content = SeededContent(61);
+  // Make a third of the classifiers free: forced selections in step one.
+  for (size_t i = 0; i < content.cost_entries.size(); i += 3) {
+    content.cost_entries[i].second = 0;
+  }
+  std::string first;
+  for (uint64_t perm = 0; perm < 4; ++perm) {
+    const Instance instance = BuildShuffled(content, perm * 19 + 1,
+                                            /*shuffle_queries=*/false);
+    auto result = GeneralSolver().Solve(instance);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    const std::string rendered = result->solution.ToString(instance) + "|" +
+                                 Canonical(result->solution, instance);
+    if (perm == 0) {
+      first = rendered;
+    } else {
+      EXPECT_EQ(rendered, first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mc3

@@ -8,6 +8,7 @@
 #include "core/k2_solver.h"
 #include "core/short_first_solver.h"
 #include "tests/test_util.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 namespace {
@@ -43,7 +44,9 @@ TEST(GeneralSolverTest, PaperExampleSolutionStructure) {
   EXPECT_EQ(result->solution.size(), 3u);
   bool has_white_singleton = false;
   for (const PropertySet& c : result->solution.classifiers()) {
-    if (c.size() == 1 && inst.CostOf(c) == 1) has_white_singleton = true;
+    if (c.size() == 1 && ApproxEq(inst.CostOf(c), 1)) {
+      has_white_singleton = true;
+    }
   }
   EXPECT_TRUE(has_white_singleton);
 }

@@ -1,0 +1,343 @@
+// Unit tests for the mc3_lint rule engine (tools/mc3_lint/lint.h): one
+// failing and one passing fixture per rule R1-R6, plus waiver syntax and
+// report rendering. Fixtures live in string literals, so linting this file
+// itself (the lint_clean test) sees none of them.
+#include "mc3_lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace mc3::lint {
+namespace {
+
+/// Findings for `code` linted as a standalone library .cc file.
+std::vector<Finding> Lint(const std::string& code, FileConfig config = {}) {
+  return LintSnippet("fixture.cc", code, config);
+}
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------- R1
+
+TEST(LintR1, FlagsRangeForOverUnorderedMap) {
+  const auto findings = Lint(
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "void F() {\n"
+      "  for (const auto& [k, v] : m) {\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R1"), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_EQ(findings[0].tag, "unordered");
+}
+
+TEST(LintR1, ResolvesAliasChains) {
+  const auto findings = Lint(
+      "using Inner = std::unordered_map<int, double>;\n"
+      "using CostTable = Inner;\n"
+      "CostTable costs_;\n"
+      "void F() {\n"
+      "  for (const auto& entry : costs_) {\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R1"), 1u);
+}
+
+TEST(LintR1, ResolvesAccessorReturningUnordered) {
+  const auto findings = Lint(
+      "struct S {\n"
+      "  const std::unordered_map<int, int>& table() const;\n"
+      "};\n"
+      "void F(const S& s) {\n"
+      "  for (const auto& e : s.table()) {\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R1"), 1u);
+}
+
+TEST(LintR1, PassesOrderedMapAndLookups) {
+  const auto findings = Lint(
+      "#include <map>\n"
+      "std::map<int, int> ordered;\n"
+      "std::unordered_map<int, std::vector<int>> by_key;\n"
+      "void F(int k) {\n"
+      "  for (const auto& [a, b] : ordered) {\n"
+      "  }\n"
+      "  for (int v : by_key[k]) {\n"  // indexing, not iterating the map
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R1"), 0u);
+}
+
+TEST(LintR1, CrossFileSymbolFromHeaderIndex) {
+  SymbolIndex index;
+  IndexFile("struct E { std::unordered_map<int, int> members_; };\n", &index);
+  const std::string cc =
+      "void F(E& e) {\n"
+      "  for (const auto& m : e.members_) {\n"
+      "  }\n"
+      "}\n";
+  IndexFile(cc, &index);
+  index.ResolveAliases();
+  const auto findings = LintFile("engine.cc", cc, index, FileConfig{});
+  EXPECT_EQ(CountRule(findings, "R1"), 1u);
+}
+
+// ---------------------------------------------------------------- R2
+
+TEST(LintR2, FlagsExactCostComparison) {
+  const auto eq = Lint("bool F(double total_cost, double other_cost) {\n"
+                       "  return total_cost == other_cost;\n"
+                       "}\n");
+  EXPECT_EQ(CountRule(eq, "R2"), 1u);
+  EXPECT_EQ(eq[0].tag, "float-eq");
+  const auto ne = Lint("bool G(double weight, double w2) {\n"
+                       "  return weight != w2;\n"
+                       "}\n");
+  EXPECT_EQ(CountRule(ne, "R2"), 1u);
+}
+
+TEST(LintR2, PassesHelpersAndIteratorProtocol) {
+  const auto findings = Lint(
+      "bool F(double cost_a, double cost_b) {\n"
+      "  return ApproxEq(cost_a, cost_b);\n"
+      "}\n"
+      "bool G(const CostMap& costs, CostMap::iterator it) {\n"
+      "  return it == costs.end();\n"  // iterator compare, not a cost
+      "}\n"
+      "bool H(int count, int other) {\n"
+      "  return count == other;\n"  // ints named nothing cost-like
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R2"), 0u);
+}
+
+// ---------------------------------------------------------------- R3
+
+TEST(LintR3, FlagsHeaderWithoutPragmaOnce) {
+  FileConfig config;
+  config.is_header = true;
+  const auto findings =
+      LintSnippet("fixture.h", "#ifndef X\n#define X\n#endif\n", config);
+  EXPECT_EQ(CountRule(findings, "R3"), 1u);
+  EXPECT_EQ(findings[0].tag, "pragma-once");
+}
+
+TEST(LintR3, PassesPragmaOnceHeaderAndAnySource) {
+  FileConfig header;
+  header.is_header = true;
+  EXPECT_EQ(CountRule(LintSnippet("fixture.h", "#pragma once\nint x;\n",
+                                  header), "R3"), 0u);
+  // .cc files are exempt from R3 entirely.
+  EXPECT_EQ(CountRule(Lint("int x;\n"), "R3"), 0u);
+}
+
+TEST(LintR3, HeaderTuSourceIncludesTheHeader) {
+  const std::string tu = HeaderTuSource("core/instance.h");
+  EXPECT_NE(tu.find("#include \"core/instance.h\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------- R4
+
+TEST(LintR4, FlagsRandTimePrintAndNakedNew) {
+  const auto findings = Lint(
+      "#include <cstdlib>\n"
+      "void F() {\n"
+      "  srand(time(NULL));\n"
+      "  int x = rand();\n"
+      "  std::cout << x;\n"
+      "  int* p = new int;\n"
+      "  delete p;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R4"), 6u);  // srand, time, rand, cout, new,
+                                             // delete
+}
+
+TEST(LintR4, PassesToolsPrintingAndRaii) {
+  FileConfig tool;
+  tool.allow_prints = true;
+  const auto printing = LintSnippet(
+      "tools/cli.cc", "void F() { std::cout << 1; }\n", tool);
+  EXPECT_EQ(CountRule(printing, "R4"), 0u);
+  const auto raii = Lint(
+      "struct S {\n"
+      "  S(const S&) = delete;\n"  // deleted member, not naked delete
+      "};\n"
+      "void F() {\n"
+      "  auto p = std::make_unique<int>(7);\n"
+      "  double renewal = 0;\n"  // 'new' inside an identifier
+      "}\n");
+  EXPECT_EQ(CountRule(raii, "R4"), 0u);
+}
+
+TEST(LintR4, IgnoresBannedNamesInStringsAndComments) {
+  const auto findings = Lint(
+      "// rand() in a comment is fine\n"
+      "const char* kMsg = \"call rand() and std::cout\";\n");
+  EXPECT_EQ(CountRule(findings, "R4"), 0u);
+}
+
+// ---------------------------------------------------------------- R5
+
+TEST(LintR5, FlagsDiscardedStatusCall) {
+  const auto findings = Lint(
+      "Status DoThing();\n"
+      "void F() {\n"
+      "  DoThing();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R5"), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintR5, FlagsDiscardedResultCall) {
+  const auto findings = Lint(
+      "Result<int> Fetch();\n"
+      "void F() {\n"
+      "  Fetch();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R5"), 1u);
+}
+
+TEST(LintR5, PassesConsumedStatus) {
+  const auto findings = Lint(
+      "Status DoThing();\n"
+      "Status F() {\n"
+      "  Status s = DoThing();\n"
+      "  if (!DoThing().ok()) return s;\n"
+      "  MC3_RETURN_IF_ERROR(DoThing());\n"
+      "  return DoThing();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R5"), 0u);
+}
+
+TEST(LintR5, SkipsOverloadsMixingReturnTypes) {
+  // SetCost returns Status on one class and void on another; a token-level
+  // pass cannot tell call sites apart, so the name is exempt.
+  const auto findings = Lint(
+      "Status SetCost(int c);\n"
+      "void SetCost(double c);\n"
+      "void F() {\n"
+      "  SetCost(1);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R5"), 0u);
+}
+
+// ---------------------------------------------------------------- R6
+
+TEST(LintR6, FlagsSharedMutableCapture) {
+  const auto findings = Lint(
+      "void F(size_t n) {\n"
+      "  int total = 0;\n"
+      "  ParallelFor(n, 4, [&](size_t i) {\n"
+      "    total += static_cast<int>(i);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R6"), 1u);
+  EXPECT_EQ(findings[0].tag, "capture");
+}
+
+TEST(LintR6, PassesSafePatterns) {
+  const auto findings = Lint(
+      "std::atomic<int> total;\n"
+      "void F(size_t n, std::vector<int>& out) {\n"
+      "  ParallelFor(n, 4, [&](size_t i) {\n"
+      "    total += 1;\n"          // atomic
+      "    out[i] = 7;\n"          // per-index addressing
+      "    int local = 0;\n"
+      "    local += 2;\n"          // declared in the body
+      "  });\n"
+      "  ParallelFor(n, 4, [](size_t i) {\n"
+      "    (void)i;\n"             // no by-reference captures at all
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R6"), 0u);
+}
+
+// ------------------------------------------------------------- waivers
+
+TEST(LintWaivers, SameLineAndPrecedingLineSuppress) {
+  const std::string base =
+      "std::unordered_map<int, int> m;\n"
+      "void F() {\n";
+  const auto same_line = Lint(
+      base +
+      "  for (const auto& [k, v] : m) {  // mc3-lint: unordered-ok(agg)\n"
+      "  }\n}\n");
+  EXPECT_EQ(CountRule(same_line, "R1"), 0u);
+  const auto prev_line = Lint(
+      base +
+      "  // mc3-lint: unordered-ok(order-independent aggregation)\n"
+      "  for (const auto& [k, v] : m) {\n"
+      "  }\n}\n");
+  EXPECT_EQ(CountRule(prev_line, "R1"), 0u);
+}
+
+TEST(LintWaivers, WrongTagDoesNotSuppress) {
+  const auto findings = Lint(
+      "std::unordered_map<int, int> m;\n"
+      "void F() {\n"
+      "  for (const auto& [k, v] : m) {  // mc3-lint: print-ok(not the tag)\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R1"), 1u);
+}
+
+TEST(LintWaivers, MalformedWaiversAreFindings) {
+  EXPECT_EQ(CountRule(Lint("// mc3-lint: unordered-ok()\nint x;\n"), "W0"),
+            1u);  // empty reason
+  EXPECT_EQ(CountRule(Lint("// mc3-lint: bogus-ok(reason)\nint x;\n"), "W0"),
+            1u);  // unknown tag
+  EXPECT_EQ(CountRule(Lint("// mc3-lint suppresses stuff\nint x;\n"), "W0"),
+            1u);  // mention that parses as nothing
+  EXPECT_EQ(CountRule(Lint("// mc3-lint: rand-ok(fixture helper)\nint x;\n"),
+                      "W0"),
+            0u);  // well-formed
+}
+
+// ------------------------------------------------------------- report
+
+TEST(LintReport, RendersValidSchemaJson) {
+  std::vector<Finding> findings = {
+      {"src/a.cc", 3, "R1", "unordered", "iteration over 'm'"},
+      {"src/b.cc", 9, "R4", "print", "library code must not print"},
+  };
+  const std::string json = FindingsToJson(findings, 42);
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const obs::JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("schema")->string, "mc3.lint_report/1");
+  EXPECT_EQ(root.Find("files_scanned")->number, 42);
+  EXPECT_EQ(root.Find("num_findings")->number, 2);
+  ASSERT_TRUE(root.Find("findings")->is_array());
+  EXPECT_EQ(root.Find("findings")->array.size(), 2u);
+  const obs::JsonValue* by_rule = root.Find("findings_by_rule");
+  ASSERT_TRUE(by_rule != nullptr && by_rule->is_object());
+  EXPECT_EQ(by_rule->Find("R1")->number, 1);
+}
+
+TEST(LintScrub, BlanksLiteralsPreservingLines) {
+  const std::string code = Scrub(
+      "int a = 1;  // trailing comment\n"
+      "const char* s = \"for (x : m)\";\n"
+      "int b = 2;\n");
+  EXPECT_EQ(code.find("comment"), std::string::npos);
+  EXPECT_EQ(code.find("for (x"), std::string::npos);
+  EXPECT_NE(code.find("int b = 2;"), std::string::npos);
+  // Line structure intact.
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace mc3::lint

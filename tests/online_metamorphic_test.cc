@@ -14,6 +14,7 @@
 #include "online/churn.h"
 #include "online/online_engine.h"
 #include "tests/test_util.h"
+#include "util/float_cmp.h"
 
 namespace mc3 {
 namespace {
@@ -81,7 +82,7 @@ TEST(OnlineMetamorphicTest, GiantComponentChurn) {
   }
   for (const PropertySet& q : base.queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& c) {
-      if (base.CostOf(c) == kInfiniteCost) {
+      if (IsInfiniteCost(base.CostOf(c))) {
         base.SetCost(c, 1 + static_cast<Cost>(c.size()));
       }
     });

@@ -32,6 +32,7 @@ TEST(ParallelForTest, RunsAllIndicesThreaded) {
 
 TEST(ParallelForTest, ZeroCountIsNoOp) {
   bool called = false;
+  // mc3-lint: capture-ok(count is zero, the body never runs on any thread)
   ParallelFor(0, 4, [&](size_t) { called = true; });
   EXPECT_FALSE(called);
 }

@@ -118,7 +118,8 @@ TEST_P(SharedLabelingSweepTest, GreedyCoversAndExactIsNoWorse) {
   const Instance inst = RandomInstance(config, GetParam() * 61 + 13);
   SharedLabelingModel model;
   Rng rng(GetParam() + 500);
-  for (const auto& [classifier, cost] : inst.costs()) {
+  // Sorted: random draws consumed in iteration order must be stable.
+  for (const auto& [classifier, cost] : SortedCostEntries(inst.costs())) {
     model.base_costs[classifier] = double(rng.UniformInt(0, 5));
   }
   for (const PropertySet& q : inst.queries()) {
@@ -148,7 +149,8 @@ TEST_P(SharedLabelingSweepTest, SharedNeverCostsMoreThanFlatOptimum) {
   const Instance inst = RandomInstance(config, GetParam() * 73 + 29);
   SharedLabelingModel model;
   Rng rng(GetParam() + 900);
-  for (const auto& [classifier, cost] : inst.costs()) {
+  // Sorted: random draws consumed in iteration order must be stable.
+  for (const auto& [classifier, cost] : SortedCostEntries(inst.costs())) {
     model.base_costs[classifier] = double(rng.UniformInt(0, 5));
   }
   for (const PropertySet& q : inst.queries()) {

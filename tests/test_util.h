@@ -1,6 +1,5 @@
 // Shared helpers for the MC3 test suite.
-#ifndef MC3_TESTS_TEST_UTIL_H_
-#define MC3_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <unordered_set>
 #include <vector>
@@ -8,6 +7,7 @@
 #include "core/instance.h"
 #include "core/property_set.h"
 #include "util/rng.h"
+#include "util/float_cmp.h"
 
 namespace mc3::testing {
 
@@ -53,7 +53,7 @@ inline Instance RandomInstance(const RandomInstanceConfig& config,
   }
   for (const PropertySet& q : instance.queries()) {
     ForEachNonEmptySubset(q, [&](const PropertySet& c) {
-      if (instance.CostOf(c) != kInfiniteCost) return;
+      if (!IsInfiniteCost(instance.CostOf(c))) return;
       if (c.size() > 1 && !rng.Bernoulli(config.priced_probability)) return;
       Cost cost = static_cast<Cost>(
           rng.UniformInt(config.cost_min, config.cost_max));
@@ -77,6 +77,7 @@ inline Cost BruteForceOptimum(const Instance& instance) {
   // Priced classifiers, deduplicated (selected ones are reused for free).
   std::vector<const PropertySet*> classifiers;
   std::vector<Cost> costs;
+  // mc3-lint: unordered-ok(only the optimal cost is returned; order-free)
   for (const auto& [classifier, cost] : instance.costs()) {
     classifiers.push_back(&classifier);
     costs.push_back(cost);
@@ -120,7 +121,7 @@ inline Cost BruteForceOptimum(const Instance& instance) {
     const PropertySet& q = instance.queries()[gap.query];
     for (size_t ci = 0; ci < classifiers.size(); ++ci) {
       if (selected[ci] || !classifiers[ci]->Contains(gap.property) ||
-          !classifiers[ci]->IsSubsetOf(q) || costs[ci] == kInfiniteCost) {
+          !classifiers[ci]->IsSubsetOf(q) || IsInfiniteCost(costs[ci])) {
         continue;
       }
       selected[ci] = true;
@@ -153,4 +154,3 @@ inline Instance PaperExample() {
 
 }  // namespace mc3::testing
 
-#endif  // MC3_TESTS_TEST_UTIL_H_

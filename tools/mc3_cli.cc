@@ -64,6 +64,7 @@
 #include "online/online_engine.h"
 #include "online/update_trace.h"
 #include "util/timer.h"
+#include "util/float_cmp.h"
 
 namespace {
 
@@ -382,8 +383,8 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
       return Fail(status);
     }
     size_t priced = 0;
-    for (const auto& [classifier, cost] : added.costs()) {
-      if (engine.CostOf(classifier) != kInfiniteCost) continue;
+    for (const auto& [classifier, cost] : SortedCostEntries(added.costs())) {
+      if (!IsInfiniteCost(engine.CostOf(classifier))) continue;
       if (Status status = engine.SetCost(classifier, cost); !status.ok()) {
         return Fail(status);
       }
