@@ -27,6 +27,8 @@ int main() {
   const K2ExactSolver with_prep(with_options);
   const K2ExactSolver without_prep(without_options);
 
+  // Median over 5 repetitions (not the minimum): robust against one-sided
+  // noise when runs are tracked across the bench trajectory.
   TablePrinter table({"#queries", "no-prep time (s)", "prep time (s)",
                       "time saved", "cost (identical)"});
   for (size_t n : SubsetSizes(Scaled(50000))) {
@@ -43,8 +45,8 @@ int main() {
     const Instance sub = SubInstance(full, short_idx);
     const size_t actual_n = sub.NumQueries();
     (void)actual_n;
-    const RunOutcome without = RunSolverBest(without_prep, sub, 5);
-    const RunOutcome with = RunSolverBest(with_prep, sub, 5);
+    const RunOutcome without = RunSolverMedian(without_prep, sub, 5).median;
+    const RunOutcome with = RunSolverMedian(with_prep, sub, 5).median;
     const double saved =
         without.seconds > 0
             ? 100.0 * (1.0 - with.seconds / without.seconds)

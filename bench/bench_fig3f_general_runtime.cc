@@ -31,8 +31,10 @@ int main() {
     config.num_queries = n;
     config.seed = n * 13 + 9;
     const Instance sub = data::GenerateSynthetic(config);
-    const RunOutcome without = RunSolverBest(without_prep, sub, 3);
-    const RunOutcome with = RunSolverBest(with_prep, sub, 3);
+    // Median over 3 repetitions (not the minimum): robust against one-sided
+    // noise when runs are tracked across the bench trajectory.
+    const RunOutcome without = RunSolverMedian(without_prep, sub, 3).median;
+    const RunOutcome with = RunSolverMedian(with_prep, sub, 3).median;
     const double saved =
         without.seconds > 0
             ? 100.0 * (1.0 - with.seconds / without.seconds)

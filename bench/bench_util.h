@@ -7,6 +7,7 @@
 // sizes, values < 1 give a quick smoke run).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "core/mc3.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -48,6 +50,11 @@ inline RunOutcome RunSolver(const Solver& solver, const Instance& instance) {
   auto result = solver.Solve(instance);
   RunOutcome outcome;
   outcome.seconds = timer.Seconds();
+  // Every harness solve also lands in the obs latency histogram, so a bench
+  // binary's solve/bench report carries the p50/p95/p99 of its runs.
+  obs::MetricsRegistry::Global()
+      .GetHistogram("bench.solve_seconds")
+      .Record(outcome.seconds);
   if (!result.ok()) {
     std::fprintf(stderr, "[%s] solve failed: %s\n", solver.Name().c_str(),
                  result.status().ToString().c_str());
@@ -69,6 +76,38 @@ inline RunOutcome RunSolverBest(const Solver& solver, const Instance& instance,
     if (!best.ok || run.seconds < best.seconds) best = run;
   }
   return best;
+}
+
+/// Runs `solver` `reps` times, returning the MEDIAN wall time with the
+/// (identical) cost and all repetitions. More robust than the minimum when a
+/// run-to-run trajectory is tracked (the median has a breakdown point; the
+/// minimum only ever decreases with more reps).
+struct RepeatedOutcome {
+  RunOutcome median;                 ///< cost + median wall seconds
+  std::vector<double> repetitions;   ///< every run's wall seconds, in order
+};
+
+inline RepeatedOutcome RunSolverMedian(const Solver& solver,
+                                       const Instance& instance, int reps) {
+  RepeatedOutcome out;
+  for (int i = 0; i < reps; ++i) {
+    const RunOutcome run = RunSolver(solver, instance);
+    if (!run.ok) {
+      out.median = run;
+      return out;
+    }
+    out.median = run;  // keeps the (identical) cost; seconds fixed below
+    out.repetitions.push_back(run.seconds);
+  }
+  std::vector<double> sorted = out.repetitions;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  if (n > 0) {
+    out.median.seconds = n % 2 == 1
+                             ? sorted[n / 2]
+                             : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  }
+  return out;
 }
 
 /// Nested query-subset cardinalities used as the x axis of Figure 3 panels:

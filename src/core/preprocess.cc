@@ -38,6 +38,29 @@ void RecordPreprocessMetrics(const PreprocessStats& stats, double seconds) {
   forced.Add(stats.singleton_queries_selected + stats.zero_weight_selected +
              stats.forced_selections_step3 + stats.selections_step4);
   latency.Record(seconds);
+  // Per-step work counters for the perf-regression harness: each elimination
+  // rule's deterministic hit count, gated exactly by mc3_benchdiff.
+  static obs::Counter& step1 =
+      registry.GetCounter("preprocess.step1.selected");
+  static obs::Counter& step2 =
+      registry.GetCounter("preprocess.step2.selected");
+  static obs::Counter& step3_removed =
+      registry.GetCounter("preprocess.step3.removed");
+  static obs::Counter& step3_forced =
+      registry.GetCounter("preprocess.step3.forced");
+  static obs::Counter& step3_passes =
+      registry.GetCounter("preprocess.step3.passes");
+  static obs::Counter& step4_removed =
+      registry.GetCounter("preprocess.step4.removed");
+  static obs::Counter& step4_selected =
+      registry.GetCounter("preprocess.step4.selected");
+  step1.Add(stats.singleton_queries_selected);
+  step2.Add(stats.zero_weight_selected);
+  step3_removed.Add(stats.classifiers_removed_step3);
+  step3_forced.Add(stats.forced_selections_step3);
+  step3_passes.Add(stats.step3_passes);
+  step4_removed.Add(stats.singletons_removed_step4);
+  step4_selected.Add(stats.selections_step4);
 }
 
 enum class CState : uint8_t { kPresent, kSelected, kRemoved };

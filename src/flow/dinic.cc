@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "flow/max_flow.h"
+#include "obs/metrics.h"
 
 namespace mc3::flow {
 namespace {
@@ -11,6 +12,11 @@ namespace {
 /// Dinic's algorithm: repeat { BFS level graph; DFS blocking flow } until the
 /// sink is unreachable. The DFS keeps a current-arc iterator per node so each
 /// phase is O(VE).
+///
+/// Work counters (flow.dinic.*) are accumulated locally and published to the
+/// registry once per Run(): the counts depend only on the network's edge
+/// order — which the determinism audit made canonical — never on wall time,
+/// so mc3_benchdiff gates them at exact equality.
 class Dinic {
  public:
   Dinic(FlowNetwork* network, NodeId source, NodeId sink)
@@ -23,14 +29,25 @@ class Dinic {
   Capacity Run() {
     Capacity total = 0;
     while (Bfs()) {
+      ++phases_;
       std::fill(arc_.begin(), arc_.end(), 0);
       while (true) {
         const Capacity pushed =
             Dfs(source_, std::numeric_limits<Capacity>::infinity());
         if (pushed <= kCapacityEpsilon) break;
+        ++augmenting_paths_;
         total += pushed;
       }
     }
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& phases = registry.GetCounter("flow.dinic.phases");
+    static obs::Counter& paths =
+        registry.GetCounter("flow.dinic.augmenting_paths");
+    static obs::Counter& edges =
+        registry.GetCounter("flow.dinic.edges_scanned");
+    phases.Add(phases_);
+    paths.Add(augmenting_paths_);
+    edges.Add(edges_scanned_);
     return total;
   }
 
@@ -44,6 +61,7 @@ class Dinic {
       const NodeId u = queue.front();
       queue.pop_front();
       for (int id : net_.OutEdges(u)) {
+        ++edges_scanned_;
         const auto& e = net_.edge(id);
         if (e.residual > kCapacityEpsilon && level_[e.to] < 0) {
           level_[e.to] = level_[u] + 1;
@@ -59,6 +77,7 @@ class Dinic {
     const auto& out = net_.OutEdges(u);
     for (size_t& i = arc_[u]; i < out.size(); ++i) {
       const int id = out[i];
+      ++edges_scanned_;
       const auto& e = net_.edge(id);
       if (e.residual <= kCapacityEpsilon || level_[e.to] != level_[u] + 1) {
         continue;
@@ -78,6 +97,9 @@ class Dinic {
   const NodeId sink_;
   std::vector<int> level_;
   std::vector<size_t> arc_;
+  uint64_t phases_ = 0;
+  uint64_t augmenting_paths_ = 0;
+  uint64_t edges_scanned_ = 0;
 };
 
 }  // namespace

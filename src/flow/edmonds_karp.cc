@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "flow/max_flow.h"
+#include "obs/metrics.h"
 
 namespace mc3::flow {
 
@@ -11,6 +12,8 @@ Capacity MaxFlowEdmondsKarp(FlowNetwork* network, NodeId source, NodeId sink) {
   if (source == sink) return 0;
   FlowNetwork& net = *network;
   Capacity total = 0;
+  uint64_t augmentations = 0;
+  uint64_t edges_scanned = 0;
   std::vector<int> parent_edge(net.NumNodes());
   while (true) {
     // BFS for the shortest augmenting path.
@@ -22,6 +25,7 @@ Capacity MaxFlowEdmondsKarp(FlowNetwork* network, NodeId source, NodeId sink) {
       const NodeId u = queue.front();
       queue.pop_front();
       for (int id : net.OutEdges(u)) {
+        ++edges_scanned;
         const auto& e = net.edge(id);
         if (e.residual > kCapacityEpsilon && parent_edge[e.to] == -1) {
           parent_edge[e.to] = id;
@@ -47,7 +51,15 @@ Capacity MaxFlowEdmondsKarp(FlowNetwork* network, NodeId source, NodeId sink) {
       v = net.edge(id ^ 1).to;
     }
     total += bottleneck;
+    ++augmentations;
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& aug_counter =
+      registry.GetCounter("flow.edmonds_karp.augmentations");
+  static obs::Counter& edge_counter =
+      registry.GetCounter("flow.edmonds_karp.edges_scanned");
+  aug_counter.Add(augmentations);
+  edge_counter.Add(edges_scanned);
   return total;
 }
 

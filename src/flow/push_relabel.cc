@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "flow/max_flow.h"
+#include "obs/metrics.h"
 
 namespace mc3::flow {
 namespace {
@@ -42,6 +43,18 @@ class PushRelabel {
       active_[u] = false;
       Discharge(u);
     }
+    // Deterministic work counters, published once per run (counts follow the
+    // canonical edge order, not wall time; see docs/benchmarking.md).
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& pushes =
+        registry.GetCounter("flow.push_relabel.pushes");
+    static obs::Counter& relabels =
+        registry.GetCounter("flow.push_relabel.relabels");
+    static obs::Counter& gaps =
+        registry.GetCounter("flow.push_relabel.gap_firings");
+    pushes.Add(pushes_);
+    relabels.Add(relabels_);
+    gaps.Add(gap_firings_);
     return excess_[sink_];
   }
 
@@ -62,6 +75,7 @@ class PushRelabel {
         if (e.residual > kCapacityEpsilon &&
             height_[u] == height_[e.to] + 1) {
           const Capacity amount = std::min(excess_[u], e.residual);
+          ++pushes_;
           net_.Push(id, amount);
           excess_[u] -= amount;
           excess_[e.to] += amount;
@@ -92,10 +106,12 @@ class PushRelabel {
     if (min_neighbor >= 2 * n_) return false;
     const int new_height = std::min(min_neighbor + 1, 2 * n_);
     if (new_height <= old_height) return false;
+    ++relabels_;
     --height_count_[old_height];
     height_[u] = new_height;
     ++height_count_[new_height];
     if (height_count_[old_height] == 0 && old_height < n_) {
+      ++gap_firings_;
       // Gap heuristic: lift every node strictly between the gap and n_.
       for (NodeId v = 0; v < n_; ++v) {
         if (height_[v] > old_height && height_[v] < n_) {
@@ -117,6 +133,9 @@ class PushRelabel {
   std::vector<bool> active_;
   std::vector<int> height_count_;
   std::deque<NodeId> queue_;
+  uint64_t pushes_ = 0;
+  uint64_t relabels_ = 0;
+  uint64_t gap_firings_ = 0;
 };
 
 }  // namespace

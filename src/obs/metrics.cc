@@ -1,9 +1,81 @@
 #include "obs/metrics.h"
 
-#if !defined(MC3_OBS_DISABLED)
-
+#include <algorithm>
 #include <cmath>
 #include <limits>
+
+namespace mc3::obs {
+
+namespace {
+
+constexpr double kHistogramBucketBase = 1e-7;  ///< lower bound of bucket 1
+
+}  // namespace
+
+// The snapshot helpers compile in both configurations: MC3_OBS=OFF builds
+// still link report rendering and mc3_benchdiff, which operate on snapshots
+// parsed from JSON rather than on live instruments.
+
+double HistogramBucketBound(int i) {
+  if (i <= 0) return 0;
+  return kHistogramBucketBase * std::pow(2.0, i - 1);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0) return min;
+  if (q >= 1) return max;
+  // Rank of the requested quantile among the `count` samples (1-based).
+  const double rank = q * static_cast<double>(count);
+  double seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[i]);
+    if (rank <= next) {
+      // Interpolate inside bucket i, clamped to the observed range (the
+      // first and last buckets are open-ended; min/max bound them).
+      const double lo = std::max(HistogramBucketBound(static_cast<int>(i)), min);
+      const double hi =
+          std::min(HistogramBucketBound(static_cast<int>(i) + 1), max);
+      const double fraction =
+          (rank - seen) / static_cast<double>(buckets[i]);
+      return lo + fraction * (hi - lo);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+void MergeSnapshot(MetricsSnapshot* into, const MetricsSnapshot& delta) {
+  for (const auto& [name, value] : delta.counters) {
+    into->counters[name] += value;
+  }
+  for (const auto& [name, value] : delta.gauges) {
+    into->gauges[name] = value;
+  }
+  for (const auto& [name, h] : delta.histograms) {
+    HistogramSnapshot& target = into->histograms[name];
+    if (target.count == 0) {
+      target = h;
+      continue;
+    }
+    if (h.count == 0) continue;
+    target.min = std::min(target.min, h.min);
+    target.max = std::max(target.max, h.max);
+    target.count += h.count;
+    target.sum += h.sum;
+    if (h.buckets.size() > target.buckets.size()) {
+      target.buckets.resize(h.buckets.size(), 0);
+    }
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      target.buckets[i] += h.buckets[i];
+    }
+  }
+}
+
+}  // namespace mc3::obs
+
+#if !defined(MC3_OBS_DISABLED)
 
 namespace mc3::obs {
 
@@ -43,10 +115,7 @@ int Histogram::BucketOf(double value) {
   return bucket >= kNumBuckets ? kNumBuckets - 1 : bucket;
 }
 
-double Histogram::BucketLowerBound(int i) {
-  if (i <= 0) return 0;
-  return kBucketBase * std::pow(2.0, i - 1);
-}
+double Histogram::BucketLowerBound(int i) { return HistogramBucketBound(i); }
 
 void Histogram::Record(double value) {
   if (std::isnan(value)) return;

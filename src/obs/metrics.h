@@ -26,6 +26,11 @@
 
 namespace mc3::obs {
 
+/// Inclusive lower bound of exponential bucket `i` (0 for the first bucket,
+/// 2^(i-1) * 1e-7 afterwards). Shared by the live Histogram and snapshot
+/// percentile math so both builds agree on the bucket geometry.
+double HistogramBucketBound(int i);
+
 /// Point-in-time copy of one histogram's state.
 struct HistogramSnapshot {
   uint64_t count = 0;
@@ -37,6 +42,14 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;
 
   double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+
+  /// Estimated value at quantile `q` in [0, 1]: linear interpolation inside
+  /// the bucket holding the rank, clamped to the observed [min, max]. Exact
+  /// at the extremes (q=0 -> min, q=1 -> max); 0 when the histogram is empty.
+  double Percentile(double q) const;
+  double P50() const { return Percentile(0.50); }
+  double P95() const { return Percentile(0.95); }
+  double P99() const { return Percentile(0.99); }
 };
 
 /// Point-in-time copy of the whole registry.
@@ -49,6 +62,11 @@ struct MetricsSnapshot {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
 };
+
+/// Accumulates `delta` into `into`: counters and histogram buckets add,
+/// gauges last-write-win. The bench runner resets the registry between cases
+/// and merges the per-case snapshots into the run-wide metrics section.
+void MergeSnapshot(MetricsSnapshot* into, const MetricsSnapshot& delta);
 
 #if !defined(MC3_OBS_DISABLED)
 

@@ -1,5 +1,7 @@
 #include "obs/report.h"
 
+#include <thread>
+
 #include "obs/json.h"
 
 namespace mc3::obs {
@@ -13,6 +15,9 @@ void RenderHistogram(const HistogramSnapshot& h, JsonWriter* writer) {
   writer->Key("min").Number(h.min);
   writer->Key("max").Number(h.max);
   writer->Key("mean").Number(h.Mean());
+  writer->Key("p50").Number(h.P50());
+  writer->Key("p95").Number(h.P95());
+  writer->Key("p99").Number(h.P99());
   writer->Key("buckets").BeginArray();
   for (const uint64_t b : h.buckets) writer->Int(b);
   writer->EndArray();
@@ -75,19 +80,65 @@ std::string RenderSolveReport(const SolveReportMeta& meta, const Trace& trace,
   return writer.Take();
 }
 
+MachineInfo DescribeMachine() {
+  MachineInfo machine;
+#if defined(__linux__)
+  machine.os = "linux";
+#elif defined(__APPLE__)
+  machine.os = "darwin";
+#elif defined(_WIN32)
+  machine.os = "windows";
+#else
+  machine.os = "unknown";
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+  machine.arch = "x86_64";
+#elif defined(__aarch64__) || defined(_M_ARM64)
+  machine.arch = "aarch64";
+#else
+  machine.arch = "unknown";
+#endif
+#if defined(__VERSION__)
+  machine.compiler = __VERSION__;
+#else
+  machine.compiler = "unknown";
+#endif
+  machine.hardware_threads = std::thread::hardware_concurrency();
+  return machine;
+}
+
 std::string RenderBenchReport(const std::vector<BenchCase>& cases,
-                              const MetricsSnapshot& metrics, bool quick,
-                              double scale) {
+                              const MetricsSnapshot& metrics,
+                              const BenchRunInfo& run) {
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("schema").String(kBenchReportSchema);
   writer.Key("obs_enabled").Bool(kObsEnabled);
-  writer.Key("quick").Bool(quick);
-  writer.Key("scale").Number(scale);
+  writer.Key("quick").Bool(run.quick);
+  writer.Key("scale").Number(run.scale);
+  writer.Key("seed").Int(run.seed);
+  writer.Key("repeat").Int(run.repeat);
+  writer.Key("warmup").Int(run.warmup);
+  writer.Key("filter").String(run.filter);
+  const MachineInfo machine = DescribeMachine();
+  writer.Key("machine").BeginObject();
+  writer.Key("os").String(machine.os);
+  writer.Key("arch").String(machine.arch);
+  writer.Key("compiler").String(machine.compiler);
+  writer.Key("hardware_threads").Int(machine.hardware_threads);
+  writer.EndObject();
   writer.Key("cases").BeginArray();
   for (const BenchCase& c : cases) {
     writer.BeginObject();
     RenderMetaBody(c.meta, &writer);
+    writer.Key("counters").BeginObject();
+    for (const auto& [name, value] : c.counters) {
+      writer.Key(name).Int(value);
+    }
+    writer.EndObject();
+    writer.Key("wall_seconds").BeginArray();
+    for (const double s : c.wall_seconds) writer.Number(s);
+    writer.EndArray();
     writer.Key("phases");
     c.trace->Render(&writer);
     writer.EndObject();
@@ -207,16 +258,26 @@ Status CheckMetrics(const JsonValue& root, const std::string& path) {
 }
 
 Result<JsonValue> ParseWithSchema(const std::string& json,
-                                  const char* schema) {
+                                  const std::vector<const char*>& schemas) {
   auto parsed = ParseJson(json);
   if (!parsed.ok()) return parsed.status();
   if (!parsed->is_object()) {
     return Violation("$", "document is not an object");
   }
   const JsonValue* declared = parsed->Find("schema");
-  if (declared == nullptr || !declared->is_string() ||
-      declared->string != schema) {
-    return Violation("$.schema", std::string("expected \"") + schema + "\"");
+  bool matched = false;
+  if (declared != nullptr && declared->is_string()) {
+    for (const char* schema : schemas) {
+      if (declared->string == schema) matched = true;
+    }
+  }
+  if (!matched) {
+    std::string expected;
+    for (const char* schema : schemas) {
+      if (!expected.empty()) expected += " or ";
+      expected += std::string("\"") + schema + "\"";
+    }
+    return Violation("$.schema", "expected " + expected);
   }
   const JsonValue* obs = parsed->Find("obs_enabled");
   if (obs == nullptr || obs->kind != JsonValue::Kind::kBool) {
@@ -240,20 +301,40 @@ void CollectSpanNames(const JsonValue& node, std::vector<std::string>* out) {
 }  // namespace
 
 Status ValidateSolveReportJson(const std::string& json) {
-  auto parsed = ParseWithSchema(json, kSolveReportSchema);
+  auto parsed = ParseWithSchema(json, {kSolveReportSchema});
   if (!parsed.ok()) return parsed.status();
   MC3_RETURN_IF_ERROR(CheckReportBody(*parsed, "$"));
   return CheckMetrics(*parsed, "$");
 }
 
 Status ValidateBenchReportJson(const std::string& json) {
-  auto parsed = ParseWithSchema(json, kBenchReportSchema);
+  auto parsed = ParseWithSchema(json, {kBenchReportSchema,
+                                       kBenchReportSchemaV1});
   if (!parsed.ok()) return parsed.status();
+  const bool v2 = parsed->Find("schema")->string == kBenchReportSchema;
   const JsonValue* quick = parsed->Find("quick");
   if (quick == nullptr || quick->kind != JsonValue::Kind::kBool) {
     return Violation("$.quick", "missing or not a boolean");
   }
   MC3_RETURN_IF_ERROR(RequireNumber(*parsed, "$", "scale"));
+  const JsonValue* obs = parsed->Find("obs_enabled");
+  std::string filter;
+  if (v2) {
+    MC3_RETURN_IF_ERROR(RequireNumber(*parsed, "$", "seed"));
+    MC3_RETURN_IF_ERROR(RequireNumber(*parsed, "$", "repeat"));
+    MC3_RETURN_IF_ERROR(RequireNumber(*parsed, "$", "warmup"));
+    MC3_RETURN_IF_ERROR(RequireString(*parsed, "$", "filter"));
+    filter = parsed->Find("filter")->string;
+    const JsonValue* machine = parsed->Find("machine");
+    if (machine == nullptr || !machine->is_object()) {
+      return Violation("$.machine", "missing or not an object");
+    }
+    for (const char* key : {"os", "arch", "compiler"}) {
+      MC3_RETURN_IF_ERROR(RequireString(*machine, "$.machine", key));
+    }
+    MC3_RETURN_IF_ERROR(
+        RequireNumber(*machine, "$.machine", "hardware_threads"));
+  }
   const JsonValue* cases = parsed->Find("cases");
   if (cases == nullptr || !cases->is_array() || cases->array.empty()) {
     return Violation("$.cases", "missing, not an array, or empty");
@@ -265,15 +346,46 @@ Status ValidateBenchReportJson(const std::string& json) {
     if (const JsonValue* phases = cases->array[i].Find("phases")) {
       CollectSpanNames(*phases, &span_names);
     }
+    if (v2) {
+      const JsonValue* counters = cases->array[i].Find("counters");
+      if (counters == nullptr || !counters->is_object()) {
+        return Violation(path + ".counters", "missing or not an object");
+      }
+      for (const auto& [name, value] : counters->object) {
+        if (!value.is_number() || value.number < 0) {
+          return Violation(path + ".counters." + name,
+                           "not a non-negative number");
+        }
+      }
+      // Compiled-in observability must actually deliver the work counters:
+      // an empty object means a de-instrumented build, which would make the
+      // benchdiff gate vacuous.
+      if (obs != nullptr && obs->boolean && counters->object.empty()) {
+        return Violation(path + ".counters",
+                         "empty although obs_enabled is true");
+      }
+      const JsonValue* walls = cases->array[i].Find("wall_seconds");
+      if (walls == nullptr || !walls->is_array() || walls->array.empty()) {
+        return Violation(path + ".wall_seconds",
+                         "missing, not an array, or empty");
+      }
+      for (size_t r = 0; r < walls->array.size(); ++r) {
+        if (!walls->array[r].is_number() || walls->array[r].number < 0) {
+          return Violation(
+              path + ".wall_seconds[" + std::to_string(r) + "]",
+              "not a non-negative number");
+        }
+      }
+    }
   }
   MC3_RETURN_IF_ERROR(CheckMetrics(*parsed, "$"));
 
   // When observability is compiled in, the report must carry the per-phase
   // timings the perf trajectory is tracked on (ISSUE 2 acceptance): all four
   // preprocessing steps, the k2 flow path, both WSC phases, and the online
-  // update path.
-  const JsonValue* obs = parsed->Find("obs_enabled");
-  if (obs != nullptr && obs->boolean) {
+  // update path. A filtered run (subset of cases) is exempt — its report is
+  // a debugging aid, not a trajectory point.
+  if (obs != nullptr && obs->boolean && filter.empty()) {
     for (const char* required :
          {"preprocess", "step1", "step3", "step4", "partition", "k2_component",
           "maxflow", "greedy", "primal_dual", "online_update", "repartition",

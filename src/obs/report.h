@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,7 +24,11 @@
 namespace mc3::obs {
 
 inline constexpr const char kSolveReportSchema[] = "mc3.solve_report/1";
-inline constexpr const char kBenchReportSchema[] = "mc3.bench_report/1";
+/// Current bench-report schema: /2 adds per-case deterministic work
+/// counters, per-repeat wall times, run parameters and machine metadata.
+/// The validator still accepts /1 documents (pre-existing trajectory files).
+inline constexpr const char kBenchReportSchema[] = "mc3.bench_report/2";
+inline constexpr const char kBenchReportSchemaV1[] = "mc3.bench_report/1";
 
 /// Header + scalar sections of one solve report.
 struct SolveReportMeta {
@@ -47,7 +53,37 @@ struct SolveReportMeta {
 struct BenchCase {
   SolveReportMeta meta;
   const Trace* trace = nullptr;  ///< borrowed; must outlive rendering
+  /// Deterministic work counters recorded by this case alone (the runner
+  /// resets the registry between cases). Byte-stable across repeats and
+  /// machines; mc3_benchdiff gates on exact equality.
+  std::map<std::string, uint64_t> counters;
+  /// Wall time of every measured repeat, in order; meta.total_seconds holds
+  /// the median. Singleton when --repeat was not given.
+  std::vector<double> wall_seconds;
 };
+
+/// Run-level parameters of a bench invocation (schema /2 header fields).
+struct BenchRunInfo {
+  bool quick = false;
+  double scale = 1.0;
+  uint64_t seed = 1;
+  size_t repeat = 1;   ///< measured runs per case
+  size_t warmup = 0;   ///< discarded runs per case before measuring
+  std::string filter;  ///< substring case filter; empty = all cases
+};
+
+/// Hardware/toolchain identification stored alongside wall times so a
+/// trajectory of BENCH_*.json files stays interpretable. Work counters are
+/// machine-independent; wall times are only comparable within one machine.
+struct MachineInfo {
+  std::string os;
+  std::string arch;
+  std::string compiler;
+  size_t hardware_threads = 0;
+};
+
+/// Describes the build host/toolchain of the running binary.
+MachineInfo DescribeMachine();
 
 /// Renders a complete solve report document: meta + `trace`'s span tree +
 /// `metrics`. Always includes an "obs_enabled" flag so consumers know
@@ -55,10 +91,11 @@ struct BenchCase {
 std::string RenderSolveReport(const SolveReportMeta& meta, const Trace& trace,
                               const MetricsSnapshot& metrics);
 
-/// Renders a bench report over `cases` (each with its own trace).
+/// Renders a mc3.bench_report/2 document over `cases` (each with its own
+/// trace, counters and repeat timings).
 std::string RenderBenchReport(const std::vector<BenchCase>& cases,
-                              const MetricsSnapshot& metrics, bool quick,
-                              double scale);
+                              const MetricsSnapshot& metrics,
+                              const BenchRunInfo& run);
 
 /// Validates a solve-report document against mc3.solve_report/1: parses the
 /// JSON and checks the presence and types of every required field
@@ -66,11 +103,13 @@ std::string RenderBenchReport(const std::vector<BenchCase>& cases,
 /// violation found.
 Status ValidateSolveReportJson(const std::string& json);
 
-/// Validates a bench-report document against mc3.bench_report/1. In
+/// Validates a bench-report document against mc3.bench_report/1 or /2. In
 /// addition to structural checks, when the document declares obs_enabled
-/// it requires the per-phase timings the perf trajectory is tracked on:
-/// the four preprocessing steps, the k2 max-flow solve, the greedy and
-/// f-approximation WSC phases, and the online update path.
+/// (and, for /2, no case filter) it requires the per-phase timings the perf
+/// trajectory is tracked on: the four preprocessing steps, the k2 max-flow
+/// solve, the greedy and f-approximation WSC phases, and the online update
+/// path. /2 documents additionally need per-case counters, per-repeat wall
+/// times and the machine block.
 Status ValidateBenchReportJson(const std::string& json);
 
 /// Renders `metrics` as a JSON object into `writer` (value position).

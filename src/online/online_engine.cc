@@ -301,10 +301,16 @@ Result<UpdateStats> OnlineEngine::ApplyUpdate(
     static obs::Counter& updates = registry.GetCounter("online.updates");
     static obs::Counter& touched =
         registry.GetCounter("online.queries_touched");
+    static obs::Counter& repartitions =
+        registry.GetCounter("online.repartitions");
+    static obs::Counter& resolved =
+        registry.GetCounter("online.components_resolved");
     static obs::Histogram& latency =
         registry.GetHistogram("online.resolve_seconds");
     updates.Add();
     touched.Add(stats.queries_touched);
+    repartitions.Add();
+    resolved.Add(stats.components_resolved);
     latency.Record(stats.resolve_seconds);
   }
 

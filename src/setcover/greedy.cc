@@ -106,6 +106,7 @@ Result<WscSolution> SolveGreedy(const WscInstance& instance) {
 
   size_t picks = 0;
   size_t sets_scanned = 0;
+  size_t lazy_reevals = 0;
   while (remaining > 0 && !heap.empty()) {
     const Entry top = heap.top();
     heap.pop();
@@ -122,11 +123,23 @@ Result<WscSolution> SolveGreedy(const WscInstance& instance) {
       ++picks;
       RecordGreedyPick(newly);
     } else {
+      ++lazy_reevals;
       heap.push(Entry{ratio, top.id});
     }
   }
   if (remaining > 0) {
     return Status::Internal("greedy terminated with uncovered elements");
+  }
+  // Work counters for the perf-regression harness: heap pops and lazy
+  // re-insertions are the greedy's deterministic cost drivers.
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& pops =
+        registry.GetCounter("setcover.greedy.heap_pops");
+    static obs::Counter& reevals =
+        registry.GetCounter("setcover.greedy.lazy_reevals");
+    pops.Add(sets_scanned);
+    reevals.Add(lazy_reevals);
   }
   span.AddStat("elements", static_cast<double>(instance.num_elements));
   span.AddStat("picks", static_cast<double>(picks));

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace mc3::setcover {
@@ -51,6 +52,12 @@ Result<WscSolution> SolvePrimalDual(const WscInstance& instance) {
   }
   if (!WscCovers(instance, solution)) {
     return Status::Internal("primal-dual left elements uncovered");
+  }
+  {
+    auto& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& raises =
+        registry.GetCounter("setcover.primal_dual.raises");
+    raises.Add(rounds);
   }
   span.AddStat("elements", static_cast<double>(instance.num_elements));
   span.AddStat("rounds", static_cast<double>(rounds));

@@ -18,6 +18,7 @@
 #include "core/instance_util.h"
 #include "core/k2_solver.h"
 #include "core/solution.h"
+#include "obs/metrics.h"
 #include "online/online_engine.h"
 #include "tests/test_util.h"
 #include "util/float_cmp.h"
@@ -248,6 +249,80 @@ TEST(DeterminismTest, ZeroCostSelectionOrder) {
       first = rendered;
     } else {
       EXPECT_EQ(rendered, first);
+    }
+  }
+}
+
+/// Canonical byte rendering of the registry's counters after one solve of
+/// `instance` from a zeroed registry. Gauges and histograms are excluded on
+/// purpose: they carry wall-clock readings, which are not deterministic.
+template <typename SolverT>
+std::string SolveCounters(const Instance& instance) {
+  obs::MetricsRegistry::Global().ResetAll();
+  auto result = SolverT().Solve(instance);
+  EXPECT_TRUE(result.ok()) << result.status().message();
+  std::string out;
+  for (const auto& [name, value] :
+       obs::MetricsRegistry::Global().Snap().counters) {
+    if (value != 0) out += name + "=" + std::to_string(value) + ";";
+  }
+  return out;
+}
+
+// The bench regression gate (mc3_benchdiff) compares work counters exactly,
+// so they must be byte-identical run over run. Under -DMC3_OBS=OFF the
+// registry is a no-op and every rendering is empty — trivially equal.
+TEST(DeterminismTest, WorkCountersStableAcrossRepeatedSolves) {
+  const InstanceContent content = SeededContent(81);
+  const Instance instance =
+      BuildShuffled(content, 5, /*shuffle_queries=*/false);
+  const std::string first = SolveCounters<GeneralSolver>(instance);
+  if (obs::kObsEnabled) {
+    // This seed is fully solved by preprocessing, so the always-on
+    // preprocess counters are the ones guaranteed to be present.
+    EXPECT_NE(first.find("preprocess.runs="), std::string::npos) << first;
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    EXPECT_EQ(SolveCounters<GeneralSolver>(instance), first) << "rep " << rep;
+  }
+}
+
+TEST(DeterminismTest, WorkCountersStableAcrossShuffledHistories) {
+  const InstanceContent content = SeededContent(91);
+  std::string first;
+  for (uint64_t perm = 0; perm < 4; ++perm) {
+    // Same logical instance and query order, shuffled cost-table insertion
+    // history: the operation counts must not see the container order.
+    const Instance instance = BuildShuffled(content, perm * 29 + 11,
+                                            /*shuffle_queries=*/false);
+    const std::string counters = SolveCounters<GeneralSolver>(instance);
+    if (perm == 0) {
+      first = counters;
+    } else {
+      EXPECT_EQ(counters, first) << "perm " << perm;
+    }
+  }
+}
+
+TEST(DeterminismTest, K2FlowCountersStableAcrossShuffledHistories) {
+  RandomInstanceConfig config;
+  config.num_queries = 10;
+  config.pool = 7;
+  config.max_query_length = 2;
+  config.zero_probability = 0;
+  const Instance base = testing::RandomInstance(config, 101);
+  InstanceContent content;
+  content.queries = base.queries();
+  content.cost_entries = SortedCostEntries(base.costs());
+  std::string first;
+  for (uint64_t perm = 0; perm < 4; ++perm) {
+    const Instance instance = BuildShuffled(content, perm * 43 + 9,
+                                            /*shuffle_queries=*/false);
+    const std::string counters = SolveCounters<K2ExactSolver>(instance);
+    if (perm == 0) {
+      first = counters;
+    } else {
+      EXPECT_EQ(counters, first) << "perm " << perm;
     }
   }
 }

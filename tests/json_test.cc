@@ -1,0 +1,137 @@
+// Edge-case coverage for the obs/json.h parser: escape sequences (\uXXXX,
+// backslash, quote), nesting depth limits, exotic numbers (exponents,
+// negative zero), trailing-garbage rejection — each round-tripped through
+// the writer where a faithful re-rendering exists.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace mc3 {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::ParseJson;
+
+TEST(JsonParserTest, UnicodeEscapesDecodeToUtf8) {
+  // Backslash-u escapes covering one-, two- and three-byte UTF-8 targets
+  // plus a control character: A, e-acute, the euro sign, SOH.
+  const std::string input =
+    "{\"s\": \"\\u0041\\u00e9\\u20ac\\u0001\"}";
+  auto parsed = ParseJson(input);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* s = parsed->Find("s");
+  ASSERT_NE(s, nullptr);
+  ASSERT_TRUE(s->is_string());
+  EXPECT_EQ(s->string,
+            "A"
+            "\xC3\xA9"
+            "\xE2\x82\xAC"
+            "\x01");
+}
+
+TEST(JsonParserTest, BackslashAndQuoteEscapes) {
+  auto parsed = ParseJson(R"({"s": "a\\b\"c\/d\n\t\r\f\b"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* s = parsed->Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->string, "a\\b\"c/d\n\t\r\f\b");
+}
+
+TEST(JsonParserTest, InvalidEscapesRejected) {
+  EXPECT_FALSE(ParseJson(R"({"s": "\q"})").ok());
+  EXPECT_FALSE(ParseJson(R"({"s": "\u12"})").ok());     // truncated hex
+  EXPECT_FALSE(ParseJson(R"({"s": "\u12zz"})").ok());   // non-hex digits
+  EXPECT_FALSE(ParseJson("{\"s\": \"unterminated").ok());
+}
+
+TEST(JsonParserTest, EscapeRoundTripThroughWriter) {
+  const std::string original =
+      "quote \" backslash \\ newline \n tab \t control \x01 "
+      "euro \xE2\x82\xAC";
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("s").String(original);
+  writer.EndObject();
+  auto parsed = ParseJson(writer.Take());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("s")->string, original);
+}
+
+TEST(JsonParserTest, DeepNestingWithinLimitParses) {
+  // 32 nested arrays: well inside the parser's depth budget.
+  std::string deep;
+  for (int i = 0; i < 32; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 32; ++i) deep += "]";
+  auto parsed = ParseJson(deep);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* v = &*parsed;
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->array.size(), 1u);
+    v = &v->array[0];
+  }
+  EXPECT_TRUE(v->is_number());
+  EXPECT_EQ(v->number, 1);
+}
+
+TEST(JsonParserTest, ExcessiveNestingRejected) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParserTest, ExponentAndNegativeZeroNumbers) {
+  auto parsed = ParseJson(
+      R"({"e": 1.5e3, "E": 2E-2, "nz": -0.0, "neg": -17, "frac": 0.125})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("e")->number, 1500.0);
+  EXPECT_EQ(parsed->Find("E")->number, 0.02);
+  const double nz = parsed->Find("nz")->number;
+  EXPECT_EQ(nz, 0.0);
+  EXPECT_TRUE(std::signbit(nz));
+  EXPECT_EQ(parsed->Find("neg")->number, -17.0);
+  EXPECT_EQ(parsed->Find("frac")->number, 0.125);
+}
+
+TEST(JsonParserTest, NumberRoundTripThroughWriter) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("e").Number(1.5e3);
+  writer.Key("small").Number(0.02);
+  writer.Key("neg").Number(-17);
+  writer.EndObject();
+  auto parsed = ParseJson(writer.Take());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("e")->number, 1500.0);
+  EXPECT_EQ(parsed->Find("small")->number, 0.02);
+  EXPECT_EQ(parsed->Find("neg")->number, -17.0);
+}
+
+TEST(JsonParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseJson("{} extra").ok());
+  EXPECT_FALSE(ParseJson("[1, 2] []").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("{}{}").ok());
+  // Trailing whitespace is NOT garbage.
+  EXPECT_TRUE(ParseJson("{}  \n\t ").ok());
+}
+
+TEST(JsonParserTest, MalformedStructuresRejected) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": 1,}").ok());
+  EXPECT_FALSE(ParseJson("{1: 2}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+}
+
+}  // namespace
+}  // namespace mc3

@@ -3,6 +3,7 @@
 // schema validation. The span-dependent assertions are gated on
 // MC3_OBS_DISABLED so the suite also passes in an MC3_OBS=OFF build.
 #include <cmath>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -296,18 +297,66 @@ TEST(ReportTest, ValidationCatchesCorruption) {
   EXPECT_FALSE(obs::ValidateSolveReportJson("not json").ok());
 }
 
+obs::BenchRunInfo QuickRunInfo() {
+  obs::BenchRunInfo run;
+  run.quick = true;
+  run.scale = 0.05;
+  return run;
+}
+
 TEST(ReportTest, BenchReportRequiresPhasesWhenEnabled) {
   obs::Trace trace("bench");
   std::vector<obs::BenchCase> cases;
-  cases.push_back(obs::BenchCase{TestMeta(), &trace});
+  obs::BenchCase bench_case;
+  bench_case.meta = TestMeta();
+  bench_case.trace = &trace;
+  bench_case.counters["bench.test_counter"] = 7;
+  bench_case.wall_seconds = {0.001};
+  cases.push_back(std::move(bench_case));
   const std::string json = obs::RenderBenchReport(
-      cases, obs::MetricsRegistry::Global().Snap(), true, 0.05);
+      cases, obs::MetricsRegistry::Global().Snap(), QuickRunInfo());
   const Status status = obs::ValidateBenchReportJson(json);
   if (obs::kObsEnabled) {
     // An empty span tree cannot carry the required phases.
     EXPECT_FALSE(status.ok());
   } else {
     EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+TEST(ReportTest, BenchReportV2RequiresCountersAndWallTimes) {
+  obs::Trace trace("bench");
+  std::vector<obs::BenchCase> cases;
+  obs::BenchCase bench_case;
+  bench_case.meta = TestMeta();
+  bench_case.trace = &trace;
+  bench_case.counters["bench.test_counter"] = 7;
+  bench_case.wall_seconds = {0.001, 0.002};
+  cases.push_back(std::move(bench_case));
+  const std::string json = obs::RenderBenchReport(
+      cases, obs::MetricsRegistry::Global().Snap(), QuickRunInfo());
+
+  // The rendered document carries the v2 header fields verbatim.
+  EXPECT_NE(json.find("\"schema\": \"mc3.bench_report/2\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"machine\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench.test_counter\": 7"), std::string::npos);
+
+  // Dropping the per-case wall times must fail v2 validation.
+  std::string no_walls = json;
+  const size_t at = no_walls.find("\"wall_seconds\"");
+  ASSERT_NE(at, std::string::npos);
+  no_walls.replace(at, std::strlen("\"wall_seconds\""), "\"renamed\"");
+  EXPECT_FALSE(obs::ValidateBenchReportJson(no_walls).ok());
+
+  // A v1 document (no counters, no machine block) stays accepted.
+  std::string v1 = json;
+  const size_t schema_at = v1.find("mc3.bench_report/2");
+  ASSERT_NE(schema_at, std::string::npos);
+  v1.replace(schema_at, std::strlen("mc3.bench_report/2"),
+             "mc3.bench_report/1");
+  if (!obs::kObsEnabled) {
+    EXPECT_TRUE(obs::ValidateBenchReportJson(v1).ok());
   }
 }
 

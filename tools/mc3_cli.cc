@@ -32,13 +32,20 @@
 //       missing from the workload's table; --verify-every runs the
 //       engine's invariant checker every N batches.
 //
-//   mc3 bench [--quick] [--seed S] [--report out.json]
+//   mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]
+//             [--warmup N] [--filter SUBSTR]
 //       Unified observability bench: runs a general solve, a k<=2 exact
 //       solve and an online churn replay over synthetic workloads, each
-//       under a fresh phase trace, and writes a mc3.bench_report/1 JSON
-//       document (default BENCH_mc3.json) with per-phase timings. The
-//       emitted report is self-validated against the schema; a violation
-//       is a runtime failure. --quick shrinks the workloads for smoke runs.
+//       under a fresh phase trace, and writes a mc3.bench_report/2 JSON
+//       document (default BENCH_mc3.json) with per-phase timings, per-case
+//       deterministic work counters, per-repeat wall times and machine
+//       metadata. The emitted report is self-validated against the schema;
+//       a violation is a runtime failure, as is counter drift across
+//       repeats of one case. --quick shrinks the workloads for smoke runs;
+//       --repeat measures each case N times (median reported); --warmup
+//       discards N unmeasured runs per case first; --filter keeps only the
+//       cases whose name contains SUBSTR. Diff two reports (or gate against
+//       a committed baseline) with tools/mc3_benchdiff.
 //
 //   `solve` and `serve` additionally accept --report <out.json> to export a
 //   mc3.solve_report/1 document (phase trace + metrics snapshot) of the run.
@@ -47,6 +54,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -84,7 +92,8 @@ int Usage() {
       "  mc3 serve <workload.csv> --trace <trace.txt> [--solver NAME]\n"
       "            [--threads N] [--batch N] [--default-cost D]\n"
       "            [--verify-every N] [--verbose]\n"
-      "  mc3 bench [--quick] [--seed S] [--report out.json]\n"
+      "  mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]\n"
+      "            [--warmup N] [--filter SUBSTR]\n"
       "(solve and serve also accept --report <out.json>)\n");
   return 2;
 }
@@ -492,71 +501,162 @@ int CmdPreprocess(const std::string& path) {
   return 0;
 }
 
-/// Solves `instance` under a fresh phase trace and appends the bench case.
+/// Run-level bench parameters (mirrors obs::BenchRunInfo plus the output
+/// path).
+struct BenchConfig {
+  bool quick = false;
+  uint64_t seed = 1;
+  std::string report_path;
+  size_t repeat = 1;
+  size_t warmup = 0;
+  std::string filter;
+};
+
+double MedianOf(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// Non-zero counters of `snap` (zero entries are registry artifacts of
+/// earlier cases: handles persist across ResetAll).
+std::map<std::string, uint64_t> NonZeroCounters(
+    const obs::MetricsSnapshot& snap) {
+  std::map<std::string, uint64_t> counters;
+  for (const auto& [name, value] : snap.counters) {
+    if (value > 0) counters[name] = value;
+  }
+  return counters;
+}
+
+/// Runs `body` under a fresh trace `warmup` unmeasured times, then `repeat`
+/// measured times with the metrics registry reset before each measurement.
+/// Fills the case's counters (first repeat; drift across repeats is a
+/// runtime failure — work counters are the determinism contract), all wall
+/// times and the last run's trace; merges every measured snapshot into
+/// `run_metrics`.
+Status RunRepeated(const char* name, const BenchConfig& config,
+                   const std::function<Status()>& body,
+                   obs::MetricsSnapshot* run_metrics, obs::BenchCase* out,
+                   std::vector<std::unique_ptr<obs::Trace>>* traces) {
+  auto& registry = obs::MetricsRegistry::Global();
+  for (size_t i = 0; i < config.warmup; ++i) {
+    obs::Trace trace(name);
+    obs::ScopedTraceActivation activate(&trace);
+    MC3_RETURN_IF_ERROR(body());
+  }
+  const size_t repeat = std::max<size_t>(1, config.repeat);
+  for (size_t i = 0; i < repeat; ++i) {
+    registry.ResetAll();
+    auto trace = std::make_unique<obs::Trace>(name);
+    Timer timer;
+    Status status = [&] {
+      obs::ScopedTraceActivation activate(trace.get());
+      return body();
+    }();
+    const double seconds = timer.Seconds();
+    MC3_RETURN_IF_ERROR(status);
+    out->wall_seconds.push_back(seconds);
+    const obs::MetricsSnapshot snap = registry.Snap();
+    const std::map<std::string, uint64_t> counters = NonZeroCounters(snap);
+    if (i == 0) {
+      out->counters = counters;
+    } else if (counters != out->counters) {
+      return Status::Internal(std::string("work counters of case '") + name +
+                              "' drifted across repeats — the solve is "
+                              "non-deterministic");
+    }
+    obs::MergeSnapshot(run_metrics, snap);
+    if (i + 1 == repeat) {
+      out->trace = trace.get();  // report the last measured run's span tree
+      traces->push_back(std::move(trace));
+    }
+  }
+  out->meta.total_seconds = MedianOf(out->wall_seconds);
+  return Status::OK();
+}
+
+void PrintBenchCase(const obs::BenchCase& bench_case) {
+  std::printf("case %-14s %6zu queries | cost %10.2f, %5zu classifiers, "
+              "%7.1f ms (median of %zu)\n",
+              bench_case.meta.workload.c_str(), bench_case.meta.num_queries,
+              bench_case.meta.cost, bench_case.meta.solution_size,
+              1e3 * bench_case.meta.total_seconds,
+              bench_case.wall_seconds.size());
+}
+
+/// Solves `instance` (repeatedly) under fresh phase traces and appends the
+/// bench case.
 int RunBenchSolveCase(const char* name, const Instance& instance,
-                      const Solver& solver,
+                      const Solver& solver, const BenchConfig& config,
+                      obs::MetricsSnapshot* run_metrics,
                       std::vector<std::unique_ptr<obs::Trace>>* traces,
                       std::vector<obs::BenchCase>* cases) {
-  auto trace = std::make_unique<obs::Trace>(name);
-  Timer timer;
-  Result<SolveResult> result = [&] {
-    obs::ScopedTraceActivation activate(trace.get());
-    return solver.Solve(instance);
-  }();
-  const double seconds = timer.Seconds();
-  if (!result.ok()) return Fail(result.status());
+  obs::BenchCase bench_case;
+  Result<SolveResult> result = Status::Internal("bench body never ran");
+  Status status = RunRepeated(
+      name, config,
+      [&] {
+        result = solver.Solve(instance);
+        return result.ok() ? Status::OK() : result.status();
+      },
+      run_metrics, &bench_case, traces);
+  if (!status.ok()) return Fail(status);
 
-  obs::SolveReportMeta meta;
-  meta.tool = "bench";
-  meta.solver = solver.Name();
-  meta.workload = name;
-  DescribeInstance(instance, &meta);
-  meta.cost = result->cost;
-  meta.solution_size = result->solution.size();
-  meta.num_components = result->num_components;
-  meta.total_seconds = seconds;
-  std::printf("case %-14s %6zu queries | cost %10.2f, %5zu classifiers, "
-              "%7.1f ms\n",
-              name, instance.NumQueries(), result->cost,
-              result->solution.size(), 1e3 * seconds);
-  cases->push_back(obs::BenchCase{meta, trace.get()});
-  traces->push_back(std::move(trace));
+  bench_case.meta.tool = "bench";
+  bench_case.meta.solver = solver.Name();
+  bench_case.meta.workload = name;
+  DescribeInstance(instance, &bench_case.meta);
+  bench_case.meta.cost = result->cost;
+  bench_case.meta.solution_size = result->solution.size();
+  bench_case.meta.num_components = result->num_components;
+  PrintBenchCase(bench_case);
+  cases->push_back(std::move(bench_case));
   return 0;
 }
 
-int CmdBench(bool quick, uint64_t seed, const std::string& report_path) {
-  const double scale = quick ? 0.05 : 1.0;
+bool CaseSelected(const BenchConfig& config, const char* name) {
+  return config.filter.empty() ||
+         std::string(name).find(config.filter) != std::string::npos;
+}
+
+int CmdBench(const BenchConfig& config) {
+  const double scale = config.quick ? 0.05 : 1.0;
+  const uint64_t seed = config.seed;
   auto scaled = [&](size_t n) {
     return std::max<size_t>(100, static_cast<size_t>(n * scale));
   };
   std::vector<std::unique_ptr<obs::Trace>> traces;
   std::vector<obs::BenchCase> cases;
+  obs::MetricsSnapshot run_metrics;
 
   // Case 1: the general pipeline (Algorithm 1 + WSC greedy / primal-dual)
   // on the paper's mixed-length synthetic workload.
-  {
-    data::SyntheticConfig config;
-    config.num_queries = scaled(20000);
-    config.seed = seed;
-    const Instance instance = data::GenerateSynthetic(config);
+  if (CaseSelected(config, "general")) {
+    data::SyntheticConfig synth;
+    synth.num_queries = scaled(20000);
+    synth.seed = seed;
+    const Instance instance = data::GenerateSynthetic(synth);
     if (int code = RunBenchSolveCase("general", instance,
-                                     GeneralSolver(SolverOptions{}), &traces,
-                                     &cases);
+                                     GeneralSolver(SolverOptions{}), config,
+                                     &run_metrics, &traces, &cases);
         code != 0) {
       return code;
     }
   }
 
   // Case 2: the exact k <= 2 path (Algorithm 2: vertex cover via max-flow).
-  {
-    data::SyntheticConfig config;
-    config.num_queries = scaled(20000);
-    config.max_query_length = 2;
-    config.seed = seed + 1;
-    const Instance instance = data::GenerateSynthetic(config);
+  if (CaseSelected(config, "k2")) {
+    data::SyntheticConfig synth;
+    synth.num_queries = scaled(20000);
+    synth.max_query_length = 2;
+    synth.seed = seed + 1;
+    const Instance instance = data::GenerateSynthetic(synth);
     if (int code = RunBenchSolveCase("k2", instance,
-                                     K2ExactSolver(SolverOptions{}), &traces,
-                                     &cases);
+                                     K2ExactSolver(SolverOptions{}), config,
+                                     &run_metrics, &traces, &cases);
         code != 0) {
       return code;
     }
@@ -564,59 +664,69 @@ int CmdBench(bool quick, uint64_t seed, const std::string& report_path) {
 
   // Case 3: online churn — initialize the serving engine, then remove and
   // re-add sliding batches so the dirty-region repartition and component
-  // re-solve paths are exercised.
-  {
-    data::SyntheticConfig config;
-    config.num_queries = scaled(5000);
-    config.seed = seed + 2;
-    const Instance instance = data::GenerateSynthetic(config);
-    online::OnlineEngine engine{online::EngineOptions{}};
-    auto trace = std::make_unique<obs::Trace>("online");
-    Timer timer;
-    Status status = [&]() -> Status {
-      obs::ScopedTraceActivation activate(trace.get());
-      auto init = engine.Initialize(instance);
-      if (!init.ok()) return init.status();
-      const auto& queries = instance.queries();
-      const size_t batch = std::max<size_t>(1, queries.size() / 20);
-      const size_t batches = std::min<size_t>(5, queries.size() / batch);
-      for (size_t b = 0; b < batches; ++b) {
-        const auto begin = queries.begin() + b * batch;
-        const std::vector<PropertySet> chunk(begin, begin + batch);
-        auto removed = engine.RemoveQueries(chunk);
-        if (!removed.ok()) return removed.status();
-        auto added = engine.AddQueries(chunk);
-        if (!added.ok()) return added.status();
-      }
-      return engine.CheckInvariants();
-    }();
-    const double seconds = timer.Seconds();
+  // re-solve paths are exercised. A fresh engine per repeat keeps the work
+  // counters repeat-stable.
+  if (CaseSelected(config, "online")) {
+    data::SyntheticConfig synth;
+    synth.num_queries = scaled(5000);
+    synth.seed = seed + 2;
+    const Instance instance = data::GenerateSynthetic(synth);
+    obs::BenchCase bench_case;
+    // Engine state of the last repeat, for the result section of the meta.
+    std::unique_ptr<online::OnlineEngine> engine;
+    Status status = RunRepeated(
+        "online", config,
+        [&]() -> Status {
+          engine =
+              std::make_unique<online::OnlineEngine>(online::EngineOptions{});
+          auto init = engine->Initialize(instance);
+          if (!init.ok()) return init.status();
+          const auto& queries = instance.queries();
+          const size_t batch = std::max<size_t>(1, queries.size() / 20);
+          const size_t batches = std::min<size_t>(5, queries.size() / batch);
+          for (size_t b = 0; b < batches; ++b) {
+            const auto begin = queries.begin() + b * batch;
+            const std::vector<PropertySet> chunk(begin, begin + batch);
+            auto removed = engine->RemoveQueries(chunk);
+            if (!removed.ok()) return removed.status();
+            auto added = engine->AddQueries(chunk);
+            if (!added.ok()) return added.status();
+          }
+          return engine->CheckInvariants();
+        },
+        &run_metrics, &bench_case, &traces);
     if (!status.ok()) return Fail(status);
 
-    obs::SolveReportMeta meta;
-    meta.tool = "bench";
-    meta.solver = "online:auto";
-    meta.workload = "online";
-    DescribeInstance(instance, &meta);
-    meta.cost = engine.TotalCost();
-    meta.solution_size = engine.CurrentSolution().size();
-    meta.num_components = engine.NumComponents();
-    meta.total_seconds = seconds;
-    std::printf("case %-14s %6zu queries | cost %10.2f, %5zu classifiers, "
-                "%7.1f ms\n",
-                "online", instance.NumQueries(), meta.cost,
-                meta.solution_size, 1e3 * seconds);
-    cases.push_back(obs::BenchCase{meta, trace.get()});
-    traces.push_back(std::move(trace));
+    bench_case.meta.tool = "bench";
+    bench_case.meta.solver = "online:auto";
+    bench_case.meta.workload = "online";
+    DescribeInstance(instance, &bench_case.meta);
+    bench_case.meta.cost = engine->TotalCost();
+    bench_case.meta.solution_size = engine->CurrentSolution().size();
+    bench_case.meta.num_components = engine->NumComponents();
+    PrintBenchCase(bench_case);
+    cases.push_back(std::move(bench_case));
   }
 
-  const std::string json = obs::RenderBenchReport(
-      cases, obs::MetricsRegistry::Global().Snap(), quick, scale);
+  if (cases.empty()) {
+    std::fprintf(stderr, "no bench case matches --filter '%s'\n",
+                 config.filter.c_str());
+    return 2;
+  }
+
+  obs::BenchRunInfo run;
+  run.quick = config.quick;
+  run.scale = scale;
+  run.seed = seed;
+  run.repeat = std::max<size_t>(1, config.repeat);
+  run.warmup = config.warmup;
+  run.filter = config.filter;
+  const std::string json = obs::RenderBenchReport(cases, run_metrics, run);
   if (Status status = obs::ValidateBenchReportJson(json); !status.ok()) {
     return Fail(status);
   }
   const std::string path =
-      report_path.empty() ? "BENCH_mc3.json" : report_path;
+      config.report_path.empty() ? "BENCH_mc3.json" : config.report_path;
   if (Status status = WriteFile(path, json); !status.ok()) {
     return Fail(status);
   }
@@ -658,7 +768,8 @@ int main(int argc, char** argv) {
            args[i - 1] == "--default-cost" || args[i - 1] == "--out" ||
            args[i - 1] == "--trace" || args[i - 1] == "--batch" ||
            args[i - 1] == "--verify-every" || args[i - 1] == "--report" ||
-           args[i - 1] == "-o")) {
+           args[i - 1] == "--repeat" || args[i - 1] == "--warmup" ||
+           args[i - 1] == "--filter" || args[i - 1] == "-o")) {
         continue;
       }
       return &args[i];
@@ -732,13 +843,24 @@ int main(int argc, char** argv) {
     return CmdServe(*path, *trace, config);
   }
   if (command == "bench") {
-    uint64_t seed = 1;
+    BenchConfig config;
+    config.quick = has_flag("--quick");
     if (const std::string* v = flag_value("--seed")) {
-      seed = std::strtoull(v->c_str(), nullptr, 10);
+      config.seed = std::strtoull(v->c_str(), nullptr, 10);
     }
-    const std::string* report = flag_value("--report");
-    return CmdBench(has_flag("--quick"), seed,
-                    report != nullptr ? *report : "");
+    if (const std::string* v = flag_value("--report")) {
+      config.report_path = *v;
+    }
+    if (const std::string* v = flag_value("--repeat")) {
+      config.repeat = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    if (const std::string* v = flag_value("--warmup")) {
+      config.warmup = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    if (const std::string* v = flag_value("--filter")) {
+      config.filter = *v;
+    }
+    return CmdBench(config);
   }
   if (command == "ingest") {
     const std::string* path = positional();
