@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke test (docs/serving.md): start `mc3 serve
+# --listen` on an ephemeral loopback port, drive it with a quick open-loop
+# mc3_loadgen run, request a graceful drain, and assert
+#
+#   * zero lost requests (every admitted request was answered),
+#   * at least one coalesced batch of size >= 2 (batching engaged),
+#   * a schema-valid mc3.load_report/1 document,
+#   * a clean (exit 0) server drain with passing engine invariants.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
+# Artifacts (report + logs) are left in ./serve_smoke_artifacts for CI upload.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MC3="$BUILD_DIR/tools/mc3"
+LOADGEN="$BUILD_DIR/tools/mc3_loadgen"
+ART_DIR="serve_smoke_artifacts"
+
+for bin in "$MC3" "$LOADGEN"; do
+  if [ ! -x "$bin" ]; then
+    echo "serve_smoke: missing binary $bin (build the mc3 and mc3_loadgen targets first)" >&2
+    exit 2
+  fi
+done
+
+rm -rf "$ART_DIR"
+mkdir -p "$ART_DIR"
+WORKLOAD="$ART_DIR/workload.csv"
+PORT_FILE="$ART_DIR/port"
+REPORT="$ART_DIR/load_report.json"
+SERVER_LOG="$ART_DIR/server.log"
+
+"$MC3" generate --dataset synthetic --n 40 --seed 3 -o "$WORKLOAD"
+
+"$MC3" serve "$WORKLOAD" --listen 0 --port-file "$PORT_FILE" \
+  --default-cost 2 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Ephemeral-port handshake: the server writes its bound port once listening.
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "serve_smoke: server exited before listening" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "serve_smoke: timed out waiting for the port file" >&2
+  kill "$SERVER_PID" 2>/dev/null || true
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+
+# The loadgen exits non-zero on lost requests, on an invalid report, or when
+# no coalesced batch reached size 2; --shutdown drains the server at the end.
+"$LOADGEN" --quick --port-file "$PORT_FILE" --shutdown \
+  --report "$REPORT" --min-coalesced-batch 2
+
+if ! wait "$SERVER_PID"; then
+  echo "serve_smoke: server exited non-zero after drain" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+
+grep -q '"schema": "mc3.load_report/1"' "$REPORT"
+grep -q '^drained:' "$SERVER_LOG"
+
+echo "serve_smoke: OK"
+cat "$SERVER_LOG"

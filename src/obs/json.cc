@@ -41,6 +41,7 @@ void AppendJsonEscaped(std::string_view value, std::string* out) {
 }
 
 void JsonWriter::Indent() {
+  if (compact_) return;
   out_ += '\n';
   out_.append(2 * stack_.size(), ' ');
 }
@@ -92,7 +93,7 @@ JsonWriter& JsonWriter::Key(std::string_view key) {
   Indent();
   out_ += '"';
   AppendJsonEscaped(key, &out_);
-  out_ += "\": ";
+  out_ += compact_ ? "\":" : "\": ";
   pending_key_ = true;
   return *this;
 }
@@ -141,7 +142,9 @@ std::string JsonWriter::Take() {
   out_.clear();
   stack_.clear();
   pending_key_ = false;
-  result += '\n';
+  // Pretty documents end in a newline (they are whole files); compact ones
+  // must not — the line-delimited protocol frames them itself.
+  if (!compact_) result += '\n';
   return result;
 }
 

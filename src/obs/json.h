@@ -15,12 +15,17 @@
 
 namespace mc3::obs {
 
-/// Streaming JSON writer with two-space pretty printing. Commas and
-/// indentation are managed internally; callers interleave Key() with value
-/// calls inside objects and plain value calls inside arrays. Non-finite
-/// numbers (JSON has no Infinity/NaN) are written as null.
+/// Streaming JSON writer with two-space pretty printing (or single-line
+/// compact output for line-delimited protocols). Commas and indentation are
+/// managed internally; callers interleave Key() with value calls inside
+/// objects and plain value calls inside arrays. Non-finite numbers (JSON
+/// has no Infinity/NaN) are written as null.
 class JsonWriter {
  public:
+  /// `compact` omits all whitespace: the document is one line, suitable for
+  /// newline-delimited framing (the serving wire protocol).
+  explicit JsonWriter(bool compact = false) : compact_(compact) {}
+
   JsonWriter& BeginObject();
   JsonWriter& EndObject();
   JsonWriter& BeginArray();
@@ -48,6 +53,7 @@ class JsonWriter {
   };
   std::vector<Frame> stack_;
   bool pending_key_ = false;  ///< a Key() was written, value comes next
+  bool compact_ = false;      ///< no newlines or indentation
 };
 
 /// Appends the JSON escape of `value` (without surrounding quotes) to `out`.

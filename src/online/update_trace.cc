@@ -22,6 +22,29 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
+/// Renders `token` for an error message, masking control characters so the
+/// message itself stays printable.
+std::string Printable(const std::string& token) {
+  std::string out;
+  out.reserve(token.size());
+  for (const char c : token) {
+    out += (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) ? '?' : c;
+  }
+  return out;
+}
+
+bool HasControlCharacter(const std::string& token) {
+  for (const char c : token) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) return true;
+  }
+  return false;
+}
+
+Status LineError(size_t ln, const std::string& detail) {
+  return Status::InvalidArgument("trace line " + std::to_string(ln + 1) +
+                                 ": " + detail);
+}
+
 }  // namespace
 
 Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
@@ -48,17 +71,30 @@ Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
       first = 1;
     }
     if (first >= tokens.size()) {
-      return Status::InvalidArgument("trace line " + std::to_string(ln + 1) +
-                                     ": operation without a query");
+      return LineError(ln, "operation '" + Printable(tokens[0]) +
+                               "' without a query");
     }
     std::vector<PropertyId> ids;
     for (size_t t = first; t < tokens.size(); ++t) {
+      const std::string& token = tokens[t];
+      if (token == "+" || token == "-") {
+        return LineError(
+            ln, "stray operation marker '" + token + "' after token " +
+                    std::to_string(t) +
+                    " — one operation per line (is this two lines joined?)");
+      }
+      if (HasControlCharacter(token)) {
+        return LineError(ln, "control character in property name '" +
+                                 Printable(token) + "' (token " +
+                                 std::to_string(t + 1 - first) + ")");
+      }
       const auto [it, inserted] = interned.emplace(
-          tokens[t], static_cast<PropertyId>(trace.property_names.size()));
-      if (inserted) trace.property_names.push_back(tokens[t]);
+          token, static_cast<PropertyId>(trace.property_names.size()));
+      if (inserted) trace.property_names.push_back(token);
       ids.push_back(it->second);
     }
     op.query = PropertySet::FromUnsorted(std::move(ids));
+    op.line = ln + 1;
     trace.ops.push_back(std::move(op));
   }
   return trace;
@@ -83,7 +119,11 @@ Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
   }
   if (!current.empty()) lines.push_back(std::move(current));
   std::fclose(in);
-  return ParseUpdateTrace(lines, std::move(base_names));
+  auto trace = ParseUpdateTrace(lines, std::move(base_names));
+  if (!trace.ok()) {
+    return Status::InvalidArgument(path + ": " + trace.status().message());
+  }
+  return trace;
 }
 
 }  // namespace mc3::online

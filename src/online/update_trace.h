@@ -31,6 +31,9 @@ struct TraceOp {
   enum class Kind { kAdd, kRemove };
   Kind kind = Kind::kAdd;
   PropertySet query;
+  /// 1-based source line the operation was parsed from, so replay errors
+  /// can point back into the trace file.
+  size_t line = 0;
 };
 
 /// A parsed trace plus the property-name table grown while parsing.
@@ -43,12 +46,16 @@ struct UpdateTrace {
 };
 
 /// Parses `lines` against the `base_names` id table (typically the base
-/// workload's property names). Fails on a line whose query is empty after
-/// removing the marker.
+/// workload's property names). Fails — naming the 1-based line and the
+/// offending token — on a line whose query is empty after removing the
+/// marker, on a stray '+'/'-' marker after the first token (almost always
+/// two operations joined on one line), and on property names containing
+/// control characters.
 Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
                                      std::vector<std::string> base_names);
 
-/// File variant: reads `path` line by line.
+/// File variant: reads `path` line by line; parse errors are prefixed with
+/// the path.
 Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
                                     std::vector<std::string> base_names);
 

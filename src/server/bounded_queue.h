@@ -1,0 +1,85 @@
+// Bounded multi-producer queue feeding the serving engine's workers.
+//
+// Connection threads (producers) push parsed requests with TryPush, which
+// never blocks: a full queue is an admission-control signal, not a wait
+// (the caller turns it into a 429-style reject with a Retry-After hint, see
+// docs/serving.md). Engine workers (consumers) block in Pop; the update
+// coalescer uses TryPopIf to drain the maximal run of consecutive update
+// requests at the head without reordering reads past writes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mc3::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// nullopt means closed-and-empty (consumer should exit).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Pops the head only when present and `pred(head)` holds. Never blocks.
+  std::optional<T> TryPopIf(const std::function<bool(const T&)>& pred) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty() || !pred(items_.front())) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects all future pushes and wakes blocked consumers; items already
+  /// queued are still delivered (graceful drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t Depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mc3::server

@@ -1,0 +1,47 @@
+#include "server/coalescer.h"
+
+namespace mc3::server {
+
+void UpdateCoalescer::Fold(const PropertySet& query, LastOp op) {
+  ++ops_;
+  const auto [it, inserted] = index_.emplace(query, entries_.size());
+  if (inserted) {
+    entries_.emplace_back(query, op);
+  } else {
+    entries_[it->second].second = op;
+  }
+}
+
+void UpdateCoalescer::Add(const PropertySet& query) {
+  Fold(query, LastOp::kAdd);
+}
+
+void UpdateCoalescer::Remove(const PropertySet& query) {
+  Fold(query, LastOp::kRemove);
+}
+
+void UpdateCoalescer::Fold(const std::vector<PropertySet>& add,
+                           const std::vector<PropertySet>& remove) {
+  // ApplyUpdate applies a batch's removes before its adds; folding in that
+  // order keeps net semantics aligned with the per-request application.
+  for (const PropertySet& query : remove) Remove(query);
+  for (const PropertySet& query : add) Add(query);
+}
+
+NetUpdate UpdateCoalescer::Take() {
+  NetUpdate net;
+  net.ops = ops_;
+  for (const auto& [query, op] : entries_) {
+    if (op == LastOp::kAdd) {
+      net.add.push_back(query);
+    } else {
+      net.remove.push_back(query);
+    }
+  }
+  entries_.clear();
+  index_.clear();
+  ops_ = 0;
+  return net;
+}
+
+}  // namespace mc3::server

@@ -1,0 +1,62 @@
+// Update coalescer: folds a run of small add/remove updates into one net
+// batch applied as a single OnlineEngine churn step, amortizing the
+// dirty-region repartition and component re-solves across concurrent
+// clients (the batching analogue of sub-linear update work, Indyk et al.,
+// arXiv:1902.03534).
+//
+// Semantics: operations fold in arrival order with last-op-wins per query,
+// so the net batch — removes applied before adds by the engine, each query
+// in at most one list — leaves the same live query set as applying the
+// source operations one by one. Because the engine re-solves dirty
+// components deterministically from the live set alone, the final solution
+// is byte-identical either way (tests/determinism_test.cc holds this
+// contract).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/property_set.h"
+
+namespace mc3::server {
+
+/// The net effect of a folded operation run.
+struct NetUpdate {
+  /// Queries whose last folded op was an add / a remove, in first-touch
+  /// order (deterministic for a fixed arrival order).
+  std::vector<PropertySet> add;
+  std::vector<PropertySet> remove;
+  size_t ops = 0;  ///< source operations folded in
+};
+
+class UpdateCoalescer {
+ public:
+  /// Folds one source operation.
+  void Add(const PropertySet& query);
+  void Remove(const PropertySet& query);
+
+  /// Folds a whole (add, remove) request; removes fold before adds,
+  /// matching OnlineEngine::ApplyUpdate's documented order (removes first)
+  /// for a single batch.
+  void Fold(const std::vector<PropertySet>& add,
+            const std::vector<PropertySet>& remove);
+
+  size_t ops() const { return ops_; }
+  bool empty() const { return ops_ == 0; }
+
+  /// Returns the net batch and resets the coalescer.
+  NetUpdate Take();
+
+ private:
+  enum class LastOp { kAdd, kRemove };
+  void Fold(const PropertySet& query, LastOp op);
+
+  /// First-touch-ordered fold state; the map only indexes into the vector
+  /// (never iterated), keeping emission order deterministic.
+  std::vector<std::pair<PropertySet, LastOp>> entries_;
+  std::unordered_map<PropertySet, size_t, PropertySetHash> index_;
+  size_t ops_ = 0;
+};
+
+}  // namespace mc3::server

@@ -1,0 +1,53 @@
+// Wire protocol of the serving subsystem: newline-delimited JSON over TCP
+// (one request object per line in, one response object per line out),
+// parsed and rendered with the dependency-free src/obs/json machinery.
+//
+// Requests:
+//   {"op":"health"}
+//   {"op":"stats","id":3}
+//   {"op":"solve","id":4,"solution":true}
+//   {"op":"update","id":5,"add":[["red","shirt"]],"remove":[["sony","tv"]]}
+//   {"op":"snapshot","id":6}
+//   {"op":"shutdown","id":7}
+//
+// Responses always carry the echoed "id" (0 when the request had none),
+// the request "op", and an HTTP-flavoured "code": 200 ok, 400 malformed or
+// inapplicable request, 429 rejected by admission control (with a
+// "retry_after_ms" hint), 503 draining. See docs/serving.md for the full
+// payload of each endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mc3::server {
+
+/// One parsed request line.
+struct Request {
+  enum class Op { kHealth, kStats, kSolve, kUpdate, kSnapshot, kShutdown };
+  Op op = Op::kHealth;
+  uint64_t id = 0;  ///< client-chosen correlation id, echoed verbatim
+  /// Queries to add / remove, as property-name lists (names are interned
+  /// against the engine's table at apply time).
+  std::vector<std::vector<std::string>> add;
+  std::vector<std::vector<std::string>> remove;
+  bool include_solution = false;  ///< solve: attach the classifier list
+};
+
+/// Human-readable endpoint name of `op` ("health", "update", ...). Also the
+/// suffix of the per-endpoint obs metrics (server.requests.<name>).
+const char* OpName(Request::Op op);
+
+/// Parses one request line. Errors are kInvalidArgument and name the
+/// offending member, e.g. `unknown op "solv"`.
+Result<Request> ParseRequest(const std::string& line);
+
+/// Renders a compact (single-line, no trailing newline) error response.
+std::string RenderErrorResponse(uint64_t id, Request::Op op, int code,
+                                const std::string& message,
+                                double retry_after_ms = 0);
+
+}  // namespace mc3::server

@@ -1,0 +1,642 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "data/query_log.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "server/coalescer.h"
+#include "util/float_cmp.h"
+
+namespace mc3::server {
+namespace {
+
+/// Largest accepted request line; longer input is a protocol violation.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+void CountEndpoint(const char* which, Request::Op op) {
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("server.") + which + "." + OpName(op))
+      .Add();
+}
+
+}  // namespace
+
+Admission AdmitAt(size_t depth, size_t watermark, double base_retry_ms) {
+  Admission admission;
+  if (watermark == 0 || depth < watermark) return admission;
+  admission.accept = false;
+  // Back off harder the deeper the overload: 1x the base at the watermark,
+  // growing linearly with the excess depth.
+  admission.retry_after_ms =
+      base_retry_ms *
+      (1.0 + static_cast<double>(depth - watermark + 1) /
+                 static_cast<double>(watermark));
+  return admission;
+}
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      engine_(options_.engine) {
+  if (options_.admission_watermark == 0) {
+    options_.admission_watermark =
+        std::max<size_t>(1, options_.queue_capacity * 3 / 4);
+  }
+  options_.admission_watermark =
+      std::min(options_.admission_watermark, options_.queue_capacity);
+}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire) &&
+      !stopped_.load(std::memory_order_acquire)) {
+    RequestDrain();
+    Join();
+  }
+}
+
+Status Server::Start(const Instance& base) {
+  if (started_.exchange(true)) {
+    return Status::Internal("server already started");
+  }
+  auto init = engine_.Initialize(base);
+  if (!init.ok()) return init.status();
+  names_ = base.property_names();
+  for (PropertyId id = 0; id < names_.size(); ++id) {
+    interned_.emplace(names_[id], id);
+  }
+  engine_.set_property_names(names_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  auto fail = [this](const char* what) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+  };
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse listen host " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::pipe(wake_pipe_) != 0) return fail("pipe");
+
+  pool_ = std::make_unique<WorkerPool>(
+      std::max<size_t>(1, options_.connection_workers));
+  for (size_t w = 0; w < options_.engine_workers; ++w) {
+    engine_threads_.emplace_back([this] { EngineWorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::RequestDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  queue_.Close();
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    // Best-effort wake of the acceptor's poll; Join also closes the socket.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void Server::Join() {
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [&] {
+      return draining_.load(std::memory_order_acquire);
+    });
+  }
+  if (stopped_.exchange(true)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (options_.engine_workers == 0) ProcessQueuedNow();
+  for (std::thread& worker : engine_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Unblock connection readers so their pool tasks finish; everything
+  // queued has already been answered (the queue drained above).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const std::weak_ptr<Connection>& weak : conns_) {
+      if (std::shared_ptr<Connection> conn = weak.lock()) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  if (pool_ != nullptr) pool_->Shutdown();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP)) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    (void)pool_->Post([this, conn] { ConnectionLoop(conn); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      std::string line = buffer.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      start = newline + 1;
+      if (!line.empty()) HandleLine(conn, line);
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLineBytes) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, RenderErrorResponse(0, Request::Op::kHealth, 400,
+                                              "request line too long"));
+      break;
+    }
+  }
+}
+
+void Server::HandleLine(const std::shared_ptr<Connection>& conn,
+                        const std::string& line) {
+  Timer latency;
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, RenderErrorResponse(0, Request::Op::kHealth, 400,
+                                            parsed.status().message()));
+    return;
+  }
+  Request request = std::move(*parsed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  CountEndpoint("requests", request.op);
+
+  switch (request.op) {
+    case Request::Op::kHealth:
+      WriteResponse(conn, RenderHealth(request));
+      ObserveLatency(request, latency.Seconds());
+      return;
+    case Request::Op::kStats:
+      WriteResponse(conn, RenderStats(request));
+      ObserveLatency(request, latency.Seconds());
+      return;
+    case Request::Op::kShutdown: {
+      obs::JsonWriter writer(/*compact=*/true);
+      writer.BeginObject();
+      writer.Key("id").Int(request.id);
+      writer.Key("op").String("shutdown");
+      writer.Key("code").Int(200);
+      writer.Key("draining").Bool(true);
+      writer.EndObject();
+      WriteResponse(conn, writer.Take());
+      ObserveLatency(request, latency.Seconds());
+      RequestDrain();
+      return;
+    }
+    case Request::Op::kSolve:
+    case Request::Op::kUpdate:
+    case Request::Op::kSnapshot:
+      break;
+  }
+
+  // Engine ops pass admission control and enter the bounded queue.
+  if (draining_.load(std::memory_order_acquire)) {
+    refused_draining_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, RenderErrorResponse(request.id, request.op, 503,
+                                            "server is draining"));
+    return;
+  }
+  const size_t depth = queue_.Depth();
+  const Admission admission =
+      AdmitAt(depth, options_.admission_watermark, options_.base_retry_ms);
+  if (!admission.accept) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global().GetCounter("server.rejected").Add();
+    WriteResponse(conn,
+                  RenderErrorResponse(request.id, request.op, 429,
+                                      "queue depth " + std::to_string(depth) +
+                                          " at admission watermark",
+                                      admission.retry_after_ms));
+    return;
+  }
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.conn = conn;
+  const Request::Op op = pending.request.op;
+  const uint64_t id = pending.request.id;
+  if (!queue_.TryPush(std::move(pending))) {
+    if (queue_.closed()) {
+      refused_draining_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, RenderErrorResponse(id, op, 503,
+                                              "server is draining"));
+    } else {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::Global().GetCounter("server.rejected").Add();
+      WriteResponse(conn, RenderErrorResponse(
+                              id, op, 429, "queue is at hard capacity",
+                              options_.base_retry_ms * 2));
+    }
+    return;
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("server.queue_depth")
+      .Set(static_cast<double>(queue_.Depth()));
+}
+
+void Server::EngineWorkerLoop() {
+  while (ProcessNext(/*drain_only=*/false)) {
+  }
+}
+
+void Server::ProcessQueuedNow() {
+  while (ProcessNext(/*drain_only=*/true)) {
+  }
+}
+
+bool Server::ProcessNext(bool drain_only) {
+  std::optional<PendingRequest> first =
+      drain_only ? queue_.TryPopIf([](const PendingRequest&) { return true; })
+                 : queue_.Pop();
+  if (!first.has_value()) return false;
+  obs::MetricsRegistry::Global()
+      .GetGauge("server.queue_depth")
+      .Set(static_cast<double>(queue_.Depth()));
+  if (first->request.op == Request::Op::kUpdate) {
+    std::vector<PendingRequest> batch;
+    batch.push_back(std::move(*first));
+    // Coalesce the maximal run of consecutive updates at the head; stopping
+    // at the first non-update preserves FIFO between reads and writes.
+    while (batch.size() < options_.max_batch) {
+      std::optional<PendingRequest> next =
+          queue_.TryPopIf([](const PendingRequest& pending) {
+            return pending.request.op == Request::Op::kUpdate;
+          });
+      if (!next.has_value()) break;
+      batch.push_back(std::move(*next));
+    }
+    HandleUpdateBatch(std::move(batch));
+  } else if (first->request.op == Request::Op::kSolve) {
+    HandleSolve(*first);
+  } else {
+    HandleSnapshot(*first);
+  }
+  return true;
+}
+
+PropertySet Server::InternQuery(const std::vector<std::string>& names) {
+  std::vector<PropertyId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto [it, inserted] =
+        interned_.emplace(name, static_cast<PropertyId>(names_.size()));
+    if (inserted) names_.push_back(name);
+    ids.push_back(it->second);
+  }
+  return PropertySet::FromUnsorted(std::move(ids));
+}
+
+Status Server::PriceUnknown(const std::vector<PropertySet>& added) {
+  if (options_.default_cost < 0 || added.empty()) return Status::OK();
+  Instance pricing;
+  pricing.set_property_names(names_);
+  for (const PropertySet& query : added) pricing.AddQuery(query);
+  data::CostEstimatorOptions estimator;
+  estimator.default_difficulty = options_.default_cost;
+  MC3_RETURN_IF_ERROR(data::EstimateCosts(&pricing, estimator));
+  for (const auto& [classifier, cost] : SortedCostEntries(pricing.costs())) {
+    if (!IsInfiniteCost(engine_.CostOf(classifier))) continue;
+    MC3_RETURN_IF_ERROR(engine_.SetCost(classifier, cost));
+  }
+  return Status::OK();
+}
+
+void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
+  struct ParsedUpdate {
+    std::vector<PropertySet> add;
+    std::vector<PropertySet> remove;
+  };
+  std::vector<ParsedUpdate> parsed(batch.size());
+  std::vector<std::string> responses(batch.size());
+
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    UpdateCoalescer coalescer;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      for (const auto& names : batch[i].request.add) {
+        parsed[i].add.push_back(InternQuery(names));
+      }
+      for (const auto& names : batch[i].request.remove) {
+        parsed[i].remove.push_back(InternQuery(names));
+      }
+      coalescer.Fold(parsed[i].add, parsed[i].remove);
+    }
+    engine_.set_property_names(names_);
+
+    const NetUpdate net = coalescer.Take();
+    Status priced = PriceUnknown(net.add);
+    Result<online::UpdateStats> applied =
+        priced.ok() ? engine_.ApplyUpdate(net.add, net.remove)
+                    : Result<online::UpdateStats>(priced);
+    if (applied.ok()) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_ops_.fetch_add(net.ops, std::memory_order_relaxed);
+      uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+      while (seen < net.ops &&
+             !max_batch_.compare_exchange_weak(seen, net.ops,
+                                               std::memory_order_relaxed)) {
+      }
+      obs::MetricsRegistry::Global().GetCounter("server.batches").Add();
+      obs::MetricsRegistry::Global()
+          .GetCounter("server.coalesced_ops")
+          .Add(net.ops);
+      obs::MetricsRegistry::Global()
+          .GetHistogram("server.batch_size")
+          .Record(static_cast<double>(net.ops));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        obs::JsonWriter writer(/*compact=*/true);
+        writer.BeginObject();
+        writer.Key("id").Int(batch[i].request.id);
+        writer.Key("op").String("update");
+        writer.Key("code").Int(200);
+        writer.Key("batch_size").Int(net.ops);
+        writer.Key("batch_requests").Int(batch.size());
+        writer.Key("queries_added").Int(applied->queries_added);
+        writer.Key("queries_removed").Int(applied->queries_removed);
+        writer.Key("components_resolved").Int(applied->components_resolved);
+        writer.Key("cost").Number(engine_.TotalCost());
+        writer.Key("queries").Int(engine_.NumQueries());
+        writer.Key("components").Int(engine_.NumComponents());
+        writer.EndObject();
+        responses[i] = writer.Take();
+      }
+    } else {
+      // The coalesced batch is infeasible as a whole (typically one
+      // uncoverable add). Fall back to per-request application so the
+      // blast radius is the offending request, not its batch peers.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Status fallback_priced = PriceUnknown(parsed[i].add);
+        Result<online::UpdateStats> one =
+            fallback_priced.ok()
+                ? engine_.ApplyUpdate(parsed[i].add, parsed[i].remove)
+                : Result<online::UpdateStats>(fallback_priced);
+        if (!one.ok()) {
+          responses[i] = RenderErrorResponse(batch[i].request.id,
+                                             Request::Op::kUpdate, 400,
+                                             one.status().message());
+          continue;
+        }
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        obs::JsonWriter writer(/*compact=*/true);
+        writer.BeginObject();
+        writer.Key("id").Int(batch[i].request.id);
+        writer.Key("op").String("update");
+        writer.Key("code").Int(200);
+        writer.Key("batch_size").Int(one->queries_added +
+                                     one->queries_removed);
+        writer.Key("batch_requests").Int(1);
+        writer.Key("queries_added").Int(one->queries_added);
+        writer.Key("queries_removed").Int(one->queries_removed);
+        writer.Key("components_resolved").Int(one->components_resolved);
+        writer.Key("cost").Number(engine_.TotalCost());
+        writer.Key("queries").Int(engine_.NumQueries());
+        writer.Key("components").Int(engine_.NumComponents());
+        writer.EndObject();
+        responses[i] = writer.Take();
+      }
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    WriteResponse(batch[i].conn, responses[i]);
+    ObserveLatency(batch[i].request, batch[i].enqueued.Seconds());
+  }
+}
+
+void Server::HandleSolve(const PendingRequest& pending) {
+  obs::JsonWriter writer(/*compact=*/true);
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    writer.BeginObject();
+    writer.Key("id").Int(pending.request.id);
+    writer.Key("op").String("solve");
+    writer.Key("code").Int(200);
+    writer.Key("cost").Number(engine_.TotalCost());
+    writer.Key("queries").Int(engine_.NumQueries());
+    writer.Key("components").Int(engine_.NumComponents());
+    const Solution solution = engine_.CurrentSolution();
+    writer.Key("classifiers").Int(solution.size());
+    if (pending.request.include_solution) {
+      writer.Key("solution").BeginArray();
+      for (const PropertySet& classifier : solution.Sorted()) {
+        writer.BeginArray();
+        for (const PropertyId id : classifier) {
+          writer.String(id < names_.size() ? names_[id]
+                                           : std::to_string(id));
+        }
+        writer.EndArray();
+      }
+      writer.EndArray();
+    }
+    writer.EndObject();
+  }
+  WriteResponse(pending.conn, writer.Take());
+  ObserveLatency(pending.request, pending.enqueued.Seconds());
+}
+
+void Server::HandleSnapshot(const PendingRequest& pending) {
+  obs::JsonWriter writer(/*compact=*/true);
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    writer.BeginObject();
+    writer.Key("id").Int(pending.request.id);
+    writer.Key("op").String("snapshot");
+    writer.Key("code").Int(200);
+    writer.Key("cost").Number(engine_.TotalCost());
+    writer.Key("queries").Int(engine_.NumQueries());
+    writer.Key("components").Int(engine_.NumComponents());
+    const Solution solution = engine_.CurrentSolution();
+    writer.Key("classifiers").BeginArray();
+    for (const PropertySet& classifier : solution.Sorted()) {
+      writer.BeginObject();
+      writer.Key("properties").BeginArray();
+      for (const PropertyId id : classifier) {
+        writer.String(id < names_.size() ? names_[id] : std::to_string(id));
+      }
+      writer.EndArray();
+      writer.Key("cost").Number(engine_.CostOf(classifier));
+      writer.EndObject();
+    }
+    writer.EndArray();
+    const online::EngineCounters& counters = engine_.counters();
+    writer.Key("counters").BeginObject();
+    writer.Key("updates").Int(counters.updates);
+    writer.Key("queries_added").Int(counters.queries_added);
+    writer.Key("queries_removed").Int(counters.queries_removed);
+    writer.Key("components_resolved").Int(counters.components_resolved);
+    writer.Key("queries_touched").Int(counters.queries_touched);
+    writer.EndObject();
+    writer.EndObject();
+  }
+  WriteResponse(pending.conn, writer.Take());
+  ObserveLatency(pending.request, pending.enqueued.Seconds());
+}
+
+std::string Server::RenderHealth(const Request& request) {
+  obs::JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("id").Int(request.id);
+  writer.Key("op").String("health");
+  writer.Key("code").Int(200);
+  writer.Key("status").String(draining_.load(std::memory_order_acquire)
+                                  ? "draining"
+                                  : "ok");
+  writer.Key("queue_depth").Int(queue_.Depth());
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string Server::RenderStats(const Request& request) {
+  const ServerStats stats = GetStats();
+  obs::JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("id").Int(request.id);
+  writer.Key("op").String("stats");
+  writer.Key("code").Int(200);
+  writer.Key("draining").Bool(draining_.load(std::memory_order_acquire));
+  writer.Key("connections").Int(stats.connections);
+  writer.Key("requests").Int(stats.requests);
+  writer.Key("responses").Int(stats.responses);
+  writer.Key("rejected").Int(stats.rejected);
+  writer.Key("refused_draining").Int(stats.refused_draining);
+  writer.Key("malformed").Int(stats.malformed);
+  writer.Key("batches").Int(stats.batches);
+  writer.Key("coalesced_ops").Int(stats.coalesced_ops);
+  writer.Key("max_batch").Int(stats.max_batch);
+  writer.Key("queue_depth").Int(stats.queue_depth);
+  if (obs::kObsEnabled) {
+    // Per-endpoint in-server latency percentiles (seconds), straight from
+    // the ambient metrics registry. MetricsSnapshot maps are ordered, so
+    // the rendering is deterministic.
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snap();
+    writer.Key("latency_seconds").BeginObject();
+    const std::string prefix = "server.latency.";
+    for (const auto& [name, histogram] : snap.histograms) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      writer.Key(name.substr(prefix.size())).BeginObject();
+      writer.Key("count").Int(histogram.count);
+      writer.Key("mean").Number(histogram.Mean());
+      writer.Key("p50").Number(histogram.P50());
+      writer.Key("p95").Number(histogram.P95());
+      writer.Key("p99").Number(histogram.P99());
+      writer.EndObject();
+    }
+    writer.EndObject();
+  }
+  writer.EndObject();
+  return writer.Take();
+}
+
+void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
+                           const std::string& line) {
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  const std::string framed = line + "\n";
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(conn->fd, framed.data() + sent,
+                             framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;  // peer gone; the response is undeliverable
+    sent += static_cast<size_t>(n);
+  }
+}
+
+void Server::ObserveLatency(const Request& request, double seconds) {
+  CountEndpoint("responses", request.op);
+  obs::MetricsRegistry::Global()
+      .GetHistogram(std::string("server.latency.") + OpName(request.op))
+      .Record(seconds);
+}
+
+ServerStats Server::GetStats() const {
+  ServerStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses = responses_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.refused_draining =
+      refused_draining_.load(std::memory_order_relaxed);
+  stats.malformed = malformed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.coalesced_ops = coalesced_ops_.load(std::memory_order_relaxed);
+  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.Depth();
+  return stats;
+}
+
+void Server::WithEngine(
+    const std::function<void(const online::OnlineEngine&)>& fn) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  fn(engine_);
+}
+
+}  // namespace mc3::server

@@ -1,0 +1,214 @@
+// Long-lived TCP serving front-end for the incremental engine: a
+// newline-delimited-JSON listener (src/server/protocol.h) whose accepted
+// connections are handled by a fixed WorkerPool, feeding engine operations
+// through a BoundedQueue into dedicated engine workers that coalesce
+// concurrent updates into single OnlineEngine churn steps.
+//
+// Threading model (docs/serving.md):
+//   * acceptor thread    — accept() loop; posts one connection task per
+//                          socket to the worker pool (pool size bounds
+//                          concurrent connections);
+//   * connection tasks   — blocking line reads; health/stats/shutdown are
+//                          answered inline, engine ops (solve, update,
+//                          snapshot) pass admission control and enter the
+//                          bounded queue;
+//   * engine workers     — block on the queue; an update at the head is
+//                          coalesced with the maximal run of consecutive
+//                          queued updates (never reordering reads past
+//                          writes) and applied as ONE ApplyUpdate; all
+//                          engine access is serialized by a mutex.
+//
+// Admission control: the queue has a hard capacity and a reject watermark;
+// at or above the watermark new engine ops are answered 429 with a
+// retry_after_ms hint instead of queueing (bounded latency beats unbounded
+// buffering). Graceful drain (shutdown request or SIGTERM in the CLI):
+// stop accepting, answer new engine ops 503, finish everything queued,
+// then join — no accepted request is ever dropped.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+#include "online/online_engine.h"
+#include "server/bounded_queue.h"
+#include "server/protocol.h"
+#include "server/worker_pool.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace mc3::server {
+
+/// Admission-control decision for an engine op arriving at queue depth
+/// `depth`. Rejects at or above the watermark; the retry hint grows
+/// linearly with the overload so clients back off harder the deeper the
+/// queue (deterministic in its inputs).
+struct Admission {
+  bool accept = true;
+  double retry_after_ms = 0;
+};
+Admission AdmitAt(size_t depth, size_t watermark, double base_retry_ms);
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral (read the bound port from port())
+
+  /// Hard bound of the engine-op queue.
+  size_t queue_capacity = 1024;
+  /// Reject engine ops at/above this queue depth; 0 derives 3/4 capacity.
+  size_t admission_watermark = 0;
+  /// Base of the 429 Retry-After hint.
+  double base_retry_ms = 25;
+
+  /// Engine ops coalesced into one churn step at most.
+  size_t max_batch = 256;
+  /// Engine worker threads (1 = strictly FIFO). 0 is an embedding/test
+  /// mode: nothing drains the queue until ProcessQueuedNow() is called.
+  size_t engine_workers = 1;
+  /// Connection-handling pool size = max concurrent connections.
+  size_t connection_workers = 16;
+
+  /// Price unknown classifiers of added queries at this default difficulty
+  /// (mirrors `mc3 serve --default-cost`); negative = no auto-pricing, an
+  /// uncoverable add fails with 400.
+  double default_cost = -1;
+
+  online::EngineOptions engine;
+};
+
+/// Point-in-time server statistics (also served by the stats endpoint).
+struct ServerStats {
+  uint64_t connections = 0;  ///< connections accepted
+  uint64_t requests = 0;     ///< well-formed requests received
+  uint64_t responses = 0;    ///< responses written (incl. errors/rejects)
+  uint64_t rejected = 0;     ///< 429 admission rejects
+  uint64_t refused_draining = 0;  ///< 503 during drain
+  uint64_t malformed = 0;    ///< 400 parse failures
+  uint64_t batches = 0;      ///< engine churn steps applied
+  uint64_t coalesced_ops = 0;  ///< source update ops folded into batches
+  uint64_t max_batch = 0;    ///< largest ops-per-batch seen
+  size_t queue_depth = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Initializes the engine with `base` (its cost table and queries), then
+  /// binds, listens and starts the acceptor, pool and engine workers.
+  Status Start(const Instance& base);
+
+  /// The bound TCP port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Initiates graceful drain: stop accepting, 503 new engine ops, finish
+  /// the queue. Idempotent, callable from any thread (the shutdown
+  /// endpoint and the CLI's SIGTERM watcher both land here).
+  void RequestDrain();
+
+  /// Blocks until a requested drain completes and every thread is joined.
+  void Join();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  ServerStats GetStats() const;
+
+  /// Engine-op queue depth right now.
+  size_t QueueDepth() const { return queue_.Depth(); }
+
+  /// Synchronously drains everything currently queued on the caller's
+  /// thread. Only meaningful with engine_workers == 0 (embedding/test
+  /// mode); with live workers it merely competes with them.
+  void ProcessQueuedNow();
+
+  /// Read access to the engine for equivalence checks in tests; takes the
+  /// engine mutex. `fn` must not re-enter the server.
+  void WithEngine(const std::function<void(const online::OnlineEngine&)>& fn);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    ~Connection();
+  };
+  /// One queued engine op: the parsed request plus its response channel.
+  struct PendingRequest {
+    Request request;
+    std::shared_ptr<Connection> conn;
+    Timer enqueued;  ///< measures in-server latency per endpoint
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(const std::shared_ptr<Connection>& conn);
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  void EngineWorkerLoop();
+  /// Pops one item (blocking unless `drain_only`), coalesces consecutive
+  /// updates behind it, executes, responds. Returns false when the queue is
+  /// closed and empty.
+  bool ProcessNext(bool drain_only);
+
+  void HandleUpdateBatch(std::vector<PendingRequest> batch);
+  void HandleSolve(const PendingRequest& pending);
+  void HandleSnapshot(const PendingRequest& pending);
+  std::string RenderHealth(const Request& request);
+  std::string RenderStats(const Request& request);
+
+  /// Interns `names` into the engine's property table (engine_mu_ held).
+  PropertySet InternQuery(const std::vector<std::string>& names);
+  /// Prices unknown classifiers of `added` at options_.default_cost
+  /// (engine_mu_ held; no-op when default_cost < 0).
+  Status PriceUnknown(const std::vector<PropertySet>& added);
+
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const std::string& line);
+  void ObserveLatency(const Request& request, double seconds);
+
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< unblocks the acceptor's poll on drain
+
+  BoundedQueue<PendingRequest> queue_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::thread acceptor_;
+  std::vector<std::thread> engine_threads_;
+
+  std::mutex engine_mu_;
+  online::OnlineEngine engine_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, PropertyId> interned_;
+
+  std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> refused_draining_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_ops_{0};
+  std::atomic<uint64_t> max_batch_{0};
+};
+
+}  // namespace mc3::server

@@ -1,0 +1,88 @@
+// Fixed-size worker pool executing posted tasks (mxtasking-style ingress:
+// a bounded set of threads drains an unbounded task list). The server posts
+// one connection-handling task per accepted socket, so the pool size bounds
+// concurrent connections without a thread per client.
+//
+// Lambdas posted here run on pool threads: lint rule R6 (shared-mutable
+// capture) covers Post bodies exactly like ParallelFor bodies — captured
+// state mutated inside a posted task needs an atomic, a mutex, or
+// per-task-owned data.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mc3::server {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_workers) {
+    workers_.reserve(num_workers);
+    for (size_t i = 0; i < num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() { Shutdown(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task`; returns false after Shutdown (task dropped).
+  bool Post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Finishes every queued task, then joins the workers. Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+    }
+    ready_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  }
+
+  size_t QueuedTasks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        ready_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+        if (tasks_.empty()) return;  // shutdown and drained
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mc3::server

@@ -20,6 +20,7 @@
 #include "core/solution.h"
 #include "obs/metrics.h"
 #include "online/online_engine.h"
+#include "server/coalescer.h"
 #include "tests/test_util.h"
 #include "util/float_cmp.h"
 #include "util/rng.h"
@@ -196,6 +197,53 @@ TEST(DeterminismTest, OnlineEngineInitializeAndSolution) {
       EXPECT_EQ(rendered, first);
     }
   }
+}
+
+// The serving subsystem's coalescing contract (src/server/coalescer.h):
+// folding a run of updates into one net ApplyUpdate batch must produce a
+// byte-identical solution to applying the run one operation at a time —
+// the engine re-solves dirty components deterministically from the live
+// set alone, and the fold preserves the final live set exactly.
+TEST(DeterminismTest, CoalescedBatchMatchesSequentialUpdates) {
+  const InstanceContent content = SeededContent(83, /*num_queries=*/10);
+  const Instance base =
+      BuildShuffled(content, 11, /*shuffle_queries=*/false);
+  const std::vector<PropertySet>& qs = content.queries;
+
+  // A churn run over live queries: removes, re-adds, a duplicate add and a
+  // remove-then-re-add flip, spread over several components.
+  struct Op {
+    std::vector<PropertySet> add;
+    std::vector<PropertySet> remove;
+  };
+  const std::vector<Op> ops = {
+      {{}, {qs[0]}}, {{}, {qs[2]}}, {{qs[0]}, {}}, {{}, {qs[4]}},
+      {{qs[2]}, {}}, {{qs[0]}, {}},  // duplicate add: idempotent
+      {{qs[7]}, {qs[7]}},            // same-op flip: nets to an add
+  };
+
+  online::OnlineEngine sequential;
+  ASSERT_TRUE(sequential.Initialize(base).ok());
+  for (const Op& op : ops) {
+    auto stats = sequential.ApplyUpdate(op.add, op.remove);
+    ASSERT_TRUE(stats.ok()) << stats.status().message();
+  }
+
+  online::OnlineEngine batched;
+  ASSERT_TRUE(batched.Initialize(base).ok());
+  server::UpdateCoalescer coalescer;
+  for (const Op& op : ops) coalescer.Fold(op.add, op.remove);
+  const server::NetUpdate net = coalescer.Take();
+  EXPECT_EQ(net.ops, 8u);  // 8 source query-ops folded (one op is add+remove)
+  auto stats = batched.ApplyUpdate(net.add, net.remove);
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_LE(stats->queries_removed + stats->queries_added, 4u);
+
+  ASSERT_TRUE(sequential.CheckInvariants().ok());
+  ASSERT_TRUE(batched.CheckInvariants().ok());
+  EXPECT_EQ(sequential.NumQueries(), batched.NumQueries());
+  EXPECT_EQ(Canonical(sequential.CurrentSolution(), base),
+            Canonical(batched.CurrentSolution(), base));
 }
 
 // The contract online re-solve ordering relies on: component ids are

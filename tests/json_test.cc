@@ -123,6 +123,54 @@ TEST(JsonParserTest, TrailingGarbageRejected) {
   EXPECT_TRUE(ParseJson("{}  \n\t ").ok());
 }
 
+// Compact mode backs the serving wire protocol (src/server/protocol.h):
+// one request/response object per line, so the writer must never emit a
+// newline or any inter-token whitespace.
+TEST(JsonWriterTest, CompactModeIsSingleLineWithoutWhitespace) {
+  JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("op").String("solve");
+  writer.Key("id").Int(7);
+  writer.Key("nested").BeginObject();
+  writer.Key("ok").Bool(true);
+  writer.EndObject();
+  writer.Key("list").BeginArray();
+  writer.Number(1.5);
+  writer.Null();
+  writer.EndArray();
+  writer.EndObject();
+  const std::string out = writer.Take();
+  EXPECT_EQ(out,
+            R"({"op":"solve","id":7,"nested":{"ok":true},"list":[1.5,null]})");
+  EXPECT_EQ(out.find('\n'), std::string::npos);
+  EXPECT_EQ(out.find(' '), std::string::npos);
+}
+
+TEST(JsonWriterTest, CompactAndPrettyParseToTheSameDocument) {
+  auto build = [](bool compact) {
+    JsonWriter writer(compact);
+    writer.BeginObject();
+    writer.Key("a").BeginArray();
+    writer.Int(1);
+    writer.Int(2);
+    writer.EndArray();
+    writer.Key("b").String("x y");
+    writer.EndObject();
+    return writer.Take();
+  };
+  const std::string compact = build(true);
+  const std::string pretty = build(false);
+  EXPECT_LT(compact.size(), pretty.size());
+  auto a = ParseJson(compact);
+  auto b = ParseJson(pretty);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Find("b")->string, "x y");
+  EXPECT_EQ(b->Find("b")->string, "x y");
+  ASSERT_EQ(a->Find("a")->array.size(), 2u);
+  EXPECT_EQ(b->Find("a")->array.size(), 2u);
+}
+
 TEST(JsonParserTest, MalformedStructuresRejected) {
   EXPECT_FALSE(ParseJson("").ok());
   EXPECT_FALSE(ParseJson("{").ok());

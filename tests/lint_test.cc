@@ -264,6 +264,44 @@ TEST(LintR6, PassesSafePatterns) {
   EXPECT_EQ(CountRule(findings, "R6"), 0u);
 }
 
+TEST(LintR6, FlagsSharedMutableCaptureInPostedTasks) {
+  // Tasks handed to the worker pool run on pool threads; a by-reference
+  // captured accumulator is the same hazard as in a ParallelFor body. The
+  // posted lambda is typically parameter-less.
+  const auto findings = Lint(
+      "void F(WorkerPool& pool) {\n"
+      "  int total = 0;\n"
+      "  pool.Post([&] {\n"
+      "    total += 1;\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R6"), 1u);
+  EXPECT_EQ(findings[0].tag, "capture");
+}
+
+TEST(LintR6, PassesSafePostedTasks) {
+  const auto findings = Lint(
+      "std::atomic<int> total;\n"
+      "void F(WorkerPool& pool, std::shared_ptr<Connection> conn) {\n"
+      "  pool.Post([&] {\n"
+      "    total += 1;\n"          // atomic
+      "    int local = 0;\n"
+      "    local += 2;\n"          // declared in the body
+      "  });\n"
+      "  pool.Post([this, conn] {\n"
+      "    HandleConnection(conn);\n"  // by-value captures only
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R6"), 0u);
+}
+
+TEST(LintR6, SkipsPostDeclarationAndDefinition) {
+  const auto findings = Lint(
+      "bool Post(Task task);\n"
+      "bool Post(Task task) { return true; }\n");
+  EXPECT_EQ(CountRule(findings, "R6"), 0u);
+}
+
 // ------------------------------------------------------------- waivers
 
 TEST(LintWaivers, SameLineAndPrecedingLineSuppress) {

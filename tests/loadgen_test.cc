@@ -1,0 +1,119 @@
+// mc3_loadgen tests: report rendering/validation round-trip plus an
+// end-to-end run against an in-process server::Server — the same pairing
+// the CI serve-smoke job exercises over separate processes
+// (scripts/serve_smoke.sh).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "mc3_loadgen/loadgen.h"
+#include "obs/json.h"
+#include "server/server.h"
+
+namespace mc3::loadgen {
+namespace {
+
+LoadReport SampleReport() {
+  LoadReport report;
+  report.options.port = 4242;
+  report.options.operations = 8;
+  report.sent = 8;
+  report.responses = 8;
+  report.ok = 7;
+  report.rejected = 1;
+  report.wall_seconds = 0.5;
+  report.achieved_qps = 16;
+  report.latency.count = 8;
+  report.latency.mean = 0.001;
+  report.latency.p50 = 0.001;
+  report.latency.p95 = 0.002;
+  report.latency.p99 = 0.002;
+  report.latency.max = 0.002;
+  report.server_stats_valid = true;
+  report.server_batches = 3;
+  report.server_coalesced_ops = 7;
+  report.server_max_batch = 4;
+  report.drained = true;
+  return report;
+}
+
+TEST(LoadReportTest, RenderValidatesAgainstSchema) {
+  const std::string json = RenderLoadReport(SampleReport());
+  EXPECT_TRUE(ValidateLoadReportJson(json).ok())
+      << ValidateLoadReportJson(json).ToString();
+}
+
+TEST(LoadReportTest, RenderedFieldsSurvive) {
+  const std::string json = RenderLoadReport(SampleReport());
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("schema")->string, kLoadReportSchema);
+  const obs::JsonValue* client = parsed->Find("client");
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(client->Find("sent")->number, 8);
+  EXPECT_EQ(client->Find("rejected")->number, 1);
+  const obs::JsonValue* server = parsed->Find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->Find("max_batch")->number, 4);
+}
+
+TEST(LoadReportTest, ValidationRejectsWrongSchemaAndMissingMembers) {
+  EXPECT_FALSE(ValidateLoadReportJson("{}").ok());
+  EXPECT_FALSE(ValidateLoadReportJson("not json").ok());
+  EXPECT_FALSE(
+      ValidateLoadReportJson(R"({"schema":"mc3.load_report/0"})").ok());
+  // Drop one required member from a valid document: must fail.
+  std::string json = RenderLoadReport(SampleReport());
+  const size_t at = json.find("\"achieved_qps\"");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, std::string("\"achieved_qps\"").size(), "\"renamed\"");
+  EXPECT_FALSE(ValidateLoadReportJson(json).ok());
+}
+
+TEST(LoadGenTest, EndToEndAgainstInProcessServer) {
+  server::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.default_cost = 2;  // price the synthetic p* pool on the fly
+  server_options.engine.solver_options.num_threads = 1;
+  server::Server server(server_options);
+  InstanceBuilder builder;
+  builder.AddQuery({"seed_a", "seed_b"});
+  builder.SetCost({"seed_a"}, 1);
+  builder.SetCost({"seed_b"}, 1);
+  ASSERT_TRUE(server.Start(std::move(builder).Build()).ok());
+
+  LoadGenOptions options;
+  options.port = server.port();
+  options.operations = 48;
+  options.qps = 2000;
+  options.connections = 3;
+  options.burst = 16;
+  options.seed = 7;
+  options.shutdown_after = true;
+
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // `sent` counts every request on the wire: 48 workload operations plus
+  // the end-of-run stats scrape and the shutdown request.
+  EXPECT_EQ(report->sent, 50u);
+  EXPECT_EQ(report->lost, 0u);  // graceful drain: nothing admitted is dropped
+  EXPECT_GT(report->ok, 0u);
+  EXPECT_TRUE(report->server_stats_valid);
+  EXPECT_GE(report->server_requests, 48u);
+  EXPECT_TRUE(report->drained);
+  server.Join();  // the loadgen's shutdown request initiated the drain
+
+  const std::string json = RenderLoadReport(*report);
+  EXPECT_TRUE(ValidateLoadReportJson(json).ok())
+      << ValidateLoadReportJson(json).ToString();
+}
+
+TEST(LoadGenTest, FailsWithoutPort) {
+  LoadGenOptions options;
+  options.port = 0;
+  EXPECT_FALSE(RunLoadGen(options).ok());
+}
+
+}  // namespace
+}  // namespace mc3::loadgen

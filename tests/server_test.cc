@@ -1,0 +1,637 @@
+// Serving subsystem tests (src/server/, docs/serving.md): unit coverage of
+// the bounded queue, worker pool, update coalescer, admission control and
+// wire protocol, plus end-to-end socket tests of the acceptance criteria —
+// N concurrent clients produce the same final state as the equivalent
+// offline batch, with zero dropped (non-rejected) requests, 429s above the
+// admission watermark, and 503s plus a clean join on graceful drain.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <initializer_list>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "data/query_log.h"
+#include "obs/json.h"
+#include "online/online_engine.h"
+#include "server/bounded_queue.h"
+#include "server/coalescer.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/worker_pool.h"
+
+namespace mc3::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+TEST(AdmissionTest, AcceptsBelowWatermarkRejectsAtOrAbove) {
+  EXPECT_TRUE(AdmitAt(0, 4, 25).accept);
+  EXPECT_TRUE(AdmitAt(3, 4, 25).accept);
+  EXPECT_FALSE(AdmitAt(4, 4, 25).accept);
+  EXPECT_FALSE(AdmitAt(100, 4, 25).accept);
+}
+
+TEST(AdmissionTest, RetryHintGrowsWithOverload) {
+  const Admission shallow = AdmitAt(4, 4, 25);
+  const Admission deep = AdmitAt(40, 4, 25);
+  ASSERT_FALSE(shallow.accept);
+  ASSERT_FALSE(deep.accept);
+  EXPECT_GT(shallow.retry_after_ms, 0);
+  EXPECT_GT(deep.retry_after_ms, shallow.retry_after_ms);
+}
+
+TEST(AdmissionTest, ZeroWatermarkNeverRejects) {
+  EXPECT_TRUE(AdmitAt(1000000, 0, 25).accept);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue.
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  EXPECT_EQ(queue.Depth(), 2u);
+}
+
+TEST(BoundedQueueTest, PopReturnsInFifoOrder) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  auto first = queue.Pop();
+  auto second = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, 1);
+  EXPECT_EQ(*second, 2);
+}
+
+TEST(BoundedQueueTest, TryPopIfOnlyTakesMatchingHead) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(10));
+  auto even = queue.TryPopIf([](const int& v) { return v % 2 == 0; });
+  EXPECT_FALSE(even.has_value());  // head is 1 (odd): not popped
+  auto odd = queue.TryPopIf([](const int& v) { return v % 2 == 1; });
+  ASSERT_TRUE(odd.has_value());
+  EXPECT_EQ(*odd, 1);
+}
+
+TEST(BoundedQueueTest, CloseDeliversQueuedItemsThenNullopt) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(8));  // no pushes after close
+  auto item = queue.Pop();
+  ASSERT_TRUE(item.has_value());  // graceful: queued item still delivered
+  EXPECT_EQ(*item, 7);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(queue.Pop().has_value());
+    done.store(true);
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool.
+
+TEST(WorkerPoolTest, RunsPostedTasks) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(pool.Post([&ran] { ran.fetch_add(1); }));
+    }
+    pool.Shutdown();  // finishes everything queued
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(WorkerPoolTest, PostAfterShutdownIsRefused) {
+  WorkerPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Post([] {}));
+}
+
+// ---------------------------------------------------------------------------
+// UpdateCoalescer.
+
+PropertySet Q(std::initializer_list<PropertyId> ids) {
+  return PropertySet::Of(ids);
+}
+
+TEST(CoalescerTest, LastOpWinsPerQuery) {
+  UpdateCoalescer coalescer;
+  coalescer.Add(Q({1}));
+  coalescer.Remove(Q({1}));
+  coalescer.Add(Q({2}));
+  const NetUpdate net = coalescer.Take();
+  ASSERT_EQ(net.remove.size(), 1u);
+  EXPECT_EQ(net.remove[0], Q({1}));
+  ASSERT_EQ(net.add.size(), 1u);
+  EXPECT_EQ(net.add[0], Q({2}));
+  EXPECT_EQ(net.ops, 3u);
+}
+
+TEST(CoalescerTest, EmissionOrderIsFirstTouch) {
+  UpdateCoalescer coalescer;
+  coalescer.Add(Q({3}));
+  coalescer.Add(Q({1}));
+  coalescer.Remove(Q({3}));
+  coalescer.Add(Q({3}));  // flips back; keeps first-touch position
+  coalescer.Add(Q({2}));
+  const NetUpdate net = coalescer.Take();
+  ASSERT_EQ(net.add.size(), 3u);
+  EXPECT_EQ(net.add[0], Q({3}));
+  EXPECT_EQ(net.add[1], Q({1}));
+  EXPECT_EQ(net.add[2], Q({2}));
+  EXPECT_TRUE(net.remove.empty());
+}
+
+TEST(CoalescerTest, FoldAppliesRemovesBeforeAdds) {
+  // A single request that removes and re-adds the same query must net to
+  // an add (ApplyUpdate order: removes first, then adds).
+  UpdateCoalescer coalescer;
+  coalescer.Fold(/*add=*/{Q({5})}, /*remove=*/{Q({5})});
+  const NetUpdate net = coalescer.Take();
+  ASSERT_EQ(net.add.size(), 1u);
+  EXPECT_TRUE(net.remove.empty());
+}
+
+TEST(CoalescerTest, TakeResets) {
+  UpdateCoalescer coalescer;
+  coalescer.Add(Q({1}));
+  (void)coalescer.Take();
+  EXPECT_TRUE(coalescer.empty());
+  EXPECT_EQ(coalescer.ops(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+
+TEST(ProtocolTest, ParsesEveryOp) {
+  for (const char* op :
+       {"health", "stats", "solve", "update", "snapshot", "shutdown"}) {
+    std::string line = std::string("{\"op\":\"") + op + "\",\"id\":3";
+    if (std::string(op) == "update") line += ",\"add\":[[\"a\"]]";
+    line += "}";
+    auto request = ParseRequest(line);
+    ASSERT_TRUE(request.ok()) << op << ": " << request.status().ToString();
+    EXPECT_STREQ(OpName(request->op), op);
+    EXPECT_EQ(request->id, 3u);
+  }
+}
+
+TEST(ProtocolTest, ParsesUpdateQueryLists) {
+  auto request = ParseRequest(
+      R"({"op":"update","id":1,"add":[["a","b"],["c"]],"remove":[["d"]]})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->add.size(), 2u);
+  EXPECT_EQ(request->add[0], (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(request->remove.size(), 1u);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[]").ok());                       // not an object
+  EXPECT_FALSE(ParseRequest(R"({"id":1})").ok());              // no op
+  EXPECT_FALSE(ParseRequest(R"({"op":"frobnicate"})").ok());   // unknown op
+  EXPECT_FALSE(ParseRequest(R"({"op":"solve","id":-2})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"solve","id":1.5})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"update","id":1})").ok());  // empty
+  EXPECT_FALSE(ParseRequest(R"({"op":"update","add":[[]]})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"update","add":[[""]]})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"op":"solve","solution":1})").ok());
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesCodeAndRetryHint) {
+  const std::string line =
+      RenderErrorResponse(9, Request::Op::kUpdate, 429, "busy", 50);
+  auto parsed = obs::ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("code")->number, 429);
+  EXPECT_EQ(parsed->Find("id")->number, 9);
+  EXPECT_EQ(parsed->Find("op")->string, "update");
+  EXPECT_EQ(parsed->Find("error")->string, "busy");
+  EXPECT_EQ(parsed->Find("retry_after_ms")->number, 50);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // single-line framing
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over real sockets.
+
+/// Blocking line-oriented client for the wire protocol.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Reads the next response line ("" on EOF).
+  std::string ReadLine() {
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    std::string line = buffer_.substr(0, newline);
+    buffer_.erase(0, newline + 1);
+    return line;
+  }
+
+  /// Send + read one response, parsed.
+  obs::JsonValue Call(const std::string& line) {
+    Send(line);
+    const std::string response = ReadLine();
+    auto parsed = obs::ParseJson(response);
+    EXPECT_TRUE(parsed.ok()) << response;
+    return parsed.ok() ? *parsed : obs::JsonValue{};
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+/// Renders a solution as a sorted list of "&"-joined sorted name strings:
+/// id-table-independent, so solutions of engines that interned the same
+/// property names in different orders still compare equal.
+std::vector<std::string> CanonicalClassifiers(
+    const Solution& solution, const std::vector<std::string>& names) {
+  std::vector<std::string> rendered;
+  rendered.reserve(solution.size());
+  for (const PropertySet& classifier : solution.classifiers()) {
+    std::vector<std::string> parts;
+    for (const PropertyId id : classifier) parts.push_back(names.at(id));
+    std::sort(parts.begin(), parts.end());
+    std::string joined;
+    for (const std::string& part : parts) {
+      if (!joined.empty()) joined += "&";
+      joined += part;
+    }
+    rendered.push_back(std::move(joined));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  return rendered;
+}
+
+int CodeOf(const obs::JsonValue& response) {
+  const obs::JsonValue* code = response.Find("code");
+  return code != nullptr && code->is_number() ? static_cast<int>(code->number)
+                                              : -1;
+}
+
+/// A small base workload whose property universe the tests extend.
+Instance BaseInstance() {
+  InstanceBuilder builder;
+  builder.AddQuery({"red", "shirt"});
+  builder.AddQuery({"tv"});
+  builder.SetCost({"red"}, 1);
+  builder.SetCost({"shirt"}, 2);
+  builder.SetCost({"red", "shirt"}, 2.5);
+  builder.SetCost({"tv"}, 1.5);
+  return std::move(builder).Build();
+}
+
+ServerOptions TestOptions() {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.default_cost = 2;
+  options.connection_workers = 8;
+  return options;
+}
+
+TEST(ServerTest, HealthStatsAndSolveEndpoints) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const obs::JsonValue health = client.Call(R"({"op":"health","id":1})");
+  EXPECT_EQ(CodeOf(health), 200);
+  EXPECT_EQ(health.Find("status")->string, "ok");
+
+  const obs::JsonValue solve =
+      client.Call(R"({"op":"solve","id":2,"solution":true})");
+  EXPECT_EQ(CodeOf(solve), 200);
+  EXPECT_EQ(solve.Find("queries")->number, 2);
+  ASSERT_NE(solve.Find("solution"), nullptr);
+  EXPECT_TRUE(solve.Find("solution")->is_array());
+
+  const obs::JsonValue stats = client.Call(R"({"op":"stats","id":3})");
+  EXPECT_EQ(CodeOf(stats), 200);
+  EXPECT_GE(stats.Find("requests")->number, 2);
+
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerTest, MalformedLineGets400) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue response = client.Call("this is not json");
+  EXPECT_EQ(CodeOf(response), 400);
+  server.RequestDrain();
+  server.Join();
+  EXPECT_EQ(server.GetStats().malformed, 1u);
+}
+
+TEST(ServerTest, UpdateAddsAndRemovesQueries) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const obs::JsonValue added = client.Call(
+      R"({"op":"update","id":1,"add":[["blue","sofa"]]})");
+  ASSERT_EQ(CodeOf(added), 200);
+  EXPECT_EQ(added.Find("queries")->number, 3);
+
+  const obs::JsonValue removed = client.Call(
+      R"({"op":"update","id":2,"remove":[["blue","sofa"]]})");
+  ASSERT_EQ(CodeOf(removed), 200);
+  EXPECT_EQ(removed.Find("queries")->number, 2);
+
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerTest, UncoverableAddGets400WithoutDefaultCost) {
+  ServerOptions options = TestOptions();
+  options.default_cost = -1;  // no auto-pricing
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue response = client.Call(
+      R"({"op":"update","id":1,"add":[["never_priced_a","never_priced_b"]]})");
+  EXPECT_EQ(CodeOf(response), 400);
+  // The engine state is untouched: the failed batch fell back to
+  // per-request application, which also failed atomically.
+  const obs::JsonValue solve = client.Call(R"({"op":"solve","id":2})");
+  EXPECT_EQ(solve.Find("queries")->number, 2);
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerTest, AdmissionRejectsAboveWatermarkWithRetryHint) {
+  ServerOptions options = TestOptions();
+  options.engine_workers = 0;  // nothing drains the queue: depth is ours
+  options.queue_capacity = 8;
+  options.admission_watermark = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // First two updates are admitted (no response yet: no engine worker).
+  client.Send(R"({"op":"update","id":1,"add":[["u1"]]})");
+  client.Send(R"({"op":"update","id":2,"add":[["u2"]]})");
+  // Wait until both are queued (connection handling is asynchronous).
+  while (server.QueueDepth() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The next one hits the watermark: immediate 429 with a retry hint.
+  const obs::JsonValue rejected =
+      client.Call(R"({"op":"update","id":3,"add":[["u3"]]})");
+  EXPECT_EQ(CodeOf(rejected), 429);
+  ASSERT_NE(rejected.Find("retry_after_ms"), nullptr);
+  EXPECT_GT(rejected.Find("retry_after_ms")->number, 0);
+
+  // Draining answers the two queued updates; nothing is lost.
+  server.RequestDrain();
+  server.Join();
+  EXPECT_EQ(CodeOf(obs::ParseJson(client.ReadLine()).value()), 200);
+  EXPECT_EQ(CodeOf(obs::ParseJson(client.ReadLine()).value()), 200);
+  const ServerStats stats = server.GetStats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServerTest, DrainRefusesNewEngineOpsWith503) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // A first round-trip guarantees the acceptor has handed this connection
+  // to a worker before the drain stops accepting (connect alone only means
+  // the kernel queued us on the listen backlog).
+  EXPECT_EQ(CodeOf(client.Call(R"({"op":"health","id":0})")), 200);
+  server.RequestDrain();
+  const obs::JsonValue refused =
+      client.Call(R"({"op":"update","id":1,"add":[["x"]]})");
+  EXPECT_EQ(CodeOf(refused), 503);
+  server.Join();
+  EXPECT_GE(server.GetStats().refused_draining, 1u);
+}
+
+TEST(ServerTest, ShutdownEndpointDrainsAndJoins) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue ack = client.Call(R"({"op":"shutdown","id":7})");
+  EXPECT_EQ(CodeOf(ack), 200);
+  EXPECT_EQ(ack.Find("draining")->boolean, true);
+  server.Join();  // completes because the endpoint requested the drain
+  EXPECT_TRUE(server.draining());
+}
+
+TEST(ServerTest, ConcurrentClientsMatchOfflineBatchAndNothingDrops) {
+  ServerOptions options = TestOptions();
+  options.engine.solver_options.num_threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+
+  // Each client interleaves adds and removes over its own property slice;
+  // queries across clients share properties (pfx overlap) so component
+  // merges happen across client boundaries too.
+  constexpr size_t kClients = 4;
+  constexpr size_t kOpsPerClient = 12;
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> non_ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, port = server.port(), &responses, &non_ok] {
+      TestClient client(port);
+      ASSERT_TRUE(client.connected());
+      for (size_t i = 0; i < kOpsPerClient; ++i) {
+        const std::string mine = "c" + std::to_string(c) + "_" +
+                                 std::to_string(i % 3);
+        const std::string shared = "shared_" + std::to_string(i % 2);
+        std::string line;
+        if (i % 4 == 3) {
+          // Remove the query added at i-1 (same (c, i%3) name).
+          line = R"({"op":"update","id":)" + std::to_string(i) +
+                 R"(,"remove":[[")" + "c" + std::to_string(c) + "_" +
+                 std::to_string((i - 1) % 3) + R"(","shared_)" +
+                 std::to_string((i - 1) % 2) + R"("]]})";
+        } else {
+          line = R"({"op":"update","id":)" + std::to_string(i) +
+                 R"(,"add":[[")" + mine + R"(",")" + shared + R"("]]})";
+        }
+        const obs::JsonValue response = client.Call(line);
+        responses.fetch_add(1);
+        if (CodeOf(response) != 200) non_ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Zero dropped: every request of every client was answered 200 (no
+  // admission pressure at these depths).
+  EXPECT_EQ(responses.load(), kClients * kOpsPerClient);
+  EXPECT_EQ(non_ok.load(), 0u);
+
+  server.RequestDrain();
+  server.Join();
+
+  // Offline reference: replay the same net operations as single batches on
+  // a fresh engine (per client, in the client's order — the final live set
+  // is order-independent because each client touches distinct query names).
+  online::OnlineEngine reference;
+  ASSERT_TRUE(reference.Initialize(BaseInstance()).ok());
+  std::vector<std::string> names = BaseInstance().property_names();
+  std::unordered_map<std::string, PropertyId> interned;
+  for (PropertyId id = 0; id < names.size(); ++id) {
+    interned.emplace(names[id], id);
+  }
+  auto intern = [&](const std::vector<std::string>& query) {
+    std::vector<PropertyId> ids;
+    for (const std::string& name : query) {
+      auto [it, inserted] =
+          interned.emplace(name, static_cast<PropertyId>(names.size()));
+      if (inserted) names.push_back(name);
+      ids.push_back(it->second);
+    }
+    return PropertySet::FromUnsorted(std::move(ids));
+  };
+  // Reconstruct each client's final live contribution directly.
+  std::vector<PropertySet> add;
+  for (size_t c = 0; c < kClients; ++c) {
+    UpdateCoalescer coalescer;
+    for (size_t i = 0; i < kOpsPerClient; ++i) {
+      const std::string mine =
+          "c" + std::to_string(c) + "_" + std::to_string(i % 3);
+      const std::string shared = "shared_" + std::to_string(i % 2);
+      if (i % 4 == 3) {
+        coalescer.Remove(intern(
+            {"c" + std::to_string(c) + "_" + std::to_string((i - 1) % 3),
+             "shared_" + std::to_string((i - 1) % 2)}));
+      } else {
+        coalescer.Add(intern({mine, shared}));
+      }
+    }
+    const NetUpdate net = coalescer.Take();
+    for (const PropertySet& query : net.add) add.push_back(query);
+  }
+  // Price the new classifiers the way the server does, then apply.
+  {
+    Instance pricing;
+    pricing.set_property_names(names);
+    for (const PropertySet& query : add) pricing.AddQuery(query);
+    data::CostEstimatorOptions estimator;
+    estimator.default_difficulty = 2;
+    ASSERT_TRUE(data::EstimateCosts(&pricing, estimator).ok());
+    for (const auto& [classifier, cost] :
+         SortedCostEntries(pricing.costs())) {
+      ASSERT_TRUE(reference.SetCost(classifier, cost).ok());
+    }
+  }
+  ASSERT_TRUE(reference.ApplyUpdate(add, {}).ok());
+  reference.set_property_names(names);
+
+  server.WithEngine([&](const online::OnlineEngine& engine) {
+    EXPECT_TRUE(engine.CheckInvariants().ok());
+    EXPECT_EQ(engine.NumQueries(), reference.NumQueries());
+    // Per-component costs are computed identically; the cached totals can
+    // only differ by summation order.
+    EXPECT_NEAR(engine.TotalCost(), reference.TotalCost(), 1e-9);
+    EXPECT_EQ(
+        CanonicalClassifiers(engine.CurrentSolution(), engine.property_names()),
+        CanonicalClassifiers(reference.CurrentSolution(),
+                             reference.property_names()));
+  });
+}
+
+TEST(ServerTest, CoalescesBurstsIntoFewerBatches) {
+  ServerOptions options = TestOptions();
+  options.engine_workers = 0;  // queue everything, then drain at once
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 6; ++i) {
+    client.Send(R"({"op":"update","id":)" + std::to_string(i) +
+                R"(,"add":[["burst_)" + std::to_string(i) + R"("]]})");
+  }
+  while (server.QueueDepth() < 6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.ProcessQueuedNow();
+  for (int i = 0; i < 6; ++i) {
+    const std::string line = client.ReadLine();
+    auto response = obs::ParseJson(line);
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_EQ(CodeOf(*response), 200);
+    EXPECT_EQ(response->Find("batch_size")->number, 6);
+  }
+  const ServerStats stats = server.GetStats();
+  EXPECT_EQ(stats.batches, 1u);       // one churn step for six requests
+  EXPECT_EQ(stats.coalesced_ops, 6u);
+  EXPECT_EQ(stats.max_batch, 6u);
+  server.RequestDrain();
+  server.Join();
+}
+
+}  // namespace
+}  // namespace mc3::server

@@ -1,0 +1,91 @@
+// Update-trace parser tests: line-number tracking on parsed operations and
+// the diagnostic quality of malformed-line errors (line number, offending
+// token, printable masking) — the contract `mc3 serve` error messages and
+// the cli_serve_malformed_trace smoke test build on.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "online/update_trace.h"
+
+namespace mc3::online {
+namespace {
+
+TEST(UpdateTraceTest, RecordsOneBasedSourceLines) {
+  auto trace = ParseUpdateTrace(
+      {
+          "# header comment",   // line 1
+          "+ red shirt",        // line 2
+          "",                   // line 3
+          "- red shirt",        // line 4
+          "add,blue,tv",        // line 5
+      },
+      {});
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->ops.size(), 3u);
+  EXPECT_EQ(trace->ops[0].line, 2u);
+  EXPECT_EQ(trace->ops[1].line, 4u);
+  EXPECT_EQ(trace->ops[2].line, 5u);
+  EXPECT_EQ(trace->skipped_lines, 2u);
+}
+
+TEST(UpdateTraceTest, EmptyOperationNamesLineAndMarker) {
+  auto trace = ParseUpdateTrace({"+ red", "-"}, {});
+  ASSERT_FALSE(trace.ok());
+  const std::string message = trace.status().message();
+  EXPECT_NE(message.find("trace line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("'-'"), std::string::npos) << message;
+  EXPECT_NE(message.find("without a query"), std::string::npos) << message;
+}
+
+TEST(UpdateTraceTest, StrayMarkerMidLineIsRejected) {
+  // Two operations joined on one line: the classic corrupted-trace shape.
+  auto trace = ParseUpdateTrace({"+ red shirt + blue"}, {});
+  ASSERT_FALSE(trace.ok());
+  const std::string message = trace.status().message();
+  EXPECT_NE(message.find("trace line 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("stray operation marker '+'"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("two lines joined"), std::string::npos) << message;
+}
+
+TEST(UpdateTraceTest, ControlCharacterInNameIsMaskedInError) {
+  auto trace = ParseUpdateTrace({"+ red shi\x01rt"}, {});
+  ASSERT_FALSE(trace.ok());
+  const std::string message = trace.status().message();
+  EXPECT_NE(message.find("control character"), std::string::npos) << message;
+  // The raw byte never reaches the message; it is masked as '?'.
+  EXPECT_EQ(message.find('\x01'), std::string::npos) << message;
+  EXPECT_NE(message.find("shi?rt"), std::string::npos) << message;
+  EXPECT_NE(message.find("token 2"), std::string::npos) << message;
+}
+
+TEST(UpdateTraceTest, LoadPrefixesErrorsWithPath) {
+  const std::string path =
+      ::testing::TempDir() + "/update_trace_test_malformed.txt";
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  std::fputs("+ ok_line\n+ bad +\n", out);
+  std::fclose(out);
+
+  auto trace = LoadUpdateTrace(path, {});
+  ASSERT_FALSE(trace.ok());
+  const std::string message = trace.status().message();
+  EXPECT_EQ(message.find(path), 0u) << message;  // path leads the message
+  EXPECT_NE(message.find("trace line 2"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(UpdateTraceTest, BaseNamesAreReusedNewNamesInterned) {
+  auto trace = ParseUpdateTrace({"+ red novel"}, {"red", "shirt"});
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->property_names.size(), 3u);
+  EXPECT_EQ(trace->property_names[2], "novel");
+  EXPECT_TRUE(trace->ops[0].query.Contains(0));  // "red" kept its base id
+  EXPECT_TRUE(trace->ops[0].query.Contains(2));
+}
+
+}  // namespace
+}  // namespace mc3::online

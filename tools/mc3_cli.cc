@@ -30,7 +30,23 @@
 //       components per batch. --batch groups N trace operations per update
 //       (default 1); --default-cost prices classifiers of added queries
 //       missing from the workload's table; --verify-every runs the
-//       engine's invariant checker every N batches.
+//       engine's invariant checker every N batches. A trace operation the
+//       engine rejects (e.g. an uncoverable add with no --default-cost)
+//       aborts the replay with exit code 1, naming the batch and the trace
+//       lines it came from.
+//
+//   mc3 serve <workload.csv> --listen <port> [--port-file F]
+//             [--queue-capacity N] [--watermark N] [--max-batch N]
+//             [--workers N] [--solver NAME] [--threads N]
+//             [--default-cost D]
+//       Network mode: load the workload into the incremental engine and
+//       serve it over a line-delimited-JSON TCP protocol (src/server/,
+//       docs/serving.md) until a shutdown request or SIGTERM/SIGINT drains
+//       it. --listen 0 binds an ephemeral port; --port-file writes the
+//       bound port for scripts. --queue-capacity/--watermark bound the
+//       engine-op queue (admission control answers 429 above the
+//       watermark); --max-batch caps update coalescing; --workers sizes
+//       the connection pool.
 //
 //   mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]
 //             [--warmup N] [--filter SUBSTR]
@@ -51,12 +67,17 @@
 //   mc3.solve_report/1 document (phase trace + metrics snapshot) of the run.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -71,6 +92,7 @@
 #include "obs/trace.h"
 #include "online/online_engine.h"
 #include "online/update_trace.h"
+#include "server/server.h"
 #include "util/timer.h"
 #include "util/float_cmp.h"
 
@@ -92,6 +114,10 @@ int Usage() {
       "  mc3 serve <workload.csv> --trace <trace.txt> [--solver NAME]\n"
       "            [--threads N] [--batch N] [--default-cost D]\n"
       "            [--verify-every N] [--verbose]\n"
+      "  mc3 serve <workload.csv> --listen <port> [--port-file F]\n"
+      "            [--queue-capacity N] [--watermark N] [--max-batch N]\n"
+      "            [--workers N] [--solver NAME] [--threads N]\n"
+      "            [--default-cost D]\n"
       "  mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]\n"
       "            [--warmup N] [--filter SUBSTR]\n"
       "(solve and serve also accept --report <out.json>)\n");
@@ -334,7 +360,106 @@ struct ServeConfig {
   size_t verify_every = 0;  ///< 0 = only verify at the end
   bool verbose = false;
   std::string report;  ///< empty = no JSON report
+
+  // Network mode (--listen).
+  long listen = -1;       ///< < 0 = trace-replay mode
+  std::string port_file;  ///< write the bound port here (for scripts)
+  size_t queue_capacity = 1024;
+  size_t watermark = 0;  ///< 0 derives 3/4 of capacity
+  size_t max_batch = 256;
+  size_t workers = 16;   ///< connection pool size
 };
+
+/// SIGTERM/SIGINT -> graceful drain, via the self-pipe trick (the handler
+/// may only call async-signal-safe functions, so it just writes a byte; a
+/// watcher thread turns that into Server::RequestDrain).
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleDrainSignal(int /*signum*/) {
+  const char byte = 's';
+  (void)!write(g_signal_pipe[1], &byte, 1);
+}
+
+int CmdServeListen(const std::string& workload_path,
+                   const ServeConfig& config,
+                   const server::ServerOptions& server_options) {
+  auto instance = Load(workload_path);
+  if (!instance.ok()) return Fail(instance.status());
+
+  server::Server server(server_options);
+  if (Status status = server.Start(*instance); !status.ok()) {
+    return Fail(status);
+  }
+  server.WithEngine([&](const online::OnlineEngine& engine) {
+    std::printf("listening:  %s:%u (%zu queries, %zu components, "
+                "cost %.2f)\n",
+                server_options.host.c_str(), server.port(),
+                engine.NumQueries(), engine.NumComponents(),
+                engine.TotalCost());
+  });
+  std::fflush(stdout);
+  if (!config.port_file.empty()) {
+    if (Status status =
+            WriteFile(config.port_file, std::to_string(server.port()) + "\n");
+        !status.ok()) {
+      server.RequestDrain();
+      server.Join();
+      return Fail(status);
+    }
+  }
+
+  if (pipe(g_signal_pipe) != 0) {
+    server.RequestDrain();
+    server.Join();
+    return Fail(Status::Internal("cannot create signal pipe"));
+  }
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&server, &watcher_stop] {
+    char byte;
+    while (read(g_signal_pipe[0], &byte, 1) == 1) {
+      if (watcher_stop.load(std::memory_order_acquire)) return;
+      server.RequestDrain();
+      return;
+    }
+  });
+
+  server.Join();  // returns after a shutdown request or signal drains it
+
+  watcher_stop.store(true, std::memory_order_release);
+  (void)!write(g_signal_pipe[1], "q", 1);
+  watcher.join();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  close(g_signal_pipe[0]);
+  close(g_signal_pipe[1]);
+  g_signal_pipe[0] = g_signal_pipe[1] = -1;
+
+  const server::ServerStats stats = server.GetStats();
+  std::printf("drained:    %llu requests (%llu responses), %llu rejected, "
+              "%llu refused, %llu malformed\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.responses),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.refused_draining),
+              static_cast<unsigned long long>(stats.malformed));
+  std::printf("coalesced:  %llu update ops into %llu engine batches "
+              "(largest %llu)\n",
+              static_cast<unsigned long long>(stats.coalesced_ops),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.max_batch));
+  int exit_code = 0;
+  server.WithEngine([&](const online::OnlineEngine& engine) {
+    std::printf("final:      %zu queries, %zu components, cost %.2f\n",
+                engine.NumQueries(), engine.NumComponents(),
+                engine.TotalCost());
+    if (Status status = engine.CheckInvariants(); !status.ok()) {
+      exit_code = Fail(status);
+    }
+  });
+  return exit_code;
+}
 
 int CmdServe(const std::string& workload_path, const std::string& trace_path,
              const ServeConfig& config) {
@@ -418,7 +543,17 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
       }
     }
     auto stats = engine.ApplyUpdate(add, remove);
-    if (!stats.ok()) return Fail(stats.status());
+    if (!stats.ok()) {
+      // Mid-stream failure: name the batch and its trace lines, then exit
+      // non-zero (the engine left the live set untouched — ApplyUpdate
+      // fails atomically).
+      std::fprintf(stderr,
+                   "error: update batch %zu (trace lines %zu..%zu of %s) "
+                   "rejected by the engine\n",
+                   batches + 1, trace->ops[at].line, trace->ops[end - 1].line,
+                   trace_path.c_str());
+      return Fail(stats.status());
+    }
     ++batches;
     if (config.verbose) {
       std::printf("batch %-5zu +%zu -%zu | %zu dirty -> %zu resolved, "
@@ -769,7 +904,10 @@ int main(int argc, char** argv) {
            args[i - 1] == "--trace" || args[i - 1] == "--batch" ||
            args[i - 1] == "--verify-every" || args[i - 1] == "--report" ||
            args[i - 1] == "--repeat" || args[i - 1] == "--warmup" ||
-           args[i - 1] == "--filter" || args[i - 1] == "-o")) {
+           args[i - 1] == "--filter" || args[i - 1] == "--listen" ||
+           args[i - 1] == "--port-file" || args[i - 1] == "--queue-capacity" ||
+           args[i - 1] == "--watermark" || args[i - 1] == "--max-batch" ||
+           args[i - 1] == "--workers" || args[i - 1] == "-o")) {
         continue;
       }
       return &args[i];
@@ -823,7 +961,10 @@ int main(int argc, char** argv) {
   if (command == "serve") {
     const std::string* path = positional();
     const std::string* trace = flag_value("--trace");
-    if (path == nullptr || trace == nullptr) return Usage();
+    const std::string* listen = flag_value("--listen");
+    if (path == nullptr || (trace == nullptr && listen == nullptr)) {
+      return Usage();
+    }
     ServeConfig config;
     if (const std::string* v = flag_value("--solver")) config.solver = *v;
     if (const std::string* v = flag_value("--threads")) {
@@ -840,6 +981,50 @@ int main(int argc, char** argv) {
     }
     config.verbose = has_flag("--verbose");
     if (const std::string* v = flag_value("--report")) config.report = *v;
+    if (listen != nullptr) {
+      config.listen = std::strtol(listen->c_str(), nullptr, 10);
+      if (config.listen < 0 || config.listen > 65535) return Usage();
+      if (const std::string* v = flag_value("--port-file")) {
+        config.port_file = *v;
+      }
+      if (const std::string* v = flag_value("--queue-capacity")) {
+        config.queue_capacity = std::strtoul(v->c_str(), nullptr, 10);
+      }
+      if (const std::string* v = flag_value("--watermark")) {
+        config.watermark = std::strtoul(v->c_str(), nullptr, 10);
+      }
+      if (const std::string* v = flag_value("--max-batch")) {
+        config.max_batch = std::strtoul(v->c_str(), nullptr, 10);
+      }
+      if (const std::string* v = flag_value("--workers")) {
+        config.workers = std::strtoul(v->c_str(), nullptr, 10);
+      }
+      server::ServerOptions server_options;
+      server_options.port = static_cast<uint16_t>(config.listen);
+      server_options.queue_capacity = config.queue_capacity;
+      server_options.admission_watermark = config.watermark;
+      server_options.max_batch = config.max_batch;
+      server_options.connection_workers = config.workers;
+      server_options.default_cost = config.default_cost;
+      if (config.solver == "auto") {
+        server_options.engine.solver = online::EngineOptions::SolverKind::kAuto;
+      } else if (config.solver == "general") {
+        server_options.engine.solver =
+            online::EngineOptions::SolverKind::kGeneral;
+      } else if (config.solver == "k2") {
+        server_options.engine.solver =
+            online::EngineOptions::SolverKind::kK2Exact;
+      } else if (config.solver == "short-first") {
+        server_options.engine.solver =
+            online::EngineOptions::SolverKind::kShortFirst;
+      } else {
+        std::fprintf(stderr, "unknown serve solver '%s'\n",
+                     config.solver.c_str());
+        return 2;
+      }
+      server_options.engine.solver_options.num_threads = config.threads;
+      return CmdServeListen(*path, config, server_options);
+    }
     return CmdServe(*path, *trace, config);
   }
   if (command == "bench") {

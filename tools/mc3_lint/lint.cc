@@ -660,14 +660,22 @@ class Linter {
     }
   }
 
-  // R6 — by-reference captures mutated inside ParallelFor bodies.
+  // R6 — by-reference captures mutated inside lambdas handed to a
+  // concurrency entry point: ParallelFor bodies run on worker threads, and
+  // tasks posted to a WorkerPool (Post) run on pool threads.
   void RuleSharedMutableCapture() {
+    RuleSharedMutableCaptureFor("ParallelFor");
+    RuleSharedMutableCaptureFor("Post");
+  }
+
+  void RuleSharedMutableCaptureFor(const std::string& entry) {
     size_t pos = 0;
-    while ((pos = code_.find("ParallelFor", pos)) != std::string::npos) {
+    while ((pos = code_.find(entry, pos)) != std::string::npos) {
       const size_t at = pos;
-      pos += 11;
-      if (!IsWordAt(code_, at, "ParallelFor")) continue;
-      // Skip the definition itself (preceded by 'void').
+      pos += entry.size();
+      if (!IsWordAt(code_, at, entry)) continue;
+      // Skip the definition/declaration itself (preceded by its return
+      // type: 'void ParallelFor', 'bool Post').
       {
         size_t p = at;
         while (p > 0 &&
@@ -675,8 +683,9 @@ class Linter {
           --p;
         }
         if (p >= 4 && code_.compare(p - 4, 4, "void") == 0) continue;
+        if (p >= 4 && code_.compare(p - 4, 4, "bool") == 0) continue;
       }
-      const size_t call_open = SkipSpaces(code_, at + 11);
+      const size_t call_open = SkipSpaces(code_, at + entry.size());
       if (call_open >= code_.size() || code_[call_open] != '(') continue;
       const size_t call_close = SkipBalanced(code_, call_open, '(', ')');
       if (call_close == std::string::npos) continue;
@@ -689,12 +698,14 @@ class Linter {
       const std::string captures =
           args.substr(cap_open + 1, cap_close - cap_open - 1);
       if (captures.find('&') == std::string::npos) continue;
-      size_t param_open = SkipSpaces(args, cap_close + 1);
-      if (param_open >= args.size() || args[param_open] != '(') continue;
-      const size_t param_close = SkipBalanced(args, param_open, '(', ')');
-      if (param_close == std::string::npos) continue;
+      // Parameter list, when present (posted tasks are usually param-less:
+      // `Post([&] { ... })`).
+      const size_t param_open = SkipSpaces(args, cap_close + 1);
       std::set<std::string> params;
-      {
+      size_t body_from = cap_close + 1;
+      if (param_open < args.size() && args[param_open] == '(') {
+        const size_t param_close = SkipBalanced(args, param_open, '(', ')');
+        if (param_close == std::string::npos) continue;
         std::string param_text =
             args.substr(param_open + 1, param_close - param_open - 2);
         std::string word;
@@ -706,15 +717,16 @@ class Linter {
             word.clear();
           }
         }
+        body_from = param_close;
       }
-      size_t body_open = args.find('{', param_close);
+      size_t body_open = args.find('{', body_from);
       if (body_open == std::string::npos) continue;
       const size_t body_close = SkipBalanced(args, body_open, '{', '}');
       if (body_close == std::string::npos) continue;
       const std::string body =
           args.substr(body_open, body_close - body_open);
       const size_t body_abs = call_open + body_open;
-      CheckBodyMutations(body, body_abs, params);
+      CheckBodyMutations(body, body_abs, params, entry);
     }
   }
 
@@ -727,7 +739,8 @@ class Linter {
   }
 
   void CheckBodyMutations(const std::string& body, size_t body_abs,
-                          const std::set<std::string>& params) {
+                          const std::set<std::string>& params,
+                          const std::string& entry) {
     static const std::regex kMutation(
         R"((\+\+|--)?\s*\b([A-Za-z_]\w*)\s*(\+\+|--|[+\-*/|&^]?=(?!=)|(?:\.|->)(?:push_back|emplace_back|emplace|insert|erase|clear|pop_back|resize|assign|Merge|Add)\s*\())");
     for (std::sregex_iterator it(body.begin(), body.end(), kMutation), end;
@@ -752,10 +765,10 @@ class Linter {
       if (DeclaredInBody(body, name)) continue;
       if (name == "this") continue;
       Report(body_abs + name_pos, "R6", "capture",
-             "'" + name +
-                 "' is captured by reference and mutated inside a "
-                 "ParallelFor body without per-index addressing, an atomic, "
-                 "or a mutex — data-race hazard (see the TSan CI job)");
+             "'" + name + "' is captured by reference and mutated inside a " +
+                 entry +
+                 " body without per-index addressing, an atomic, or a mutex "
+                 "— data-race hazard (see the TSan CI job)");
     }
   }
 

@@ -1,0 +1,514 @@
+#include "mc3_loadgen/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/timer.h"
+
+namespace mc3::loadgen {
+namespace {
+
+/// One request of the pre-computed schedule.
+struct PlannedRequest {
+  double at = 0;  ///< seconds from run start (0 inside the burst)
+  std::string line;
+  size_t conn = 0;
+  uint64_t id = 0;
+};
+
+/// Per-connection state. The reader thread owns `latencies` and the
+/// category counts; the sender only touches `fd` and `sent`. The scraped
+/// response bodies are polled by the main thread while the reader is still
+/// running, so they live behind `scrape_mu`.
+struct ConnState {
+  int fd = -1;
+  uint64_t sent = 0;
+  std::atomic<uint64_t> got{0};
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t refused = 0;
+  uint64_t errors = 0;
+  std::vector<double> latencies;
+  std::mutex scrape_mu;
+  std::string stats_json;     ///< last stats response seen (scrape_mu)
+  std::string shutdown_json;  ///< shutdown ack, when requested (scrape_mu)
+  std::thread reader;
+
+  std::string StatsJson() {
+    std::lock_guard<std::mutex> lock(scrape_mu);
+    return stats_json;
+  }
+  std::string ShutdownJson() {
+    std::lock_guard<std::mutex> lock(scrape_mu);
+    return shutdown_json;
+  }
+};
+
+Result<int> Connect(const std::string& host, uint16_t port,
+                    double timeout_seconds) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host " + host);
+  }
+  Timer waited;
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (waited.Seconds() > timeout_seconds) {
+      return Status::IOError("cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Status SendLine(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Blocking line reader: categorizes every response, records latency
+/// against `send_time` (indexed by response id) and stashes stats/shutdown
+/// bodies for the end-of-run scrape.
+void ReaderLoop(ConnState* conn, const Timer* run_clock,
+                const std::vector<std::atomic<double>>* send_time) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    size_t newline;
+    while ((newline = buffer.find('\n', start)) != std::string::npos) {
+      const std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) continue;
+      conn->got.fetch_add(1, std::memory_order_release);
+      auto parsed = obs::ParseJson(line);
+      if (!parsed.ok() || !parsed->is_object()) {
+        ++conn->errors;
+        continue;
+      }
+      const obs::JsonValue* code = parsed->Find("code");
+      const obs::JsonValue* op = parsed->Find("op");
+      const obs::JsonValue* id = parsed->Find("id");
+      const int status = (code != nullptr && code->is_number())
+                             ? static_cast<int>(code->number)
+                             : 0;
+      if (status == 200) {
+        ++conn->ok;
+      } else if (status == 429) {
+        ++conn->rejected;
+      } else if (status == 503) {
+        ++conn->refused;
+      } else {
+        ++conn->errors;
+      }
+      if (id != nullptr && id->is_number()) {
+        const size_t slot = static_cast<size_t>(id->number);
+        const double stamped =
+            slot < send_time->size()
+                ? (*send_time)[slot].load(std::memory_order_acquire)
+                : -1;
+        if (stamped >= 0) {
+          conn->latencies.push_back(run_clock->Seconds() - stamped);
+        }
+      }
+      if (op != nullptr && op->is_string()) {
+        std::lock_guard<std::mutex> lock(conn->scrape_mu);
+        if (op->string == "stats") conn->stats_json = line;
+        if (op->string == "shutdown") conn->shutdown_json = line;
+      }
+    }
+    buffer.erase(0, start);
+  }
+}
+
+LatencySummary Summarize(std::vector<double> latencies) {
+  LatencySummary summary;
+  if (latencies.empty()) return summary;
+  std::sort(latencies.begin(), latencies.end());
+  summary.count = latencies.size();
+  double sum = 0;
+  for (const double v : latencies) sum += v;
+  summary.mean = sum / static_cast<double>(latencies.size());
+  auto at = [&](double q) {
+    const size_t rank = std::min(
+        latencies.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies.size())));
+    return latencies[rank];
+  };
+  summary.p50 = at(0.50);
+  summary.p95 = at(0.95);
+  summary.p99 = at(0.99);
+  summary.max = latencies.back();
+  return summary;
+}
+
+/// Deterministically plans the whole run: ids are 1-based and dense, so
+/// send times index by id.
+std::vector<PlannedRequest> PlanRequests(const LoadGenOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<PlannedRequest> plan;
+  plan.reserve(options.operations);
+  std::vector<std::vector<std::string>> added;
+  size_t updates = 0;
+  for (size_t i = 0; i < options.operations; ++i) {
+    PlannedRequest request;
+    request.id = i + 1;
+    request.conn = options.connections > 0 ? i % options.connections : 0;
+    request.at = i < options.burst
+                     ? 0
+                     : static_cast<double>(i - options.burst) /
+                           std::max(1.0, options.qps);
+    const bool solve = options.solve_every > 0 &&
+                       (i + 1) % options.solve_every == 0;
+    obs::JsonWriter writer(/*compact=*/true);
+    writer.BeginObject();
+    writer.Key("op").String(solve ? "solve" : "update");
+    writer.Key("id").Int(request.id);
+    if (!solve) {
+      ++updates;
+      std::vector<std::string> query;
+      std::vector<size_t> pool(options.num_properties);
+      for (size_t p = 0; p < pool.size(); ++p) pool[p] = p;
+      for (size_t l = 0; l < options.query_length && !pool.empty(); ++l) {
+        const size_t pick = rng() % pool.size();
+        query.push_back("p" + std::to_string(pool[pick]));
+        pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+      }
+      writer.Key("add").BeginArray();
+      writer.BeginArray();
+      for (const std::string& name : query) writer.String(name);
+      writer.EndArray();
+      writer.EndArray();
+      if (options.remove_every > 0 && !added.empty() &&
+          updates % options.remove_every == 0) {
+        const size_t victim = rng() % added.size();
+        writer.Key("remove").BeginArray();
+        writer.BeginArray();
+        for (const std::string& name : added[victim]) writer.String(name);
+        writer.EndArray();
+        writer.EndArray();
+        added.erase(added.begin() + static_cast<ptrdiff_t>(victim));
+      }
+      added.push_back(std::move(query));
+    }
+    writer.EndObject();
+    request.line = writer.Take();
+    plan.push_back(std::move(request));
+  }
+  return plan;
+}
+
+uint64_t FieldAsInt(const obs::JsonValue& value, const char* key) {
+  const obs::JsonValue* field = value.Find(key);
+  return (field != nullptr && field->is_number())
+             ? static_cast<uint64_t>(field->number)
+             : 0;
+}
+
+}  // namespace
+
+Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
+  if (options.port == 0) {
+    return Status::InvalidArgument("loadgen needs a target --port");
+  }
+  if (options.operations == 0 || options.connections == 0) {
+    return Status::InvalidArgument(
+        "loadgen needs operations > 0 and connections > 0");
+  }
+  LoadReport report;
+  report.options = options;
+
+  const std::vector<PlannedRequest> plan = PlanRequests(options);
+  // send_time[id] stamps each request as it goes out; -1 = not sent yet.
+  // Atomic because readers race the stamp: a response can only arrive after
+  // its send, but the socket gives no happens-before edge the memory model
+  // (or TSan) recognizes.
+  std::vector<std::atomic<double>> send_time(options.operations + 3);
+  for (auto& slot : send_time) slot.store(-1, std::memory_order_relaxed);
+  Timer run_clock;
+
+  std::vector<std::unique_ptr<ConnState>> conns;
+  for (size_t c = 0; c < options.connections; ++c) {
+    auto fd = Connect(options.host, options.port, options.timeout_seconds);
+    if (!fd.ok()) return fd.status();
+    auto conn = std::make_unique<ConnState>();
+    conn->fd = *fd;
+    conns.push_back(std::move(conn));
+  }
+  for (auto& conn : conns) {
+    ConnState* state = conn.get();
+    state->reader = std::thread(
+        [state, &run_clock, &send_time] {
+          ReaderLoop(state, &run_clock, &send_time);
+        });
+  }
+
+  // Open-loop replay: sleep to each request's arrival time, stamp, send.
+  Status send_status = Status::OK();
+  for (const PlannedRequest& request : plan) {
+    const double now = run_clock.Seconds();
+    if (request.at > now) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(request.at - now));
+    }
+    ConnState& conn = *conns[request.conn];
+    send_time[request.id].store(run_clock.Seconds(),
+                                std::memory_order_release);
+    send_status = SendLine(conn.fd, request.line);
+    if (!send_status.ok()) break;
+    ++conn.sent;
+    ++report.sent;
+  }
+
+  // Wait for every in-flight response (each sent request gets exactly one).
+  Timer waited;
+  auto all_in = [&] {
+    for (const auto& conn : conns) {
+      if (conn->got.load(std::memory_order_acquire) < conn->sent) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_in() && waited.Seconds() < options.timeout_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  report.wall_seconds = run_clock.Seconds();
+
+  // Scrape the server's stats (connection 0) so the report can attest
+  // coalescing; then optionally request the drain.
+  ConnState& front = *conns[0];
+  const uint64_t stats_id = options.operations + 1;
+  send_time[stats_id].store(run_clock.Seconds(), std::memory_order_release);
+  if (Status sent = SendLine(front.fd, "{\"op\":\"stats\",\"id\":" +
+                                           std::to_string(stats_id) + "}");
+      sent.ok()) {
+    ++front.sent;
+    ++report.sent;
+    Timer stats_wait;
+    while (front.StatsJson().empty() && stats_wait.Seconds() < 5) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  if (options.shutdown_after) {
+    const uint64_t shutdown_id = options.operations + 2;
+    send_time[shutdown_id].store(run_clock.Seconds(),
+                                 std::memory_order_release);
+    if (Status sent =
+            SendLine(front.fd, "{\"op\":\"shutdown\",\"id\":" +
+                                   std::to_string(shutdown_id) + "}");
+        sent.ok()) {
+      ++front.sent;
+      ++report.sent;
+      Timer drain_wait;
+      while (front.ShutdownJson().empty() && drain_wait.Seconds() < 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      report.drained = !front.ShutdownJson().empty();
+    }
+  }
+
+  // Readers are unblocked by closing our end; they may first drain any
+  // remaining buffered lines from the server.
+  for (auto& conn : conns) ::shutdown(conn->fd, SHUT_WR);
+  for (auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+    ::close(conn->fd);
+  }
+
+  std::vector<double> latencies;
+  for (const auto& conn : conns) {
+    report.responses += conn->got.load(std::memory_order_acquire);
+    report.ok += conn->ok;
+    report.rejected += conn->rejected;
+    report.refused += conn->refused;
+    report.errors += conn->errors;
+    latencies.insert(latencies.end(), conn->latencies.begin(),
+                     conn->latencies.end());
+  }
+  report.lost =
+      report.sent > report.responses ? report.sent - report.responses : 0;
+  report.latency = Summarize(std::move(latencies));
+  report.achieved_qps =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.sent) / report.wall_seconds
+          : 0;
+
+  // Readers are joined: plain access is safe from here on.
+  if (!front.stats_json.empty()) {
+    if (auto stats = obs::ParseJson(front.stats_json); stats.ok()) {
+      report.server_stats_valid = true;
+      report.server_batches = FieldAsInt(*stats, "batches");
+      report.server_coalesced_ops = FieldAsInt(*stats, "coalesced_ops");
+      report.server_max_batch = FieldAsInt(*stats, "max_batch");
+      report.server_requests = FieldAsInt(*stats, "requests");
+      report.server_responses = FieldAsInt(*stats, "responses");
+      report.server_rejected = FieldAsInt(*stats, "rejected");
+    }
+  }
+  if (report.responses == 0) {
+    return Status::IOError("no responses received from " + options.host +
+                           ":" + std::to_string(options.port));
+  }
+  return report;
+}
+
+std::string RenderLoadReport(const LoadReport& report) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema").String(kLoadReportSchema);
+  writer.Key("tool").String("mc3_loadgen");
+
+  writer.Key("target").BeginObject();
+  writer.Key("host").String(report.options.host);
+  writer.Key("port").Int(report.options.port);
+  writer.EndObject();
+
+  writer.Key("run").BeginObject();
+  writer.Key("qps").Number(report.options.qps);
+  writer.Key("operations").Int(report.options.operations);
+  writer.Key("connections").Int(report.options.connections);
+  writer.Key("burst").Int(report.options.burst);
+  writer.Key("solve_every").Int(report.options.solve_every);
+  writer.Key("remove_every").Int(report.options.remove_every);
+  writer.Key("seed").Int(report.options.seed);
+  writer.Key("shutdown_after").Bool(report.options.shutdown_after);
+  writer.EndObject();
+
+  writer.Key("client").BeginObject();
+  writer.Key("sent").Int(report.sent);
+  writer.Key("responses").Int(report.responses);
+  writer.Key("ok").Int(report.ok);
+  writer.Key("rejected").Int(report.rejected);
+  writer.Key("refused").Int(report.refused);
+  writer.Key("errors").Int(report.errors);
+  writer.Key("lost").Int(report.lost);
+  writer.Key("wall_seconds").Number(report.wall_seconds);
+  writer.Key("achieved_qps").Number(report.achieved_qps);
+  writer.Key("latency_seconds").BeginObject();
+  writer.Key("count").Int(report.latency.count);
+  writer.Key("mean").Number(report.latency.mean);
+  writer.Key("p50").Number(report.latency.p50);
+  writer.Key("p95").Number(report.latency.p95);
+  writer.Key("p99").Number(report.latency.p99);
+  writer.Key("max").Number(report.latency.max);
+  writer.EndObject();
+  writer.EndObject();
+
+  writer.Key("server").BeginObject();
+  writer.Key("stats_valid").Bool(report.server_stats_valid);
+  writer.Key("batches").Int(report.server_batches);
+  writer.Key("coalesced_ops").Int(report.server_coalesced_ops);
+  writer.Key("max_batch").Int(report.server_max_batch);
+  writer.Key("requests").Int(report.server_requests);
+  writer.Key("responses").Int(report.server_responses);
+  writer.Key("rejected").Int(report.server_rejected);
+  writer.EndObject();
+
+  writer.Key("drained").Bool(report.drained);
+  writer.EndObject();
+  return writer.Take();
+}
+
+namespace {
+
+Status RequireMember(const obs::JsonValue& object, const char* key,
+                     obs::JsonValue::Kind kind, const char* where) {
+  const obs::JsonValue* member = object.Find(key);
+  if (member == nullptr || member->kind != kind) {
+    return Status::InvalidArgument(std::string("load report: ") + where +
+                                   " needs member \"" + key + "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateLoadReportJson(const std::string& json) {
+  auto parsed = obs::ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const obs::JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("load report: document must be an object");
+  }
+  const obs::JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kLoadReportSchema) {
+    return Status::InvalidArgument(
+        std::string("load report: schema must be ") + kLoadReportSchema);
+  }
+  using Kind = obs::JsonValue::Kind;
+  MC3_RETURN_IF_ERROR(RequireMember(root, "tool", Kind::kString, "root"));
+  MC3_RETURN_IF_ERROR(RequireMember(root, "target", Kind::kObject, "root"));
+  MC3_RETURN_IF_ERROR(RequireMember(root, "run", Kind::kObject, "root"));
+  MC3_RETURN_IF_ERROR(RequireMember(root, "client", Kind::kObject, "root"));
+  MC3_RETURN_IF_ERROR(RequireMember(root, "server", Kind::kObject, "root"));
+  MC3_RETURN_IF_ERROR(RequireMember(root, "drained", Kind::kBool, "root"));
+  const obs::JsonValue& target = *root.Find("target");
+  MC3_RETURN_IF_ERROR(RequireMember(target, "host", Kind::kString, "target"));
+  MC3_RETURN_IF_ERROR(RequireMember(target, "port", Kind::kNumber, "target"));
+  const obs::JsonValue& run = *root.Find("run");
+  for (const char* key :
+       {"qps", "operations", "connections", "burst", "seed"}) {
+    MC3_RETURN_IF_ERROR(RequireMember(run, key, Kind::kNumber, "run"));
+  }
+  const obs::JsonValue& client = *root.Find("client");
+  for (const char* key : {"sent", "responses", "ok", "rejected", "refused",
+                          "errors", "lost", "wall_seconds", "achieved_qps"}) {
+    MC3_RETURN_IF_ERROR(RequireMember(client, key, Kind::kNumber, "client"));
+  }
+  MC3_RETURN_IF_ERROR(
+      RequireMember(client, "latency_seconds", Kind::kObject, "client"));
+  const obs::JsonValue& latency = *client.Find("latency_seconds");
+  for (const char* key : {"count", "mean", "p50", "p95", "p99", "max"}) {
+    MC3_RETURN_IF_ERROR(
+        RequireMember(latency, key, Kind::kNumber, "latency_seconds"));
+  }
+  const obs::JsonValue& server = *root.Find("server");
+  MC3_RETURN_IF_ERROR(
+      RequireMember(server, "stats_valid", Kind::kBool, "server"));
+  for (const char* key : {"batches", "coalesced_ops", "max_batch",
+                          "requests", "responses", "rejected"}) {
+    MC3_RETURN_IF_ERROR(RequireMember(server, key, Kind::kNumber, "server"));
+  }
+  return Status::OK();
+}
+
+}  // namespace mc3::loadgen
