@@ -8,6 +8,10 @@
 #   * a schema-valid mc3.load_report/1 document,
 #   * a clean (exit 0) server drain with passing engine invariants.
 #
+# A second pass repeats the run with durability on (--data-dir, see
+# docs/durability.md) and additionally asserts the WAL recorded every
+# update and that a restart on the same data dir recovers the state.
+#
 # Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
 # Artifacts (report + logs) are left in ./serve_smoke_artifacts for CI upload.
 set -euo pipefail
@@ -28,45 +32,74 @@ rm -rf "$ART_DIR"
 mkdir -p "$ART_DIR"
 WORKLOAD="$ART_DIR/workload.csv"
 PORT_FILE="$ART_DIR/port"
-REPORT="$ART_DIR/load_report.json"
-SERVER_LOG="$ART_DIR/server.log"
 
 "$MC3" generate --dataset synthetic --n 40 --seed 3 -o "$WORKLOAD"
 
-"$MC3" serve "$WORKLOAD" --listen 0 --port-file "$PORT_FILE" \
-  --default-cost 2 >"$SERVER_LOG" 2>&1 &
-SERVER_PID=$!
+# Runs one serve + loadgen + drain round. $1 names the pass (artifact
+# suffix); remaining args are appended to the server command line.
+run_pass() {
+  local pass="$1"
+  shift
+  local report="$ART_DIR/load_report_$pass.json"
+  local server_log="$ART_DIR/server_$pass.log"
+  rm -f "$PORT_FILE"
 
-# Ephemeral-port handshake: the server writes its bound port once listening.
-for _ in $(seq 1 100); do
-  [ -s "$PORT_FILE" ] && break
-  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "serve_smoke: server exited before listening" >&2
-    cat "$SERVER_LOG" >&2
+  "$MC3" serve "$WORKLOAD" --listen 0 --port-file "$PORT_FILE" \
+    --default-cost 2 "$@" >"$server_log" 2>&1 &
+  SERVER_PID=$!
+
+  # Ephemeral-port handshake: the server writes its bound port once
+  # listening.
+  for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "serve_smoke: $pass server exited before listening" >&2
+      cat "$server_log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ ! -s "$PORT_FILE" ]; then
+    echo "serve_smoke: timed out waiting for the $pass port file" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    cat "$server_log" >&2
     exit 1
   fi
-  sleep 0.1
-done
-if [ ! -s "$PORT_FILE" ]; then
-  echo "serve_smoke: timed out waiting for the port file" >&2
-  kill "$SERVER_PID" 2>/dev/null || true
-  cat "$SERVER_LOG" >&2
+
+  # The loadgen exits non-zero on lost requests, on an invalid report, or
+  # when no coalesced batch reached size 2; --shutdown drains the server.
+  "$LOADGEN" --quick --port-file "$PORT_FILE" --shutdown \
+    --report "$report" --min-coalesced-batch 2
+
+  if ! wait "$SERVER_PID"; then
+    echo "serve_smoke: $pass server exited non-zero after drain" >&2
+    cat "$server_log" >&2
+    exit 1
+  fi
+
+  grep -q '"schema": "mc3.load_report/1"' "$report"
+  grep -q '^drained:' "$server_log"
+}
+
+run_pass plain
+
+# Durable pass: same drill with a write-ahead log and checkpoints on. The
+# WAL must hold at least one record afterwards, and a restart on the same
+# data dir must recover (snapshot + WAL replay) rather than start fresh.
+DATA_DIR="$ART_DIR/data"
+run_pass durable --data-dir "$DATA_DIR" --checkpoint-every 16
+"$MC3" wal stats --data-dir "$DATA_DIR" >"$ART_DIR/wal_stats.txt"
+if ! grep -q '^records:    [1-9]' "$ART_DIR/wal_stats.txt"; then
+  echo "serve_smoke: the durable pass left no WAL records" >&2
+  cat "$ART_DIR/wal_stats.txt" >&2
   exit 1
 fi
-
-# The loadgen exits non-zero on lost requests, on an invalid report, or when
-# no coalesced batch reached size 2; --shutdown drains the server at the end.
-"$LOADGEN" --quick --port-file "$PORT_FILE" --shutdown \
-  --report "$REPORT" --min-coalesced-batch 2
-
-if ! wait "$SERVER_PID"; then
-  echo "serve_smoke: server exited non-zero after drain" >&2
-  cat "$SERVER_LOG" >&2
+run_pass restart --data-dir "$DATA_DIR" --checkpoint-every 16
+if ! grep -q '^recovered:  snapshot' "$ART_DIR/server_restart.log"; then
+  echo "serve_smoke: restart did not report recovery" >&2
+  cat "$ART_DIR/server_restart.log" >&2
   exit 1
 fi
-
-grep -q '"schema": "mc3.load_report/1"' "$REPORT"
-grep -q '^drained:' "$SERVER_LOG"
 
 echo "serve_smoke: OK"
-cat "$SERVER_LOG"
+cat "$ART_DIR"/server_*.log

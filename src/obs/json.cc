@@ -110,10 +110,18 @@ JsonWriter& JsonWriter::Number(double value) {
   if (!std::isfinite(value)) return Null();
   BeforeValue();
   char buf[32];
-  // %.17g round-trips doubles; trim to a compact form for whole numbers.
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
   if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    // Whole numbers render without a fraction or exponent.
     std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    // Shortest round-trippable form: the fewest significant digits whose
+    // strtod parse recovers the exact double. Keeps snapshot files
+    // byte-stable across save/load/save cycles (a re-save serializes the
+    // parsed double to the same text).
+    for (int precision = 1; precision <= 17; ++precision) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+      if (std::strtod(buf, nullptr) == value) break;
+    }
   }
   out_ += buf;
   return *this;

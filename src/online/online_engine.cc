@@ -347,6 +347,88 @@ Instance OnlineEngine::LiveInstance() const {
   return BuildSubInstance(slots);
 }
 
+size_t EngineState::NumQueries() const {
+  size_t n = 0;
+  for (const Component& component : components) n += component.queries.size();
+  return n;
+}
+
+EngineState OnlineEngine::ExportState() const {
+  EngineState state;
+  state.property_names = names_;
+  state.costs = SortedCostEntries(costs_);
+  std::vector<size_t> ids;
+  ids.reserve(components_.size());
+  // mc3-lint: unordered-ok(ids are sorted before any order-sensitive use)
+  for (const auto& [cid, component] : components_) ids.push_back(cid);
+  std::sort(ids.begin(), ids.end());
+  state.components.reserve(ids.size());
+  for (size_t cid : ids) {
+    const Component& component = components_.at(cid);
+    EngineState::Component out;
+    std::vector<size_t> slots = component.queries;
+    std::sort(slots.begin(), slots.end());
+    out.queries.reserve(slots.size());
+    for (size_t slot : slots) out.queries.push_back(queries_[slot]);
+    out.solution = component.solution.Sorted();
+    out.cost = component.cost;
+    state.components.push_back(std::move(out));
+  }
+  return state;
+}
+
+Status OnlineEngine::ImportState(const EngineState& state) {
+  if (!queries_.empty() || !components_.empty() || !costs_.empty()) {
+    return Status::Internal(
+        "ImportState requires an untouched engine (it does not merge)");
+  }
+  names_ = state.property_names;
+  // mc3-lint: unordered-ok(EngineState.costs is a sorted vector, not a map)
+  for (const auto& [classifier, cost] : state.costs) {
+    MC3_RETURN_IF_ERROR(SetCost(classifier, cost));
+  }
+  for (const EngineState::Component& in : state.components) {
+    if (in.queries.empty()) {
+      return Status::InvalidArgument("snapshot component has no queries");
+    }
+    if (!std::isfinite(in.cost) || in.cost < 0) {
+      return Status::InvalidArgument(
+          "snapshot component cost must be finite and non-negative");
+    }
+    const size_t cid = next_component_id_++;
+    Component component;
+    for (const PropertySet& query : in.queries) {
+      if (query.empty()) {
+        return Status::InvalidArgument("snapshot contains an empty query");
+      }
+      const size_t slot = queries_.size();
+      if (!slot_of_.emplace(query, slot).second) {
+        return Status::InvalidArgument("snapshot repeats query " +
+                                       query.ToString(names_));
+      }
+      queries_.push_back(query);
+      live_.push_back(true);
+      component_of_slot_.push_back(cid);
+      ++num_live_;
+      component.queries.push_back(slot);
+      for (PropertyId p : query) {
+        const auto [it, inserted] = component_of_prop_.emplace(p, cid);
+        if (!inserted && it->second != cid) {
+          return Status::InvalidArgument(
+              "snapshot shares a property across components");
+        }
+      }
+    }
+    for (const PropertySet& classifier : in.solution) {
+      component.solution.Add(classifier);
+    }
+    component.cost = in.cost;
+    total_cost_ += component.cost;
+    components_.emplace(cid, std::move(component));
+  }
+  return Status::OK();
+}
+
 Status OnlineEngine::CheckInvariants() const {
   size_t live_count = 0;
   for (size_t slot = 0; slot < queries_.size(); ++slot) {

@@ -79,6 +79,25 @@ struct EngineCounters {
   double resolve_seconds = 0;
 };
 
+/// Serializable point-in-time engine state: the payload of a durability
+/// snapshot (src/durability/snapshot.h, docs/durability.md). Canonical
+/// form — costs sorted by classifier, components ordered by creation id
+/// with queries in live-slot order, solutions sorted — so exporting,
+/// importing and re-exporting yields an identical value.
+struct EngineState {
+  std::vector<std::string> property_names;
+  /// The full classifier price table, sorted by classifier.
+  std::vector<std::pair<PropertySet, Cost>> costs;
+  struct Component {
+    std::vector<PropertySet> queries;   ///< live queries, slot order
+    std::vector<PropertySet> solution;  ///< stored solution, sorted
+    Cost cost = 0;                      ///< stored solve cost
+  };
+  std::vector<Component> components;
+
+  size_t NumQueries() const;
+};
+
 /// The incremental engine. Not thread-safe: callers serialize updates (the
 /// engine parallelizes internally across dirty components).
 class OnlineEngine {
@@ -130,6 +149,20 @@ class OnlineEngine {
   void set_property_names(std::vector<std::string> names) {
     names_ = std::move(names);
   }
+
+  /// Exports the full engine state (price table, live queries, stored
+  /// per-component solutions) in canonical form. The inverse of
+  /// ImportState: importing the export into a fresh engine reproduces the
+  /// live set, the solution store and every future update byte-identically
+  /// (cumulative counters are not part of the state and restart at zero).
+  EngineState ExportState() const;
+
+  /// Restores an exported state into this engine, which must be untouched
+  /// (no costs, no queries). Validates structural integrity — non-empty
+  /// distinct queries, finite non-negative costs, components that partition
+  /// their properties — but not coverage; run CheckInvariants afterwards
+  /// for the full O(instance) audit.
+  Status ImportState(const EngineState& state);
 
   /// Invariant checker (O(instance)): the maintained cover passes
   /// VerifyCoverage on the live instance, the component index partitions

@@ -100,6 +100,65 @@ Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
   return trace;
 }
 
+namespace {
+
+/// True iff `name` survives Tokenize + marker handling unchanged when it is
+/// a non-first token of a line.
+bool SerializableName(const std::string& name) {
+  if (name.empty() || name == "+" || name == "-") return false;
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ',' ||
+        static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> RenderTraceOp(TraceOp::Kind kind, const PropertySet& query,
+                                  const std::vector<std::string>& names) {
+  if (query.empty()) {
+    return Status::InvalidArgument("cannot render an empty query");
+  }
+  std::string line(kind == TraceOp::Kind::kAdd ? "+" : "-");
+  for (const PropertyId id : query) {
+    if (id >= names.size()) {
+      return Status::InvalidArgument("property id " + std::to_string(id) +
+                                     " has no name (table holds " +
+                                     std::to_string(names.size()) + ")");
+    }
+    if (!SerializableName(names[id])) {
+      return Status::InvalidArgument(
+          "property name '" + Printable(names[id]) +
+          "' is not serializable in the trace line format");
+    }
+    line += ' ';
+    line += names[id];
+  }
+  return line;
+}
+
+Result<std::string> RenderUpdateBatch(const std::vector<PropertySet>& add,
+                                      const std::vector<PropertySet>& remove,
+                                      const std::vector<std::string>& names) {
+  std::string text;
+  for (const PropertySet& query : remove) {
+    auto line = RenderTraceOp(TraceOp::Kind::kRemove, query, names);
+    if (!line.ok()) return line.status();
+    text += *line;
+    text += '\n';
+  }
+  for (const PropertySet& query : add) {
+    auto line = RenderTraceOp(TraceOp::Kind::kAdd, query, names);
+    if (!line.ok()) return line.status();
+    text += *line;
+    text += '\n';
+  }
+  return text;
+}
+
 Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
                                     std::vector<std::string> base_names) {
   std::FILE* in = std::fopen(path.c_str(), "rb");

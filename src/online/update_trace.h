@@ -59,5 +59,25 @@ Result<UpdateTrace> ParseUpdateTrace(const std::vector<std::string>& lines,
 Result<UpdateTrace> LoadUpdateTrace(const std::string& path,
                                     std::vector<std::string> base_names);
 
+/// Renders one operation as a canonical trace line (no trailing newline):
+/// an explicit '+' or '-' marker followed by the query's property names in
+/// ascending-id order, space-separated. The exact inverse of
+/// ParseUpdateTrace for that line. Fails when a property id has no entry in
+/// `names` or when a name is not serializable in the line format (empty,
+/// contains whitespace/comma/control bytes, or is itself a bare '+'/'-'
+/// marker token).
+Result<std::string> RenderTraceOp(TraceOp::Kind kind, const PropertySet& query,
+                                  const std::vector<std::string>& names);
+
+/// Renders an update batch as trace text: one operation per line, each with
+/// a trailing newline, removes before adds (the order ApplyUpdate applies
+/// them). This is the shared serializer behind WAL record payloads
+/// (src/durability/wal.h) and `mc3 serve --record-trace`; replaying the
+/// rendered text through ParseUpdateTrace + ApplyUpdate reproduces the
+/// batch exactly.
+Result<std::string> RenderUpdateBatch(const std::vector<PropertySet>& add,
+                                      const std::vector<PropertySet>& remove,
+                                      const std::vector<std::string>& names);
+
 }  // namespace mc3::online
 

@@ -30,6 +30,23 @@ Status ParseQueryLists(const obs::JsonValue& value, const char* key,
             std::string("property names in \"") + key +
             "\" must be non-empty strings");
       }
+      // Property names double as tokens of the update_trace line format
+      // (WAL payloads, --record-trace); admit only names that round-trip
+      // through it so an accepted update is always serializable.
+      for (const char c : name.string) {
+        if (c == ' ' || c == '\t' || c == ',' ||
+            static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+          return Status::InvalidArgument(
+              std::string("property names in \"") + key +
+              "\" must not contain whitespace, commas or control "
+              "characters");
+        }
+      }
+      if (name.string == "+" || name.string == "-") {
+        return Status::InvalidArgument(
+            std::string("property names in \"") + key +
+            "\" must not be a bare '+' or '-' marker");
+      }
       names.push_back(name.string);
     }
     out->push_back(std::move(names));
@@ -51,6 +68,10 @@ const char* OpName(Request::Op op) {
       return "update";
     case Request::Op::kSnapshot:
       return "snapshot";
+    case Request::Op::kCheckpoint:
+      return "checkpoint";
+    case Request::Op::kWalStats:
+      return "wal_stats";
     case Request::Op::kShutdown:
       return "shutdown";
   }
@@ -79,6 +100,10 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kUpdate;
   } else if (op->string == "snapshot") {
     request.op = Request::Op::kSnapshot;
+  } else if (op->string == "checkpoint") {
+    request.op = Request::Op::kCheckpoint;
+  } else if (op->string == "wal_stats") {
+    request.op = Request::Op::kWalStats;
   } else if (op->string == "shutdown") {
     request.op = Request::Op::kShutdown;
   } else {

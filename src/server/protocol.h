@@ -8,7 +8,9 @@
 //   {"op":"solve","id":4,"solution":true}
 //   {"op":"update","id":5,"add":[["red","shirt"]],"remove":[["sony","tv"]]}
 //   {"op":"snapshot","id":6}
-//   {"op":"shutdown","id":7}
+//   {"op":"checkpoint","id":7}
+//   {"op":"wal_stats","id":8}
+//   {"op":"shutdown","id":9}
 //
 // Responses always carry the echoed "id" (0 when the request had none),
 // the request "op", and an HTTP-flavoured "code": 200 ok, 400 malformed or
@@ -27,7 +29,16 @@ namespace mc3::server {
 
 /// One parsed request line.
 struct Request {
-  enum class Op { kHealth, kStats, kSolve, kUpdate, kSnapshot, kShutdown };
+  enum class Op {
+    kHealth,
+    kStats,
+    kSolve,
+    kUpdate,
+    kSnapshot,
+    kCheckpoint,  ///< force a durability snapshot (400 when not durable)
+    kWalStats,    ///< WAL writer + recovery statistics
+    kShutdown,
+  };
   Op op = Op::kHealth;
   uint64_t id = 0;  ///< client-chosen correlation id, echoed verbatim
   /// Queries to add / remove, as property-name lists (names are interned

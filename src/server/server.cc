@@ -14,6 +14,7 @@
 #include "data/query_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "online/update_trace.h"
 #include "server/coalescer.h"
 #include "util/float_cmp.h"
 
@@ -72,13 +73,34 @@ Status Server::Start(const Instance& base) {
   if (started_.exchange(true)) {
     return Status::Internal("server already started");
   }
-  auto init = engine_.Initialize(base);
-  if (!init.ok()) return init.status();
-  names_ = base.property_names();
+  if (!options_.durability.data_dir.empty()) {
+    auto manager = durability::DurabilityManager::Open(options_.durability);
+    if (!manager.ok()) return manager.status();
+    durability_ = std::move(*manager);
+    auto recovered =
+        durability_->Recover(base, options_.default_cost, &engine_);
+    if (!recovered.ok()) return recovered.status();
+    MC3_RETURN_IF_ERROR(engine_.CheckInvariants());
+    // The recovered state may know properties the base workload does not
+    // (interned from WAL-logged updates): the name table comes from the
+    // engine, not the base.
+    names_ = engine_.property_names();
+  } else {
+    auto init = engine_.Initialize(base);
+    if (!init.ok()) return init.status();
+    names_ = base.property_names();
+  }
   for (PropertyId id = 0; id < names_.size(); ++id) {
     interned_.emplace(names_[id], id);
   }
   engine_.set_property_names(names_);
+  if (!options_.record_trace_path.empty()) {
+    trace_recorder_ = std::fopen(options_.record_trace_path.c_str(), "ab");
+    if (trace_recorder_ == nullptr) {
+      return Status::IOError("cannot open record-trace file " +
+                             options_.record_trace_path);
+    }
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -165,6 +187,16 @@ void Server::Join() {
   for (int& fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
+  }
+  // Engine workers are gone: nothing appends anymore. Make the tail durable
+  // and release the data directory.
+  if (durability_ != nullptr) {
+    const Status closed = durability_->Close();
+    if (!closed.ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trace_recorder_ != nullptr) {
+    std::fclose(trace_recorder_);
+    trace_recorder_ = nullptr;
   }
 }
 
@@ -254,9 +286,14 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
       RequestDrain();
       return;
     }
+    case Request::Op::kWalStats:
+      WriteResponse(conn, RenderWalStats(request));
+      ObserveLatency(request, latency.Seconds());
+      return;
     case Request::Op::kSolve:
     case Request::Op::kUpdate:
     case Request::Op::kSnapshot:
+    case Request::Op::kCheckpoint:
       break;
   }
 
@@ -338,6 +375,8 @@ bool Server::ProcessNext(bool drain_only) {
     HandleUpdateBatch(std::move(batch));
   } else if (first->request.op == Request::Op::kSolve) {
     HandleSolve(*first);
+  } else if (first->request.op == Request::Op::kCheckpoint) {
+    HandleCheckpoint(*first);
   } else {
     HandleSnapshot(*first);
   }
@@ -369,6 +408,36 @@ Status Server::PriceUnknown(const std::vector<PropertySet>& added) {
     MC3_RETURN_IF_ERROR(engine_.SetCost(classifier, cost));
   }
   return Status::OK();
+}
+
+uint64_t Server::PersistApplied(const std::vector<PropertySet>& add,
+                                const std::vector<PropertySet>& remove) {
+  if (durability_ == nullptr && trace_recorder_ == nullptr) return 0;
+  auto payload = online::RenderUpdateBatch(add, remove, names_);
+  if (!payload.ok()) {
+    // Unreachable for admitted requests (ParseQueryLists only admits
+    // serializable names), but a base workload with exotic names could
+    // trip it; the batch stays applied, the gap is surfaced as a counter.
+    wal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  if (trace_recorder_ != nullptr) {
+    std::fwrite(payload->data(), 1, payload->size(), trace_recorder_);
+    std::fflush(trace_recorder_);
+  }
+  if (durability_ == nullptr) return 0;
+  auto seq = durability_->LogPayload(std::move(*payload));
+  if (!seq.ok()) {
+    wal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  return *seq;
+}
+
+void Server::MaybeCheckpoint() {
+  if (durability_ == nullptr || !durability_->ShouldCheckpoint()) return;
+  auto info = durability_->Checkpoint(engine_.ExportState());
+  if (!info.ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
@@ -413,12 +482,14 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
       obs::MetricsRegistry::Global()
           .GetHistogram("server.batch_size")
           .Record(static_cast<double>(net.ops));
+      const uint64_t wal_seq = PersistApplied(net.add, net.remove);
       for (size_t i = 0; i < batch.size(); ++i) {
         obs::JsonWriter writer(/*compact=*/true);
         writer.BeginObject();
         writer.Key("id").Int(batch[i].request.id);
         writer.Key("op").String("update");
         writer.Key("code").Int(200);
+        if (durability_ != nullptr) writer.Key("wal_seq").Int(wal_seq);
         writer.Key("batch_size").Int(net.ops);
         writer.Key("batch_requests").Int(batch.size());
         writer.Key("queries_added").Int(applied->queries_added);
@@ -447,11 +518,14 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
           continue;
         }
         batches_.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t wal_seq = PersistApplied(parsed[i].add,
+                                                parsed[i].remove);
         obs::JsonWriter writer(/*compact=*/true);
         writer.BeginObject();
         writer.Key("id").Int(batch[i].request.id);
         writer.Key("op").String("update");
         writer.Key("code").Int(200);
+        if (durability_ != nullptr) writer.Key("wal_seq").Int(wal_seq);
         writer.Key("batch_size").Int(one->queries_added +
                                      one->queries_removed);
         writer.Key("batch_requests").Int(1);
@@ -465,6 +539,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
         responses[i] = writer.Take();
       }
     }
+    MaybeCheckpoint();
   }
   for (size_t i = 0; i < batch.size(); ++i) {
     WriteResponse(batch[i].conn, responses[i]);
@@ -539,6 +614,73 @@ void Server::HandleSnapshot(const PendingRequest& pending) {
   }
   WriteResponse(pending.conn, writer.Take());
   ObserveLatency(pending.request, pending.enqueued.Seconds());
+}
+
+void Server::HandleCheckpoint(const PendingRequest& pending) {
+  if (durability_ == nullptr) {
+    WriteResponse(pending.conn,
+                  RenderErrorResponse(pending.request.id,
+                                      Request::Op::kCheckpoint, 400,
+                                      "server is not durable (no --data-dir)"));
+    ObserveLatency(pending.request, pending.enqueued.Seconds());
+    return;
+  }
+  obs::JsonWriter writer(/*compact=*/true);
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    auto info = durability_->Checkpoint(engine_.ExportState());
+    if (!info.ok()) {
+      WriteResponse(pending.conn,
+                    RenderErrorResponse(pending.request.id,
+                                        Request::Op::kCheckpoint, 500,
+                                        info.status().message()));
+      ObserveLatency(pending.request, pending.enqueued.Seconds());
+      return;
+    }
+    writer.BeginObject();
+    writer.Key("id").Int(pending.request.id);
+    writer.Key("op").String("checkpoint");
+    writer.Key("code").Int(200);
+    writer.Key("seq").Int(info->seq);
+    writer.Key("bytes").Int(info->bytes);
+    writer.Key("path").String(info->path);
+    writer.Key("checkpoint_ms").Number(info->seconds * 1e3);
+    writer.EndObject();
+  }
+  WriteResponse(pending.conn, writer.Take());
+  ObserveLatency(pending.request, pending.enqueued.Seconds());
+}
+
+std::string Server::RenderWalStats(const Request& request) {
+  obs::JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("id").Int(request.id);
+  writer.Key("op").String("wal_stats");
+  writer.Key("code").Int(200);
+  writer.Key("enabled").Bool(durability_ != nullptr);
+  if (durability_ != nullptr) {
+    const durability::WalWriterStats wal = durability_->GetWalStats();
+    writer.Key("last_seq").Int(wal.last_seq);
+    writer.Key("durable_seq").Int(wal.durable_seq);
+    writer.Key("records_appended").Int(wal.records_appended);
+    writer.Key("bytes_appended").Int(wal.bytes_appended);
+    writer.Key("bytes_fsynced").Int(wal.bytes_fsynced);
+    writer.Key("syncs").Int(wal.syncs);
+    writer.Key("group_commit_max").Int(wal.group_commit_max);
+    writer.Key("segments").Int(wal.segments);
+    writer.Key("wal_errors").Int(wal_errors_.load(std::memory_order_relaxed));
+    const durability::RecoveryStats& recovery = durability_->recovery();
+    writer.Key("recovery").BeginObject();
+    writer.Key("snapshot_loaded").Bool(recovery.snapshot_loaded);
+    writer.Key("snapshot_seq").Int(recovery.snapshot_seq);
+    writer.Key("wal_records_replayed").Int(recovery.wal_records_replayed);
+    writer.Key("wal_last_seq").Int(recovery.wal_last_seq);
+    writer.Key("torn_tail").Bool(recovery.torn_tail);
+    writer.Key("recovery_ms").Number(recovery.recovery_seconds * 1e3);
+    writer.EndObject();
+  }
+  writer.EndObject();
+  return writer.Take();
 }
 
 std::string Server::RenderHealth(const Request& request) {

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "durability/durability.h"
 #include "online/online_engine.h"
 #include "server/bounded_queue.h"
 #include "server/protocol.h"
@@ -82,6 +84,17 @@ struct ServerOptions {
   double default_cost = -1;
 
   online::EngineOptions engine;
+
+  /// Durability (docs/durability.md). Enabled when `durability.data_dir`
+  /// is non-empty: Start recovers engine state from the directory's latest
+  /// snapshot + WAL tail, every admitted update batch is WAL-logged, and
+  /// checkpoints fire per the configured policy or the `checkpoint` verb.
+  durability::DurabilityOptions durability;
+
+  /// Debug flag (`mc3 serve --record-trace`): append every admitted update
+  /// batch as update_trace text to this file, replayable via
+  /// `mc3 serve <workload> --trace`. Independent of durability.
+  std::string record_trace_path;
 };
 
 /// Point-in-time server statistics (also served by the stats endpoint).
@@ -137,6 +150,12 @@ class Server {
   /// engine mutex. `fn` must not re-enter the server.
   void WithEngine(const std::function<void(const online::OnlineEngine&)>& fn);
 
+  /// The durability manager, or nullptr when serving non-durably. Valid
+  /// after Start; the CLI uses it to report what recovery did.
+  const durability::DurabilityManager* durability_manager() const {
+    return durability_.get();
+  }
+
  private:
   struct Connection {
     int fd = -1;
@@ -163,8 +182,19 @@ class Server {
   void HandleUpdateBatch(std::vector<PendingRequest> batch);
   void HandleSolve(const PendingRequest& pending);
   void HandleSnapshot(const PendingRequest& pending);
+  void HandleCheckpoint(const PendingRequest& pending);
   std::string RenderHealth(const Request& request);
   std::string RenderStats(const Request& request);
+  std::string RenderWalStats(const Request& request);
+
+  /// WAL-logs and trace-records one applied batch (engine_mu_ held).
+  /// Returns the assigned WAL sequence (0 when not durable). Failures are
+  /// counted in wal_errors_, not propagated: the batch is already applied
+  /// and acknowledged state must not be rolled back.
+  uint64_t PersistApplied(const std::vector<PropertySet>& add,
+                          const std::vector<PropertySet>& remove);
+  /// Fires a policy-triggered checkpoint if one is due (engine_mu_ held).
+  void MaybeCheckpoint();
 
   /// Interns `names` into the engine's property table (engine_mu_ held).
   PropertySet InternQuery(const std::vector<std::string>& names);
@@ -190,6 +220,12 @@ class Server {
   online::OnlineEngine engine_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, PropertyId> interned_;
+
+  /// Durability state (engine_mu_ guards all manager calls except the
+  /// thread-safe GetWalStats). Null when serving non-durably.
+  std::unique_ptr<durability::DurabilityManager> durability_;
+  std::FILE* trace_recorder_ = nullptr;  ///< --record-trace sink
+  std::atomic<uint64_t> wal_errors_{0};
 
   std::mutex conns_mu_;
   std::vector<std::weak_ptr<Connection>> conns_;

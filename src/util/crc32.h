@@ -1,0 +1,48 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320): the checksum of
+// write-ahead-log record framing (src/durability/wal.h). Table-driven,
+// dependency-free; the table is built once on first use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mc3 {
+
+namespace internal {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xEDB88320u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace internal
+
+/// Extends a running CRC-32 with `size` bytes (start from `Crc32(...)` with
+/// no prior value, or chain calls for split buffers).
+inline uint32_t Crc32Extend(uint32_t crc, const void* data, size_t size) {
+  const auto& table = internal::Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+/// CRC-32 of one contiguous buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Extend(0, data, size);
+}
+
+}  // namespace mc3

@@ -1,0 +1,550 @@
+// Durability subsystem tests (docs/durability.md): WAL framing and
+// recovery semantics — append/scan round trips, torn-tail truncation, CRC
+// rejection, group commit, rotation and the sequence-number contract — and
+// snapshot render/parse/publish plus full DurabilityManager recovery
+// equivalence (snapshot + WAL tail reproduces the live engine exactly).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/instance.h"
+#include "durability/durability.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "online/online_engine.h"
+#include "tests/test_util.h"
+
+namespace mc3::durability {
+namespace {
+
+namespace fs = std::filesystem;
+using mc3::testing::PaperExample;
+using online::OnlineEngine;
+
+/// Fresh per-test scratch directory, removed on destruction.
+struct ScratchDir {
+  explicit ScratchDir(const char* tag)
+      : path(::testing::TempDir() + "/mc3_durability_" + tag + "_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this))) {
+    fs::remove_all(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+WalOptions ImmediateSync() {
+  WalOptions options;
+  options.sync = WalOptions::SyncPolicy::kImmediate;
+  return options;
+}
+
+Result<std::unique_ptr<WalWriter>> OpenImmediate(const std::string& dir) {
+  return WalWriter::Open(dir, ImmediateSync());
+}
+
+/// Appends `payloads` in order, expecting sequence numbers to continue
+/// from the writer's current tail.
+void AppendAll(WalWriter* writer, const std::vector<std::string>& payloads) {
+  uint64_t expected = writer->Stats().last_seq;
+  for (const std::string& payload : payloads) {
+    auto seq = writer->Append(payload);
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    EXPECT_EQ(*seq, ++expected);
+  }
+}
+
+/// Truncates the file by `bytes` (crash-mid-write simulation).
+void Chop(const std::string& path, uint64_t bytes) {
+  const uint64_t size = fs::file_size(path);
+  ASSERT_GT(size, bytes);
+  fs::resize_file(path, size - bytes);
+}
+
+std::string LastSegmentPath(const std::string& dir) {
+  auto segments = ListWalSegments(dir);
+  EXPECT_TRUE(segments.ok()) << segments.status().ToString();
+  EXPECT_FALSE(segments->empty());
+  return dir + "/" + segments->back();
+}
+
+TEST(WalTest, AppendReadRoundTrip) {
+  ScratchDir dir("roundtrip");
+  auto writer = OpenImmediate(dir.path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  AppendAll(writer->get(), {"+ a b\n", "- a b\n+ c\n", "+ d\n"});
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto scan = ReadWal(dir.path, /*after_seq=*/0);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->last_seq, 3u);
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->records[0].seq, 1u);
+  EXPECT_EQ(scan->records[0].payload, "+ a b\n");
+  EXPECT_EQ(scan->records[1].payload, "- a b\n+ c\n");
+  EXPECT_EQ(scan->records[2].payload, "+ d\n");
+
+  // after_seq filters strictly: only records newer than the snapshot.
+  auto tail = ReadWal(dir.path, /*after_seq=*/2);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  ASSERT_EQ(tail->records.size(), 1u);
+  EXPECT_EQ(tail->records[0].seq, 3u);
+  EXPECT_EQ(tail->last_seq, 3u);
+}
+
+TEST(WalTest, ReopenContinuesSequence) {
+  ScratchDir dir("reopen");
+  {
+    auto writer = OpenImmediate(dir.path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    AppendAll(writer->get(), {"one\n", "two\n"});
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto writer = OpenImmediate(dir.path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ((*writer)->Stats().last_seq, 2u);
+  EXPECT_FALSE((*writer)->Stats().torn_tail_on_open);
+  auto seq = (*writer)->Append("three\n");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 3u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto scan = ReadWal(dir.path, 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), 3u);
+}
+
+TEST(WalTest, TornFinalRecordIsDetectedAndTruncatedOnOpen) {
+  ScratchDir dir("torn");
+  {
+    auto writer = OpenImmediate(dir.path);
+    ASSERT_TRUE(writer.ok());
+    AppendAll(writer->get(), {"first\n", "second\n", "third-longer\n"});
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Chop into the middle of record 3's payload: a crash mid-write.
+  Chop(LastSegmentPath(dir.path), 4);
+
+  auto scan = ReadWal(dir.path, 0);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->torn_tail);
+  EXPECT_FALSE(scan->torn_detail.empty());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->last_seq, 2u);
+
+  // Reopening truncates the torn record; new appends extend the valid
+  // prefix and reuse the torn record's sequence number (it never became
+  // durable, so it was never acknowledged as assigned).
+  auto writer = OpenImmediate(dir.path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_TRUE((*writer)->Stats().torn_tail_on_open);
+  EXPECT_EQ((*writer)->Stats().last_seq, 2u);
+  auto seq = (*writer)->Append("third-take-two\n");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 3u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto rescan = ReadWal(dir.path, 0);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_FALSE(rescan->torn_tail);
+  ASSERT_EQ(rescan->records.size(), 3u);
+  EXPECT_EQ(rescan->records[2].payload, "third-take-two\n");
+}
+
+TEST(WalTest, CorruptedCrcTerminatesTheValidPrefix) {
+  ScratchDir dir("crc");
+  {
+    auto writer = OpenImmediate(dir.path);
+    ASSERT_TRUE(writer.ok());
+    AppendAll(writer->get(), {"aaaa\n", "bbbb\n", "cccc\n"});
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Flip one byte inside record 2's payload. Everything from the damaged
+  // record on is dropped: a CRC mismatch is indistinguishable from a torn
+  // write at scan time.
+  const std::string path = LastSegmentPath(dir.path);
+  std::fstream file(path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  const uint64_t record2_payload =
+      sizeof(kWalMagic) + (kWalHeaderBytes + 5) + kWalHeaderBytes + 1;
+  file.seekp(static_cast<std::streamoff>(record2_payload));
+  file.put('X');
+  file.close();
+
+  auto scan = ReadWal(dir.path, 0);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->torn_tail);
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].payload, "aaaa\n");
+  EXPECT_NE(scan->torn_detail.find("CRC"), std::string::npos)
+      << scan->torn_detail;
+}
+
+TEST(WalTest, CorruptionInNonFinalSegmentIsAnError) {
+  ScratchDir dir("midcorrupt");
+  {
+    auto writer = OpenImmediate(dir.path);
+    ASSERT_TRUE(writer.ok());
+    AppendAll(writer->get(), {"aaaa\n", "bbbb\n"});
+    // Checkpoint-style rotation, keeping the old segment on disk.
+    ASSERT_TRUE((*writer)->Rotate(/*snapshot_seq=*/0, /*keep_segments=*/true)
+                    .ok());
+    AppendAll(writer->get(), {"cccc\n"});
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto segments = ListWalSegments(dir.path);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 2u);
+  Chop(dir.path + "/" + segments->front(), 3);
+
+  // A torn tail is only survivable in the FINAL segment; a hole in the
+  // middle of the history means records are missing and recovery must not
+  // silently skip them.
+  auto scan = ReadWal(dir.path, 0);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kIOError);
+}
+
+TEST(WalTest, GroupCommitSyncBarrier) {
+  ScratchDir dir("grouped");
+  WalOptions options;  // kGrouped default
+  options.group_window_ms = 1;
+  auto writer = WalWriter::Open(dir.path, options);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (int i = 0; i < 64; ++i) {
+    auto seq = (*writer)->Append("record " + std::to_string(i) + "\n");
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  }
+  ASSERT_TRUE((*writer)->Sync().ok());
+  const WalWriterStats stats = (*writer)->Stats();
+  EXPECT_EQ(stats.last_seq, 64u);
+  EXPECT_EQ(stats.durable_seq, 64u);
+  EXPECT_EQ(stats.records_appended, 64u);
+  // Group commit: strictly fewer fsyncs than records (the committer drains
+  // whatever accumulated while the previous fsync was in flight).
+  EXPECT_LE(stats.syncs, stats.records_appended);
+  EXPECT_GE(stats.group_commit_max, 1u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto scan = ReadWal(dir.path, 0);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), 64u);
+  EXPECT_FALSE(scan->torn_tail);
+}
+
+TEST(WalTest, RotateDeletesSegmentsCoveredByTheSnapshot) {
+  ScratchDir dir("rotate");
+  auto writer = OpenImmediate(dir.path);
+  ASSERT_TRUE(writer.ok());
+  AppendAll(writer->get(), {"a\n", "b\n", "c\n"});
+  // Snapshot at seq 3 covers everything: the old segment goes away and an
+  // empty successor pins the sequence floor.
+  ASSERT_TRUE((*writer)->Rotate(/*snapshot_seq=*/3, /*keep_segments=*/false)
+                  .ok());
+  auto segments = ListWalSegments(dir.path);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  EXPECT_EQ(segments->front(), "wal-00000000000000000004.log");
+
+  auto scan = ReadWal(dir.path, 0);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->records.empty());
+  // The empty segment's name still pins the sequence contract.
+  EXPECT_EQ(scan->last_seq, 3u);
+
+  auto seq = (*writer)->Append("d\n");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 4u);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(WalTest, RotateKeepsSegmentsWithNewerRecords) {
+  ScratchDir dir("rotatekeep");
+  auto writer = OpenImmediate(dir.path);
+  ASSERT_TRUE(writer.ok());
+  AppendAll(writer->get(), {"a\n", "b\n", "c\n"});
+  // Snapshot at seq 1 does NOT cover records 2 and 3: their segment must
+  // survive the rotation.
+  ASSERT_TRUE((*writer)->Rotate(/*snapshot_seq=*/1, /*keep_segments=*/false)
+                  .ok());
+  auto scan = ReadWal(dir.path, /*after_seq=*/1);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].seq, 2u);
+  ASSERT_TRUE((*writer)->Close().ok());
+}
+
+TEST(WalTest, EnsureSeqFloorNeverReassignsCoveredSequences) {
+  ScratchDir dir("floor");
+  auto writer = OpenImmediate(dir.path);
+  ASSERT_TRUE(writer.ok());
+  // A snapshot at seq 10 exists but the WAL is empty (segments rotated
+  // away or lost): new appends must start past the snapshot.
+  ASSERT_TRUE((*writer)->EnsureSeqFloor(10).ok());
+  auto seq = (*writer)->Append("eleven\n");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 11u);
+  ASSERT_TRUE((*writer)->Close().ok());
+
+  auto reopened = OpenImmediate(dir.path);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Stats().last_seq, 11u);
+  ASSERT_TRUE((*reopened)->Close().ok());
+}
+
+/// A small engine with named properties, churned a little so components
+/// and stored solutions are non-trivial.
+OnlineEngine MakeEngine() {
+  OnlineEngine engine;
+  auto init = engine.Initialize(PaperExample());
+  EXPECT_TRUE(init.ok()) << init.status().ToString();
+  return engine;
+}
+
+TEST(SnapshotTest, RenderParseReRenderIsByteStable) {
+  OnlineEngine engine = MakeEngine();
+  const online::EngineState state = engine.ExportState();
+  const std::string json = RenderSnapshot(state, 42);
+  ASSERT_TRUE(ValidateSnapshotJson(json).ok());
+
+  auto parsed = ParseSnapshot(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 42u);
+  // The canonical EngineState form makes render o parse the identity.
+  EXPECT_EQ(RenderSnapshot(parsed->state, 42), json);
+
+  // And importing reproduces the engine.
+  OnlineEngine restored;
+  ASSERT_TRUE(restored.ImportState(parsed->state).ok());
+  ASSERT_TRUE(restored.CheckInvariants().ok());
+  EXPECT_EQ(restored.TotalCost(), engine.TotalCost());
+  EXPECT_EQ(restored.NumQueries(), engine.NumQueries());
+  EXPECT_EQ(RenderSnapshot(restored.ExportState(), 42), json);
+}
+
+TEST(SnapshotTest, ValidateRejectsStructuralDamage) {
+  OnlineEngine engine = MakeEngine();
+  const std::string json = RenderSnapshot(engine.ExportState(), 7);
+
+  std::string wrong_schema = json;
+  const size_t at = wrong_schema.find("mc3.snapshot/1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_schema.replace(at, 14, "mc3.snapshot/9");
+  EXPECT_FALSE(ValidateSnapshotJson(wrong_schema).ok());
+
+  EXPECT_FALSE(ValidateSnapshotJson("{}").ok());
+  EXPECT_FALSE(ValidateSnapshotJson("not json").ok());
+  // Truncation (a half-written file that dodged the atomic rename).
+  EXPECT_FALSE(ValidateSnapshotJson(json.substr(0, json.size() / 2)).ok());
+}
+
+TEST(SnapshotTest, LoadLatestSkipsInvalidNewerFiles) {
+  ScratchDir dir("snapload");
+  OnlineEngine engine = MakeEngine();
+  auto older = WriteSnapshotFile(dir.path, engine.ExportState(), 3);
+  ASSERT_TRUE(older.ok()) << older.status().ToString();
+  auto newer = WriteSnapshotFile(dir.path, engine.ExportState(), 9);
+  ASSERT_TRUE(newer.ok());
+
+  auto best = LoadLatestSnapshot(dir.path);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  EXPECT_EQ(best->seq, 9u);
+  EXPECT_EQ(best->skipped_invalid, 0u);
+
+  // Rot the newest file: loading falls back to the older valid one.
+  Chop(dir.path + "/" + SnapshotFileName(9), 20);
+  auto fallback = LoadLatestSnapshot(dir.path);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->seq, 3u);
+  EXPECT_EQ(fallback->skipped_invalid, 1u);
+}
+
+TEST(SnapshotTest, EmbeddedSeqMustMatchTheFileName) {
+  ScratchDir dir("snapseq");
+  OnlineEngine engine = MakeEngine();
+  fs::create_directories(dir.path);
+  // A document claiming seq 7 under the seq-9 file name is invalid: the
+  // name is what rotation trusts when deleting covered segments.
+  const std::string json = RenderSnapshot(engine.ExportState(), 7);
+  std::ofstream(dir.path + "/" + SnapshotFileName(9), std::ios::binary)
+      << json;
+  auto best = LoadLatestSnapshot(dir.path);
+  ASSERT_FALSE(best.ok());
+  EXPECT_EQ(best.status().code(), StatusCode::kNotFound);
+}
+
+DurabilityOptions ManagerOptions(const std::string& dir) {
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.wal.sync = WalOptions::SyncPolicy::kImmediate;
+  return options;
+}
+
+/// Drives `engine` through `rounds` remove+re-add churn rounds, logging
+/// every batch through `manager` the way the server does.
+void Churn(OnlineEngine* engine, DurabilityManager* manager, size_t rounds) {
+  const Instance live = engine->LiveInstance();
+  const auto& queries = live.queries();
+  ASSERT_GE(queries.size(), 1u);
+  for (size_t r = 0; r < rounds; ++r) {
+    const std::vector<PropertySet> chunk{queries[r % queries.size()]};
+    ASSERT_TRUE(engine->RemoveQueries(chunk).ok());
+    ASSERT_TRUE(manager->LogBatch({}, chunk, engine->property_names()).ok());
+    ASSERT_TRUE(engine->AddQueries(chunk).ok());
+    ASSERT_TRUE(manager->LogBatch(chunk, {}, engine->property_names()).ok());
+  }
+}
+
+/// Sorted current-solution classifiers — the equivalence fingerprint
+/// (property ids are stable across recovery, the name table is restored).
+std::vector<PropertySet> Fingerprint(const OnlineEngine& engine) {
+  return engine.CurrentSolution().Sorted();
+}
+
+TEST(DurabilityManagerTest, RecoverFromEmptyDirMatchesInitialize) {
+  ScratchDir dir("mgr_empty");
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  OnlineEngine engine;
+  auto recovery =
+      (*manager)->Recover(PaperExample(), /*default_cost=*/-1, &engine);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_FALSE(recovery->snapshot_loaded);
+  EXPECT_EQ(recovery->wal_records_replayed, 0u);
+  ASSERT_TRUE((*manager)->Close().ok());
+
+  OnlineEngine plain;
+  ASSERT_TRUE(plain.Initialize(PaperExample()).ok());
+  EXPECT_EQ(Fingerprint(engine), Fingerprint(plain));
+  EXPECT_EQ(engine.TotalCost(), plain.TotalCost());
+}
+
+TEST(DurabilityManagerTest, SnapshotPlusWalTailReproducesTheLiveEngine) {
+  ScratchDir dir("mgr_recover");
+  OnlineEngine live;
+  {
+    auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+    ASSERT_TRUE(manager.ok());
+    auto recovery = (*manager)->Recover(PaperExample(), -1, &live);
+    ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+    Churn(&live, manager->get(), 3);
+    // Snapshot mid-history: recovery must combine it with the WAL tail.
+    auto checkpoint = (*manager)->Checkpoint(live.ExportState());
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+    EXPECT_EQ(checkpoint->seq, 6u);
+    Churn(&live, manager->get(), 2);
+    ASSERT_TRUE((*manager)->Close().ok());
+  }
+
+  OnlineEngine recovered;
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok());
+  auto recovery = (*manager)->Recover(PaperExample(), -1, &recovered);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_TRUE(recovery->snapshot_loaded);
+  EXPECT_EQ(recovery->snapshot_seq, 6u);
+  EXPECT_EQ(recovery->wal_records_replayed, 4u);
+  EXPECT_EQ(recovery->wal_last_seq, 10u);
+  EXPECT_FALSE(recovery->torn_tail);
+  ASSERT_TRUE((*manager)->Close().ok());
+
+  ASSERT_TRUE(recovered.CheckInvariants().ok());
+  EXPECT_EQ(Fingerprint(recovered), Fingerprint(live));
+  EXPECT_EQ(recovered.TotalCost(), live.TotalCost());
+  EXPECT_EQ(RenderSnapshot(recovered.ExportState(), 0),
+            RenderSnapshot(live.ExportState(), 0));
+}
+
+TEST(DurabilityManagerTest, TornFinalRecordRecoversThePrefix) {
+  ScratchDir dir("mgr_torn");
+  OnlineEngine live;
+  {
+    auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE((*manager)->Recover(PaperExample(), -1, &live).ok());
+    Churn(&live, manager->get(), 2);
+    ASSERT_TRUE((*manager)->Close().ok());
+  }
+  Chop(LastSegmentPath(dir.path), 3);
+
+  OnlineEngine recovered;
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok());
+  auto recovery = (*manager)->Recover(PaperExample(), -1, &recovered);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_TRUE(recovery->torn_tail);
+  EXPECT_EQ(recovery->wal_records_replayed, 3u);
+  ASSERT_TRUE((*manager)->Close().ok());
+
+  // The recovered state equals replaying the surviving prefix: the last
+  // (torn) record was a re-add, so the recovered engine is one query
+  // short of the live one.
+  ASSERT_TRUE(recovered.CheckInvariants().ok());
+  EXPECT_EQ(recovered.NumQueries(), live.NumQueries() - 1);
+}
+
+TEST(DurabilityManagerTest, SnapshotNewerThanWholeWalStillRecovers) {
+  ScratchDir dir("mgr_stale");
+  OnlineEngine live;
+  {
+    auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE((*manager)->Recover(PaperExample(), -1, &live).ok());
+    Churn(&live, manager->get(), 2);
+    ASSERT_TRUE((*manager)->Checkpoint(live.ExportState()).ok());
+    ASSERT_TRUE((*manager)->Close().ok());
+  }
+  // Lose every WAL segment; the snapshot (seq 4) is all that's left.
+  auto segments = ListWalSegments(dir.path);
+  ASSERT_TRUE(segments.ok());
+  for (const std::string& segment : *segments) {
+    fs::remove(dir.path + "/" + segment);
+  }
+
+  OnlineEngine recovered;
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok());
+  auto recovery = (*manager)->Recover(PaperExample(), -1, &recovered);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_TRUE(recovery->snapshot_loaded);
+  EXPECT_EQ(recovery->snapshot_seq, 4u);
+  EXPECT_EQ(recovery->wal_records_replayed, 0u);
+  EXPECT_EQ(Fingerprint(recovered), Fingerprint(live));
+
+  // Sequences <= snapshot_seq must never be reassigned: the next logged
+  // batch continues past the snapshot.
+  auto seq = (*manager)->LogBatch(
+      {}, {recovered.LiveInstance().queries().front()},
+      recovered.property_names());
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(*seq, 5u);
+  ASSERT_TRUE((*manager)->Close().ok());
+}
+
+TEST(DurabilityManagerTest, CheckpointPolicyByUpdateCount) {
+  ScratchDir dir("mgr_policy");
+  DurabilityOptions options = ManagerOptions(dir.path);
+  options.checkpoint_every_updates = 3;
+  auto manager = DurabilityManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+  OnlineEngine engine;
+  ASSERT_TRUE((*manager)->Recover(PaperExample(), -1, &engine).ok());
+
+  EXPECT_FALSE((*manager)->ShouldCheckpoint());
+  Churn(&engine, manager->get(), 1);  // 2 batches
+  EXPECT_FALSE((*manager)->ShouldCheckpoint());
+  Churn(&engine, manager->get(), 1);  // 4 batches
+  EXPECT_TRUE((*manager)->ShouldCheckpoint());
+  ASSERT_TRUE((*manager)->Checkpoint(engine.ExportState()).ok());
+  EXPECT_FALSE((*manager)->ShouldCheckpoint());
+  ASSERT_TRUE((*manager)->Close().ok());
+}
+
+}  // namespace
+}  // namespace mc3::durability

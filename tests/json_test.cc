@@ -114,6 +114,41 @@ TEST(JsonParserTest, NumberRoundTripThroughWriter) {
   EXPECT_EQ(parsed->Find("neg")->number, -17.0);
 }
 
+// The writer emits the SHORTEST decimal string that parses back to the
+// exact same double. Snapshot byte-stability (docs/durability.md) builds
+// on this: render o parse o render must be the identity, so the number
+// formatting may not vary by magnitude or add spurious digits.
+TEST(JsonWriterTest, NumbersRenderShortestRoundTrippableForm) {
+  auto render = [](double v) {
+    JsonWriter writer(/*compact=*/true);
+    writer.BeginObject();
+    writer.Key("v").Number(v);
+    writer.EndObject();
+    const std::string json = writer.Take();  // {"v":<digits>}
+    return json.substr(5, json.size() - 6);
+  };
+  EXPECT_EQ(render(0.0), "0");
+  EXPECT_EQ(render(5.0), "5");
+  EXPECT_EQ(render(-2.5), "-2.5");
+  EXPECT_EQ(render(0.1), "0.1");
+  EXPECT_EQ(render(1.0 / 3.0), "0.3333333333333333");
+  EXPECT_EQ(render(1e300), "1e+300");
+  EXPECT_EQ(render(999999999999999.0), "999999999999999");
+  EXPECT_EQ(render(9007199254740992.0), "9007199254740992");  // 2^53
+
+  // Shortest-form rendering is exact: whatever the double, parsing the
+  // rendered text recovers the identical value, and re-rendering the
+  // parsed value reproduces the identical bytes.
+  for (const double v : {0.1, 2.0 / 7.0, -1.2345678901234567e-8, 6.02214076e23,
+                         1.7976931348623157e308, 5e-324}) {
+    const std::string first = render(v);
+    auto parsed = ParseJson(first);
+    ASSERT_TRUE(parsed.ok()) << first;
+    EXPECT_EQ(parsed->number, v) << first;
+    EXPECT_EQ(render(parsed->number), first);
+  }
+}
+
 TEST(JsonParserTest, TrailingGarbageRejected) {
   EXPECT_FALSE(ParseJson("{} extra").ok());
   EXPECT_FALSE(ParseJson("[1, 2] []").ok());

@@ -221,6 +221,36 @@ TEST(LintR5, PassesConsumedStatus) {
   EXPECT_EQ(CountRule(findings, "R5"), 0u);
 }
 
+TEST(LintR5, FlagsDiscardedDurabilityApiCalls) {
+  // The durability APIs (src/durability/: WalWriter::Append/Sync/Rotate,
+  // WriteSnapshotFile) return Status/Result like everything else; a
+  // dropped call is a silent durability hole and must be flagged.
+  const auto findings = Lint(
+      "Result<uint64_t> Append(std::string payload);\n"
+      "Status Sync();\n"
+      "Status Rotate(uint64_t snapshot_seq, bool keep_segments);\n"
+      "Result<uint64_t> WriteSnapshotFile(const std::string& dir);\n"
+      "void Checkpoint() {\n"
+      "  Sync();\n"
+      "  WriteSnapshotFile(\"d\");\n"
+      "  Rotate(3, false);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R5"), 3u);
+}
+
+TEST(LintR5, PassesConsumedDurabilityApiCalls) {
+  const auto findings = Lint(
+      "Result<uint64_t> Append(std::string payload);\n"
+      "Status Sync();\n"
+      "Status Checkpoint() {\n"
+      "  auto seq = Append(\"+ a\");\n"
+      "  if (!seq.ok()) return seq.status();\n"
+      "  MC3_RETURN_IF_ERROR(Sync());\n"
+      "  return Sync();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R5"), 0u);
+}
+
 TEST(LintR5, SkipsOverloadsMixingReturnTypes) {
   // SetCost returns Status on one class and void on another; a token-level
   // pass cannot tell call sites apart, so the name is exempt.

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <initializer_list>
 #include <string>
 #include <thread>
@@ -22,7 +23,9 @@
 
 #include "core/instance.h"
 #include "data/query_log.h"
+#include "durability/durability.h"
 #include "obs/json.h"
+#include "util/float_cmp.h"
 #include "online/online_engine.h"
 #include "server/bounded_queue.h"
 #include "server/coalescer.h"
@@ -629,6 +632,175 @@ TEST(ServerTest, CoalescesBurstsIntoFewerBatches) {
   EXPECT_EQ(stats.batches, 1u);       // one churn step for six requests
   EXPECT_EQ(stats.coalesced_ops, 6u);
   EXPECT_EQ(stats.max_batch, 6u);
+  server.RequestDrain();
+  server.Join();
+}
+
+// ---------------------------------------------------------------------------
+// Durability (docs/durability.md): the checkpoint / wal_stats verbs and
+// restartability — a server restarted on the same data dir resumes with
+// the state its predecessor acknowledged.
+
+/// Fresh per-test durable data dir, removed on destruction.
+struct DurableDir {
+  explicit DurableDir(const char* tag)
+      : path(::testing::TempDir() + "/mc3_server_durable_" + tag + "_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this))) {
+    std::filesystem::remove_all(path);
+  }
+  ~DurableDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+ServerOptions DurableOptions(const std::string& data_dir) {
+  ServerOptions options = TestOptions();
+  options.durability.data_dir = data_dir;
+  // Deterministic for tests; the group-commit path is covered by WalTest.
+  options.durability.wal.sync =
+      durability::WalOptions::SyncPolicy::kImmediate;
+  return options;
+}
+
+TEST(ServerDurabilityTest, CheckpointVerbRequiresDurability) {
+  Server server(TestOptions());  // no data dir
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue response =
+      client.Call(R"({"op":"checkpoint","id":1})");
+  EXPECT_EQ(CodeOf(response), 400);
+  const obs::JsonValue stats = client.Call(R"({"op":"wal_stats","id":2})");
+  EXPECT_EQ(CodeOf(stats), 200);
+  ASSERT_NE(stats.Find("enabled"), nullptr);
+  EXPECT_FALSE(stats.Find("enabled")->boolean);
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerDurabilityTest, UpdatesCarryWalSeqAndStatsReportThem) {
+  DurableDir dir("walseq");
+  Server server(DurableOptions(dir.path));
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const obs::JsonValue first = client.Call(
+      R"({"op":"update","id":1,"add":[["blue","sofa"]]})");
+  ASSERT_EQ(CodeOf(first), 200);
+  ASSERT_NE(first.Find("wal_seq"), nullptr);
+  EXPECT_EQ(first.Find("wal_seq")->number, 1);
+  const obs::JsonValue second = client.Call(
+      R"({"op":"update","id":2,"remove":[["blue","sofa"]]})");
+  ASSERT_EQ(CodeOf(second), 200);
+  EXPECT_EQ(second.Find("wal_seq")->number, 2);
+
+  const obs::JsonValue stats = client.Call(R"({"op":"wal_stats","id":3})");
+  ASSERT_EQ(CodeOf(stats), 200);
+  EXPECT_TRUE(stats.Find("enabled")->boolean);
+  EXPECT_EQ(stats.Find("last_seq")->number, 2);
+  EXPECT_EQ(stats.Find("records_appended")->number, 2);
+  EXPECT_EQ(stats.Find("wal_errors")->number, 0);
+  ASSERT_NE(stats.Find("recovery"), nullptr);
+  EXPECT_EQ(stats.Find("recovery")->Find("wal_records_replayed")->number, 0);
+
+  const obs::JsonValue checkpoint =
+      client.Call(R"({"op":"checkpoint","id":4})");
+  ASSERT_EQ(CodeOf(checkpoint), 200);
+  EXPECT_EQ(checkpoint.Find("seq")->number, 2);
+  EXPECT_GT(checkpoint.Find("bytes")->number, 0);
+
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerDurabilityTest, RestartOnSameDataDirResumesAcknowledgedState) {
+  DurableDir dir("restart");
+  // First life: apply updates (some past a checkpoint), then drain — every
+  // acknowledged update is on disk.
+  {
+    Server server(DurableOptions(dir.path));
+    ASSERT_TRUE(server.Start(BaseInstance()).ok());
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_EQ(CodeOf(client.Call(
+                  R"({"op":"update","id":1,"add":[["blue","sofa"]]})")),
+              200);
+    ASSERT_EQ(CodeOf(client.Call(R"({"op":"checkpoint","id":2})")), 200);
+    ASSERT_EQ(CodeOf(client.Call(
+                  R"({"op":"update","id":3,"add":[["green","lamp"]]})")),
+              200);
+    ASSERT_EQ(CodeOf(client.Call(
+                  R"({"op":"update","id":4,"remove":[["tv"]]})")),
+              200);
+    server.RequestDrain();
+    server.Join();
+  }
+
+  // Second life: recovery = snapshot + WAL tail. The resumed engine equals
+  // the reference engine that applied the same history directly.
+  Server server(DurableOptions(dir.path));
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  const durability::DurabilityManager* manager = server.durability_manager();
+  ASSERT_NE(manager, nullptr);
+  EXPECT_TRUE(manager->recovery().snapshot_loaded);
+  EXPECT_EQ(manager->recovery().snapshot_seq, 1u);
+  EXPECT_EQ(manager->recovery().wal_records_replayed, 2u);
+
+  online::OnlineEngine reference;
+  ASSERT_TRUE(reference.Initialize(BaseInstance()).ok());
+  {
+    // Mirror the server's default-cost pricing for the unknown queries.
+    std::vector<std::string> names = reference.property_names();
+    names.push_back("blue");
+    names.push_back("sofa");
+    names.push_back("green");
+    names.push_back("lamp");
+    reference.set_property_names(names);
+    const auto id = [&](const char* name) {
+      return static_cast<PropertyId>(
+          std::find(names.begin(), names.end(), name) - names.begin());
+    };
+    Instance added;
+    added.set_property_names(names);
+    added.AddQuery(PropertySet::Of({id("blue"), id("sofa")}));
+    added.AddQuery(PropertySet::Of({id("green"), id("lamp")}));
+    data::CostEstimatorOptions estimator;
+    estimator.default_difficulty = 2;  // TestOptions().default_cost
+    ASSERT_TRUE(data::EstimateCosts(&added, estimator).ok());
+    for (const auto& [classifier, cost] :
+         SortedCostEntries(added.costs())) {
+      if (!IsInfiniteCost(reference.CostOf(classifier))) continue;
+      ASSERT_TRUE(reference.SetCost(classifier, cost).ok());
+    }
+    ASSERT_TRUE(reference
+                    .AddQueries({PropertySet::Of({id("blue"), id("sofa")})})
+                    .ok());
+    ASSERT_TRUE(reference
+                    .AddQueries({PropertySet::Of({id("green"), id("lamp")})})
+                    .ok());
+    ASSERT_TRUE(reference.RemoveQueries({PropertySet::Of({id("tv")})}).ok());
+  }
+
+  int queries_after_restart = -1;
+  server.WithEngine([&](const online::OnlineEngine& engine) {
+    queries_after_restart = static_cast<int>(engine.NumQueries());
+    ASSERT_TRUE(engine.CheckInvariants().ok());
+    EXPECT_EQ(engine.TotalCost(), reference.TotalCost());
+    EXPECT_EQ(
+        CanonicalClassifiers(engine.CurrentSolution(),
+                             engine.property_names()),
+        CanonicalClassifiers(reference.CurrentSolution(),
+                             reference.property_names()));
+  });
+  EXPECT_EQ(queries_after_restart, 3);  // red&shirt, blue&sofa, green&lamp
+
+  // And the resumed server keeps logging past the recovered tail.
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue next = client.Call(
+      R"({"op":"update","id":5,"add":[["oak","desk"]]})");
+  ASSERT_EQ(CodeOf(next), 200);
+  EXPECT_EQ(next.Find("wal_seq")->number, 4);
   server.RequestDrain();
   server.Join();
 }

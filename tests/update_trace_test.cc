@@ -87,5 +87,80 @@ TEST(UpdateTraceTest, BaseNamesAreReusedNewNamesInterned) {
   EXPECT_TRUE(trace->ops[0].query.Contains(2));
 }
 
+TEST(UpdateTraceRenderTest, RenderTraceOpIsTheParserInverse) {
+  const std::vector<std::string> names = {"red", "shirt", "tv"};
+  auto line = RenderTraceOp(TraceOp::Kind::kAdd, PropertySet::Of({0, 2}),
+                            names);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(*line, "+ red tv");
+  auto removed =
+      RenderTraceOp(TraceOp::Kind::kRemove, PropertySet::Of({1}), names);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, "- shirt");
+
+  auto parsed = ParseUpdateTrace({*line, *removed}, names);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->ops.size(), 2u);
+  EXPECT_EQ(parsed->ops[0].kind, TraceOp::Kind::kAdd);
+  EXPECT_EQ(parsed->ops[0].query, PropertySet::Of({0, 2}));
+  EXPECT_EQ(parsed->ops[1].kind, TraceOp::Kind::kRemove);
+  EXPECT_EQ(parsed->ops[1].query, PropertySet::Of({1}));
+  // No new names were interned: rendering stayed inside the table.
+  EXPECT_EQ(parsed->property_names, names);
+}
+
+TEST(UpdateTraceRenderTest, RenderUpdateBatchOrdersRemovesBeforeAdds) {
+  const std::vector<std::string> names = {"a", "b", "c"};
+  auto text = RenderUpdateBatch({PropertySet::Of({0, 1})},
+                                {PropertySet::Of({2}), PropertySet::Of({1})},
+                                names);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // Removes first — the order ApplyUpdate applies them — then adds, one
+  // newline-terminated line each.
+  EXPECT_EQ(*text, "- c\n- b\n+ a b\n");
+}
+
+TEST(UpdateTraceRenderTest, WalRecordShapedBatchRoundTrips) {
+  const std::vector<std::string> names = {"red", "shirt", "sony", "tv"};
+  const std::vector<PropertySet> add = {PropertySet::Of({0, 1})};
+  const std::vector<PropertySet> remove = {PropertySet::Of({2, 3})};
+  auto text = RenderUpdateBatch(add, remove, names);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t nl = text->find('\n'); nl != std::string::npos;
+       nl = text->find('\n', start)) {
+    lines.push_back(text->substr(start, nl - start));
+    start = nl + 1;
+  }
+  auto parsed = ParseUpdateTrace(lines, names);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->ops.size(), 2u);
+  EXPECT_EQ(parsed->ops[0].kind, TraceOp::Kind::kRemove);
+  EXPECT_EQ(parsed->ops[0].query, remove[0]);
+  EXPECT_EQ(parsed->ops[1].kind, TraceOp::Kind::kAdd);
+  EXPECT_EQ(parsed->ops[1].query, add[0]);
+}
+
+TEST(UpdateTraceRenderTest, UnserializableNamesAreRejected) {
+  // A name with whitespace would parse back as two properties.
+  auto spaced = RenderTraceOp(TraceOp::Kind::kAdd, PropertySet::Of({0}),
+                              {"red shirt"});
+  EXPECT_FALSE(spaced.ok());
+  // A bare marker token would parse back as an operation sign.
+  auto marker =
+      RenderTraceOp(TraceOp::Kind::kAdd, PropertySet::Of({0, 1}), {"+", "x"});
+  EXPECT_FALSE(marker.ok());
+  // An id beyond the name table cannot be rendered at all.
+  auto unnamed =
+      RenderTraceOp(TraceOp::Kind::kAdd, PropertySet::Of({5}), {"only"});
+  EXPECT_FALSE(unnamed.ok());
+  // Empty names never round-trip.
+  auto empty =
+      RenderTraceOp(TraceOp::Kind::kRemove, PropertySet::Of({0}), {""});
+  EXPECT_FALSE(empty.ok());
+}
+
 }  // namespace
 }  // namespace mc3::online

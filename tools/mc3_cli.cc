@@ -72,6 +72,7 @@
 #include <algorithm>
 #include <atomic>
 #include <csignal>
+#include <filesystem>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -87,6 +88,9 @@
 #include "data/private_dataset.h"
 #include "data/query_log.h"
 #include "data/synthetic.h"
+#include "durability/durability.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -113,11 +117,18 @@ int Usage() {
       "  mc3 ingest <log.txt> -o <workload.csv> [--default-cost D]\n"
       "  mc3 serve <workload.csv> --trace <trace.txt> [--solver NAME]\n"
       "            [--threads N] [--batch N] [--default-cost D]\n"
-      "            [--verify-every N] [--verbose]\n"
+      "            [--verify-every N] [--verbose] [--solution-out F]\n"
       "  mc3 serve <workload.csv> --listen <port> [--port-file F]\n"
       "            [--queue-capacity N] [--watermark N] [--max-batch N]\n"
       "            [--workers N] [--solver NAME] [--threads N]\n"
-      "            [--default-cost D]\n"
+      "            [--default-cost D] [--data-dir DIR]\n"
+      "            [--wal-sync grouped|immediate|none] [--wal-group-ms MS]\n"
+      "            [--checkpoint-every N] [--checkpoint-interval SECS]\n"
+      "            [--keep-wal-segments] [--record-trace F]\n"
+      "  mc3 recover <workload.csv> --data-dir DIR [--solver NAME]\n"
+      "            [--threads N] [--default-cost D] [--solution-out F]\n"
+      "  mc3 wal dump --data-dir DIR [--after SEQ] [-o out.txt]\n"
+      "  mc3 wal stats --data-dir DIR\n"
       "  mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]\n"
       "            [--warmup N] [--filter SUBSTR]\n"
       "(solve and serve also accept --report <out.json>)\n");
@@ -168,6 +179,67 @@ int WriteSolveReport(const obs::SolveReportMeta& meta, const obs::Trace& trace,
   }
   std::printf("report written to %s\n", path.c_str());
   return 0;
+}
+
+/// Maps a --solver spelling to the engine's solver kind; false = unknown.
+bool ParseSolverKind(const std::string& name,
+                     online::EngineOptions::SolverKind* out) {
+  if (name == "auto") {
+    *out = online::EngineOptions::SolverKind::kAuto;
+  } else if (name == "general") {
+    *out = online::EngineOptions::SolverKind::kGeneral;
+  } else if (name == "k2") {
+    *out = online::EngineOptions::SolverKind::kK2Exact;
+  } else if (name == "short-first") {
+    *out = online::EngineOptions::SolverKind::kShortFirst;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Renders the engine's current solution keyed by property NAMES, not ids:
+/// one classifier per line (names sorted lexicographically within the
+/// line), lines sorted, each suffixed with the classifier's cost; a final
+/// "total" line sums the per-line costs in that canonical order. Two
+/// engines that reached the same solution through different id
+/// interleavings — live serving vs. WAL replay (`mc3 recover`) vs. offline
+/// trace replay — render byte-identical files, which is what
+/// scripts/recover_smoke.sh diffs.
+Result<std::string> RenderCanonicalSolution(
+    const online::OnlineEngine& engine) {
+  const std::vector<std::string>& names = engine.property_names();
+  std::vector<std::pair<std::vector<std::string>, Cost>> rows;
+  for (const PropertySet& classifier : engine.CurrentSolution().Sorted()) {
+    std::vector<std::string> row;
+    row.reserve(classifier.ids().size());
+    for (const PropertyId id : classifier.ids()) {
+      if (id >= names.size() || names[id].empty()) {
+        return Status::Internal(
+            "property " + std::to_string(id) +
+            " has no name; cannot render a canonical solution");
+      }
+      row.push_back(names[id]);
+    }
+    std::sort(row.begin(), row.end());
+    rows.emplace_back(std::move(row), engine.CostOf(classifier));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  Cost total = 0;
+  char buffer[64];
+  for (const auto& [row, cost] : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += row[i];
+    }
+    std::snprintf(buffer, sizeof(buffer), " # %.17g\n", cost);
+    out += buffer;
+    total += cost;
+  }
+  std::snprintf(buffer, sizeof(buffer), "total %.17g\n", total);
+  out += buffer;
+  return out;
 }
 
 int CmdStats(const std::string& path) {
@@ -359,7 +431,8 @@ struct ServeConfig {
   Cost default_cost = -1;   ///< < 0 = no auto-pricing of unknown classifiers
   size_t verify_every = 0;  ///< 0 = only verify at the end
   bool verbose = false;
-  std::string report;  ///< empty = no JSON report
+  std::string report;        ///< empty = no JSON report
+  std::string solution_out;  ///< trace mode: canonical solution file
 
   // Network mode (--listen).
   long listen = -1;       ///< < 0 = trace-replay mode
@@ -389,6 +462,19 @@ int CmdServeListen(const std::string& workload_path,
   server::Server server(server_options);
   if (Status status = server.Start(*instance); !status.ok()) {
     return Fail(status);
+  }
+  if (const durability::DurabilityManager* manager =
+          server.durability_manager()) {
+    const durability::RecoveryStats& recovery = manager->recovery();
+    std::printf("recovered:  snapshot %s, %llu wal records replayed "
+                "(last seq %llu)%s, %.1f ms\n",
+                recovery.snapshot_loaded
+                    ? ("seq " + std::to_string(recovery.snapshot_seq)).c_str()
+                    : "none",
+                static_cast<unsigned long long>(recovery.wal_records_replayed),
+                static_cast<unsigned long long>(recovery.wal_last_seq),
+                recovery.torn_tail ? ", torn tail dropped" : "",
+                1e3 * recovery.recovery_seconds);
   }
   server.WithEngine([&](const online::OnlineEngine& engine) {
     std::printf("listening:  %s:%u (%zu queries, %zu components, "
@@ -467,15 +553,7 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
   if (!instance.ok()) return Fail(instance.status());
 
   online::EngineOptions options;
-  if (config.solver == "auto") {
-    options.solver = online::EngineOptions::SolverKind::kAuto;
-  } else if (config.solver == "general") {
-    options.solver = online::EngineOptions::SolverKind::kGeneral;
-  } else if (config.solver == "k2") {
-    options.solver = online::EngineOptions::SolverKind::kK2Exact;
-  } else if (config.solver == "short-first") {
-    options.solver = online::EngineOptions::SolverKind::kShortFirst;
-  } else {
+  if (!ParseSolverKind(config.solver, &options.solver)) {
     std::fprintf(stderr, "unknown serve solver '%s'\n", config.solver.c_str());
     return 2;
   }
@@ -594,6 +672,17 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
               "(invariants ok)\n",
               engine.NumQueries(), engine.NumComponents(),
               engine.TotalCost());
+  if (!config.solution_out.empty()) {
+    auto canonical = RenderCanonicalSolution(engine);
+    if (!canonical.ok()) return Fail(canonical.status());
+    if (Status status = WriteFile(config.solution_out, *canonical);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("solution:   %s (canonical, %zu classifiers)\n",
+                config.solution_out.c_str(),
+                engine.CurrentSolution().classifiers().size());
+  }
   if (!config.report.empty()) {
     obs::SolveReportMeta meta;
     meta.tool = "serve";
@@ -608,6 +697,119 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
         code != 0) {
       return code;
     }
+  }
+  return 0;
+}
+
+/// `mc3 recover`: offline recovery of a durable data directory — loads the
+/// base workload, replays snapshot + WAL tail exactly as a durable server
+/// start would, verifies invariants and reports what was recovered. With
+/// --solution-out, writes the canonical solution for equivalence checks
+/// (scripts/recover_smoke.sh diffs it against an offline trace replay).
+/// Opens the directory's WAL for writing — a torn tail is truncated — so
+/// do not point it at a live server's data dir.
+int CmdRecover(const std::string& workload_path, const ServeConfig& config,
+               const std::string& data_dir) {
+  auto instance = Load(workload_path);
+  if (!instance.ok()) return Fail(instance.status());
+
+  online::EngineOptions options;
+  if (!ParseSolverKind(config.solver, &options.solver)) {
+    std::fprintf(stderr, "unknown recover solver '%s'\n",
+                 config.solver.c_str());
+    return 2;
+  }
+  options.solver_options.num_threads = config.threads;
+  online::OnlineEngine engine(options);
+
+  durability::DurabilityOptions durability_options;
+  durability_options.data_dir = data_dir;
+  // Recovery only reads; no point spinning up a committer or fsyncing.
+  durability_options.wal.sync = durability::WalOptions::SyncPolicy::kNone;
+  auto manager = durability::DurabilityManager::Open(durability_options);
+  if (!manager.ok()) return Fail(manager.status());
+  auto recovery = (*manager)->Recover(*instance, config.default_cost, &engine);
+  if (!recovery.ok()) return Fail(recovery.status());
+  if (Status status = engine.CheckInvariants(); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("recovered:  snapshot %s, %llu wal records replayed "
+              "(last seq %llu)%s, %.1f ms\n",
+              recovery->snapshot_loaded
+                  ? ("seq " + std::to_string(recovery->snapshot_seq)).c_str()
+                  : "none",
+              static_cast<unsigned long long>(recovery->wal_records_replayed),
+              static_cast<unsigned long long>(recovery->wal_last_seq),
+              recovery->torn_tail ? ", torn tail dropped" : "",
+              1e3 * recovery->recovery_seconds);
+  std::printf("final:      %zu queries, %zu components, cost %.2f "
+              "(invariants ok)\n",
+              engine.NumQueries(), engine.NumComponents(), engine.TotalCost());
+  if (!config.solution_out.empty()) {
+    auto canonical = RenderCanonicalSolution(engine);
+    if (!canonical.ok()) return Fail(canonical.status());
+    if (Status status = WriteFile(config.solution_out, *canonical);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("solution:   %s (canonical, %zu classifiers)\n",
+                config.solution_out.c_str(),
+                engine.CurrentSolution().classifiers().size());
+  }
+  if (Status status = (*manager)->Close(); !status.ok()) return Fail(status);
+  return 0;
+}
+
+/// `mc3 wal dump`: concatenates the update_trace payloads of every valid
+/// WAL record with seq > `after` — the output replays through
+/// `mc3 serve --trace`. Read-only (a torn tail is reported, not truncated).
+int CmdWalDump(const std::string& data_dir, uint64_t after,
+               const std::string& out_path) {
+  auto scan = durability::ReadWal(data_dir, after);
+  if (!scan.ok()) return Fail(scan.status());
+  std::string payloads;
+  for (const durability::WalRecord& record : scan->records) {
+    payloads += record.payload;
+  }
+  if (out_path.empty()) {
+    std::fwrite(payloads.data(), 1, payloads.size(), stdout);
+  } else if (Status status = WriteFile(out_path, payloads); !status.ok()) {
+    return Fail(status);
+  }
+  std::fprintf(stderr, "wal:        %zu records after seq %llu "
+               "(last seq %llu)%s\n",
+               scan->records.size(), static_cast<unsigned long long>(after),
+               static_cast<unsigned long long>(scan->last_seq),
+               scan->torn_tail ? ", torn tail" : "");
+  return 0;
+}
+
+/// `mc3 wal stats`: read-only summary of a durable data directory.
+int CmdWalStats(const std::string& data_dir) {
+  auto segments = durability::ListWalSegments(data_dir);
+  if (!segments.ok()) return Fail(segments.status());
+  auto scan = durability::ReadWal(data_dir, 0);
+  if (!scan.ok()) return Fail(scan.status());
+  std::printf("segments:   %zu\n", segments->size());
+  for (const std::string& segment : *segments) {
+    std::printf("  %s\n", segment.c_str());
+  }
+  std::printf("records:    %zu (last seq %llu)\n", scan->records.size(),
+              static_cast<unsigned long long>(scan->last_seq));
+  if (scan->torn_tail) {
+    std::printf("torn tail:  %s\n", scan->torn_detail.c_str());
+  }
+  auto snapshot = durability::LoadLatestSnapshot(data_dir);
+  if (snapshot.ok()) {
+    std::printf("snapshot:   seq %llu (%s)%s\n",
+                static_cast<unsigned long long>(snapshot->seq),
+                snapshot->path.c_str(),
+                snapshot->skipped_invalid > 0 ? ", invalid newer skipped"
+                                              : "");
+  } else if (snapshot.status().code() == StatusCode::kNotFound) {
+    std::printf("snapshot:   none\n");
+  } else {
+    return Fail(snapshot.status());
   }
   return 0;
 }
@@ -843,6 +1045,98 @@ int CmdBench(const BenchConfig& config) {
     cases.push_back(std::move(bench_case));
   }
 
+  // Case 4: the durability path — the online churn of case 3 with every
+  // batch WAL-logged (immediate fsync so the work counters are
+  // repeat-stable), a mid-run checkpoint, then a full recovery into a
+  // second engine that must reproduce the live solution exactly. Uses a
+  // throwaway data dir under the working directory, recreated per repeat.
+  if (CaseSelected(config, "wal")) {
+    data::SyntheticConfig synth;
+    synth.num_queries = scaled(2000);
+    synth.seed = seed + 3;
+    Instance instance = data::GenerateSynthetic(synth);
+    // Synthetic instances are nameless; WAL payloads are name-keyed.
+    std::vector<std::string> names;
+    names.reserve(instance.NumProperties());
+    for (size_t p = 0; p < instance.NumProperties(); ++p) {
+      names.push_back("p" + std::to_string(p));
+    }
+    instance.set_property_names(std::move(names));
+    const std::string data_dir = "bench_wal.tmp";
+    obs::BenchCase bench_case;
+    std::unique_ptr<online::OnlineEngine> engine;
+    Status status = RunRepeated(
+        "wal", config,
+        [&]() -> Status {
+          std::error_code ec;
+          std::filesystem::remove_all(data_dir, ec);
+          engine =
+              std::make_unique<online::OnlineEngine>(online::EngineOptions{});
+          durability::DurabilityOptions durability_options;
+          durability_options.data_dir = data_dir;
+          durability_options.wal.sync =
+              durability::WalOptions::SyncPolicy::kImmediate;
+          auto manager = durability::DurabilityManager::Open(durability_options);
+          if (!manager.ok()) return manager.status();
+          auto recovery =
+              (*manager)->Recover(instance, /*default_cost=*/-1, engine.get());
+          if (!recovery.ok()) return recovery.status();
+          const auto& queries = instance.queries();
+          const size_t batch = std::max<size_t>(1, queries.size() / 20);
+          const size_t batches = std::min<size_t>(5, queries.size() / batch);
+          for (size_t b = 0; b < batches; ++b) {
+            const auto begin = queries.begin() + b * batch;
+            const std::vector<PropertySet> chunk(begin, begin + batch);
+            auto removed = engine->RemoveQueries(chunk);
+            if (!removed.ok()) return removed.status();
+            auto logged =
+                (*manager)->LogBatch({}, chunk, engine->property_names());
+            if (!logged.ok()) return logged.status();
+            auto added = engine->AddQueries(chunk);
+            if (!added.ok()) return added.status();
+            logged = (*manager)->LogBatch(chunk, {}, engine->property_names());
+            if (!logged.ok()) return logged.status();
+            if (b + 1 == (batches + 1) / 2) {
+              auto checkpoint = (*manager)->Checkpoint(engine->ExportState());
+              if (!checkpoint.ok()) return checkpoint.status();
+            }
+          }
+          if (Status s = (*manager)->Close(); !s.ok()) return s;
+          // Reopen and recover into a fresh engine: the canonical solution
+          // must match the live engine byte for byte.
+          online::OnlineEngine recovered{online::EngineOptions{}};
+          auto reopened =
+              durability::DurabilityManager::Open(durability_options);
+          if (!reopened.ok()) return reopened.status();
+          auto replay = (*reopened)->Recover(instance, -1, &recovered);
+          if (!replay.ok()) return replay.status();
+          if (Status s = (*reopened)->Close(); !s.ok()) return s;
+          if (Status s = recovered.CheckInvariants(); !s.ok()) return s;
+          auto live = RenderCanonicalSolution(*engine);
+          if (!live.ok()) return live.status();
+          auto redone = RenderCanonicalSolution(recovered);
+          if (!redone.ok()) return redone.status();
+          if (*live != *redone) {
+            return Status::Internal(
+                "recovered solution diverges from the live engine");
+          }
+          std::filesystem::remove_all(data_dir, ec);
+          return Status::OK();
+        },
+        &run_metrics, &bench_case, &traces);
+    if (!status.ok()) return Fail(status);
+
+    bench_case.meta.tool = "bench";
+    bench_case.meta.solver = "durability:auto";
+    bench_case.meta.workload = "wal";
+    DescribeInstance(instance, &bench_case.meta);
+    bench_case.meta.cost = engine->TotalCost();
+    bench_case.meta.solution_size = engine->CurrentSolution().size();
+    bench_case.meta.num_components = engine->NumComponents();
+    PrintBenchCase(bench_case);
+    cases.push_back(std::move(bench_case));
+  }
+
   if (cases.empty()) {
     std::fprintf(stderr, "no bench case matches --filter '%s'\n",
                  config.filter.c_str());
@@ -907,7 +1201,13 @@ int main(int argc, char** argv) {
            args[i - 1] == "--filter" || args[i - 1] == "--listen" ||
            args[i - 1] == "--port-file" || args[i - 1] == "--queue-capacity" ||
            args[i - 1] == "--watermark" || args[i - 1] == "--max-batch" ||
-           args[i - 1] == "--workers" || args[i - 1] == "-o")) {
+           args[i - 1] == "--workers" || args[i - 1] == "--data-dir" ||
+           args[i - 1] == "--wal-sync" || args[i - 1] == "--wal-group-ms" ||
+           args[i - 1] == "--checkpoint-every" ||
+           args[i - 1] == "--checkpoint-interval" ||
+           args[i - 1] == "--record-trace" ||
+           args[i - 1] == "--solution-out" || args[i - 1] == "--after" ||
+           args[i - 1] == "-o")) {
         continue;
       }
       return &args[i];
@@ -981,6 +1281,9 @@ int main(int argc, char** argv) {
     }
     config.verbose = has_flag("--verbose");
     if (const std::string* v = flag_value("--report")) config.report = *v;
+    if (const std::string* v = flag_value("--solution-out")) {
+      config.solution_out = *v;
+    }
     if (listen != nullptr) {
       config.listen = std::strtol(listen->c_str(), nullptr, 10);
       if (config.listen < 0 || config.listen > 65535) return Usage();
@@ -1006,26 +1309,81 @@ int main(int argc, char** argv) {
       server_options.max_batch = config.max_batch;
       server_options.connection_workers = config.workers;
       server_options.default_cost = config.default_cost;
-      if (config.solver == "auto") {
-        server_options.engine.solver = online::EngineOptions::SolverKind::kAuto;
-      } else if (config.solver == "general") {
-        server_options.engine.solver =
-            online::EngineOptions::SolverKind::kGeneral;
-      } else if (config.solver == "k2") {
-        server_options.engine.solver =
-            online::EngineOptions::SolverKind::kK2Exact;
-      } else if (config.solver == "short-first") {
-        server_options.engine.solver =
-            online::EngineOptions::SolverKind::kShortFirst;
-      } else {
+      if (!ParseSolverKind(config.solver, &server_options.engine.solver)) {
         std::fprintf(stderr, "unknown serve solver '%s'\n",
                      config.solver.c_str());
         return 2;
       }
       server_options.engine.solver_options.num_threads = config.threads;
+      if (const std::string* v = flag_value("--data-dir")) {
+        server_options.durability.data_dir = *v;
+      }
+      if (const std::string* v = flag_value("--wal-sync")) {
+        if (*v == "grouped") {
+          server_options.durability.wal.sync =
+              durability::WalOptions::SyncPolicy::kGrouped;
+        } else if (*v == "immediate") {
+          server_options.durability.wal.sync =
+              durability::WalOptions::SyncPolicy::kImmediate;
+        } else if (*v == "none") {
+          server_options.durability.wal.sync =
+              durability::WalOptions::SyncPolicy::kNone;
+        } else {
+          std::fprintf(stderr, "unknown --wal-sync '%s'\n", v->c_str());
+          return 2;
+        }
+      }
+      if (const std::string* v = flag_value("--wal-group-ms")) {
+        server_options.durability.wal.group_window_ms =
+            std::strtod(v->c_str(), nullptr);
+      }
+      if (const std::string* v = flag_value("--checkpoint-every")) {
+        server_options.durability.checkpoint_every_updates =
+            std::strtoull(v->c_str(), nullptr, 10);
+      }
+      if (const std::string* v = flag_value("--checkpoint-interval")) {
+        server_options.durability.checkpoint_interval_s =
+            std::strtod(v->c_str(), nullptr);
+      }
+      server_options.durability.keep_segments = has_flag("--keep-wal-segments");
+      if (const std::string* v = flag_value("--record-trace")) {
+        server_options.record_trace_path = *v;
+      }
       return CmdServeListen(*path, config, server_options);
     }
     return CmdServe(*path, *trace, config);
+  }
+  if (command == "recover") {
+    const std::string* path = positional();
+    const std::string* data_dir = flag_value("--data-dir");
+    if (path == nullptr || data_dir == nullptr) return Usage();
+    ServeConfig config;
+    if (const std::string* v = flag_value("--solver")) config.solver = *v;
+    if (const std::string* v = flag_value("--threads")) {
+      config.threads = std::strtoul(v->c_str(), nullptr, 10);
+    }
+    if (const std::string* v = flag_value("--default-cost")) {
+      config.default_cost = std::strtod(v->c_str(), nullptr);
+    }
+    if (const std::string* v = flag_value("--solution-out")) {
+      config.solution_out = *v;
+    }
+    return CmdRecover(*path, config, *data_dir);
+  }
+  if (command == "wal") {
+    const std::string* verb = positional();
+    const std::string* data_dir = flag_value("--data-dir");
+    if (verb == nullptr || data_dir == nullptr) return Usage();
+    if (*verb == "dump") {
+      uint64_t after = 0;
+      if (const std::string* v = flag_value("--after")) {
+        after = std::strtoull(v->c_str(), nullptr, 10);
+      }
+      const std::string* out = flag_value("-o");
+      return CmdWalDump(*data_dir, after, out != nullptr ? *out : "");
+    }
+    if (*verb == "stats") return CmdWalStats(*data_dir);
+    return Usage();
   }
   if (command == "bench") {
     BenchConfig config;
