@@ -36,7 +36,8 @@ PORT_FILE="$ART_DIR/port"
 "$MC3" generate --dataset synthetic --n 40 --seed 3 -o "$WORKLOAD"
 
 # Runs one serve + loadgen + drain round. $1 names the pass (artifact
-# suffix); remaining args are appended to the server command line.
+# suffix); remaining args are appended to the server command line. Extra
+# loadgen flags come in via $LOADGEN_EXTRA (space-separated).
 run_pass() {
   local pass="$1"
   shift
@@ -68,8 +69,9 @@ run_pass() {
 
   # The loadgen exits non-zero on lost requests, on an invalid report, or
   # when no coalesced batch reached size 2; --shutdown drains the server.
+  # shellcheck disable=SC2086  # LOADGEN_EXTRA is intentionally word-split
   "$LOADGEN" --quick --port-file "$PORT_FILE" --shutdown \
-    --report "$report" --min-coalesced-batch 2
+    --report "$report" --min-coalesced-batch 2 ${LOADGEN_EXTRA:-}
 
   if ! wait "$SERVER_PID"; then
     echo "serve_smoke: $pass server exited non-zero after drain" >&2
@@ -82,6 +84,15 @@ run_pass() {
 }
 
 run_pass plain
+
+# Sharded pass (docs/serving.md#sharded-serving): four engine shards behind
+# the same wire protocol, fed a multi-tenant churn mix so coalesced batches
+# split across shards. The loadgen gates stay identical — sharding must not
+# lose requests or break coalescing — and the server must announce the
+# layout both in its own log and through the stats verb the report scrapes.
+LOADGEN_EXTRA="--tenants 6" run_pass sharded --shards 4
+grep -q '^sharded:    4 engine shards' "$ART_DIR/server_sharded.log"
+grep -q '"engine_shards": 4' "$ART_DIR/load_report_sharded.json"
 
 # Durable pass: same drill with a write-ahead log and checkpoints on. The
 # WAL must hold at least one record afterwards, and a restart on the same

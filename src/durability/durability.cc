@@ -37,9 +37,11 @@ std::vector<std::string> SplitLines(const std::string& text) {
 
 /// Prices classifiers the engine does not know yet, exactly mirroring the
 /// live server's admission pricing (Server::PriceUnknown) so replay
-/// reproduces the same cost table.
+/// reproduces the same cost table. Templated over the engine type: the
+/// sharded facade exposes the same pricing surface as OnlineEngine.
+template <typename Engine>
 Status PriceUnknown(const std::vector<PropertySet>& added, double default_cost,
-                    online::OnlineEngine* engine) {
+                    Engine* engine) {
   if (default_cost < 0 || added.empty()) return Status::OK();
   Instance pricing;
   pricing.set_property_names(engine->property_names());
@@ -74,8 +76,11 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   return manager;
 }
 
-Result<RecoveryStats> DurabilityManager::Recover(
-    const Instance& base, double default_cost, online::OnlineEngine* engine) {
+template <typename Engine, typename ImportFn>
+Result<RecoveryStats> DurabilityManager::RecoverWith(const Instance& base,
+                                                     double default_cost,
+                                                     Engine* engine,
+                                                     const ImportFn& import) {
   if (recovered_) return Status::Internal("Recover called twice");
   const double started = NowSeconds();
 
@@ -89,7 +94,7 @@ Result<RecoveryStats> DurabilityManager::Recover(
     stats.snapshot_loaded = true;
     stats.snapshot_seq = snapshot->seq;
     stats.snapshots_skipped = snapshot->skipped_invalid;
-    MC3_RETURN_IF_ERROR(engine->ImportState(snapshot->state));
+    MC3_RETURN_IF_ERROR(import(*snapshot));
   } else if (snapshot.status().code() == StatusCode::kNotFound) {
     auto initialized = engine->Initialize(base);
     if (!initialized.ok()) return initialized.status();
@@ -149,6 +154,22 @@ Result<RecoveryStats> DurabilityManager::Recover(
   return stats;
 }
 
+Result<RecoveryStats> DurabilityManager::Recover(
+    const Instance& base, double default_cost, online::OnlineEngine* engine) {
+  return RecoverWith(base, default_cost, engine,
+                     [engine](const LoadedSnapshot& snapshot) {
+                       return engine->ImportState(snapshot.state);
+                     });
+}
+
+Result<RecoveryStats> DurabilityManager::Recover(
+    const Instance& base, double default_cost, online::ShardedEngine* engine) {
+  return RecoverWith(base, default_cost, engine,
+                     [engine](const LoadedSnapshot& snapshot) {
+                       return engine->ImportSharded(snapshot.ToShardedState());
+                     });
+}
+
 Result<uint64_t> DurabilityManager::LogBatch(
     const std::vector<PropertySet>& add, const std::vector<PropertySet>& remove,
     const std::vector<std::string>& names) {
@@ -176,8 +197,8 @@ bool DurabilityManager::ShouldCheckpoint() const {
   return false;
 }
 
-Result<CheckpointInfo> DurabilityManager::Checkpoint(
-    const online::EngineState& state) {
+template <typename StateT>
+Result<CheckpointInfo> DurabilityManager::CheckpointWith(const StateT& state) {
   const double started = NowSeconds();
   // Barrier: everything logged so far must be durable before the snapshot
   // that supersedes it is published — otherwise a crash after rotation
@@ -205,6 +226,16 @@ Result<CheckpointInfo> DurabilityManager::Checkpoint(
       .GetGauge("durability.snapshot_seq")
       .Set(static_cast<double>(seq));
   return info;
+}
+
+Result<CheckpointInfo> DurabilityManager::Checkpoint(
+    const online::EngineState& state) {
+  return CheckpointWith(state);
+}
+
+Result<CheckpointInfo> DurabilityManager::Checkpoint(
+    const online::ShardedState& state) {
+  return CheckpointWith(state);
 }
 
 WalWriterStats DurabilityManager::GetWalStats() const { return wal_->Stats(); }

@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "durability/snapshot.h"
 #include "durability/wal.h"
 #include "online/online_engine.h"
+#include "online/sharded_engine.h"
 #include "util/status.h"
 
 namespace mc3::durability {
@@ -87,6 +89,16 @@ class DurabilityManager {
   Result<RecoveryStats> Recover(const Instance& base, double default_cost,
                                 online::OnlineEngine* engine);
 
+  /// Same recovery contract for a sharded engine: the snapshot's recorded
+  /// shard layout is restored verbatim (InvalidArgument when it disagrees
+  /// with `engine->num_shards()` — restart with a matching --shards or let
+  /// `mc3 recover` probe the snapshot), then the WAL tail replays through
+  /// the shard router. The WAL itself is shard-agnostic (docs/durability.md
+  /// explains why a single log is kept), so the same log replays
+  /// byte-identically into any shard layout.
+  Result<RecoveryStats> Recover(const Instance& base, double default_cost,
+                                online::ShardedEngine* engine);
+
   /// Appends one admitted update batch; returns its sequence number.
   Result<uint64_t> LogBatch(const std::vector<PropertySet>& add,
                             const std::vector<PropertySet>& remove,
@@ -104,6 +116,9 @@ class DurabilityManager {
   /// engine's export under the same exclusion that serializes LogBatch
   /// (the engine worker), so the captured WAL sequence is exact.
   Result<CheckpointInfo> Checkpoint(const online::EngineState& state);
+  /// Same, for a sharded export: writes mc3.snapshot/2 with shard tags
+  /// (plain v1 when the layout has a single shard).
+  Result<CheckpointInfo> Checkpoint(const online::ShardedState& state);
 
   WalWriterStats GetWalStats() const;
   const RecoveryStats& recovery() const { return recovery_; }
@@ -114,6 +129,19 @@ class DurabilityManager {
 
  private:
   explicit DurabilityManager(DurabilityOptions options);
+
+  /// Shared recovery core: `import` restores a loaded snapshot into
+  /// `engine`; the rest (initialize-from-base, seq floor, WAL replay,
+  /// pricing) is identical for single and sharded engines. Defined in
+  /// durability.cc; instantiated only there.
+  template <typename Engine, typename ImportFn>
+  Result<RecoveryStats> RecoverWith(const Instance& base, double default_cost,
+                                    Engine* engine, const ImportFn& import);
+
+  /// Shared checkpoint core (the WriteSnapshotFile overload picks the
+  /// schema).
+  template <typename StateT>
+  Result<CheckpointInfo> CheckpointWith(const StateT& state);
 
   DurabilityOptions options_;
   std::unique_ptr<WalWriter> wal_;

@@ -77,11 +77,19 @@ std::string SnapshotFileName(uint64_t seq) {
   return buf;
 }
 
-std::string RenderSnapshot(const online::EngineState& state, uint64_t seq) {
+namespace {
+
+/// Shared v1/v2 renderer: `component_shards` == nullptr renders the legacy
+/// mc3.snapshot/1 document, otherwise mc3.snapshot/2 with shard tags.
+std::string RenderSnapshotDoc(const online::EngineState& state, uint64_t seq,
+                              uint32_t num_shards,
+                              const std::vector<uint32_t>* component_shards) {
   obs::JsonWriter writer;
   writer.BeginObject();
-  writer.Key("schema").String(kSnapshotSchema);
+  writer.Key("schema").String(component_shards == nullptr ? kSnapshotSchema
+                                                          : kSnapshotSchemaV2);
   writer.Key("seq").Int(seq);
+  if (component_shards != nullptr) writer.Key("shards").Int(num_shards);
   writer.Key("property_names").BeginArray();
   for (const std::string& name : state.property_names) writer.String(name);
   writer.EndArray();
@@ -96,7 +104,8 @@ std::string RenderSnapshot(const online::EngineState& state, uint64_t seq) {
   }
   writer.EndArray();
   writer.Key("components").BeginArray();
-  for (const online::EngineState::Component& component : state.components) {
+  for (size_t i = 0; i < state.components.size(); ++i) {
+    const online::EngineState::Component& component = state.components[i];
     writer.BeginObject();
     writer.Key("queries").BeginArray();
     for (const PropertySet& query : component.queries) {
@@ -109,11 +118,27 @@ std::string RenderSnapshot(const online::EngineState& state, uint64_t seq) {
     }
     writer.EndArray();
     writer.Key("cost").Number(component.cost);
+    if (component_shards != nullptr) {
+      writer.Key("shard").Int((*component_shards)[i]);
+    }
     writer.EndObject();
   }
   writer.EndArray();
   writer.EndObject();
   return writer.Take() + "\n";
+}
+
+}  // namespace
+
+std::string RenderSnapshot(const online::EngineState& state, uint64_t seq) {
+  return RenderSnapshotDoc(state, seq, 1, nullptr);
+}
+
+std::string RenderShardedSnapshot(const online::ShardedState& state,
+                                  uint64_t seq) {
+  if (state.num_shards == 1) return RenderSnapshot(state.state, seq);
+  return RenderSnapshotDoc(state.state, seq, state.num_shards,
+                           &state.component_shards);
 }
 
 Result<ParsedSnapshot> ParseSnapshot(const std::string& json) {
@@ -125,10 +150,13 @@ Result<ParsedSnapshot> ParseSnapshot(const std::string& json) {
   }
   const obs::JsonValue* schema = root.Find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->string != kSnapshotSchema) {
+      (schema->string != kSnapshotSchema &&
+       schema->string != kSnapshotSchemaV2)) {
     return Status::InvalidArgument(std::string("snapshot schema must be '") +
-                                   kSnapshotSchema + "'");
+                                   kSnapshotSchema + "' or '" +
+                                   kSnapshotSchemaV2 + "'");
   }
+  const bool sharded_schema = schema->string == kSnapshotSchemaV2;
   const obs::JsonValue* seq = root.Find("seq");
   if (seq == nullptr) return Status::InvalidArgument("snapshot lacks seq");
   auto seq_value = ParseSeq(*seq);
@@ -136,6 +164,17 @@ Result<ParsedSnapshot> ParseSnapshot(const std::string& json) {
 
   ParsedSnapshot out;
   out.seq = *seq_value;
+
+  if (sharded_schema) {
+    const obs::JsonValue* shards = root.Find("shards");
+    if (shards == nullptr || !shards->is_number() ||
+        shards->number != std::floor(shards->number) || shards->number < 1 ||
+        shards->number > 65536) {
+      return Status::InvalidArgument(
+          "shards must be an integer in [1, 65536]");
+    }
+    out.num_shards = static_cast<uint32_t>(shards->number);
+  }
 
   const obs::JsonValue* names = root.Find("property_names");
   if (names == nullptr || !names->is_array()) {
@@ -193,6 +232,18 @@ Result<ParsedSnapshot> ParseSnapshot(const std::string& json) {
           "components entries must be {queries, solution, cost} with a "
           "finite non-negative cost");
     }
+    uint32_t shard = 0;
+    if (sharded_schema) {
+      const obs::JsonValue* shard_tag = entry.Find("shard");
+      if (shard_tag == nullptr || !shard_tag->is_number() ||
+          shard_tag->number != std::floor(shard_tag->number) ||
+          shard_tag->number < 0 ||
+          shard_tag->number >= static_cast<double>(out.num_shards)) {
+        return Status::InvalidArgument(
+            "components entries must carry a shard index below 'shards'");
+      }
+      shard = static_cast<uint32_t>(shard_tag->number);
+    }
     online::EngineState::Component component;
     component.cost = cost->number;
     component.queries.reserve(queries->array.size());
@@ -208,6 +259,7 @@ Result<ParsedSnapshot> ParseSnapshot(const std::string& json) {
       component.solution.push_back(std::move(*set));
     }
     out.state.components.push_back(std::move(component));
+    out.component_shards.push_back(shard);
   }
   return out;
 }
@@ -218,14 +270,34 @@ Status ValidateSnapshotJson(const std::string& json) {
   return Status::OK();
 }
 
+namespace {
+
+/// Publishes an already-rendered snapshot document atomically.
+Result<uint64_t> PublishSnapshotDocument(const std::string& dir,
+                                         std::string document, uint64_t seq);
+
+}  // namespace
+
 Result<uint64_t> WriteSnapshotFile(const std::string& dir,
                                    const online::EngineState& state,
                                    uint64_t seq) {
+  return PublishSnapshotDocument(dir, RenderSnapshot(state, seq), seq);
+}
+
+Result<uint64_t> WriteSnapshotFile(const std::string& dir,
+                                   const online::ShardedState& state,
+                                   uint64_t seq) {
+  return PublishSnapshotDocument(dir, RenderShardedSnapshot(state, seq), seq);
+}
+
+namespace {
+
+Result<uint64_t> PublishSnapshotDocument(const std::string& dir,
+                                         std::string document, uint64_t seq) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
 
-  const std::string document = RenderSnapshot(state, seq);
   {
     Status valid = ValidateSnapshotJson(document);
     if (!valid.ok()) {
@@ -268,6 +340,8 @@ Result<uint64_t> WriteSnapshotFile(const std::string& dir,
   }
   return static_cast<uint64_t>(document.size());
 }
+
+}  // namespace
 
 Result<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir) {
   std::error_code ec;
@@ -314,10 +388,18 @@ Result<LoadedSnapshot> LoadLatestSnapshot(const std::string& dir) {
     }
     out.seq = parsed->seq;
     out.state = std::move(parsed->state);
+    out.num_shards = parsed->num_shards;
+    out.component_shards = std::move(parsed->component_shards);
     out.path = path;
     return out;
   }
   return Status::NotFound("no valid snapshot in " + dir);
+}
+
+Result<uint32_t> ProbeSnapshotShardCount(const std::string& dir) {
+  auto loaded = LoadLatestSnapshot(dir);
+  if (!loaded.ok()) return loaded.status();
+  return loaded->num_shards;
 }
 
 }  // namespace mc3::durability

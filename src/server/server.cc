@@ -6,9 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "data/query_log.h"
@@ -30,7 +36,40 @@ void CountEndpoint(const char* which, Request::Op op) {
       .Add();
 }
 
+std::string ShardMetric(size_t shard, const char* name) {
+  return "server.shard." + std::to_string(shard) + "." + name;
+}
+
+/// Best-effort pin of `thread` to core `index % cores` (--pin-cores).
+/// Linux-only; a no-op elsewhere and when the affinity call fails.
+void PinThreadToCore(std::thread* thread, size_t index) {
+#ifdef __linux__
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(index % cores, &set);
+  (void)pthread_setaffinity_np(thread->native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)index;
+#endif
+}
+
 }  // namespace
+
+bool ParseShards(const std::string& text, uint32_t* shards) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 1024) return false;
+  }
+  if (value == 0) return false;
+  *shards = static_cast<uint32_t>(value);
+  return true;
+}
 
 Admission AdmitAt(size_t depth, size_t watermark, double base_retry_ms) {
   Admission admission;
@@ -52,7 +91,8 @@ Server::Connection::~Connection() {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity),
-      engine_(options_.engine) {
+      engine_(options_.shards == 0 ? 1 : options_.shards, options_.engine),
+      shard_counters_(options_.shards == 0 ? 1 : options_.shards) {
   if (options_.admission_watermark == 0) {
     options_.admission_watermark =
         std::max<size_t>(1, options_.queue_capacity * 3 / 4);
@@ -138,6 +178,24 @@ Status Server::Start(const Instance& base) {
 
   pool_ = std::make_unique<WorkerPool>(
       std::max<size_t>(1, options_.connection_workers));
+  // Shard workers before engine workers: the engine workers dispatch apply
+  // jobs to the shard queues and must never find them missing. With 0
+  // engine workers (embedding mode) batches apply serially inline, so no
+  // shard threads are needed.
+  if (engine_.num_shards() > 1 && options_.engine_workers > 0) {
+    const uint32_t num_shards = engine_.num_shards();
+    shard_queues_.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      // One dispatcher holds engine_mu_ per batch and each batch posts at
+      // most one job per shard, so a tiny queue never fills.
+      shard_queues_.push_back(
+          std::make_unique<BoundedQueue<std::function<void()>>>(4));
+    }
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      shard_threads_.emplace_back([this, s] { ShardWorkerLoop(s); });
+      if (options_.pin_cores) PinThreadToCore(&shard_threads_.back(), s);
+    }
+  }
   for (size_t w = 0; w < options_.engine_workers; ++w) {
     engine_threads_.emplace_back([this] { EngineWorkerLoop(); });
   }
@@ -171,6 +229,12 @@ void Server::Join() {
   if (acceptor_.joinable()) acceptor_.join();
   if (options_.engine_workers == 0) ProcessQueuedNow();
   for (std::thread& worker : engine_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Engine workers (the only producers of shard jobs) are gone: the shard
+  // queues can close and their workers drain out.
+  for (const auto& shard_queue : shard_queues_) shard_queue->Close();
+  for (std::thread& worker : shard_threads_) {
     if (worker.joinable()) worker.join();
   }
   // Unblock connection readers so their pool tasks finish; everything
@@ -346,6 +410,89 @@ void Server::EngineWorkerLoop() {
   }
 }
 
+void Server::ShardWorkerLoop(size_t index) {
+  BoundedQueue<std::function<void()>>& shard_queue = *shard_queues_[index];
+  while (true) {
+    std::optional<std::function<void()>> job = shard_queue.Pop();
+    if (!job.has_value()) return;
+    (*job)();
+  }
+}
+
+Result<online::UpdateStats> Server::ApplyEngineUpdate(
+    const std::vector<PropertySet>& add,
+    const std::vector<PropertySet>& remove) {
+  if (shard_queues_.empty()) return engine_.ApplyUpdate(add, remove);
+  // Dispatch the routed per-shard jobs to the shard workers and block until
+  // every shard committed; the batch is acked only after this returns. The
+  // dispatching engine worker holds engine_mu_, so at most one batch is in
+  // flight and the shard queues cannot fill.
+  return engine_.ApplyUpdate(
+      add, remove, [this](std::vector<std::function<void()>>* jobs) {
+        // The barrier state is shared-owned by every dispatched job: a
+        // stack-local condition variable could be destroyed while the last
+        // shard worker is still inside notify_one (the waiter's predicate
+        // turns true the instant the count hits zero).
+        struct Barrier {
+          std::mutex mu;
+          std::condition_variable done;
+          size_t outstanding = 0;
+        };
+        auto barrier = std::make_shared<Barrier>();
+        for (const std::function<void()>& job : *jobs) {
+          if (job) ++barrier->outstanding;
+        }
+        if (barrier->outstanding == 0) return;
+        for (size_t s = 0; s < jobs->size(); ++s) {
+          if (!(*jobs)[s]) continue;
+          std::function<void()>* job = &(*jobs)[s];
+          auto wrapped = [job, barrier] {
+            (*job)();
+            {
+              std::lock_guard<std::mutex> lock(barrier->mu);
+              --barrier->outstanding;
+            }
+            barrier->done.notify_one();
+          };
+          if (!shard_queues_[s]->TryPush(wrapped)) {
+            // Closed or full (neither can happen while engine workers are
+            // live, but a lost job would deadlock the batch): run inline.
+            wrapped();
+          }
+        }
+        std::unique_lock<std::mutex> lock(barrier->mu);
+        barrier->done.wait(lock, [&] { return barrier->outstanding == 0; });
+      });
+}
+
+void Server::RecordShardWork(size_t ops) {
+  if (engine_.num_shards() == 1) {
+    if (ops == 0) return;
+    shard_counters_[0].batches.fetch_add(1, std::memory_order_relaxed);
+    shard_counters_[0].ops.fetch_add(ops, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global().GetCounter(ShardMetric(0, "batches")).Add();
+    obs::MetricsRegistry::Global().GetCounter(ShardMetric(0, "ops")).Add(ops);
+    return;
+  }
+  const online::ShardBatchStats& batch = engine_.last_batch();
+  for (size_t s = 0; s < batch.shard_ops.size(); ++s) {
+    if (batch.shard_ops[s] == 0) continue;
+    shard_counters_[s].batches.fetch_add(1, std::memory_order_relaxed);
+    shard_counters_[s].ops.fetch_add(batch.shard_ops[s],
+                                     std::memory_order_relaxed);
+    obs::MetricsRegistry::Global().GetCounter(ShardMetric(s, "batches")).Add();
+    obs::MetricsRegistry::Global()
+        .GetCounter(ShardMetric(s, "ops"))
+        .Add(batch.shard_ops[s]);
+  }
+  if (batch.migrated > 0) {
+    migrated_.fetch_add(batch.migrated, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetCounter("server.shard.migrated")
+        .Add(batch.migrated);
+  }
+}
+
 void Server::ProcessQueuedNow() {
   while (ProcessNext(/*drain_only=*/true)) {
   }
@@ -436,7 +583,7 @@ uint64_t Server::PersistApplied(const std::vector<PropertySet>& add,
 
 void Server::MaybeCheckpoint() {
   if (durability_ == nullptr || !durability_->ShouldCheckpoint()) return;
-  auto info = durability_->Checkpoint(engine_.ExportState());
+  auto info = durability_->Checkpoint(engine_.ExportSharded());
   if (!info.ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -465,9 +612,10 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
     const NetUpdate net = coalescer.Take();
     Status priced = PriceUnknown(net.add);
     Result<online::UpdateStats> applied =
-        priced.ok() ? engine_.ApplyUpdate(net.add, net.remove)
+        priced.ok() ? ApplyEngineUpdate(net.add, net.remove)
                     : Result<online::UpdateStats>(priced);
     if (applied.ok()) {
+      RecordShardWork(net.ops);
       batches_.fetch_add(1, std::memory_order_relaxed);
       coalesced_ops_.fetch_add(net.ops, std::memory_order_relaxed);
       uint64_t seen = max_batch_.load(std::memory_order_relaxed);
@@ -509,7 +657,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
         Status fallback_priced = PriceUnknown(parsed[i].add);
         Result<online::UpdateStats> one =
             fallback_priced.ok()
-                ? engine_.ApplyUpdate(parsed[i].add, parsed[i].remove)
+                ? ApplyEngineUpdate(parsed[i].add, parsed[i].remove)
                 : Result<online::UpdateStats>(fallback_priced);
         if (!one.ok()) {
           responses[i] = RenderErrorResponse(batch[i].request.id,
@@ -517,6 +665,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
                                              one.status().message());
           continue;
         }
+        RecordShardWork(parsed[i].add.size() + parsed[i].remove.size());
         batches_.fetch_add(1, std::memory_order_relaxed);
         const uint64_t wal_seq = PersistApplied(parsed[i].add,
                                                 parsed[i].remove);
@@ -628,7 +777,7 @@ void Server::HandleCheckpoint(const PendingRequest& pending) {
   obs::JsonWriter writer(/*compact=*/true);
   {
     std::lock_guard<std::mutex> lock(engine_mu_);
-    auto info = durability_->Checkpoint(engine_.ExportState());
+    auto info = durability_->Checkpoint(engine_.ExportSharded());
     if (!info.ok()) {
       WriteResponse(pending.conn,
                     RenderErrorResponse(pending.request.id,
@@ -715,6 +864,21 @@ std::string Server::RenderStats(const Request& request) {
   writer.Key("coalesced_ops").Int(stats.coalesced_ops);
   writer.Key("max_batch").Int(stats.max_batch);
   writer.Key("queue_depth").Int(stats.queue_depth);
+  // Sharding view: always present (a single shard renders one entry), read
+  // entirely from Server-level atomics and queue depths so this inline
+  // path never touches engine_mu_.
+  writer.Key("engine_shards").Int(shard_counters_.size());
+  writer.Key("migrated").Int(stats.migrated);
+  writer.Key("shards").BeginArray();
+  for (size_t s = 0; s < stats.shards.size(); ++s) {
+    writer.BeginObject();
+    writer.Key("shard").Int(s);
+    writer.Key("batches").Int(stats.shards[s].batches);
+    writer.Key("ops").Int(stats.shards[s].ops);
+    writer.Key("queue_depth").Int(stats.shards[s].queue_depth);
+    writer.EndObject();
+  }
+  writer.EndArray();
   if (obs::kObsEnabled) {
     // Per-endpoint in-server latency percentiles (seconds), straight from
     // the ambient metrics registry. MetricsSnapshot maps are ordered, so
@@ -772,11 +936,27 @@ ServerStats Server::GetStats() const {
   stats.coalesced_ops = coalesced_ops_.load(std::memory_order_relaxed);
   stats.max_batch = max_batch_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_.Depth();
+  stats.migrated = migrated_.load(std::memory_order_relaxed);
+  stats.shards.resize(shard_counters_.size());
+  for (size_t s = 0; s < shard_counters_.size(); ++s) {
+    stats.shards[s].batches =
+        shard_counters_[s].batches.load(std::memory_order_relaxed);
+    stats.shards[s].ops =
+        shard_counters_[s].ops.load(std::memory_order_relaxed);
+    stats.shards[s].queue_depth =
+        s < shard_queues_.size() ? shard_queues_[s]->Depth() : 0;
+  }
   return stats;
 }
 
 void Server::WithEngine(
     const std::function<void(const online::OnlineEngine&)>& fn) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  fn(engine_.shard(0));
+}
+
+void Server::WithShardedEngine(
+    const std::function<void(const online::ShardedEngine&)>& fn) {
   std::lock_guard<std::mutex> lock(engine_mu_);
   fn(engine_);
 }

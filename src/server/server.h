@@ -16,7 +16,17 @@
 //                          coalesced with the maximal run of consecutive
 //                          queued updates (never reordering reads past
 //                          writes) and applied as ONE ApplyUpdate; all
-//                          engine access is serialized by a mutex.
+//                          engine access is serialized by a mutex;
+//   * shard workers      — with --shards N > 1 the engine is a
+//                          ShardedEngine and each shard gets a dedicated
+//                          worker thread (optionally core-pinned) behind a
+//                          small bounded queue; the engine worker routes a
+//                          coalesced batch, dispatches the per-shard apply
+//                          jobs to those queues and blocks until all shards
+//                          committed, then acks every folded request. Reads
+//                          merge per-shard results in canonical order, so
+//                          responses are byte-identical to --shards 1
+//                          (docs/serving.md#sharded-serving).
 //
 // Admission control: the queue has a hard capacity and a reject watermark;
 // at or above the watermark new engine ops are answered 429 with a
@@ -41,6 +51,7 @@
 #include "core/instance.h"
 #include "durability/durability.h"
 #include "online/online_engine.h"
+#include "online/sharded_engine.h"
 #include "server/bounded_queue.h"
 #include "server/protocol.h"
 #include "server/worker_pool.h"
@@ -58,6 +69,12 @@ struct Admission {
   double retry_after_ms = 0;
 };
 Admission AdmitAt(size_t depth, size_t watermark, double base_retry_ms);
+
+/// Parses a `--shards` value: a positive integer in [1, 1024]. Returns
+/// false (leaving `*shards` untouched) on non-numeric input, zero,
+/// negatives, trailing garbage, or out-of-range counts — the CLI turns
+/// that into a usage error.
+bool ParseShards(const std::string& text, uint32_t* shards);
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -78,6 +95,15 @@ struct ServerOptions {
   /// Connection-handling pool size = max concurrent connections.
   size_t connection_workers = 16;
 
+  /// Engine shards (`mc3 serve --shards`). 1 keeps the legacy single
+  /// OnlineEngine; N > 1 splits the live components across N engines with
+  /// dedicated shard worker threads, byte-equivalent on every verb
+  /// (docs/serving.md#sharded-serving).
+  uint32_t shards = 1;
+  /// Pin shard worker i to CPU core i % hardware_concurrency
+  /// (`mc3 serve --pin-cores`; Linux only, silently ignored elsewhere).
+  bool pin_cores = false;
+
   /// Price unknown classifiers of added queries at this default difficulty
   /// (mirrors `mc3 serve --default-cost`); negative = no auto-pricing, an
   /// uncoverable add fails with 400.
@@ -97,6 +123,13 @@ struct ServerOptions {
   std::string record_trace_path;
 };
 
+/// Per-shard serving statistics (stats endpoint `shards` array).
+struct ShardStats {
+  uint64_t batches = 0;  ///< routed batches that touched this shard
+  uint64_t ops = 0;      ///< adds + removes dispatched to this shard
+  size_t queue_depth = 0;  ///< shard worker queue depth right now
+};
+
 /// Point-in-time server statistics (also served by the stats endpoint).
 struct ServerStats {
   uint64_t connections = 0;  ///< connections accepted
@@ -109,6 +142,8 @@ struct ServerStats {
   uint64_t coalesced_ops = 0;  ///< source update ops folded into batches
   uint64_t max_batch = 0;    ///< largest ops-per-batch seen
   size_t queue_depth = 0;
+  uint64_t migrated = 0;     ///< queries moved between shards (router merges)
+  std::vector<ShardStats> shards;  ///< one entry per engine shard
 };
 
 class Server {
@@ -146,9 +181,15 @@ class Server {
   /// mode); with live workers it merely competes with them.
   void ProcessQueuedNow();
 
-  /// Read access to the engine for equivalence checks in tests; takes the
-  /// engine mutex. `fn` must not re-enter the server.
+  /// Read access to shard 0's engine for equivalence checks in tests; takes
+  /// the engine mutex. `fn` must not re-enter the server. With --shards 1
+  /// (the default) shard 0 IS the whole engine; sharded deployments see one
+  /// shard's slice — use WithShardedEngine for the merged view.
   void WithEngine(const std::function<void(const online::OnlineEngine&)>& fn);
+
+  /// Read access to the full (possibly sharded) engine; same contract.
+  void WithShardedEngine(
+      const std::function<void(const online::ShardedEngine&)>& fn);
 
   /// The durability manager, or nullptr when serving non-durably. Valid
   /// after Start; the CLI uses it to report what recovery did.
@@ -178,6 +219,18 @@ class Server {
   /// updates behind it, executes, responds. Returns false when the queue is
   /// closed and empty.
   bool ProcessNext(bool drain_only);
+
+  /// Applies one net batch through the engine, dispatching per-shard jobs
+  /// to the shard workers when they are running (engine_mu_ held).
+  Result<online::UpdateStats> ApplyEngineUpdate(
+      const std::vector<PropertySet>& add,
+      const std::vector<PropertySet>& remove);
+  /// Folds the just-applied batch's routing into the per-shard counters and
+  /// obs metrics (engine_mu_ held). `ops` is the batch's op count, charged
+  /// to shard 0 when the engine is unsharded.
+  void RecordShardWork(size_t ops);
+  /// Body of shard worker `index`: drain the shard queue until closed.
+  void ShardWorkerLoop(size_t index);
 
   void HandleUpdateBatch(std::vector<PendingRequest> batch);
   void HandleSolve(const PendingRequest& pending);
@@ -217,9 +270,22 @@ class Server {
   std::vector<std::thread> engine_threads_;
 
   std::mutex engine_mu_;
-  online::OnlineEngine engine_;
+  online::ShardedEngine engine_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, PropertyId> interned_;
+
+  /// Shard workers (only with shards > 1 and live engine workers): one
+  /// small job queue + thread per shard. Counters are Server-level atomics
+  /// so the inline stats path never touches engine_mu_.
+  struct ShardCounters {
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> ops{0};
+  };
+  std::vector<std::unique_ptr<BoundedQueue<std::function<void()>>>>
+      shard_queues_;
+  std::vector<std::thread> shard_threads_;
+  std::vector<ShardCounters> shard_counters_;
+  std::atomic<uint64_t> migrated_{0};
 
   /// Durability state (engine_mu_ guards all manager calls except the
   /// thread-safe GetWalStats). Null when serving non-durably.

@@ -6,6 +6,7 @@
 // solution assembly fails these tests.
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -18,8 +19,10 @@
 #include "core/instance_util.h"
 #include "core/k2_solver.h"
 #include "core/solution.h"
+#include "durability/snapshot.h"
 #include "obs/metrics.h"
 #include "online/online_engine.h"
+#include "online/sharded_engine.h"
 #include "server/coalescer.h"
 #include "tests/test_util.h"
 #include "util/float_cmp.h"
@@ -299,6 +302,213 @@ TEST(DeterminismTest, ZeroCostSelectionOrder) {
       EXPECT_EQ(rendered, first);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-vs-single equivalence (src/online/sharded_engine.h): Observation
+// 3.2 makes connected components independent solve units, so a sharded
+// engine whose router keeps every component on one shard must be
+// *byte-identical* to the single engine — same canonical snapshot bytes,
+// same canonical solution, same canonical total cost — for every shard
+// count and every update history.
+
+/// Net churn batches (coalescer-shaped: add/remove disjoint per batch)
+/// over the seeded content's queries, spanning several components.
+struct NetBatch {
+  std::vector<PropertySet> add;
+  std::vector<PropertySet> remove;
+};
+
+std::vector<NetBatch> ChurnBatches(const std::vector<PropertySet>& qs) {
+  return {
+      {{}, {qs[1], qs[3]}},            // shrink two components
+      {{qs[1]}, {qs[5]}},              // re-add one, drop another
+      {{qs[3], qs[5]}, {}},            // restore both
+      {{}, {qs[0], qs[2]}},            // more shrinking
+      {{qs[0]}, {qs[4]}},              // interleaved re-add + remove
+  };
+}
+
+/// "%.17g" rendering — bitwise cost comparison across engines.
+std::string CostBytes(Cost cost) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", cost);
+  return buffer;
+}
+
+TEST(DeterminismTest, ShardedEngineMatchesSingleEngineByteForByte) {
+  const InstanceContent content = SeededContent(97, /*num_queries=*/12);
+  const Instance base = BuildShuffled(content, 13, /*shuffle_queries=*/false);
+  const std::vector<NetBatch> batches = ChurnBatches(content.queries);
+
+  online::OnlineEngine single;
+  ASSERT_TRUE(single.Initialize(base).ok());
+  for (const NetBatch& batch : batches) {
+    auto stats = single.ApplyUpdate(batch.add, batch.remove);
+    ASSERT_TRUE(stats.ok()) << stats.status().message();
+  }
+  ASSERT_TRUE(single.CheckInvariants().ok());
+  // The equivalence oracle: canonical state (queries sorted within each
+  // component, components by smallest query) rendered as snapshot bytes.
+  const std::string expected_snapshot = durability::RenderSnapshot(
+      online::CanonicalizeState(single.ExportState()), /*seq=*/7);
+  const std::string expected_solution =
+      Canonical(single.CurrentSolution(), base);
+
+  for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+    online::ShardedEngine sharded(shards);
+    auto init = sharded.Initialize(base);
+    ASSERT_TRUE(init.ok()) << init.status().message();
+    for (const NetBatch& batch : batches) {
+      auto stats = sharded.ApplyUpdate(batch.add, batch.remove);
+      ASSERT_TRUE(stats.ok()) << stats.status().message();
+    }
+    ASSERT_TRUE(sharded.CheckInvariants().ok()) << shards << " shards";
+    EXPECT_EQ(sharded.NumQueries(), single.NumQueries()) << shards;
+    EXPECT_EQ(durability::RenderSnapshot(sharded.CanonicalState(), /*seq=*/7),
+              expected_snapshot)
+        << shards << " shards";
+    EXPECT_EQ(Canonical(sharded.CurrentSolution(), base), expected_solution)
+        << shards << " shards";
+  }
+}
+
+TEST(DeterminismTest, OneShardFacadeIsATransparentPassThrough) {
+  // num_shards == 1 must be the legacy engine byte for byte, including the
+  // non-canonical (history-ordered) export and the running total cost.
+  const InstanceContent content = SeededContent(103, /*num_queries=*/10);
+  const Instance base = BuildShuffled(content, 19, /*shuffle_queries=*/false);
+  const std::vector<NetBatch> batches = ChurnBatches(content.queries);
+
+  online::OnlineEngine single;
+  online::ShardedEngine facade(1);
+  ASSERT_TRUE(single.Initialize(base).ok());
+  ASSERT_TRUE(facade.Initialize(base).ok());
+  for (const NetBatch& batch : batches) {
+    auto expect = single.ApplyUpdate(batch.add, batch.remove);
+    auto got = facade.ApplyUpdate(batch.add, batch.remove);
+    ASSERT_TRUE(expect.ok()) << expect.status().message();
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got->queries_added, expect->queries_added);
+    EXPECT_EQ(got->queries_removed, expect->queries_removed);
+    EXPECT_EQ(got->components_resolved, expect->components_resolved);
+  }
+  EXPECT_EQ(CostBytes(facade.TotalCost()), CostBytes(single.TotalCost()));
+  EXPECT_EQ(durability::RenderSnapshot(facade.ExportSharded().state, 3),
+            durability::RenderSnapshot(single.ExportState(), 3));
+}
+
+TEST(DeterminismTest, ShardedCanonicalCostIsLayoutIndependent) {
+  // TotalCost sums per-shard running totals, so its low bits may depend on
+  // the layout (float addition is not associative); CanonicalTotalCost
+  // must not — it is the cost the sharded snapshot/stats verbs expose for
+  // cross-layout comparison.
+  const InstanceContent content = SeededContent(109, /*num_queries=*/12);
+  const Instance base = BuildShuffled(content, 23, /*shuffle_queries=*/false);
+  const std::vector<NetBatch> batches = ChurnBatches(content.queries);
+  std::string first;
+  for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+    online::ShardedEngine engine(shards);
+    ASSERT_TRUE(engine.Initialize(base).ok());
+    for (const NetBatch& batch : batches) {
+      ASSERT_TRUE(engine.ApplyUpdate(batch.add, batch.remove).ok());
+    }
+    const std::string bytes = CostBytes(engine.CanonicalTotalCost());
+    if (first.empty()) {
+      first = bytes;
+    } else {
+      EXPECT_EQ(bytes, first) << shards << " shards";
+    }
+  }
+}
+
+TEST(DeterminismTest, ShardedEquivalenceAcrossShuffledHistories) {
+  // The sharded engine inherits the single engine's determinism contract:
+  // shuffled cost-table insertion histories must not leak into the
+  // canonical snapshot bytes, at any shard count.
+  const InstanceContent content = SeededContent(113, /*num_queries=*/10);
+  std::string first;
+  for (const uint32_t shards : {2u, 4u}) {
+    for (uint64_t perm = 0; perm < 3; ++perm) {
+      const Instance base = BuildShuffled(content, perm * 61 + 29,
+                                          /*shuffle_queries=*/false);
+      online::ShardedEngine engine(shards);
+      ASSERT_TRUE(engine.Initialize(base).ok());
+      for (const NetBatch& batch : ChurnBatches(content.queries)) {
+        ASSERT_TRUE(engine.ApplyUpdate(batch.add, batch.remove).ok());
+      }
+      const std::string bytes =
+          durability::RenderSnapshot(engine.CanonicalState(), 1);
+      if (first.empty()) {
+        first = bytes;
+      } else {
+        EXPECT_EQ(bytes, first) << shards << " shards, perm " << perm;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ShardedApplyIsRunnerOrderIndependent) {
+  // The server hands per-shard jobs to worker threads; whatever order (or
+  // interleaving) they run in, the merged state must not change. Drive the
+  // same history through the default serial runner and a reversed one.
+  const InstanceContent content = SeededContent(127, /*num_queries=*/12);
+  const Instance base = BuildShuffled(content, 31, /*shuffle_queries=*/false);
+  const online::ShardedEngine::ShardRunner reversed =
+      [](std::vector<std::function<void()>>* jobs) {
+        for (auto it = jobs->rbegin(); it != jobs->rend(); ++it) {
+          if (*it) (*it)();
+        }
+      };
+  online::ShardedEngine forward(4);
+  online::ShardedEngine backward(4);
+  ASSERT_TRUE(forward.Initialize(base).ok());
+  ASSERT_TRUE(backward.Initialize(base).ok());
+  for (const NetBatch& batch : ChurnBatches(content.queries)) {
+    ASSERT_TRUE(forward.ApplyUpdate(batch.add, batch.remove).ok());
+    ASSERT_TRUE(backward.ApplyUpdate(batch.add, batch.remove, reversed).ok());
+  }
+  EXPECT_EQ(durability::RenderSnapshot(backward.CanonicalState(), 1),
+            durability::RenderSnapshot(forward.CanonicalState(), 1));
+  EXPECT_EQ(CostBytes(backward.CanonicalTotalCost()),
+            CostBytes(forward.CanonicalTotalCost()));
+}
+
+TEST(DeterminismTest, ShardedCoalescedBatchMatchesSequentialUpdates) {
+  // The serving-path composition: coalesced net batches through a sharded
+  // engine must still land on the single sequential engine's bytes.
+  const InstanceContent content = SeededContent(83, /*num_queries=*/10);
+  const Instance base = BuildShuffled(content, 11, /*shuffle_queries=*/false);
+  const std::vector<PropertySet>& qs = content.queries;
+  struct Op {
+    std::vector<PropertySet> add;
+    std::vector<PropertySet> remove;
+  };
+  const std::vector<Op> ops = {
+      {{}, {qs[0]}}, {{}, {qs[2]}}, {{qs[0]}, {}}, {{}, {qs[4]}},
+      {{qs[2]}, {}}, {{qs[0]}, {}}, {{qs[7]}, {qs[7]}},
+  };
+
+  online::OnlineEngine sequential;
+  ASSERT_TRUE(sequential.Initialize(base).ok());
+  for (const Op& op : ops) {
+    ASSERT_TRUE(sequential.ApplyUpdate(op.add, op.remove).ok());
+  }
+
+  online::ShardedEngine batched(4);
+  ASSERT_TRUE(batched.Initialize(base).ok());
+  server::UpdateCoalescer coalescer;
+  for (const Op& op : ops) coalescer.Fold(op.add, op.remove);
+  const server::NetUpdate net = coalescer.Take();
+  ASSERT_TRUE(batched.ApplyUpdate(net.add, net.remove).ok());
+
+  ASSERT_TRUE(batched.CheckInvariants().ok());
+  EXPECT_EQ(batched.NumQueries(), sequential.NumQueries());
+  EXPECT_EQ(Canonical(batched.CurrentSolution(), base),
+            Canonical(sequential.CurrentSolution(), base));
+  EXPECT_EQ(durability::RenderSnapshot(batched.CanonicalState(), 1),
+            durability::RenderSnapshot(
+                online::CanonicalizeState(sequential.ExportState()), 1));
 }
 
 /// Canonical byte rendering of the registry's counters after one solve of

@@ -17,6 +17,7 @@
 #include "durability/snapshot.h"
 #include "durability/wal.h"
 #include "online/online_engine.h"
+#include "online/sharded_engine.h"
 #include "tests/test_util.h"
 
 namespace mc3::durability {
@@ -544,6 +545,167 @@ TEST(DurabilityManagerTest, CheckpointPolicyByUpdateCount) {
   ASSERT_TRUE((*manager)->Checkpoint(engine.ExportState()).ok());
   EXPECT_FALSE((*manager)->ShouldCheckpoint());
   ASSERT_TRUE((*manager)->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded layouts (mc3.snapshot/2; src/online/sharded_engine.h,
+// docs/durability.md). The WAL stays shard-agnostic — only snapshots
+// record the layout — so these tests cover the snapshot schema round-trip,
+// the layout-mismatch guard, and manager-level sharded recovery.
+
+using online::ShardedEngine;
+
+/// A churned sharded engine over the paper example (every shard count
+/// yields the same canonical state; the placement varies).
+ShardedEngine MakeShardedEngine(uint32_t shards) {
+  ShardedEngine engine(shards);
+  const Instance base = PaperExample();
+  auto init = engine.Initialize(base);
+  EXPECT_TRUE(init.ok()) << init.status().ToString();
+  const std::vector<PropertySet>& queries = base.queries();
+  EXPECT_GE(queries.size(), 2u);
+  // Churn so stored solutions and the router's live set are non-trivial.
+  EXPECT_TRUE(engine.ApplyUpdate({}, {queries[0]}).ok());
+  EXPECT_TRUE(engine.ApplyUpdate({queries[0]}, {queries[1]}).ok());
+  EXPECT_TRUE(engine.ApplyUpdate({queries[1]}, {}).ok());
+  return engine;
+}
+
+TEST(SnapshotTest, ShardedRenderParseReRenderIsByteStable) {
+  ShardedEngine engine = MakeShardedEngine(4);
+  const online::ShardedState state = engine.ExportSharded();
+  EXPECT_EQ(state.num_shards, 4u);
+  const std::string json = RenderShardedSnapshot(state, 9);
+  ASSERT_TRUE(ValidateSnapshotJson(json).ok());
+  EXPECT_NE(json.find(kSnapshotSchemaV2), std::string::npos);
+
+  auto parsed = ParseSnapshot(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 9u);
+  EXPECT_EQ(parsed->num_shards, 4u);
+  ASSERT_EQ(parsed->component_shards.size(), state.component_shards.size());
+  EXPECT_EQ(RenderShardedSnapshot(parsed->ToShardedState(), 9), json);
+
+  ShardedEngine restored(4);
+  ASSERT_TRUE(restored.ImportSharded(parsed->ToShardedState()).ok());
+  ASSERT_TRUE(restored.CheckInvariants().ok());
+  EXPECT_EQ(restored.NumQueries(), engine.NumQueries());
+  // Import restores the exact placement, so the re-export is byte-stable.
+  EXPECT_EQ(RenderShardedSnapshot(restored.ExportSharded(), 9), json);
+}
+
+TEST(SnapshotTest, OneShardShardedExportIsTheLegacyDocument) {
+  // A 1-shard engine keeps writing plain mc3.snapshot/1 bytes: pre-sharding
+  // snapshots and 1-shard snapshots stay interchangeable.
+  ShardedEngine facade = MakeShardedEngine(1);
+  const online::ShardedState state = facade.ExportSharded();
+  ASSERT_EQ(state.num_shards, 1u);
+  const std::string json = RenderShardedSnapshot(state, 5);
+  EXPECT_EQ(json, RenderSnapshot(state.state, 5));
+  EXPECT_NE(json.find(kSnapshotSchema), std::string::npos);
+  EXPECT_EQ(json.find(kSnapshotSchemaV2), std::string::npos);
+
+  // And a v1 document parses as a 1-shard layout.
+  auto parsed = ParseSnapshot(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_shards, 1u);
+  for (const uint32_t shard : parsed->component_shards) EXPECT_EQ(shard, 0u);
+}
+
+TEST(SnapshotTest, ShardLayoutMismatchIsRejectedOnImport) {
+  ShardedEngine engine = MakeShardedEngine(4);
+  ShardedEngine two(2);
+  const Status status = two.ImportSharded(engine.ExportSharded());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("--shards"), std::string::npos)
+      << status.ToString();  // the message tells the operator the fix
+}
+
+TEST(DurabilityManagerTest, ShardedSnapshotPlusWalTailRecovers) {
+  ScratchDir dir("mgr_sharded");
+  ShardedEngine live(4);
+  {
+    auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE((*manager)->Recover(PaperExample(), -1, &live).ok());
+    const std::vector<PropertySet> queries = PaperExample().queries();
+    // Log the same churn the engine applies, as the server does.
+    ASSERT_TRUE(live.ApplyUpdate({}, {queries[0]}).ok());
+    ASSERT_TRUE(
+        (*manager)->LogBatch({}, {queries[0]}, live.property_names()).ok());
+    auto checkpoint = (*manager)->Checkpoint(live.ExportSharded());
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+    // Post-snapshot tail: recovery must replay it into the same layout.
+    ASSERT_TRUE(live.ApplyUpdate({queries[0]}, {}).ok());
+    ASSERT_TRUE(
+        (*manager)->LogBatch({queries[0]}, {}, live.property_names()).ok());
+    ASSERT_TRUE((*manager)->Close().ok());
+  }
+
+  ShardedEngine recovered(4);
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok());
+  auto recovery = (*manager)->Recover(PaperExample(), -1, &recovered);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_TRUE(recovery->snapshot_loaded);
+  EXPECT_EQ(recovery->wal_records_replayed, 1u);
+  ASSERT_TRUE((*manager)->Close().ok());
+
+  ASSERT_TRUE(recovered.CheckInvariants().ok());
+  // Canonical byte equality. (Raw export order is slot order, which
+  // depends on where the checkpoint fell inside the remove/re-add cycle —
+  // the live engine reuses the freed slot, the recovered one packs the
+  // snapshot first — so the canonical form is the equivalence oracle,
+  // exactly as in tests/determinism_test.cc.)
+  EXPECT_EQ(recovered.NumQueries(), live.NumQueries());
+  EXPECT_EQ(RenderSnapshot(recovered.CanonicalState(), 0),
+            RenderSnapshot(live.CanonicalState(), 0));
+}
+
+TEST(DurabilityManagerTest, ShardedRecoveryRejectsLayoutMismatch) {
+  // A server restarted with the wrong --shards must fail loudly instead of
+  // silently resharding (resharding would break byte-stable replay).
+  ScratchDir dir("mgr_shard_mismatch");
+  {
+    auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+    ASSERT_TRUE(manager.ok());
+    ShardedEngine live(4);
+    ASSERT_TRUE((*manager)->Recover(PaperExample(), -1, &live).ok());
+    ASSERT_TRUE((*manager)->Checkpoint(live.ExportSharded()).ok());
+    ASSERT_TRUE((*manager)->Close().ok());
+  }
+  ShardedEngine wrong(2);
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok());
+  auto recovery = (*manager)->Recover(PaperExample(), -1, &wrong);
+  ASSERT_FALSE(recovery.ok());
+  EXPECT_EQ(recovery.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(recovery.status().ToString().find("--shards"), std::string::npos);
+}
+
+TEST(DurabilityManagerTest, LegacySnapshotRecoversIntoAOneShardEngine) {
+  // Upgrade path: a data dir checkpointed by the pre-sharding server (v1
+  // document via OnlineEngine) recovers into the 1-shard facade unchanged.
+  ScratchDir dir("mgr_v1_upgrade");
+  OnlineEngine old_engine;
+  {
+    auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE((*manager)->Recover(PaperExample(), -1, &old_engine).ok());
+    Churn(&old_engine, manager->get(), 2);
+    ASSERT_TRUE((*manager)->Checkpoint(old_engine.ExportState()).ok());
+    ASSERT_TRUE((*manager)->Close().ok());
+  }
+  ShardedEngine facade(1);
+  auto manager = DurabilityManager::Open(ManagerOptions(dir.path));
+  ASSERT_TRUE(manager.ok());
+  auto recovery = (*manager)->Recover(PaperExample(), -1, &facade);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_TRUE(recovery->snapshot_loaded);
+  ASSERT_TRUE(facade.CheckInvariants().ok());
+  EXPECT_EQ(RenderShardedSnapshot(facade.ExportSharded(), 0),
+            RenderSnapshot(old_engine.ExportState(), 0));
 }
 
 }  // namespace

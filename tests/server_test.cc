@@ -27,6 +27,7 @@
 #include "obs/json.h"
 #include "util/float_cmp.h"
 #include "online/online_engine.h"
+#include "online/sharded_engine.h"
 #include "server/bounded_queue.h"
 #include "server/coalescer.h"
 #include "server/protocol.h"
@@ -803,6 +804,153 @@ TEST(ServerDurabilityTest, RestartOnSameDataDirResumesAcknowledgedState) {
   EXPECT_EQ(next.Find("wal_seq")->number, 4);
   server.RequestDrain();
   server.Join();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving (docs/serving.md#sharded-serving).
+
+TEST(ParseShardsTest, AcceptsPositiveIntegersInRange) {
+  uint32_t shards = 0;
+  EXPECT_TRUE(ParseShards("1", &shards));
+  EXPECT_EQ(shards, 1u);
+  EXPECT_TRUE(ParseShards("4", &shards));
+  EXPECT_EQ(shards, 4u);
+  EXPECT_TRUE(ParseShards("1024", &shards));
+  EXPECT_EQ(shards, 1024u);
+}
+
+TEST(ParseShardsTest, RejectsZeroNegativeGarbageAndOverflow) {
+  // `mc3 serve --shards 0` (and friends) must be a usage error, not a
+  // silent fallback to some default.
+  uint32_t shards = 77;
+  for (const char* bad : {"0", "-1", "-4", "", "abc", "4x", "2.5", "1025",
+                          "99999999999999999999", " 4"}) {
+    EXPECT_FALSE(ParseShards(bad, &shards)) << "'" << bad << "'";
+    EXPECT_EQ(shards, 77u) << "'" << bad << "' must leave the value alone";
+  }
+}
+
+TEST(ServerTest, ShardedServerMatchesSingleShardResponses) {
+  // The equivalence contract, end to end over real sockets: the same
+  // update script against a 1-shard and a 4-shard server must produce
+  // byte-identical solve responses (canonical merge order hides the
+  // placement) at every step. Update acks are compared on their
+  // state-describing fields; per-batch work counters may legitimately
+  // differ when a cross-shard merge migrates queries.
+  ServerOptions single_options = TestOptions();
+  ServerOptions sharded_options = TestOptions();
+  sharded_options.shards = 4;
+  Server single(single_options);
+  Server sharded(sharded_options);
+  ASSERT_TRUE(single.Start(BaseInstance()).ok());
+  ASSERT_TRUE(sharded.Start(BaseInstance()).ok());
+  TestClient single_client(single.port());
+  TestClient sharded_client(sharded.port());
+  ASSERT_TRUE(single_client.connected());
+  ASSERT_TRUE(sharded_client.connected());
+
+  const std::vector<std::string> updates = {
+      R"({"op":"update","id":1,"add":[["a1","a2"],["b1","b2"]]})",
+      R"({"op":"update","id":2,"add":[["c1","c2"],["d1","d2"]]})",
+      R"({"op":"update","id":3,"remove":[["tv"]]})",
+      // Bridge two components: on the sharded server this may merge
+      // groups across shards and migrate queries.
+      R"({"op":"update","id":4,"add":[["a2","b1"],["c2","d1"]]})",
+      R"({"op":"update","id":5,"remove":[["a1","a2"],["c1","c2"]]})",
+  };
+  int step = 6;
+  for (const std::string& update : updates) {
+    const obs::JsonValue single_ack = single_client.Call(update);
+    const obs::JsonValue sharded_ack = sharded_client.Call(update);
+    ASSERT_EQ(CodeOf(single_ack), 200) << update;
+    ASSERT_EQ(CodeOf(sharded_ack), 200) << update;
+    for (const char* field : {"queries", "components", "cost",
+                              "queries_added", "queries_removed"}) {
+      ASSERT_NE(sharded_ack.Find(field), nullptr) << field;
+      EXPECT_EQ(sharded_ack.Find(field)->number,
+                single_ack.Find(field)->number)
+          << field << " after " << update;
+    }
+    // Read-your-writes equivalence after every step, byte for byte.
+    const std::string solve = R"({"op":"solve","id":)" +
+                              std::to_string(step++) +
+                              R"(,"solution":true})";
+    single_client.Send(solve);
+    sharded_client.Send(solve);
+    EXPECT_EQ(sharded_client.ReadLine(), single_client.ReadLine())
+        << "after " << update;
+  }
+
+  // The stats verb exposes the sharded layout: one entry per shard, and
+  // the committed ops spread over them sum to the coalesced total.
+  const obs::JsonValue stats = sharded_client.Call(
+      R"({"op":"stats","id":99})");
+  ASSERT_EQ(CodeOf(stats), 200);
+  EXPECT_EQ(stats.Find("engine_shards")->number, 4);
+  const obs::JsonValue* shards = stats.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_TRUE(shards->is_array());
+  ASSERT_EQ(shards->array.size(), 4u);
+  double shard_ops = 0;
+  for (const obs::JsonValue& entry : shards->array) {
+    shard_ops += entry.Find("ops")->number;
+  }
+  EXPECT_GT(shard_ops, 0);
+  const obs::JsonValue single_stats =
+      single_client.Call(R"({"op":"stats","id":99})");
+  EXPECT_EQ(single_stats.Find("engine_shards")->number, 1);
+
+  single.RequestDrain();
+  sharded.RequestDrain();
+  single.Join();
+  sharded.Join();
+}
+
+TEST(ServerTest, ShardedServerSurvivesConcurrentClients) {
+  // The shard-worker fan-out path under real concurrency (the TSan job
+  // runs this): multiple clients, cross-client property overlap, then a
+  // canonical solution identical to a 1-shard offline replay of the final
+  // live set.
+  ServerOptions options = TestOptions();
+  options.shards = 4;
+  options.engine.solver_options.num_threads = 1;
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kOpsPerClient = 10;
+  std::atomic<uint64_t> non_ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, port = server.port(), &non_ok] {
+      TestClient client(port);
+      ASSERT_TRUE(client.connected());
+      for (size_t i = 0; i < kOpsPerClient; ++i) {
+        const std::string mine =
+            "s" + std::to_string(c) + "_" + std::to_string(i % 3);
+        const std::string line = R"({"op":"update","id":)" +
+                                 std::to_string(i) + R"(,"add":[[")" + mine +
+                                 R"(","shared_)" + std::to_string(i % 2) +
+                                 R"("]]})";
+        if (CodeOf(client.Call(line)) != 200) non_ok.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(non_ok.load(), 0u);
+  server.RequestDrain();
+  server.Join();
+
+  const ServerStats stats = server.GetStats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  uint64_t shard_ops = 0;
+  for (const ShardStats& shard : stats.shards) shard_ops += shard.ops;
+  EXPECT_GT(shard_ops, 0u);
+
+  server.WithShardedEngine([&](const online::ShardedEngine& engine) {
+    ASSERT_TRUE(engine.CheckInvariants().ok());
+  });
 }
 
 }  // namespace

@@ -121,12 +121,14 @@ int Usage() {
       "  mc3 serve <workload.csv> --listen <port> [--port-file F]\n"
       "            [--queue-capacity N] [--watermark N] [--max-batch N]\n"
       "            [--workers N] [--solver NAME] [--threads N]\n"
+      "            [--shards N] [--pin-cores]\n"
       "            [--default-cost D] [--data-dir DIR]\n"
       "            [--wal-sync grouped|immediate|none] [--wal-group-ms MS]\n"
       "            [--checkpoint-every N] [--checkpoint-interval SECS]\n"
       "            [--keep-wal-segments] [--record-trace F]\n"
       "  mc3 recover <workload.csv> --data-dir DIR [--solver NAME]\n"
       "            [--threads N] [--default-cost D] [--solution-out F]\n"
+      "            [--shards N (0 = adopt the snapshot layout)]\n"
       "  mc3 wal dump --data-dir DIR [--after SEQ] [-o out.txt]\n"
       "  mc3 wal stats --data-dir DIR\n"
       "  mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]\n"
@@ -206,8 +208,11 @@ bool ParseSolverKind(const std::string& name,
 /// interleavings — live serving vs. WAL replay (`mc3 recover`) vs. offline
 /// trace replay — render byte-identical files, which is what
 /// scripts/recover_smoke.sh diffs.
-Result<std::string> RenderCanonicalSolution(
-    const online::OnlineEngine& engine) {
+/// Templated over the engine type: `mc3 recover` renders through the
+/// sharded facade (whose merged CurrentSolution dedupes across shards) and
+/// everything else through a plain OnlineEngine.
+template <typename EngineT>
+Result<std::string> RenderCanonicalSolution(const EngineT& engine) {
   const std::vector<std::string>& names = engine.property_names();
   std::vector<std::pair<std::vector<std::string>, Cost>> rows;
   for (const PropertySet& classifier : engine.CurrentSolution().Sorted()) {
@@ -476,12 +481,17 @@ int CmdServeListen(const std::string& workload_path,
                 recovery.torn_tail ? ", torn tail dropped" : "",
                 1e3 * recovery.recovery_seconds);
   }
-  server.WithEngine([&](const online::OnlineEngine& engine) {
+  server.WithShardedEngine([&](const online::ShardedEngine& engine) {
     std::printf("listening:  %s:%u (%zu queries, %zu components, "
                 "cost %.2f)\n",
                 server_options.host.c_str(), server.port(),
                 engine.NumQueries(), engine.NumComponents(),
                 engine.TotalCost());
+    if (engine.num_shards() > 1) {
+      std::printf("sharded:    %u engine shards%s\n", engine.num_shards(),
+                  server_options.pin_cores ? ", workers pinned to cores"
+                                           : "");
+    }
   });
   std::fflush(stdout);
   if (!config.port_file.empty()) {
@@ -536,7 +546,16 @@ int CmdServeListen(const std::string& workload_path,
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.max_batch));
   int exit_code = 0;
-  server.WithEngine([&](const online::OnlineEngine& engine) {
+  server.WithShardedEngine([&](const online::ShardedEngine& engine) {
+    if (engine.num_shards() > 1) {
+      for (size_t s = 0; s < stats.shards.size(); ++s) {
+        std::printf("shard %zu:    %llu batches, %llu ops\n", s,
+                    static_cast<unsigned long long>(stats.shards[s].batches),
+                    static_cast<unsigned long long>(stats.shards[s].ops));
+      }
+      std::printf("migrated:   %llu queries between shards\n",
+                  static_cast<unsigned long long>(stats.migrated));
+    }
     std::printf("final:      %zu queries, %zu components, cost %.2f\n",
                 engine.NumQueries(), engine.NumComponents(),
                 engine.TotalCost());
@@ -706,10 +725,12 @@ int CmdServe(const std::string& workload_path, const std::string& trace_path,
 /// start would, verifies invariants and reports what was recovered. With
 /// --solution-out, writes the canonical solution for equivalence checks
 /// (scripts/recover_smoke.sh diffs it against an offline trace replay).
-/// Opens the directory's WAL for writing — a torn tail is truncated — so
-/// do not point it at a live server's data dir.
+/// `shards` = 0 adopts the snapshot's recorded layout (1 when no snapshot
+/// exists); a positive count forces that layout and fails when a snapshot
+/// disagrees. Opens the directory's WAL for writing — a torn tail is
+/// truncated — so do not point it at a live server's data dir.
 int CmdRecover(const std::string& workload_path, const ServeConfig& config,
-               const std::string& data_dir) {
+               const std::string& data_dir, uint32_t shards) {
   auto instance = Load(workload_path);
   if (!instance.ok()) return Fail(instance.status());
 
@@ -720,7 +741,17 @@ int CmdRecover(const std::string& workload_path, const ServeConfig& config,
     return 2;
   }
   options.solver_options.num_threads = config.threads;
-  online::OnlineEngine engine(options);
+  if (shards == 0) {
+    auto probed = durability::ProbeSnapshotShardCount(data_dir);
+    if (probed.ok()) {
+      shards = *probed;
+    } else if (probed.status().code() == StatusCode::kNotFound) {
+      shards = 1;  // no snapshot yet: the WAL replays into any layout
+    } else {
+      return Fail(probed.status());
+    }
+  }
+  online::ShardedEngine engine(shards, options);
 
   durability::DurabilityOptions durability_options;
   durability_options.data_dir = data_dir;
@@ -742,6 +773,9 @@ int CmdRecover(const std::string& workload_path, const ServeConfig& config,
               static_cast<unsigned long long>(recovery->wal_last_seq),
               recovery->torn_tail ? ", torn tail dropped" : "",
               1e3 * recovery->recovery_seconds);
+  if (engine.num_shards() > 1) {
+    std::printf("sharded:    %u engine shards\n", engine.num_shards());
+  }
   std::printf("final:      %zu queries, %zu components, cost %.2f "
               "(invariants ok)\n",
               engine.NumQueries(), engine.NumComponents(), engine.TotalCost());
@@ -1201,7 +1235,8 @@ int main(int argc, char** argv) {
            args[i - 1] == "--filter" || args[i - 1] == "--listen" ||
            args[i - 1] == "--port-file" || args[i - 1] == "--queue-capacity" ||
            args[i - 1] == "--watermark" || args[i - 1] == "--max-batch" ||
-           args[i - 1] == "--workers" || args[i - 1] == "--data-dir" ||
+           args[i - 1] == "--workers" || args[i - 1] == "--shards" ||
+           args[i - 1] == "--data-dir" ||
            args[i - 1] == "--wal-sync" || args[i - 1] == "--wal-group-ms" ||
            args[i - 1] == "--checkpoint-every" ||
            args[i - 1] == "--checkpoint-interval" ||
@@ -1303,6 +1338,16 @@ int main(int argc, char** argv) {
         config.workers = std::strtoul(v->c_str(), nullptr, 10);
       }
       server::ServerOptions server_options;
+      if (const std::string* v = flag_value("--shards")) {
+        if (!server::ParseShards(*v, &server_options.shards)) {
+          std::fprintf(stderr,
+                       "invalid --shards '%s': need a positive shard count "
+                       "(at most 1024)\n",
+                       v->c_str());
+          return Usage();
+        }
+      }
+      server_options.pin_cores = has_flag("--pin-cores");
       server_options.port = static_cast<uint16_t>(config.listen);
       server_options.queue_capacity = config.queue_capacity;
       server_options.admission_watermark = config.watermark;
@@ -1368,7 +1413,18 @@ int main(int argc, char** argv) {
     if (const std::string* v = flag_value("--solution-out")) {
       config.solution_out = *v;
     }
-    return CmdRecover(*path, config, *data_dir);
+    uint32_t shards = 0;  // adopt the snapshot's layout
+    if (const std::string* v = flag_value("--shards"); v != nullptr &&
+                                                       *v != "0") {
+      if (!server::ParseShards(*v, &shards)) {
+        std::fprintf(stderr,
+                     "invalid --shards '%s': need a positive shard count "
+                     "(at most 1024), or 0 to adopt the snapshot layout\n",
+                     v->c_str());
+        return Usage();
+      }
+    }
+    return CmdRecover(*path, config, *data_dir, shards);
   }
   if (command == "wal") {
     const std::string* verb = positional();

@@ -203,12 +203,19 @@ std::vector<PlannedRequest> PlanRequests(const LoadGenOptions& options) {
     writer.Key("id").Int(request.id);
     if (!solve) {
       ++updates;
+      // Round-robin tenant choice; each tenant draws from its own disjoint
+      // slice of the property namespace. With one tenant the offset is 0
+      // and the plan (names and RNG consumption) is byte-identical to the
+      // historical single-pool workload.
+      const size_t tenant =
+          options.tenants > 1 ? (updates - 1) % options.tenants : 0;
+      const size_t offset = tenant * options.num_properties;
       std::vector<std::string> query;
       std::vector<size_t> pool(options.num_properties);
       for (size_t p = 0; p < pool.size(); ++p) pool[p] = p;
       for (size_t l = 0; l < options.query_length && !pool.empty(); ++l) {
         const size_t pick = rng() % pool.size();
-        query.push_back("p" + std::to_string(pool[pick]));
+        query.push_back("p" + std::to_string(offset + pool[pick]));
         pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
       }
       writer.Key("add").BeginArray();
@@ -381,6 +388,22 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
       report.server_requests = FieldAsInt(*stats, "requests");
       report.server_responses = FieldAsInt(*stats, "responses");
       report.server_rejected = FieldAsInt(*stats, "rejected");
+      // Sharding counters are additive to the stats verb: absent on a
+      // pre-sharding server, so missing fields simply stay 0.
+      report.server_engine_shards = FieldAsInt(*stats, "engine_shards");
+      report.server_migrated = FieldAsInt(*stats, "migrated");
+      if (const obs::JsonValue* shards = stats->Find("shards");
+          shards != nullptr && shards->is_array()) {
+        for (const obs::JsonValue& entry : shards->array) {
+          if (!entry.is_object()) continue;
+          ShardLoad load;
+          load.shard = FieldAsInt(entry, "shard");
+          load.batches = FieldAsInt(entry, "batches");
+          load.ops = FieldAsInt(entry, "ops");
+          load.queue_depth = FieldAsInt(entry, "queue_depth");
+          report.server_shards.push_back(load);
+        }
+      }
     }
   }
   if (report.responses == 0) {
@@ -409,6 +432,7 @@ std::string RenderLoadReport(const LoadReport& report) {
   writer.Key("solve_every").Int(report.options.solve_every);
   writer.Key("remove_every").Int(report.options.remove_every);
   writer.Key("seed").Int(report.options.seed);
+  writer.Key("tenants").Int(report.options.tenants);
   writer.Key("shutdown_after").Bool(report.options.shutdown_after);
   writer.EndObject();
 
@@ -440,6 +464,18 @@ std::string RenderLoadReport(const LoadReport& report) {
   writer.Key("requests").Int(report.server_requests);
   writer.Key("responses").Int(report.server_responses);
   writer.Key("rejected").Int(report.server_rejected);
+  writer.Key("engine_shards").Int(report.server_engine_shards);
+  writer.Key("migrated").Int(report.server_migrated);
+  writer.Key("shards").BeginArray();
+  for (const ShardLoad& load : report.server_shards) {
+    writer.BeginObject();
+    writer.Key("shard").Int(load.shard);
+    writer.Key("batches").Int(load.batches);
+    writer.Key("ops").Int(load.ops);
+    writer.Key("queue_depth").Int(load.queue_depth);
+    writer.EndObject();
+  }
+  writer.EndArray();
   writer.EndObject();
 
   writer.Key("drained").Bool(report.drained);
@@ -504,9 +540,21 @@ Status ValidateLoadReportJson(const std::string& json) {
   const obs::JsonValue& server = *root.Find("server");
   MC3_RETURN_IF_ERROR(
       RequireMember(server, "stats_valid", Kind::kBool, "server"));
-  for (const char* key : {"batches", "coalesced_ops", "max_batch",
-                          "requests", "responses", "rejected"}) {
+  for (const char* key : {"batches", "coalesced_ops", "max_batch", "requests",
+                          "responses", "rejected", "engine_shards",
+                          "migrated"}) {
     MC3_RETURN_IF_ERROR(RequireMember(server, key, Kind::kNumber, "server"));
+  }
+  MC3_RETURN_IF_ERROR(RequireMember(server, "shards", Kind::kArray, "server"));
+  for (const obs::JsonValue& entry : server.Find("shards")->array) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument(
+          "load report: server.shards entries must be objects");
+    }
+    for (const char* key : {"shard", "batches", "ops", "queue_depth"}) {
+      MC3_RETURN_IF_ERROR(
+          RequireMember(entry, key, Kind::kNumber, "server.shards"));
+    }
   }
   return Status::OK();
 }

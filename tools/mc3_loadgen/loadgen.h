@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -45,9 +46,17 @@ struct LoadGenOptions {
   size_t remove_every = 3;
 
   uint64_t seed = 1;
-  /// Synthetic property pool ("p0" .. "p{N-1}") and query length.
+  /// Synthetic property pool ("p0" .. "p{N-1}") and query length. With
+  /// `tenants` > 1 each tenant gets its own disjoint pool of
+  /// `num_properties` names, so the total pool is tenants * num_properties.
   size_t num_properties = 24;
   size_t query_length = 3;
+  /// Number of disjoint property pools. Updates round-robin across
+  /// tenants, so queries from different tenants never share a property:
+  /// the server's shard router keeps each tenant's components independent
+  /// and a sharded server can apply a coalesced batch in parallel. 1 keeps
+  /// the historical single-pool workload byte-for-byte.
+  size_t tenants = 1;
 
   /// Give up waiting for responses / connects after this long.
   double timeout_seconds = 30;
@@ -62,6 +71,14 @@ struct LatencySummary {
   double p95 = 0;
   double p99 = 0;
   double max = 0;
+};
+
+/// One engine shard's work counters as scraped from the stats verb.
+struct ShardLoad {
+  uint64_t shard = 0;
+  uint64_t batches = 0;      ///< shard-local jobs dispatched
+  uint64_t ops = 0;          ///< add/remove operations applied on the shard
+  uint64_t queue_depth = 0;  ///< shard queue depth at scrape time
 };
 
 /// Everything the run observed; rendered as mc3.load_report/1.
@@ -89,6 +106,13 @@ struct LoadReport {
   uint64_t server_requests = 0;
   uint64_t server_responses = 0;
   uint64_t server_rejected = 0;
+  /// Sharding view (docs/serving.md#sharded-serving): how many engine
+  /// shards the server runs, how many live queries migrated between shards
+  /// during the run, and each shard's work counters. A pre-sharding server
+  /// reports no `shards` array; `server_engine_shards` then stays 0.
+  uint64_t server_engine_shards = 0;
+  uint64_t server_migrated = 0;
+  std::vector<ShardLoad> server_shards;
 
   bool drained = false;  ///< shutdown requested and acknowledged
 };

@@ -3,14 +3,18 @@
 //
 //   mc3_loadgen --port N [--host H] [--port-file F] [--qps Q] [--ops N]
 //               [--connections N] [--burst N] [--seed S] [--quick]
-//               [--solve-every N] [--remove-every N] [--shutdown]
-//               [--report out.json] [--min-coalesced-batch N]
+//               [--solve-every N] [--remove-every N] [--tenants N]
+//               [--shutdown] [--report out.json] [--min-coalesced-batch N]
 //
 // --port-file reads the target port from a file written by
 // `mc3 serve --listen 0 --port-file F` (ephemeral-port handshake for CI).
 // --quick shrinks the run for smoke tests. --min-coalesced-batch fails the
 // run (exit 1) unless the server reports a coalesced batch at least that
-// large — the CI gate proving that batching actually engaged.
+// large — the CI gate proving that batching actually engaged. --tenants
+// splits the synthetic property pool into disjoint per-tenant slices so a
+// sharded server (mc3 serve --shards N) can spread the work; the final
+// "sweep:" summary line carries committed update throughput for
+// QPS-vs-shards sweeps (scripts/shard_sweep.sh).
 //
 // Exit codes: 0 success, 1 runtime/gate failure, 2 usage error.
 #include <cstdio>
@@ -31,6 +35,7 @@ int Usage() {
       "usage: mc3_loadgen --port N [--host H] [--port-file F] [--qps Q]\n"
       "                   [--ops N] [--connections N] [--burst N] [--seed S]\n"
       "                   [--quick] [--solve-every N] [--remove-every N]\n"
+      "                   [--tenants N] [--properties N] [--query-length N]\n"
       "                   [--shutdown] [--report out.json]\n"
       "                   [--min-coalesced-batch N]\n");
   return 2;
@@ -124,6 +129,18 @@ int main(int argc, char** argv) {
   if (const std::string* v = flag_value("--remove-every")) {
     options.remove_every = std::strtoul(v->c_str(), nullptr, 10);
   }
+  if (const std::string* v = flag_value("--tenants")) {
+    options.tenants = std::strtoul(v->c_str(), nullptr, 10);
+    if (options.tenants == 0) return Usage();
+  }
+  if (const std::string* v = flag_value("--properties")) {
+    options.num_properties = std::strtoul(v->c_str(), nullptr, 10);
+    if (options.num_properties == 0) return Usage();
+  }
+  if (const std::string* v = flag_value("--query-length")) {
+    options.query_length = std::strtoul(v->c_str(), nullptr, 10);
+    if (options.query_length == 0) return Usage();
+  }
   options.shutdown_after = has_flag("--shutdown");
   if (options.port == 0) return Usage();
 
@@ -154,6 +171,34 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report->server_batches),
       static_cast<unsigned long long>(report->server_coalesced_ops),
       static_cast<unsigned long long>(report->server_max_batch));
+  if (report->server_engine_shards > 1) {
+    for (const loadgen::ShardLoad& load : report->server_shards) {
+      std::printf("shard %llu: %llu batches, %llu ops, queue depth %llu\n",
+                  static_cast<unsigned long long>(load.shard),
+                  static_cast<unsigned long long>(load.batches),
+                  static_cast<unsigned long long>(load.ops),
+                  static_cast<unsigned long long>(load.queue_depth));
+    }
+    std::printf("migrated %llu queries between shards\n",
+                static_cast<unsigned long long>(report->server_migrated));
+  }
+  // Machine-parsable sweep line (scripts/shard_sweep.sh): committed update
+  // throughput is the per-shard op total over the run's wall clock.
+  uint64_t committed_ops = 0;
+  for (const loadgen::ShardLoad& load : report->server_shards) {
+    committed_ops += load.ops;
+  }
+  std::printf("sweep: shards=%llu committed_ops=%llu wall=%.3f "
+              "ops_per_sec=%.1f\n",
+              static_cast<unsigned long long>(
+                  report->server_engine_shards > 0
+                      ? report->server_engine_shards
+                      : 1),
+              static_cast<unsigned long long>(committed_ops),
+              report->wall_seconds,
+              report->wall_seconds > 0
+                  ? static_cast<double>(committed_ops) / report->wall_seconds
+                  : 0.0);
 
   if (report->lost > 0) {
     std::fprintf(stderr, "error: %llu accepted requests got no response\n",
