@@ -289,37 +289,42 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
 
   // mc3-lint: new-delete-ok(private ctor; owned by unique_ptr at birth)
   std::unique_ptr<WalWriter> writer(new WalWriter(dir, options));
-  writer->last_seq_ = scanned->scan.last_seq;
-  writer->stats_.torn_tail_on_open = scanned->scan.torn_tail;
-  if (!scanned->segments.empty()) {
-    // Resume the last segment, truncating a torn tail so appends extend the
-    // valid prefix.
-    const std::string last_name = scanned->segments.back();
-    const std::string path = dir + "/" + last_name;
-    if (scanned->scan.torn_tail) {
-      fs::resize_file(path, scanned->last_segment_valid_bytes, ec);
-      if (ec) {
-        return Status::IOError("cannot truncate torn tail of " + path + ": " +
-                               ec.message());
+  {
+    // The committer thread does not exist yet; the (uncontended) lock is
+    // for the thread-safety analysis of the guarded fields below.
+    util::MutexLock lock(writer->mu_);
+    writer->last_seq_ = scanned->scan.last_seq;
+    writer->stats_.torn_tail_on_open = scanned->scan.torn_tail;
+    if (!scanned->segments.empty()) {
+      // Resume the last segment, truncating a torn tail so appends extend
+      // the valid prefix.
+      const std::string last_name = scanned->segments.back();
+      const std::string path = dir + "/" + last_name;
+      if (scanned->scan.torn_tail) {
+        fs::resize_file(path, scanned->last_segment_valid_bytes, ec);
+        if (ec) {
+          return Status::IOError("cannot truncate torn tail of " + path +
+                                 ": " + ec.message());
+        }
       }
-    }
-    // The truncation above can leave a zero-byte segment (torn before the
-    // magic landed); reopening it via OpenSegment rewrites the magic.
-    uint64_t name_seq = 0;
-    ParseSegmentName(last_name, &name_seq);
-    if (scanned->last_segment_valid_bytes < sizeof(kWalMagic)) {
-      fs::remove(path, ec);
-      MC3_RETURN_IF_ERROR(writer->OpenSegment(name_seq));
+      // The truncation above can leave a zero-byte segment (torn before the
+      // magic landed); reopening it via OpenSegment rewrites the magic.
+      uint64_t name_seq = 0;
+      ParseSegmentName(last_name, &name_seq);
+      if (scanned->last_segment_valid_bytes < sizeof(kWalMagic)) {
+        fs::remove(path, ec);
+        MC3_RETURN_IF_ERROR(writer->OpenSegment(name_seq));
+      } else {
+        writer->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+        if (writer->fd_ < 0) {
+          return Status::IOError("cannot open " + path + " for append");
+        }
+        writer->segment_first_seq_ = name_seq;
+        writer->segment_bytes_written_ = scanned->last_segment_valid_bytes;
+      }
     } else {
-      writer->fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
-      if (writer->fd_ < 0) {
-        return Status::IOError("cannot open " + path + " for append");
-      }
-      writer->segment_first_seq_ = name_seq;
-      writer->segment_bytes_written_ = scanned->last_segment_valid_bytes;
+      MC3_RETURN_IF_ERROR(writer->OpenSegment(writer->last_seq_ + 1));
     }
-  } else {
-    MC3_RETURN_IF_ERROR(writer->OpenSegment(writer->last_seq_ + 1));
   }
 
   if (options.sync == WalOptions::SyncPolicy::kGrouped) {
@@ -364,7 +369,7 @@ Status WalWriter::WriteAndMaybeSync(const std::string& frames, bool sync) {
 }
 
 Result<uint64_t> WalWriter::Append(std::string payload) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (closed_ || stopping_) return Status::Internal("WAL writer is closed");
   MC3_RETURN_IF_ERROR(committer_error_);
   const uint64_t seq = ++last_seq_;
@@ -377,7 +382,7 @@ Result<uint64_t> WalWriter::Append(std::string payload) {
     pending_ += frame;
     pending_records_ += 1;
     pending_last_seq_ = seq;
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     return seq;
   }
 
@@ -401,15 +406,18 @@ Result<uint64_t> WalWriter::Append(std::string payload) {
 }
 
 void WalWriter::CommitterLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::UniqueLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return pending_records_ > 0 || stopping_; });
+    work_cv_.Wait(mu_, [this]() MC3_REQUIRES(mu_) {
+      return pending_records_ > 0 || stopping_;
+    });
     if (pending_records_ == 0 && stopping_) return;
     if (options_.group_window_ms > 0 && !stopping_) {
       // Linger briefly so concurrent appenders can join this group.
       const auto window = std::chrono::duration<double, std::milli>(
           options_.group_window_ms);
-      work_cv_.wait_for(lock, window, [this] { return stopping_; });
+      (void)work_cv_.WaitFor(mu_, window,
+                             [this]() MC3_REQUIRES(mu_) { return stopping_; });
     }
     std::string batch;
     batch.swap(pending_);
@@ -417,13 +425,13 @@ void WalWriter::CommitterLoop() {
     const uint64_t batch_last_seq = pending_last_seq_;
     pending_records_ = 0;
 
-    lock.unlock();
+    lock.Unlock();
     const Status wrote = WriteAndMaybeSync(batch, /*sync=*/true);
-    lock.lock();
+    lock.Lock();
 
     if (!wrote.ok()) {
       if (committer_error_.ok()) committer_error_ = wrote;
-      durable_cv_.notify_all();
+      durable_cv_.NotifyAll();
       // Keep draining the queue (discarding) so Close does not hang; every
       // subsequent Append fails with the sticky error.
       continue;
@@ -442,18 +450,18 @@ void WalWriter::CommitterLoop() {
       const Status rotated = OpenSegment(batch_last_seq + 1);
       if (!rotated.ok() && committer_error_.ok()) committer_error_ = rotated;
     }
-    durable_cv_.notify_all();
+    durable_cv_.NotifyAll();
   }
 }
 
 Status WalWriter::Sync() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (options_.sync != WalOptions::SyncPolicy::kGrouped) {
     // kImmediate is durable already; kNone explicitly waives durability.
     return committer_error_;
   }
   const uint64_t target = last_seq_;
-  durable_cv_.wait(lock, [this, target] {
+  durable_cv_.Wait(mu_, [this, target]() MC3_REQUIRES(mu_) {
     return durable_seq_ >= target || !committer_error_.ok();
   });
   return committer_error_;
@@ -461,7 +469,7 @@ Status WalWriter::Sync() {
 
 Status WalWriter::Rotate(uint64_t snapshot_seq, bool keep_segments) {
   MC3_RETURN_IF_ERROR(Sync());
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   MC3_RETURN_IF_ERROR(committer_error_);
   if (closed_) return Status::Internal("WAL writer is closed");
   // Start a fresh segment so every older segment holds only records
@@ -492,7 +500,7 @@ Status WalWriter::Rotate(uint64_t snapshot_seq, bool keep_segments) {
 }
 
 Status WalWriter::EnsureSeqFloor(uint64_t floor) {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (closed_) return Status::Internal("WAL writer is closed");
   if (last_seq_ >= floor) return Status::OK();
   if (pending_records_ > 0) {
@@ -516,7 +524,7 @@ Status WalWriter::EnsureSeqFloor(uint64_t floor) {
 }
 
 WalWriterStats WalWriter::Stats() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   WalWriterStats stats = stats_;
   stats.last_seq = last_seq_;
   stats.durable_seq =
@@ -529,13 +537,13 @@ WalWriterStats WalWriter::Stats() const {
 
 Status WalWriter::Close() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (closed_) return committer_error_;
     stopping_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   if (committer_.joinable()) committer_.join();
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   closed_ = true;
   if (fd_ >= 0) {
     if (options_.sync != WalOptions::SyncPolicy::kNone) ::fsync(fd_);

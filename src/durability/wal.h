@@ -24,15 +24,15 @@
 // recovery replays the surviving prefix.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace mc3::durability {
 
@@ -149,33 +149,42 @@ class WalWriter {
   WalWriter(std::string dir, WalOptions options);
 
   /// Opens (creating) the segment whose first record is `first_seq`.
-  Status OpenSegment(uint64_t first_seq);
-  /// Appends `frames` to the segment and optionally fsyncs. Caller must
-  /// not hold mu_ (the disk is slow); bookkeeping re-locks.
-  Status WriteAndMaybeSync(const std::string& frames, bool sync);
+  Status OpenSegment(uint64_t first_seq) MC3_REQUIRES(mu_);
+  /// Appends `frames` to the segment and optionally fsyncs. Touches the
+  /// mu_-guarded fd_ under a protocol the static analysis cannot express:
+  /// the inline policies call it with mu_ held, while the group committer
+  /// deliberately drops the lock around the slow disk write (it is the only
+  /// thread touching the fd in that mode, and bookkeeping re-locks).
+  Status WriteAndMaybeSync(const std::string& frames, bool sync)
+      MC3_NO_THREAD_SAFETY_ANALYSIS;
   void CommitterLoop();
 
+  // mc3-lint: guard-ok(fixed at construction, immutable afterwards)
   std::string dir_;
+  // mc3-lint: guard-ok(fixed at construction, immutable afterwards)
   WalOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;    ///< committer: pending or stopping
-  std::condition_variable durable_cv_; ///< Sync waiters: durable_seq_ moved
-  std::string pending_;                ///< encoded frames awaiting commit
-  uint64_t pending_records_ = 0;
-  uint64_t pending_last_seq_ = 0;
-  bool stopping_ = false;
-  bool closed_ = false;
-  Status committer_error_;  ///< sticky first disk failure
+  mutable util::Mutex mu_;
+  util::CondVar work_cv_;     ///< committer: pending or stopping
+  util::CondVar durable_cv_;  ///< Sync waiters: durable_seq_ moved
+  /// Encoded frames awaiting commit.
+  std::string pending_ MC3_GUARDED_BY(mu_);
+  uint64_t pending_records_ MC3_GUARDED_BY(mu_) = 0;
+  uint64_t pending_last_seq_ MC3_GUARDED_BY(mu_) = 0;
+  bool stopping_ MC3_GUARDED_BY(mu_) = false;
+  bool closed_ MC3_GUARDED_BY(mu_) = false;
+  /// Sticky first disk failure.
+  Status committer_error_ MC3_GUARDED_BY(mu_);
 
-  int fd_ = -1;
-  uint64_t segment_first_seq_ = 1;
-  uint64_t segment_bytes_written_ = 0;
+  int fd_ MC3_GUARDED_BY(mu_) = -1;
+  uint64_t segment_first_seq_ MC3_GUARDED_BY(mu_) = 1;
+  uint64_t segment_bytes_written_ MC3_GUARDED_BY(mu_) = 0;
 
-  uint64_t last_seq_ = 0;
-  uint64_t durable_seq_ = 0;
-  WalWriterStats stats_;
+  uint64_t last_seq_ MC3_GUARDED_BY(mu_) = 0;
+  uint64_t durable_seq_ MC3_GUARDED_BY(mu_) = 0;
+  WalWriterStats stats_ MC3_GUARDED_BY(mu_);
 
+  // mc3-lint: guard-ok(started once by Open, joined only by Close)
   std::thread committer_;
 };
 

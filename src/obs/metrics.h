@@ -21,7 +21,9 @@
 #include <atomic>
 #include <limits>
 #include <memory>
-#include <mutex>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #endif
 
 namespace mc3::obs {
@@ -136,10 +138,14 @@ class MetricsRegistry {
   MetricsSnapshot Snap() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  // The maps are guarded; the pointed-to metrics are lock-free and stable,
+  // so handed-out references stay valid without the lock.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MC3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MC3_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MC3_GUARDED_BY(mu_);
 };
 
 #else  // MC3_OBS_DISABLED: the same API as inlined no-ops.

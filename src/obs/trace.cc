@@ -64,7 +64,7 @@ SpanNode* Trace::OpenChild(SpanNode* parent, const char* name) {
   child->name = name;
   SpanNode* raw = child.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     parent->children.push_back(std::move(child));
   }
   return raw;

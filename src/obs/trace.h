@@ -21,7 +21,9 @@
 
 #if !defined(MC3_OBS_DISABLED)
 #include <chrono>
-#include <mutex>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #endif
 
 namespace mc3::obs {
@@ -63,7 +65,11 @@ class Trace {
   void Render(JsonWriter* writer) const;
 
  private:
-  std::mutex mu_;
+  util::Mutex mu_;
+  // mu_ serializes concurrent OpenChild appends during the traced region;
+  // root()/Render read the tree only after the region ends (class contract
+  // above), so the pointer is deliberately not lock-annotated.
+  // mc3-lint: guard-ok(reads are quiescent by contract; only OpenChild runs concurrently)
   std::unique_ptr<SpanNode> root_;
 };
 

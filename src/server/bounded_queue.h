@@ -8,13 +8,14 @@
 // requests at the head without reordering reads past writes.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace mc3::server {
 
@@ -26,19 +27,21 @@ class BoundedQueue {
   /// Enqueues `item` unless the queue is full or closed. Never blocks.
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained;
   /// nullopt means closed-and-empty (consumer should exit).
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    util::MutexLock lock(mu_);
+    ready_.Wait(mu_, [this]() MC3_REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -47,7 +50,7 @@ class BoundedQueue {
 
   /// Pops the head only when present and `pred(head)` holds. Never blocks.
   std::optional<T> TryPopIf(const std::function<bool(const T&)>& pred) {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (items_.empty() || !pred(items_.front())) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -58,28 +61,28 @@ class BoundedQueue {
   /// queued are still delivered (graceful drain).
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
   size_t Depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return items_.size();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar ready_;
+  std::deque<T> items_ MC3_GUARDED_BY(mu_);
+  bool closed_ MC3_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mc3::server

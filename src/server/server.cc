@@ -113,32 +113,38 @@ Status Server::Start(const Instance& base) {
   if (started_.exchange(true)) {
     return Status::Internal("server already started");
   }
-  if (!options_.durability.data_dir.empty()) {
-    auto manager = durability::DurabilityManager::Open(options_.durability);
-    if (!manager.ok()) return manager.status();
-    durability_ = std::move(*manager);
-    auto recovered =
-        durability_->Recover(base, options_.default_cost, &engine_);
-    if (!recovered.ok()) return recovered.status();
-    MC3_RETURN_IF_ERROR(engine_.CheckInvariants());
-    // The recovered state may know properties the base workload does not
-    // (interned from WAL-logged updates): the name table comes from the
-    // engine, not the base.
-    names_ = engine_.property_names();
-  } else {
-    auto init = engine_.Initialize(base);
-    if (!init.ok()) return init.status();
-    names_ = base.property_names();
-  }
-  for (PropertyId id = 0; id < names_.size(); ++id) {
-    interned_.emplace(names_[id], id);
-  }
-  engine_.set_property_names(names_);
-  if (!options_.record_trace_path.empty()) {
-    trace_recorder_ = std::fopen(options_.record_trace_path.c_str(), "ab");
-    if (trace_recorder_ == nullptr) {
-      return Status::IOError("cannot open record-trace file " +
-                             options_.record_trace_path);
+  {
+    // No worker exists yet, but the initialization below writes the
+    // engine_mu_-guarded state, so hold the (uncontended) lock for the
+    // thread-safety analysis.
+    util::MutexLock lock(engine_mu_);
+    if (!options_.durability.data_dir.empty()) {
+      auto manager = durability::DurabilityManager::Open(options_.durability);
+      if (!manager.ok()) return manager.status();
+      durability_ = std::move(*manager);
+      auto recovered =
+          durability_->Recover(base, options_.default_cost, &engine_);
+      if (!recovered.ok()) return recovered.status();
+      MC3_RETURN_IF_ERROR(engine_.CheckInvariants());
+      // The recovered state may know properties the base workload does not
+      // (interned from WAL-logged updates): the name table comes from the
+      // engine, not the base.
+      names_ = engine_.property_names();
+    } else {
+      auto init = engine_.Initialize(base);
+      if (!init.ok()) return init.status();
+      names_ = base.property_names();
+    }
+    for (PropertyId id = 0; id < names_.size(); ++id) {
+      interned_.emplace(names_[id], id);
+    }
+    engine_.set_property_names(names_);
+    if (!options_.record_trace_path.empty()) {
+      trace_recorder_ = std::fopen(options_.record_trace_path.c_str(), "ab");
+      if (trace_recorder_ == nullptr) {
+        return Status::IOError("cannot open record-trace file " +
+                               options_.record_trace_path);
+      }
     }
   }
 
@@ -213,15 +219,15 @@ void Server::RequestDrain() {
     (void)!::write(wake_pipe_[1], &byte, 1);
   }
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    util::MutexLock lock(drain_mu_);
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 void Server::Join() {
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_cv_.wait(lock, [&] {
+    util::MutexLock lock(drain_mu_);
+    drain_cv_.Wait(drain_mu_, [this] {
       return draining_.load(std::memory_order_acquire);
     });
   }
@@ -240,7 +246,7 @@ void Server::Join() {
   // Unblock connection readers so their pool tasks finish; everything
   // queued has already been answered (the queue drained above).
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    util::MutexLock lock(conns_mu_);
     for (const std::weak_ptr<Connection>& weak : conns_) {
       if (std::shared_ptr<Connection> conn = weak.lock()) {
         ::shutdown(conn->fd, SHUT_RDWR);
@@ -253,7 +259,9 @@ void Server::Join() {
     fd = -1;
   }
   // Engine workers are gone: nothing appends anymore. Make the tail durable
-  // and release the data directory.
+  // and release the data directory. The lock is uncontended (every worker
+  // is joined) but the analysis wants it for the guarded sinks.
+  util::MutexLock lock(engine_mu_);
   if (durability_ != nullptr) {
     const Status closed = durability_->Close();
     if (!closed.ok()) wal_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -280,7 +288,7 @@ void Server::AcceptLoop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      util::MutexLock lock(conns_mu_);
       conns_.push_back(conn);
     }
     (void)pool_->Post([this, conn] { ConnectionLoop(conn); });
@@ -434,25 +442,30 @@ Result<online::UpdateStats> Server::ApplyEngineUpdate(
         // shard worker is still inside notify_one (the waiter's predicate
         // turns true the instant the count hits zero).
         struct Barrier {
-          std::mutex mu;
-          std::condition_variable done;
-          size_t outstanding = 0;
+          util::Mutex mu;
+          util::CondVar done;
+          size_t outstanding MC3_GUARDED_BY(mu) = 0;
         };
-        auto barrier = std::make_shared<Barrier>();
+        size_t dispatched = 0;
         for (const std::function<void()>& job : *jobs) {
-          if (job) ++barrier->outstanding;
+          if (job) ++dispatched;
         }
-        if (barrier->outstanding == 0) return;
+        if (dispatched == 0) return;
+        auto barrier = std::make_shared<Barrier>();
+        {
+          util::MutexLock lock(barrier->mu);
+          barrier->outstanding = dispatched;
+        }
         for (size_t s = 0; s < jobs->size(); ++s) {
           if (!(*jobs)[s]) continue;
           std::function<void()>* job = &(*jobs)[s];
           auto wrapped = [job, barrier] {
             (*job)();
             {
-              std::lock_guard<std::mutex> lock(barrier->mu);
+              util::MutexLock lock(barrier->mu);
               --barrier->outstanding;
             }
-            barrier->done.notify_one();
+            barrier->done.NotifyOne();
           };
           if (!shard_queues_[s]->TryPush(wrapped)) {
             // Closed or full (neither can happen while engine workers are
@@ -460,8 +473,10 @@ Result<online::UpdateStats> Server::ApplyEngineUpdate(
             wrapped();
           }
         }
-        std::unique_lock<std::mutex> lock(barrier->mu);
-        barrier->done.wait(lock, [&] { return barrier->outstanding == 0; });
+        util::MutexLock lock(barrier->mu);
+        barrier->done.Wait(barrier->mu, [&]() MC3_REQUIRES(barrier->mu) {
+          return barrier->outstanding == 0;
+        });
       });
 }
 
@@ -596,7 +611,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
   std::vector<std::string> responses(batch.size());
 
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    util::MutexLock lock(engine_mu_);
     UpdateCoalescer coalescer;
     for (size_t i = 0; i < batch.size(); ++i) {
       for (const auto& names : batch[i].request.add) {
@@ -699,7 +714,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
 void Server::HandleSolve(const PendingRequest& pending) {
   obs::JsonWriter writer(/*compact=*/true);
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    util::MutexLock lock(engine_mu_);
     writer.BeginObject();
     writer.Key("id").Int(pending.request.id);
     writer.Key("op").String("solve");
@@ -730,7 +745,7 @@ void Server::HandleSolve(const PendingRequest& pending) {
 void Server::HandleSnapshot(const PendingRequest& pending) {
   obs::JsonWriter writer(/*compact=*/true);
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    util::MutexLock lock(engine_mu_);
     writer.BeginObject();
     writer.Key("id").Int(pending.request.id);
     writer.Key("op").String("snapshot");
@@ -776,7 +791,7 @@ void Server::HandleCheckpoint(const PendingRequest& pending) {
   }
   obs::JsonWriter writer(/*compact=*/true);
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    util::MutexLock lock(engine_mu_);
     auto info = durability_->Checkpoint(engine_.ExportSharded());
     if (!info.ok()) {
       WriteResponse(pending.conn,
@@ -906,7 +921,7 @@ void Server::WriteResponse(const std::shared_ptr<Connection>& conn,
                            const std::string& line) {
   responses_.fetch_add(1, std::memory_order_relaxed);
   const std::string framed = line + "\n";
-  std::lock_guard<std::mutex> lock(conn->write_mu);
+  util::MutexLock lock(conn->write_mu);
   size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n = ::send(conn->fd, framed.data() + sent,
@@ -951,13 +966,13 @@ ServerStats Server::GetStats() const {
 
 void Server::WithEngine(
     const std::function<void(const online::OnlineEngine&)>& fn) {
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  util::MutexLock lock(engine_mu_);
   fn(engine_.shard(0));
 }
 
 void Server::WithShardedEngine(
     const std::function<void(const online::ShardedEngine&)>& fn) {
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  util::MutexLock lock(engine_mu_);
   fn(engine_);
 }
 

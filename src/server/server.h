@@ -37,12 +37,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -56,6 +54,8 @@
 #include "server/protocol.h"
 #include "server/worker_pool.h"
 #include "util/status.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace mc3::server {
@@ -199,8 +199,11 @@ class Server {
 
  private:
   struct Connection {
+    // Written once by the acceptor before the connection task is posted;
+    // write_mu only serializes concurrent response writes to the socket.
+    // mc3-lint: guard-ok(set once by the acceptor before the task is posted)
     int fd = -1;
-    std::mutex write_mu;
+    util::Mutex write_mu;
     ~Connection();
   };
   /// One queued engine op: the parsed request plus its response channel.
@@ -224,11 +227,11 @@ class Server {
   /// to the shard workers when they are running (engine_mu_ held).
   Result<online::UpdateStats> ApplyEngineUpdate(
       const std::vector<PropertySet>& add,
-      const std::vector<PropertySet>& remove);
+      const std::vector<PropertySet>& remove) MC3_REQUIRES(engine_mu_);
   /// Folds the just-applied batch's routing into the per-shard counters and
   /// obs metrics (engine_mu_ held). `ops` is the batch's op count, charged
   /// to shard 0 when the engine is unsharded.
-  void RecordShardWork(size_t ops);
+  void RecordShardWork(size_t ops) MC3_REQUIRES(engine_mu_);
   /// Body of shard worker `index`: drain the shard queue until closed.
   void ShardWorkerLoop(size_t index);
 
@@ -245,34 +248,46 @@ class Server {
   /// counted in wal_errors_, not propagated: the batch is already applied
   /// and acknowledged state must not be rolled back.
   uint64_t PersistApplied(const std::vector<PropertySet>& add,
-                          const std::vector<PropertySet>& remove);
+                          const std::vector<PropertySet>& remove)
+      MC3_REQUIRES(engine_mu_);
   /// Fires a policy-triggered checkpoint if one is due (engine_mu_ held).
-  void MaybeCheckpoint();
+  void MaybeCheckpoint() MC3_REQUIRES(engine_mu_);
 
   /// Interns `names` into the engine's property table (engine_mu_ held).
-  PropertySet InternQuery(const std::vector<std::string>& names);
+  PropertySet InternQuery(const std::vector<std::string>& names)
+      MC3_REQUIRES(engine_mu_);
   /// Prices unknown classifiers of `added` at options_.default_cost
   /// (engine_mu_ held; no-op when default_cost < 0).
-  Status PriceUnknown(const std::vector<PropertySet>& added);
+  Status PriceUnknown(const std::vector<PropertySet>& added)
+      MC3_REQUIRES(engine_mu_);
 
   void WriteResponse(const std::shared_ptr<Connection>& conn,
                      const std::string& line);
   void ObserveLatency(const Request& request, double seconds);
 
+  // mc3-lint: guard-ok(frozen by the constructor and Start before any thread launches)
   ServerOptions options_;
+  // mc3-lint: guard-ok(written once in Start, read-only afterwards)
   uint16_t port_ = 0;
+  // mc3-lint: guard-ok(owned by Start then the acceptor thread; Join runs after its exit)
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  ///< unblocks the acceptor's poll on drain
+  ///< unblocks the acceptor's poll on drain
+  // mc3-lint: guard-ok(opened in Start before threads; pipe writes are async-signal-safe)
+  int wake_pipe_[2] = {-1, -1};
 
   BoundedQueue<PendingRequest> queue_;
+  // mc3-lint: guard-ok(created in Start before the acceptor that uses it)
   std::unique_ptr<WorkerPool> pool_;
+  // mc3-lint: guard-ok(launched in Start, joined only by Join)
   std::thread acceptor_;
+  // mc3-lint: guard-ok(launched in Start, joined only by Join)
   std::vector<std::thread> engine_threads_;
 
-  std::mutex engine_mu_;
-  online::ShardedEngine engine_;
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, PropertyId> interned_;
+  util::Mutex engine_mu_;
+  online::ShardedEngine engine_ MC3_GUARDED_BY(engine_mu_);
+  std::vector<std::string> names_ MC3_GUARDED_BY(engine_mu_);
+  std::unordered_map<std::string, PropertyId> interned_
+      MC3_GUARDED_BY(engine_mu_);
 
   /// Shard workers (only with shards > 1 and live engine workers): one
   /// small job queue + thread per shard. Counters are Server-level atomics
@@ -281,26 +296,31 @@ class Server {
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> ops{0};
   };
+  // mc3-lint: guard-ok(filled in Start before the shard workers launch, immutable after)
   std::vector<std::unique_ptr<BoundedQueue<std::function<void()>>>>
       shard_queues_;
+  // mc3-lint: guard-ok(launched in Start, joined only by Join)
   std::vector<std::thread> shard_threads_;
+  // mc3-lint: guard-ok(sized by the constructor; elements are atomics)
   std::vector<ShardCounters> shard_counters_;
   std::atomic<uint64_t> migrated_{0};
 
   /// Durability state (engine_mu_ guards all manager calls except the
   /// thread-safe GetWalStats). Null when serving non-durably.
+  // mc3-lint: guard-ok(pointer set once in Start; manager calls go through engine_mu_)
   std::unique_ptr<durability::DurabilityManager> durability_;
-  std::FILE* trace_recorder_ = nullptr;  ///< --record-trace sink
+  ///< --record-trace sink
+  std::FILE* trace_recorder_ MC3_GUARDED_BY(engine_mu_) = nullptr;
   std::atomic<uint64_t> wal_errors_{0};
 
-  std::mutex conns_mu_;
-  std::vector<std::weak_ptr<Connection>> conns_;
+  util::Mutex conns_mu_;
+  std::vector<std::weak_ptr<Connection>> conns_ MC3_GUARDED_BY(conns_mu_);
 
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  util::Mutex drain_mu_;
+  util::CondVar drain_cv_;
 
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> requests_{0};

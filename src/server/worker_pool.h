@@ -9,14 +9,15 @@
 // per-task-owned data.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace mc3::server {
 
@@ -37,29 +38,29 @@ class WorkerPool {
   /// Enqueues `task`; returns false after Shutdown (task dropped).
   bool Post(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (shutdown_) return false;
       tasks_.push_back(std::move(task));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return true;
   }
 
   /// Finishes every queued task, then joins the workers. Idempotent.
   void Shutdown() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       if (shutdown_) return;
       shutdown_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
   }
 
   size_t QueuedTasks() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return tasks_.size();
   }
 
@@ -68,8 +69,10 @@ class WorkerPool {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        ready_.wait(lock, [&] { return shutdown_ || !tasks_.empty(); });
+        util::MutexLock lock(mu_);
+        ready_.Wait(mu_, [this]() MC3_REQUIRES(mu_) {
+          return shutdown_ || !tasks_.empty();
+        });
         if (tasks_.empty()) return;  // shutdown and drained
         task = std::move(tasks_.front());
         tasks_.pop_front();
@@ -78,10 +81,13 @@ class WorkerPool {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable ready_;
-  std::deque<std::function<void()>> tasks_;
-  bool shutdown_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar ready_;
+  std::deque<std::function<void()>> tasks_ MC3_GUARDED_BY(mu_);
+  bool shutdown_ MC3_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, joined by Shutdown on the control
+  // thread; never touched from pool threads.
+  // mc3-lint: guard-ok(constructed once, joined only by Shutdown on the control thread)
   std::vector<std::thread> workers_;
 };
 

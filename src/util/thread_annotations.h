@@ -1,0 +1,70 @@
+// Clang Thread Safety Analysis attribute shim.
+//
+// Wraps clang's `-Wthread-safety` attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) behind MC3_*
+// macros that expand to nothing on compilers without the attributes, so
+// the annotations cost nothing under GCC and are machine-checked under
+// clang (the `thread-safety` CI job builds with
+// `-Wthread-safety -Werror=thread-safety`).
+//
+// libstdc++'s std::mutex / std::lock_guard carry no such attributes, so
+// annotating raw standard types is useless: the analysis would reject
+// every access to a guarded field because it never sees the lock happen.
+// Threaded code therefore uses the annotated wrappers in util/sync.h
+// (util::Mutex, util::MutexLock, util::UniqueLock, util::CondVar), and
+// lint rule R8 (`guard`, docs/static_analysis.md) enforces that classes
+// owning a mutex annotate their data members with MC3_GUARDED_BY.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MC3_TSA_ENABLED 1
+#endif
+#endif
+
+#ifdef MC3_TSA_ENABLED
+#define MC3_TSA_ATTR(x) __attribute__((x))
+#else
+#define MC3_TSA_ENABLED 0
+#define MC3_TSA_ATTR(x)  // no-op: compiler lacks thread-safety attributes
+#endif
+
+/// Declares a type to be a capability (lockable). Argument names the
+/// capability kind in diagnostics, e.g. MC3_CAPABILITY("mutex").
+#define MC3_CAPABILITY(x) MC3_TSA_ATTR(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (std::lock_guard-shaped).
+#define MC3_SCOPED_CAPABILITY MC3_TSA_ATTR(scoped_lockable)
+
+/// Field annotation: reads/writes require holding `x`.
+#define MC3_GUARDED_BY(x) MC3_TSA_ATTR(guarded_by(x))
+
+/// Pointer field annotation: the pointee is guarded by `x` (the pointer
+/// itself is not).
+#define MC3_PT_GUARDED_BY(x) MC3_TSA_ATTR(pt_guarded_by(x))
+
+/// Function annotation: caller must hold the listed capabilities.
+#define MC3_REQUIRES(...) MC3_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (or, on a
+/// scoped-capability member, the capabilities the object manages).
+#define MC3_ACQUIRE(...) MC3_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities.
+#define MC3_RELEASE(...) MC3_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the capability iff the call returns the
+/// first argument, e.g. MC3_TRY_ACQUIRE(true).
+#define MC3_TRY_ACQUIRE(...) MC3_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/// Function annotation: caller must NOT hold the listed capabilities
+/// (the function acquires them itself, or blocks on work done under them).
+#define MC3_EXCLUDES(...) MC3_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function annotation: returns a reference to the named capability.
+#define MC3_RETURN_CAPABILITY(x) MC3_TSA_ATTR(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct by a protocol the
+/// analysis cannot see (document why at each use site).
+#define MC3_NO_THREAD_SAFETY_ANALYSIS MC3_TSA_ATTR(no_thread_safety_analysis)

@@ -1,5 +1,5 @@
 // Unit tests for the mc3_lint rule engine (tools/mc3_lint/lint.h): one
-// failing and one passing fixture per rule R1-R6, plus waiver syntax and
+// failing and one passing fixture per rule R1-R10, plus waiver syntax and
 // report rendering. Fixtures live in string literals, so linting this file
 // itself (the lint_clean test) sees none of them.
 #include "mc3_lint/lint.h"
@@ -332,6 +332,240 @@ TEST(LintR6, SkipsPostDeclarationAndDefinition) {
   EXPECT_EQ(CountRule(findings, "R6"), 0u);
 }
 
+// ---------------------------------------------------------------- R7
+
+TEST(LintR7, FlagsBareCondvarWaits) {
+  const auto findings = Lint(
+      "#include <condition_variable>\n"
+      "std::condition_variable cv_;\n"
+      "void F(std::unique_lock<std::mutex>& lk, std::chrono::seconds d) {\n"
+      "  cv_.wait(lk);\n"
+      "  cv_.wait_for(lk, d);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R7"), 2u);
+  EXPECT_EQ(findings[0].tag, "cv-wait");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintR7, FlagsBareUtilCondVarWait) {
+  const auto findings = Lint(
+      "util::CondVar ready_;\n"
+      "void F(util::UniqueLock& lock) {\n"
+      "  ready_.Wait(lock);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R7"), 1u);
+}
+
+TEST(LintR7, PassesPredicateOverloadsAndNonCondvars) {
+  const auto findings = Lint(
+      "std::condition_variable cv_;\n"
+      "bool done_;\n"
+      "void F(std::unique_lock<std::mutex>& lk, std::chrono::seconds d,\n"
+      "       std::future<int>& task) {\n"
+      "  cv_.wait(lk, [&] { return done_; });\n"
+      "  cv_.wait_for(lk, d, [&] { return done_; });\n"
+      "  task.wait();\n"  // futures have no predicate overload
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R7"), 0u);
+}
+
+// ---------------------------------------------------------------- R8
+
+TEST(LintR8, FlagsUnannotatedMembersOfMutexOwningClass) {
+  const auto findings = Lint(
+      "class Cache {\n"
+      " public:\n"
+      "  void Put(int k);\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int hits_ = 0;\n"
+      "  std::vector<int> keys_;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R8"), 2u);
+  EXPECT_EQ(findings[0].tag, "guard");
+  EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintR8, PassesAnnotatedAtomicAndThreadSafeMembers) {
+  const auto findings = Lint(
+      "class Cache {\n"
+      "  util::Mutex mu_;\n"
+      "  int hits_ MC3_GUARDED_BY(mu_) = 0;\n"
+      "  std::unique_ptr<int> slot_ MC3_PT_GUARDED_BY(mu_);\n"
+      "  std::atomic<bool> stop_{false};\n"
+      "  std::condition_variable cv_;\n"
+      "  obs::Counter* requests_ = nullptr;\n"
+      "  static constexpr int kMax = 8;\n"
+      "  const int capacity_ = 4;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R8"), 0u);
+}
+
+TEST(LintR8, PassesClassWithoutMutex) {
+  // No owned mutex, nothing to guard: plain structs never trigger R8.
+  const auto findings = Lint(
+      "struct Stats {\n"
+      "  int hits = 0;\n"
+      "  std::vector<int> keys;\n"
+      "};\n"
+      "class Uses {\n"
+      "  std::mutex* borrowed_;\n"  // pointer: not owned by this class
+      "  int x_ = 0;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R8"), 0u);
+}
+
+// ---------------------------------------------------------------- R9
+
+TEST(LintR9, FlagsDetachAndNeverJoinedThread) {
+  const auto findings = Lint(
+      "void F() {\n"
+      "  std::thread orphan([] {});\n"
+      "  std::thread runaway([] {});\n"
+      "  runaway.detach();\n"
+      "}\n");
+  // orphan and runaway are both never join()ed, and the detach() call is a
+  // finding of its own — detaching is never how a thread gets joined.
+  EXPECT_EQ(CountRule(findings, "R9"), 3u);
+  EXPECT_EQ(findings[0].tag, "detach");
+}
+
+TEST(LintR9, PassesJoinedThreadsAndPointerParams) {
+  const auto findings = Lint(
+      "void PinThreadToCore(std::thread* thread, int core);\n"
+      "void F() {\n"
+      "  std::thread worker([] {});\n"
+      "  worker.join();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "R9"), 0u);
+}
+
+TEST(LintR9, JoinInAnotherFileSatisfiesHeaderDeclaration) {
+  // The common split: the thread member lives in a header, the join in the
+  // matching .cc. CollectJoins over the .cc must clear the header's R9.
+  const std::string header =
+      "class Pool {\n"
+      "  util::Mutex mu_;\n"
+      "  std::thread worker_;\n"
+      "};\n";
+  const std::string cc = "void Pool::Stop() { worker_.join(); }\n";
+  SymbolIndex with_join;
+  IndexFile(header, &with_join);
+  CollectJoins(header, &with_join);
+  CollectJoins(cc, &with_join);
+  with_join.ResolveAliases();
+  EXPECT_EQ(CountRule(LintFile("pool.h", header, with_join, FileConfig{}),
+                      "R9"),
+            0u);
+  SymbolIndex without_join;
+  IndexFile(header, &without_join);
+  CollectJoins(header, &without_join);
+  without_join.ResolveAliases();
+  EXPECT_EQ(CountRule(LintFile("pool.h", header, without_join, FileConfig{}),
+                      "R9"),
+            1u);
+}
+
+// ---------------------------------------------------------------- R10
+
+TEST(LintR10, FlagsTwoMutexCycle) {
+  const auto findings = Lint(
+      "struct Two {\n"
+      "  std::mutex mu_a;\n"
+      "  std::mutex mu_b;\n"
+      "  void A() {\n"
+      "    std::scoped_lock a(mu_a);\n"
+      "    std::scoped_lock b(mu_b);\n"
+      "  }\n"
+      "  void B() {\n"
+      "    std::scoped_lock b(mu_b);\n"
+      "    std::scoped_lock a(mu_a);\n"
+      "  }\n"
+      "};\n");
+  ASSERT_EQ(CountRule(findings, "R10"), 1u);
+  const Finding& f = findings.back();
+  EXPECT_EQ(f.tag, "lock-order");
+  EXPECT_NE(f.message.find("Two::mu_a"), std::string::npos);
+  EXPECT_NE(f.message.find("Two::mu_b"), std::string::npos);
+}
+
+TEST(LintR10, PassesConsistentOrderAndSiblingScopes) {
+  const auto findings = Lint(
+      "struct Two {\n"
+      "  std::mutex mu_a;\n"
+      "  std::mutex mu_b;\n"
+      "  void A() {\n"
+      "    std::scoped_lock a(mu_a);\n"
+      "    std::scoped_lock b(mu_b);\n"
+      "  }\n"
+      "  void B() {\n"
+      "    { std::scoped_lock a(mu_a); }\n"  // released before mu_b
+      "    std::scoped_lock b(mu_b);\n"
+      "  }\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R10"), 0u);
+}
+
+TEST(LintR10, RequiresAnnotationSeedsHeldSet) {
+  // `Drain` never names a guard in its body; the held mutex comes from the
+  // MC3_REQUIRES on its declaration, seeded at the out-of-line definition.
+  const std::string code =
+      "struct Q {\n"
+      "  util::Mutex mu_;\n"
+      "  util::Mutex items_mu_;\n"
+      "  void Drain() MC3_REQUIRES(mu_);\n"
+      "};\n"
+      "void Q::Drain() {\n"
+      "  util::MutexLock lock(items_mu_);\n"
+      "}\n";
+  const std::vector<LockEdge> edges =
+      CollectLockEdges("q.cc", code, [&] {
+        SymbolIndex index;
+        IndexFile(code, &index);
+        index.ResolveAliases();
+        return index;
+      }());
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "Q::mu_");
+  EXPECT_EQ(edges[0].to, "Q::items_mu_");
+}
+
+TEST(LintR10, ValueReturningLockCallsAreNotAcquisitions) {
+  // std::weak_ptr::lock() returns a shared_ptr; only statement-position
+  // lock()/unlock() (void mutex API) may create graph nodes.
+  const auto edges = CollectLockEdges(
+      "s.cc",
+      "struct S {\n"
+      "  std::mutex mu_;\n"
+      "  std::weak_ptr<int> weak_;\n"
+      "  void F() {\n"
+      "    std::scoped_lock l(mu_);\n"
+      "    if (std::shared_ptr<int> p = weak_.lock()) {\n"
+      "    }\n"
+      "  }\n"
+      "};\n",
+      SymbolIndex{});
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(LintR10, WaivedEdgesStayOutOfCycles) {
+  const auto findings = Lint(
+      "struct Two {\n"
+      "  std::mutex mu_a;\n"
+      "  std::mutex mu_b;\n"
+      "  void A() {\n"
+      "    std::scoped_lock a(mu_a);\n"
+      "    std::scoped_lock b(mu_b);\n"
+      "  }\n"
+      "  void B() {\n"
+      "    std::scoped_lock b(mu_b);\n"
+      "    // mc3-lint: lock-order-ok(B never runs concurrently with A)\n"
+      "    std::scoped_lock a(mu_a);\n"
+      "  }\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R10"), 0u);
+}
+
 // ------------------------------------------------------------- waivers
 
 TEST(LintWaivers, SameLineAndPrecedingLineSuppress) {
@@ -361,6 +595,39 @@ TEST(LintWaivers, WrongTagDoesNotSuppress) {
   EXPECT_EQ(CountRule(findings, "R1"), 1u);
 }
 
+TEST(LintWaivers, ConcurrencyTagsSuppressTheirRules) {
+  const auto cv = Lint(
+      "std::condition_variable cv_;\n"
+      "void F(std::unique_lock<std::mutex>& lk) {\n"
+      "  cv_.wait(lk);  // mc3-lint: cv-wait-ok(caller loops on the state)\n"
+      "}\n");
+  EXPECT_EQ(CountRule(cv, "R7"), 0u);
+  const auto guard = Lint(
+      "class C {\n"
+      "  std::mutex mu_;\n"
+      "  // mc3-lint: guard-ok(written once before threads start)\n"
+      "  int config_;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(guard, "R8"), 0u);
+  const auto detach = Lint(
+      "void F() {\n"
+      "  std::thread t([] {});\n"
+      "  t.detach();  // mc3-lint: detach-ok(fire-and-forget logger flush)\n"
+      "}\n");
+  // The waiver covers the detach() line; the declaration would still need a
+  // join, so only the never-joined finding remains.
+  EXPECT_EQ(CountRule(detach, "R9"), 1u);
+  // The four concurrency tags are known: none of these is a W0.
+  EXPECT_EQ(CountRule(cv, "W0"), 0u);
+  EXPECT_EQ(CountRule(guard, "W0"), 0u);
+  EXPECT_EQ(CountRule(detach, "W0"), 0u);
+  EXPECT_EQ(
+      CountRule(Lint("// mc3-lint: lock-order-ok(single-threaded phase)\n"
+                     "int x;\n"),
+                "W0"),
+      0u);
+}
+
 TEST(LintWaivers, MalformedWaiversAreFindings) {
   EXPECT_EQ(CountRule(Lint("// mc3-lint: unordered-ok()\nint x;\n"), "W0"),
             1u);  // empty reason
@@ -385,14 +652,59 @@ TEST(LintReport, RendersValidSchemaJson) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
   const obs::JsonValue& root = *parsed;
   ASSERT_TRUE(root.is_object());
-  EXPECT_EQ(root.Find("schema")->string, "mc3.lint_report/1");
+  EXPECT_EQ(root.Find("schema")->string, "mc3.lint_report/2");
   EXPECT_EQ(root.Find("files_scanned")->number, 42);
   EXPECT_EQ(root.Find("num_findings")->number, 2);
   ASSERT_TRUE(root.Find("findings")->is_array());
   EXPECT_EQ(root.Find("findings")->array.size(), 2u);
+  // Every rule appears in the per-rule counts, zeros included, so report
+  // consumers never need existence checks.
   const obs::JsonValue* by_rule = root.Find("findings_by_rule");
   ASSERT_TRUE(by_rule != nullptr && by_rule->is_object());
   EXPECT_EQ(by_rule->Find("R1")->number, 1);
+  for (const char* rule : {"R2", "R3", "R5", "R6", "R7", "R8", "R9", "R10",
+                           "W0"}) {
+    const obs::JsonValue* count = by_rule->Find(rule);
+    ASSERT_TRUE(count != nullptr) << rule;
+    EXPECT_EQ(count->number, 0) << rule;
+  }
+  // Empty-by-default v2 sections are present even with no R10/skip input.
+  const obs::JsonValue* graph = root.Find("lock_graph");
+  ASSERT_TRUE(graph != nullptr && graph->is_object());
+  EXPECT_TRUE(graph->Find("edges")->array.empty());
+  EXPECT_TRUE(graph->Find("cycles")->array.empty());
+  EXPECT_TRUE(root.Find("skipped")->array.empty());
+}
+
+TEST(LintReport, RendersLockGraphCyclesAndSkips) {
+  const std::vector<LockEdge> edges = {
+      {"A::mu", "A::inner", "src/a.cc", 12, false},
+      {"A::inner", "A::mu", "src/a.cc", 40, true},
+  };
+  const std::vector<LockCycle> cycles = {
+      {{"A::inner", "A::mu"}, "src/a.cc", 40},
+  };
+  const std::string json =
+      FindingsToJson({}, 7, edges, cycles, {"src/unreadable.cc"});
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const obs::JsonValue& root = *parsed;
+  const obs::JsonValue* graph = root.Find("lock_graph");
+  ASSERT_TRUE(graph != nullptr && graph->is_object());
+  ASSERT_EQ(graph->Find("edges")->array.size(), 2u);
+  const obs::JsonValue& e0 = graph->Find("edges")->array[0];
+  EXPECT_EQ(e0.Find("from")->string, "A::mu");
+  EXPECT_EQ(e0.Find("to")->string, "A::inner");
+  EXPECT_EQ(e0.Find("line")->number, 12);
+  EXPECT_FALSE(e0.Find("waived")->boolean);
+  EXPECT_TRUE(graph->Find("edges")->array[1].Find("waived")->boolean);
+  ASSERT_EQ(graph->Find("cycles")->array.size(), 1u);
+  const obs::JsonValue& c0 = graph->Find("cycles")->array[0];
+  ASSERT_EQ(c0.Find("nodes")->array.size(), 2u);
+  EXPECT_EQ(c0.Find("nodes")->array[0].string, "A::inner");
+  EXPECT_EQ(c0.Find("file")->string, "src/a.cc");
+  ASSERT_EQ(root.Find("skipped")->array.size(), 1u);
+  EXPECT_EQ(root.Find("skipped")->array[0].string, "src/unreadable.cc");
 }
 
 TEST(LintScrub, BlanksLiteralsPreservingLines) {

@@ -1096,7 +1096,10 @@ int CmdBench(const BenchConfig& config) {
       names.push_back("p" + std::to_string(p));
     }
     instance.set_property_names(std::move(names));
-    const std::string data_dir = "bench_wal.tmp";
+    // Per-process scratch dir: concurrent bench invocations (ctest -j runs
+    // several) must not recover each other's half-written WALs.
+    const std::string data_dir =
+        "bench_wal." + std::to_string(::getpid()) + ".tmp";
     obs::BenchCase bench_case;
     std::unique_ptr<online::OnlineEngine> engine;
     Status status = RunRepeated(

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
+#include <functional>
 #include <regex>
 #include <sstream>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -63,8 +65,96 @@ const std::set<std::string>& KnownTags() {
   static const std::set<std::string> tags = {
       "unordered", "float-eq", "pragma-once", "print",
       "new-delete", "rand",     "time",        "status",
-      "capture"};
+      "capture",    "cv-wait",  "guard",       "detach",
+      "lock-order"};
   return tags;
+}
+
+/// True when the word `word` occurs in `s` on identifier boundaries.
+bool ContainsWord(const std::string& s, const std::string& word) {
+  size_t pos = s.find(word);
+  while (pos != std::string::npos) {
+    if (IsWordAt(s, pos, word)) return true;
+    pos = s.find(word, pos + 1);
+  }
+  return false;
+}
+
+/// The identifier ending the member-access chain that terminates at `pos`
+/// (exclusive): `c->reader` -> "reader", `workers_[i]` -> "workers_". Empty
+/// when `pos` is not preceded by an identifier (or an indexed one).
+std::string ReceiverBefore(const std::string& s, size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(s[pos - 1])) != 0) {
+    --pos;
+  }
+  if (pos > 0 && s[pos - 1] == ']') {
+    int depth = 0;
+    while (pos > 0) {
+      --pos;
+      if (s[pos] == ']') ++depth;
+      if (s[pos] == '[' && --depth == 0) break;
+    }
+  }
+  size_t end = pos;
+  while (pos > 0 && IsIdentChar(s[pos - 1])) --pos;
+  return s.substr(pos, end - pos);
+}
+
+/// Splits `text` on commas at top-level (outside (), [], {}; '<' is left
+/// untracked on purpose — a stray less-than must not swallow commas).
+std::vector<std::string> SplitTopLevel(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+std::string TrimCopy(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// True when the nearest word before `pos` is `word` (e.g. `enum` before a
+/// `class` keyword).
+bool PrecededByWord(const std::string& s, size_t pos,
+                    const std::string& word) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(s[pos - 1])) != 0) {
+    --pos;
+  }
+  size_t begin = pos;
+  while (begin > 0 && IsIdentChar(s[begin - 1])) --begin;
+  return s.compare(begin, pos - begin, word) == 0;
+}
+
+/// Attribute-macro heuristic for class heads: MC3_SCOPED_CAPABILITY and
+/// friends are SHOUTY_CASE with at least one underscore or digit.
+bool LooksLikeMacro(const std::string& word) {
+  bool has_sep = false;
+  for (char c : word) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (c == '_' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      has_sep = true;
+    }
+  }
+  return has_sep && word.size() > 2;
 }
 
 struct ScrubResult {
@@ -414,6 +504,9 @@ class Linter {
     RuleBannedConstructs();
     RuleUncheckedStatus();
     RuleSharedMutableCapture();
+    RuleCvWait();
+    RuleGuardedMembers();
+    RuleThreadDetach();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.line != b.line) return a.line < b.line;
@@ -772,6 +865,276 @@ class Linter {
     }
   }
 
+  // R7 — condition-variable waits must use the predicate overload; the bare
+  // overload returns on spurious wakeups and on signals sent before the
+  // wait, so callers must re-check state in a loop the predicate encodes.
+  void RuleCvWait() {
+    static const struct {
+      const char* method;
+      int min_commas;  ///< top-level commas the predicate overload carries
+    } kWaits[] = {
+        {"wait", 1},      {"wait_for", 2}, {"wait_until", 2},
+        {"Wait", 1},      {"WaitFor", 2},  {"WaitUntil", 2},
+    };
+    for (const auto& w : kWaits) {
+      const std::string method = w.method;
+      size_t pos = 0;
+      while ((pos = code_.find(method, pos)) != std::string::npos) {
+        const size_t at = pos;
+        pos += method.size();
+        if (!IsWordAt(code_, at, method)) continue;
+        // Member access on a known condition variable.
+        size_t p = at;
+        while (p > 0 &&
+               std::isspace(static_cast<unsigned char>(code_[p - 1])) != 0) {
+          --p;
+        }
+        if (p > 0 && code_[p - 1] == '.') {
+          --p;
+        } else if (p > 1 && code_[p - 1] == '>' && code_[p - 2] == '-') {
+          p -= 2;
+        } else {
+          continue;
+        }
+        const std::string receiver = ReceiverBefore(code_, p);
+        if (receiver.empty() ||
+            index_.condvar_symbols.count(receiver) == 0) {
+          continue;
+        }
+        const size_t open = SkipSpaces(code_, at + method.size());
+        if (open >= code_.size() || code_[open] != '(') continue;
+        const size_t close = SkipBalanced(code_, open, '(', ')');
+        if (close == std::string::npos) continue;
+        const std::string args =
+            code_.substr(open + 1, close - open - 2);
+        const int commas =
+            static_cast<int>(SplitTopLevel(args).size()) - 1;
+        if (commas >= w.min_commas) continue;
+        Report(at, "R7", "cv-wait",
+               "'" + receiver + "." + method +
+                   "' without a predicate: spurious wakeups and early "
+                   "notifies make the bare overload a lost-signal bug; pass "
+                   "the predicate overload (it re-checks under the lock)");
+      }
+    }
+  }
+
+  // R8 — every mutable, non-thread-safe member of a mutex-owning class must
+  // carry MC3_GUARDED_BY (or a guard-ok waiver naming the ownership rule).
+  void RuleGuardedMembers() {
+    size_t pos = 0;
+    while (pos < code_.size()) {
+      const size_t ck = code_.find("class", pos);
+      const size_t sk = code_.find("struct", pos);
+      const size_t at = std::min(ck, sk);
+      if (at == std::string::npos) break;
+      const char* kw = (at == ck) ? "class" : "struct";
+      pos = at + strlen(kw);
+      if (!IsWordAt(code_, at, kw)) continue;
+      if (PrecededByWord(code_, at, "enum")) continue;
+      CheckClassBody(at + strlen(kw));
+    }
+  }
+
+  void CheckClassBody(size_t p) {
+    // Class head: skip attribute macros (MC3_SCOPED_CAPABILITY, possibly
+    // with arguments) and `final`; a second plain identifier means this is
+    // a variable declaration (`struct sockaddr_in addr{}`), not a
+    // definition.
+    p = SkipSpaces(code_, p);
+    std::string name;
+    while (p < code_.size() && IsIdentStart(code_[p])) {
+      size_t e = p;
+      while (e < code_.size() && IsIdentChar(code_[e])) ++e;
+      const std::string word = code_.substr(p, e - p);
+      p = SkipSpaces(code_, e);
+      if (LooksLikeMacro(word) || word == "final" || word == "alignas") {
+        if (p < code_.size() && code_[p] == '(') {
+          p = SkipBalanced(code_, p, '(', ')');
+          if (p == std::string::npos) return;
+          p = SkipSpaces(code_, p);
+        }
+        continue;
+      }
+      if (!name.empty()) return;
+      name = word;
+    }
+    if (name.empty()) return;
+    if (p < code_.size() && code_[p] == ':' &&
+        (p + 1 >= code_.size() || code_[p + 1] != ':')) {
+      // Base-class list: scan to the body.
+      while (p < code_.size() && code_[p] != '{' && code_[p] != ';') ++p;
+    }
+    if (p >= code_.size() || code_[p] != '{') return;
+    const size_t body_end = SkipBalanced(code_, p, '{', '}');
+    if (body_end == std::string::npos) return;
+
+    // Depth-1 member segments: terminated by ';', with balanced inner
+    // braces skipped (a '(' before the brace marks a function definition,
+    // whose body is dropped; otherwise it is brace-initialization and the
+    // segment continues to the ';').
+    struct Member {
+      size_t pos = std::string::npos;
+      std::string text;
+    };
+    std::vector<Member> members;
+    Member seg;
+    int paren_depth = 0;
+    size_t i = p + 1;
+    while (i + 1 < body_end) {
+      const char c = code_[i];
+      if (c == '{') {
+        const size_t past = SkipBalanced(code_, i, '{', '}');
+        if (past == std::string::npos) return;
+        if (seg.text.find('(') != std::string::npos) {
+          seg = Member{};
+          paren_depth = 0;
+        }
+        i = past;
+        continue;
+      }
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (c == ';' && paren_depth == 0) {
+        if (!seg.text.empty()) members.push_back(seg);
+        seg = Member{};
+        ++i;
+        continue;
+      }
+      if (c == ':' && paren_depth == 0) {
+        if (i + 1 < body_end && code_[i + 1] == ':') {
+          seg.text += "::";
+          i += 2;
+          continue;
+        }
+        const std::string t = TrimCopy(seg.text);
+        if (t == "public" || t == "private" || t == "protected") {
+          seg = Member{};
+        } else {
+          seg.text += c;
+        }
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+        if (seg.pos == std::string::npos) seg.pos = i;
+        seg.text += c;
+      } else if (!seg.text.empty() && seg.text.back() != ' ') {
+        seg.text += ' ';
+      }
+      ++i;
+    }
+
+    const auto is_owned_mutex = [](const std::string& text) {
+      if (text.find('&') != std::string::npos ||
+          text.find('*') != std::string::npos) {
+        return false;
+      }
+      for (const char* word : {"mutex", "shared_mutex", "recursive_mutex",
+                               "timed_mutex", "Mutex"}) {
+        if (ContainsWord(text, word)) return true;
+      }
+      return false;
+    };
+    bool has_mutex = false;
+    for (const Member& m : members) {
+      if (is_owned_mutex(m.text)) has_mutex = true;
+    }
+    if (!has_mutex) return;
+
+    for (const Member& m : members) {
+      std::string text = TrimCopy(m.text);
+      for (const char* prefix : {"mutable ", "inline "}) {
+        if (text.rfind(prefix, 0) == 0) text = text.substr(strlen(prefix));
+      }
+      // Immutable, type-only, or non-member segments need no guard.
+      bool skip = false;
+      for (const char* lead :
+           {"static", "using", "typedef", "friend", "template", "enum",
+            "struct", "class", "const", "constexpr", "operator", "public",
+            "private", "protected", "explicit", "virtual"}) {
+        if (IsWordAt(text, 0, lead)) skip = true;
+      }
+      if (skip) continue;
+      if (text.find("MC3_GUARDED_BY") != std::string::npos ||
+          text.find("MC3_PT_GUARDED_BY") != std::string::npos) {
+        continue;
+      }
+      // Internally synchronized / owner-joined types are exempt.
+      bool exempt = false;
+      for (const char* word :
+           {"atomic", "mutex", "shared_mutex", "recursive_mutex",
+            "timed_mutex", "Mutex", "condition_variable",
+            "condition_variable_any", "CondVar", "once_flag", "thread",
+            "jthread", "Counter", "Gauge", "Histogram", "BoundedQueue",
+            "WorkerPool", "MutexLock", "UniqueLock"}) {
+        if (ContainsWord(text, word)) exempt = true;
+      }
+      if (exempt) continue;
+      if (text.find('(') != std::string::npos) continue;  // function decl
+      // Declared member name: trailing identifier of the declarator part.
+      std::string decl = text;
+      const size_t cut = decl.find_first_of("=:[{");
+      if (cut != std::string::npos) decl = decl.substr(0, cut);
+      decl = TrimCopy(decl);
+      size_t tail = decl.size();
+      while (tail > 0 && IsIdentChar(decl[tail - 1])) --tail;
+      const std::string member = decl.substr(tail);
+      Report(m.pos, "R8", "guard",
+             "member '" + (member.empty() ? text : member) + "' of '" +
+                 name +
+                 "' (a mutex-owning class) has no MC3_GUARDED_BY "
+                 "annotation; annotate it, make it atomic/const, or waive "
+                 "with guard-ok(<ownership rule>)");
+    }
+  }
+
+  // R9 — detached threads are unjoinable and outlive their state; directly
+  // declared std::threads must be joined somewhere in the scanned file set.
+  void RuleThreadDetach() {
+    size_t pos = 0;
+    while ((pos = code_.find("detach", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 6;
+      if (!IsWordAt(code_, at, "detach")) continue;
+      const size_t open = SkipSpaces(code_, at + 6);
+      if (open >= code_.size() || code_[open] != '(') continue;
+      size_t p = at;
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(code_[p - 1])) != 0) {
+        --p;
+      }
+      const bool member =
+          (p > 0 && code_[p - 1] == '.') ||
+          (p > 1 && code_[p - 1] == '>' && code_[p - 2] == '-');
+      if (!member) continue;
+      Report(at, "R9", "detach",
+             "detached thread: nothing can join it, so it races process "
+             "shutdown and any state it touches; keep the std::thread and "
+             "join it on the owner's shutdown path");
+    }
+    pos = 0;
+    while ((pos = code_.find("std::thread", pos)) != std::string::npos) {
+      const size_t at = pos;
+      pos += 11;
+      if (at > 0 && IsIdentChar(code_[at - 1])) continue;
+      if (pos < code_.size() && IsIdentChar(code_[pos])) continue;
+      // Non-owning pointer/reference declarators are out of scope.
+      const size_t after = SkipSpaces(code_, pos);
+      if (after < code_.size() &&
+          (code_[after] == '&' || code_[after] == '*')) {
+        continue;
+      }
+      const std::string decl_name = DeclaredName(code_, pos);
+      if (decl_name.empty()) continue;
+      if (index_.joined_symbols.count(decl_name) > 0) continue;
+      Report(at, "R9", "detach",
+             "'std::thread " + decl_name +
+                 "' is never join()ed in the scanned files; join it on the "
+                 "owner's shutdown path or waive with detach-ok(<reason>)");
+    }
+  }
+
   const std::string& path_;
   const std::string code_;
   const SymbolIndex& index_;
@@ -853,10 +1216,104 @@ void IndexFile(const std::string& content, SymbolIndex* index) {
   for (const char* type :
        {"std::atomic", "std::mutex", "std::shared_mutex", "std::once_flag",
         "std::condition_variable", "obs::Counter", "obs::Gauge",
-        "obs::Histogram", "Counter", "Gauge", "Histogram"}) {
+        "obs::Histogram", "Counter", "Gauge", "Histogram", "Mutex",
+        "CondVar", "BoundedQueue", "WorkerPool"}) {
     CollectDecls(code, type, &index->threadsafe_symbols);
   }
+  // Condition-variable receivers for R7. "CondVar" also matches the tail of
+  // util::CondVar; "std::condition_variable" skips the _any suffix on its
+  // own (the following ident char fails the boundary check), so list both.
+  for (const char* type : {"std::condition_variable",
+                           "std::condition_variable_any", "CondVar"}) {
+    CollectDecls(code, type, &index->condvar_symbols);
+  }
+  // MC3_REQUIRES annotations on declarations: `Ret Name(args) MC3_REQUIRES(
+  // mu)` records Name -> {mu} so R10 can seed the held set at the
+  // out-of-line definition, where the attribute is not repeated.
+  pos = 0;
+  while ((pos = code.find("MC3_REQUIRES", pos)) != std::string::npos) {
+    const size_t at = pos;
+    pos += 12;
+    if (!IsWordAt(code, at, "MC3_REQUIRES")) continue;
+    const size_t open = SkipSpaces(code, at + 12);
+    if (open >= code.size() || code[open] != '(') continue;
+    const size_t close = SkipBalanced(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    // Walk back over trailing qualifiers to the parameter list.
+    size_t p = at;
+    while (true) {
+      while (p > 0 &&
+             std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+        --p;
+      }
+      size_t q = p;
+      while (q > 0 && IsIdentChar(code[q - 1])) --q;
+      const std::string word = code.substr(q, p - q);
+      if (word == "const" || word == "noexcept" || word == "override" ||
+          word == "final") {
+        p = q;
+        continue;
+      }
+      break;
+    }
+    if (p == 0 || code[p - 1] != ')') continue;
+    int depth = 0;
+    size_t q = p;
+    while (q > 0) {
+      --q;
+      if (code[q] == ')') ++depth;
+      if (code[q] == '(' && --depth == 0) break;
+    }
+    if (q == 0 || code[q] != '(') continue;
+    while (q > 0 &&
+           std::isspace(static_cast<unsigned char>(code[q - 1])) != 0) {
+      --q;
+    }
+    size_t name_end = q;
+    while (q > 0 && IsIdentChar(code[q - 1])) --q;
+    if (name_end == q) continue;  // lambda `[..]() MC3_REQUIRES(..)` etc.
+    const std::string fn = code.substr(q, name_end - q);
+    for (const std::string& arg :
+         SplitTopLevel(code.substr(open + 1, close - open - 2))) {
+      const std::string mu = TrimCopy(arg);
+      if (!mu.empty()) index->requires_map[fn].push_back(mu);
+    }
+  }
   index->indexed_contents.push_back(code);
+}
+
+void CollectJoins(const std::string& content, SymbolIndex* index) {
+  const std::string code = Scrub(content);
+  size_t pos = 0;
+  while ((pos = code.find("join", pos)) != std::string::npos) {
+    const size_t at = pos;
+    pos += 4;
+    size_t len = 0;
+    if (IsWordAt(code, at, "join")) {
+      len = 4;
+    } else if (IsWordAt(code, at, "joinable")) {
+      len = 8;
+    } else {
+      continue;
+    }
+    const size_t open = SkipSpaces(code, at + len);
+    if (open >= code.size() || code[open] != '(') continue;
+    // Member access only: x.join() / x->join().
+    size_t p = at;
+    while (p > 0 &&
+           std::isspace(static_cast<unsigned char>(code[p - 1])) != 0) {
+      --p;
+    }
+    if (p > 0 && code[p - 1] == '.') {
+      --p;
+    } else if (p > 1 && code[p - 1] == '>' && code[p - 2] == '-') {
+      p -= 2;
+    } else {
+      continue;
+    }
+    const std::string receiver = ReceiverBefore(code, p);
+    if (!receiver.empty()) index->joined_symbols.insert(receiver);
+  }
 }
 
 std::vector<Finding> LintFile(const std::string& path,
@@ -868,13 +1325,409 @@ std::vector<Finding> LintFile(const std::string& path,
   return linter.Run();
 }
 
+std::vector<LockEdge> CollectLockEdges(const std::string& path,
+                                       const std::string& content,
+                                       const SymbolIndex& index) {
+  const ScrubResult scrubbed = ScrubImpl(content);
+  const std::string& code = scrubbed.code;
+  // Acquisition lines waived with lock-order-ok (a waiver on a comment-only
+  // line covers the next code line, as for every other rule).
+  std::set<int> waived_lines;
+  {
+    const Waivers waivers = ExtractWaivers(path, scrubbed);
+    for (const auto& [line, tags] : waivers.by_line) {
+      if (tags.count("lock-order") == 0) continue;
+      waived_lines.insert(line);
+      if (CodeLineBlank(code, line)) waived_lines.insert(line + 1);
+    }
+  }
+
+  // File stem as the fallback qualifier for free-function mutexes.
+  std::string stem = path;
+  if (const size_t slash = stem.find_last_of('/');
+      slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const size_t dot = stem.find('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+
+  std::vector<LockEdge> edges;
+  std::string current_class = stem;
+  struct ClassScope {
+    int depth;
+    std::string saved;
+  };
+  std::vector<ClassScope> class_stack;
+  struct Held {
+    int depth;          ///< released when the scan leaves this brace depth
+    std::string node;
+    std::string guard;  ///< guard variable, for UniqueLock Lock()/Unlock()
+  };
+  std::vector<Held> held;
+  std::map<std::string, std::string> guards;  // guard variable -> node
+  int depth = 0;
+
+  const auto normalize = [](const std::string& m) {
+    std::string out;
+    for (char c : m) {
+      if (std::isspace(static_cast<unsigned char>(c)) == 0) out += c;
+    }
+    if (out.rfind("this->", 0) == 0) out = out.substr(6);
+    while (!out.empty() && (out.front() == '&' || out.front() == '*')) {
+      out.erase(out.begin());
+    }
+    return out;
+  };
+  const auto qualify = [&current_class](const std::string& m) {
+    return current_class + "::" + m;
+  };
+  const auto already_held = [&held](const std::string& node) {
+    for (const Held& h : held) {
+      if (h.node == node) return true;
+    }
+    return false;
+  };
+  const auto acquire = [&](const std::string& node, const std::string& guard,
+                           size_t at) {
+    const int line = LineOf(code, at);
+    const bool waived = waived_lines.count(line) > 0;
+    for (const Held& h : held) {
+      if (h.node == node) continue;
+      edges.push_back({h.node, node, path, line, waived});
+    }
+    held.push_back({depth, node, guard});
+  };
+  const auto release = [&held](const std::string& node) {
+    for (size_t k = held.size(); k-- > 0;) {
+      if (held[k].node == node) {
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(k));
+        return;
+      }
+    }
+  };
+  // True when a function body opens after the parameter list ending at `pp`
+  // (skipping cv-qualifiers and attribute macros with arguments). Any other
+  // character — ';' of a declaration, operators of a call expression —
+  // means no body.
+  const auto body_follows = [&code](size_t pp) {
+    size_t p = SkipSpaces(code, pp);
+    while (p < code.size()) {
+      if (code[p] == '{') return true;
+      if (!IsIdentStart(code[p])) return false;
+      size_t e = p;
+      while (e < code.size() && IsIdentChar(code[e])) ++e;
+      p = SkipSpaces(code, e);
+      if (p < code.size() && code[p] == '(') {
+        const size_t past = SkipBalanced(code, p, '(', ')');
+        if (past == std::string::npos) return false;
+        p = SkipSpaces(code, past);
+      }
+    }
+    return false;
+  };
+  const auto seed = [&](const std::string& node) {
+    if (!already_held(node)) held.push_back({depth + 1, node, ""});
+  };
+
+  static const std::set<std::string> kGuardTypes = {
+      "MutexLock", "UniqueLock",  "lock_guard",
+      "unique_lock", "scoped_lock", "shared_lock"};
+
+  size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '{') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      while (!class_stack.empty() && class_stack.back().depth == depth) {
+        current_class = class_stack.back().saved;
+        class_stack.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (!IsIdentStart(c) || (i > 0 && IsIdentChar(code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    size_t e = i;
+    while (e < code.size() && IsIdentChar(code[e])) ++e;
+    const std::string w = code.substr(i, e - i);
+
+    // Class definitions scope the mutex names: `mu_` of BoundedQueue and
+    // `mu_` of WalWriter are different nodes.
+    if (w == "class" || w == "struct") {
+      if (!PrecededByWord(code, i, "enum")) {
+        size_t p = SkipSpaces(code, e);
+        std::string cname;
+        bool plausible = true;
+        while (p < code.size() && IsIdentStart(code[p])) {
+          size_t e2 = p;
+          while (e2 < code.size() && IsIdentChar(code[e2])) ++e2;
+          const std::string word = code.substr(p, e2 - p);
+          p = SkipSpaces(code, e2);
+          if (LooksLikeMacro(word) || word == "final" || word == "alignas") {
+            if (p < code.size() && code[p] == '(') {
+              const size_t past = SkipBalanced(code, p, '(', ')');
+              if (past == std::string::npos) {
+                plausible = false;
+                break;
+              }
+              p = SkipSpaces(code, past);
+            }
+            continue;
+          }
+          if (!cname.empty()) {
+            plausible = false;  // `struct sockaddr_in addr{}`
+            break;
+          }
+          cname = word;
+        }
+        if (plausible && !cname.empty()) {
+          if (p < code.size() && code[p] == ':' &&
+              (p + 1 >= code.size() || code[p + 1] != ':')) {
+            while (p < code.size() && code[p] != '{' && code[p] != ';') ++p;
+          }
+          if (p < code.size() && code[p] == '{') {
+            class_stack.push_back({depth, current_class});
+            current_class = cname;
+          }
+        }
+      }
+      i = e;
+      continue;
+    }
+
+    // Scoped lock guards: `util::MutexLock lock(mu_);`,
+    // `std::lock_guard<std::mutex> lock(mu);`, multi-mutex scoped_lock.
+    if (kGuardTypes.count(w) > 0) {
+      size_t p = SkipSpaces(code, e);
+      if (p < code.size() && code[p] == '<') {
+        p = SkipBalanced(code, p, '<', '>');
+        if (p == std::string::npos) {
+          i = e;
+          continue;
+        }
+        p = SkipSpaces(code, p);
+      }
+      if (p < code.size() && IsIdentStart(code[p])) {
+        size_t e2 = p;
+        while (e2 < code.size() && IsIdentChar(code[e2])) ++e2;
+        const std::string guard_name = code.substr(p, e2 - p);
+        const size_t open = SkipSpaces(code, e2);
+        if (open < code.size() && code[open] == '(') {
+          const size_t close = SkipBalanced(code, open, '(', ')');
+          if (close != std::string::npos) {
+            const std::string args =
+                code.substr(open + 1, close - open - 2);
+            // adopt_lock: already held elsewhere; defer_lock: not held.
+            if (args.find("adopt_lock") == std::string::npos &&
+                args.find("defer_lock") == std::string::npos) {
+              for (const std::string& part : SplitTopLevel(args)) {
+                const std::string mu = normalize(part);
+                if (mu.empty()) continue;
+                const std::string node = qualify(mu);
+                acquire(node, guard_name, i);
+                guards[guard_name] = node;
+              }
+            }
+          }
+        }
+      }
+      i = e;
+      continue;
+    }
+
+    // Manual lock()/unlock() member calls — including relocks through a
+    // UniqueLock guard variable (`lock.Unlock(); ...; lock.Lock();`).
+    if (w == "lock" || w == "Lock" || w == "unlock" || w == "Unlock") {
+      size_t p0 = i;
+      while (p0 > 0 &&
+             std::isspace(static_cast<unsigned char>(code[p0 - 1])) != 0) {
+        --p0;
+      }
+      size_t recv_end = std::string::npos;
+      if (p0 > 0 && code[p0 - 1] == '.') {
+        recv_end = p0 - 1;
+      } else if (p0 > 1 && code[p0 - 1] == '>' && code[p0 - 2] == '-') {
+        recv_end = p0 - 2;
+      }
+      if (recv_end != std::string::npos) {
+        const std::string receiver = ReceiverBefore(code, recv_end);
+        const size_t open = SkipSpaces(code, e);
+        if (!receiver.empty() && open < code.size() && code[open] == '(') {
+          const size_t close = SkipBalanced(code, open, '(', ')');
+          // A mutex lock()/unlock() returns void, so the call is a whole
+          // statement; a `.lock()` whose value is consumed is something
+          // else (std::weak_ptr::lock upgrades to a shared_ptr).
+          const bool statement =
+              close != std::string::npos &&
+              SkipSpaces(code, close) < code.size() &&
+              code[SkipSpaces(code, close)] == ';' &&
+              [&] {
+                const size_t recv_start = code.rfind(receiver, recv_end);
+                if (recv_start == std::string::npos) return false;
+                const char before = PrevSignificant(code, recv_start);
+                // Statement position, possibly through a member chain
+                // (`this->mu_.lock();`) — but not `x = weak.lock();`.
+                return before == ';' || before == '{' || before == '}' ||
+                       before == '.' || before == '>' || before == '\0';
+              }();
+          if (statement &&
+              TrimCopy(code.substr(open + 1, close - open - 2)).empty()) {
+            const auto git = guards.find(receiver);
+            const bool via_guard = git != guards.end();
+            const std::string node =
+                via_guard ? git->second : qualify(receiver);
+            if (w == "lock" || w == "Lock") {
+              if (!already_held(node)) {
+                acquire(node, via_guard ? receiver : "", i);
+              }
+            } else {
+              release(node);
+            }
+          }
+        }
+      }
+      i = e;
+      continue;
+    }
+
+    // A lambda (or inline definition) annotated MC3_REQUIRES holds its
+    // mutexes for the body that follows.
+    if (w == "MC3_REQUIRES") {
+      const size_t open = SkipSpaces(code, e);
+      if (open < code.size() && code[open] == '(') {
+        const size_t close = SkipBalanced(code, open, '(', ')');
+        if (close != std::string::npos && body_follows(close)) {
+          for (const std::string& part :
+               SplitTopLevel(code.substr(open + 1, close - open - 2))) {
+            const std::string mu = normalize(part);
+            if (!mu.empty()) seed(qualify(mu));
+          }
+        }
+      }
+      i = e;
+      continue;
+    }
+
+    // Function definitions: a qualified head (`Server::Join(...) {`) sets
+    // the class context, and a name carrying MC3_REQUIRES on its (header)
+    // declaration seeds the held set — attributes are not repeated
+    // out-of-line.
+    {
+      size_t p = SkipSpaces(code, e);
+      std::string qualifier;
+      std::string fn;
+      size_t after_name = e;
+      if (p + 1 < code.size() && code[p] == ':' && code[p + 1] == ':') {
+        const size_t q = SkipSpaces(code, p + 2);
+        if (q < code.size() && IsIdentStart(code[q])) {
+          size_t e2 = q;
+          while (e2 < code.size() && IsIdentChar(code[e2])) ++e2;
+          qualifier = w;
+          fn = code.substr(q, e2 - q);
+          after_name = e2;
+        }
+      } else if (p < code.size() && code[p] == '(') {
+        fn = w;
+      }
+      if (!fn.empty()) {
+        const size_t open = SkipSpaces(code, after_name);
+        if (open < code.size() && code[open] == '(') {
+          const size_t close = SkipBalanced(code, open, '(', ')');
+          if (close != std::string::npos && body_follows(close)) {
+            if (!qualifier.empty()) current_class = qualifier;
+            const auto rit = index.requires_map.find(fn);
+            if (rit != index.requires_map.end()) {
+              for (const std::string& raw : rit->second) {
+                seed(qualify(normalize(raw)));
+              }
+            }
+          }
+        }
+      }
+    }
+    i = e;
+  }
+  return edges;
+}
+
+std::vector<LockCycle> FindLockCycles(const std::vector<LockEdge>& edges) {
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, const LockEdge*> info;
+  for (const LockEdge& e : edges) {
+    if (e.waived || e.from == e.to) continue;
+    adj[e.from].insert(e.to);
+    adj[e.to];  // make sure every node exists before the DFS walks it
+    info.emplace(std::make_pair(e.from, e.to), &e);
+  }
+  std::vector<LockCycle> cycles;
+  std::set<std::vector<std::string>> seen;
+  std::map<std::string, int> color;  // 0 white, 1 on path, 2 done
+  std::vector<std::string> path;
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    path.push_back(u);
+    for (const std::string& v : adj[u]) {
+      if (color[v] == 1) {
+        const auto at = std::find(path.begin(), path.end(), v);
+        std::vector<std::string> nodes(at, path.end());
+        // Canonical rotation so each cycle is reported once.
+        const auto min_it = std::min_element(nodes.begin(), nodes.end());
+        std::rotate(nodes.begin(), min_it, nodes.end());
+        if (seen.insert(nodes).second) {
+          const LockEdge* back = info.at({u, v});
+          cycles.push_back({nodes, back->file, back->line});
+        }
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    path.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [node, targets] : adj) {
+    (void)targets;
+    if (color[node] == 0) dfs(node);
+  }
+  return cycles;
+}
+
+Finding CycleFinding(const LockCycle& cycle) {
+  std::string chain;
+  for (const std::string& node : cycle.nodes) chain += node + " -> ";
+  if (!cycle.nodes.empty()) chain += cycle.nodes.front();
+  return {cycle.file, cycle.line, "R10", "lock-order",
+          "lock-order cycle (potential deadlock): " + chain +
+              "; acquire these mutexes in one global order everywhere, or "
+              "waive an acquisition site with lock-order-ok(<reason>)"};
+}
+
 std::vector<Finding> LintSnippet(const std::string& path,
                                  const std::string& content,
                                  const FileConfig& config) {
   SymbolIndex index;
   IndexFile(content, &index);
+  CollectJoins(content, &index);
   index.ResolveAliases();
-  return LintFile(path, content, index, config);
+  std::vector<Finding> findings = LintFile(path, content, index, config);
+  for (const LockCycle& cycle :
+       FindLockCycles(CollectLockEdges(path, content, index))) {
+    findings.push_back(CycleFinding(cycle));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
 }
 
 std::string HeaderTuSource(const std::string& header_include_path) {
@@ -885,13 +1738,22 @@ std::string HeaderTuSource(const std::string& header_include_path) {
 }
 
 std::string FindingsToJson(const std::vector<Finding>& findings,
-                           size_t files_scanned) {
+                           size_t files_scanned,
+                           const std::vector<LockEdge>& lock_edges,
+                           const std::vector<LockCycle>& lock_cycles,
+                           const std::vector<std::string>& skipped_files) {
   obs::JsonWriter writer;
   writer.BeginObject();
-  writer.Key("schema").String("mc3.lint_report/1");
+  writer.Key("schema").String("mc3.lint_report/2");
   writer.Key("files_scanned").Int(files_scanned);
   writer.Key("num_findings").Int(findings.size());
+  // Every rule appears in the counts, zeros included, so report consumers
+  // can distinguish "clean" from "rule did not run".
   std::map<std::string, uint64_t> by_rule;
+  for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+                           "R9", "R10", "W0"}) {
+    by_rule[rule] = 0;
+  }
   for (const Finding& f : findings) ++by_rule[f.rule];
   writer.Key("findings_by_rule").BeginObject();
   for (const auto& [rule, count] : by_rule) {
@@ -908,6 +1770,37 @@ std::string FindingsToJson(const std::vector<Finding>& findings,
     writer.Key("message").String(f.message);
     writer.EndObject();
   }
+  writer.EndArray();
+  // The full lock-acquisition graph (rule R10), including waived edges, so
+  // the deadlock surface is auditable from the artifact alone.
+  writer.Key("lock_graph").BeginObject();
+  writer.Key("edges").BeginArray();
+  for (const LockEdge& e : lock_edges) {
+    writer.BeginObject();
+    writer.Key("from").String(e.from);
+    writer.Key("to").String(e.to);
+    writer.Key("file").String(e.file);
+    writer.Key("line").Int(static_cast<uint64_t>(e.line));
+    writer.Key("waived").Bool(e.waived);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("cycles").BeginArray();
+  for (const LockCycle& cycle : lock_cycles) {
+    writer.BeginObject();
+    writer.Key("nodes").BeginArray();
+    for (const std::string& node : cycle.nodes) writer.String(node);
+    writer.EndArray();
+    writer.Key("file").String(cycle.file);
+    writer.Key("line").Int(static_cast<uint64_t>(cycle.line));
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.EndObject();
+  // Files the driver could not read; non-empty means the scan is partial
+  // and the run exits non-zero even at zero findings.
+  writer.Key("skipped").BeginArray();
+  for (const std::string& path : skipped_files) writer.String(path);
   writer.EndArray();
   writer.EndObject();
   return writer.Take();

@@ -133,7 +133,9 @@ int main(int argc, char** argv) {
   std::vector<fs::path> files;
   for (const fs::path& root : roots) {
     if (!fs::exists(root)) {
-      std::cerr << "mc3_lint: no such path: " << root << "\n";
+      std::cerr << "mc3_lint: error: no such path: " << root
+                << " (paths are files or directories scanned recursively "
+                   "for .h/.cc)\n";
       return 2;
     }
     CollectFiles(root, &files);
@@ -147,23 +149,33 @@ int main(int argc, char** argv) {
   // accessors declared in a header must resolve when their iteration site
   // is in a .cc, but names local to one .cc must not poison every other
   // file (a std::vector named like someone else's unordered_set is fine).
+  // The join index (rule R9) spans every file regardless: threads are
+  // routinely declared in a header and joined in the matching .cc. A file
+  // that cannot be read is recorded, reported, and fails the run — but does
+  // not abort the scan of everything else.
   mc3::lint::SymbolIndex header_index;
   std::map<std::string, std::string> contents;
+  std::vector<std::string> skipped;
   for (const fs::path& file : files) {
     std::string content;
     if (!ReadFile(file, &content)) {
-      std::cerr << "mc3_lint: cannot read " << file << "\n";
-      return 2;
+      std::cerr << "mc3_lint: error: cannot read " << file
+                << " (recorded as skipped)\n";
+      skipped.push_back(file.generic_string());
+      continue;
     }
     if (file.extension() == ".h") {
       mc3::lint::IndexFile(content, &header_index);
     }
+    mc3::lint::CollectJoins(content, &header_index);
     contents.emplace(file.generic_string(), std::move(content));
   }
   header_index.ResolveAliases();
 
-  // Pass 2: lint each file against the header index plus its own symbols.
+  // Pass 2: lint each file against the header index plus its own symbols,
+  // and collect the lock-acquisition edges for the whole-project R10 pass.
   std::vector<mc3::lint::Finding> findings;
+  std::vector<mc3::lint::LockEdge> lock_edges;
   for (const auto& [path, content] : contents) {
     mc3::lint::SymbolIndex index = header_index;
     if (fs::path(path).extension() != ".h") {
@@ -175,6 +187,16 @@ int main(int argc, char** argv) {
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
+    std::vector<mc3::lint::LockEdge> file_edges =
+        mc3::lint::CollectLockEdges(path, content, index);
+    lock_edges.insert(lock_edges.end(),
+                      std::make_move_iterator(file_edges.begin()),
+                      std::make_move_iterator(file_edges.end()));
+  }
+  const std::vector<mc3::lint::LockCycle> lock_cycles =
+      mc3::lint::FindLockCycles(lock_edges);
+  for (const mc3::lint::LockCycle& cycle : lock_cycles) {
+    findings.push_back(mc3::lint::CycleFinding(cycle));
   }
 
   for (const mc3::lint::Finding& f : findings) {
@@ -184,7 +206,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "mc3_lint: " << contents.size() << " files, "
             << findings.size() << " finding"
-            << (findings.size() == 1 ? "" : "s") << "\n";
+            << (findings.size() == 1 ? "" : "s");
+  if (!skipped.empty()) {
+    std::cout << ", " << skipped.size() << " skipped (unreadable)";
+  }
+  std::cout << "\n";
 
   if (!report_path.empty()) {
     std::ofstream out(report_path, std::ios::binary | std::ios::trunc);
@@ -192,7 +218,9 @@ int main(int argc, char** argv) {
       std::cerr << "mc3_lint: cannot write report " << report_path << "\n";
       return 2;
     }
-    out << mc3::lint::FindingsToJson(findings, contents.size());
+    out << mc3::lint::FindingsToJson(findings, contents.size(), lock_edges,
+                                     lock_cycles, skipped);
   }
+  if (!skipped.empty()) return 2;
   return findings.empty() ? 0 : 1;
 }

@@ -12,12 +12,13 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "obs/json.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace mc3::loadgen {
@@ -36,25 +37,35 @@ struct PlannedRequest {
 /// response bodies are polled by the main thread while the reader is still
 /// running, so they live behind `scrape_mu`.
 struct ConnState {
+  // mc3-lint: guard-ok(set once by the connector before the reader launches)
   int fd = -1;
+  // mc3-lint: guard-ok(sender-thread-owned; readers only see it after join)
   uint64_t sent = 0;
   std::atomic<uint64_t> got{0};
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   uint64_t ok = 0;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   uint64_t rejected = 0;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   uint64_t refused = 0;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   uint64_t errors = 0;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   std::vector<double> latencies;
-  std::mutex scrape_mu;
-  std::string stats_json;     ///< last stats response seen (scrape_mu)
-  std::string shutdown_json;  ///< shutdown ack, when requested (scrape_mu)
+  mc3::util::Mutex scrape_mu;
+  /// Last stats response seen.
+  std::string stats_json MC3_GUARDED_BY(scrape_mu);
+  /// Shutdown ack, when requested.
+  std::string shutdown_json MC3_GUARDED_BY(scrape_mu);
+  // mc3-lint: guard-ok(launched by the connector, joined only by the harvester)
   std::thread reader;
 
   std::string StatsJson() {
-    std::lock_guard<std::mutex> lock(scrape_mu);
+    mc3::util::MutexLock lock(scrape_mu);
     return stats_json;
   }
   std::string ShutdownJson() {
-    std::lock_guard<std::mutex> lock(scrape_mu);
+    mc3::util::MutexLock lock(scrape_mu);
     return shutdown_json;
   }
 };
@@ -149,7 +160,7 @@ void ReaderLoop(ConnState* conn, const Timer* run_clock,
         }
       }
       if (op != nullptr && op->is_string()) {
-        std::lock_guard<std::mutex> lock(conn->scrape_mu);
+        mc3::util::MutexLock lock(conn->scrape_mu);
         if (op->string == "stats") conn->stats_json = line;
         if (op->string == "shutdown") conn->shutdown_json = line;
       }
