@@ -12,6 +12,13 @@
 # docs/durability.md) and additionally asserts the WAL recorded every
 # update and that a restart on the same data dir recovers the state.
 #
+# A telemetry pass (docs/observability.md, "Serving telemetry") serves with
+# trace sampling + export on while the loadgen scrapes the `metrics`
+# exposition mid-run: the loadgen's reconcile gate cross-checks server
+# counters against client-side accounting, the final exposition is kept as
+# an artifact, and the exported Chrome trace must contain connected flow
+# events ("ph":"s" .. "ph":"f").
+#
 # Usage: scripts/serve_smoke.sh [build-dir]   (default: build)
 # Artifacts (report + logs) are left in ./serve_smoke_artifacts for CI upload.
 set -euo pipefail
@@ -110,6 +117,40 @@ if ! grep -q '^recovered:  snapshot' "$ART_DIR/server_restart.log"; then
   echo "serve_smoke: restart did not report recovery" >&2
   cat "$ART_DIR/server_restart.log" >&2
   exit 1
+fi
+
+# Telemetry pass: sharded + durable with every request traced, while the
+# loadgen scrapes the metrics exposition mid-run. The loadgen itself gates
+# the counter reconcile (exit 1 on drift between the exposition and its own
+# accounting) and validates the embedded telemetry block; here we addition-
+# ally assert the exposition artifact looks like Prometheus text format and
+# that the exported Chrome trace stitched request flows across threads.
+TRACE_DIR="$ART_DIR/traces"
+LOADGEN_EXTRA="--scrape-interval 0.02 --scrape-out $ART_DIR/exposition.txt" \
+  run_pass telemetry --shards 2 --data-dir "$ART_DIR/data_telemetry" \
+  --trace-sample 1 --trace-out "$TRACE_DIR"
+grep -q '^mc3_server_requests_total ' "$ART_DIR/exposition.txt"
+grep -q '^mc3_server_queue_depth_max ' "$ART_DIR/exposition.txt"
+grep -q '^mc3_server_shard_ops{shard="1"}' "$ART_DIR/exposition.txt"
+grep -q '^mc3_build_info{' "$ART_DIR/exposition.txt"
+grep -q '"telemetry"' "$ART_DIR/load_report_telemetry.json"
+if grep -q 'obs="on"' "$ART_DIR/exposition.txt"; then
+  # Trace export is compiled in: the server announced the file on drain and
+  # it must contain complete spans plus a connected flow (start + finish
+  # bound to the enclosing slice) for at least one sampled request.
+  grep -q '^trace:' "$ART_DIR/server_telemetry.log"
+  TRACE_FILE="$TRACE_DIR/serve_trace_$(cat "$PORT_FILE").json"
+  if [ ! -s "$TRACE_FILE" ]; then
+    echo "serve_smoke: telemetry pass wrote no trace file at $TRACE_FILE" >&2
+    exit 1
+  fi
+  for needle in '"ph":"X"' '"ph":"s"' '"ph":"f"' '"bp":"e"' \
+      '"name":"wal_durable"' '"name":"wal-committer"'; do
+    if ! grep -qF "$needle" "$TRACE_FILE"; then
+      echo "serve_smoke: trace file lacks $needle" >&2
+      exit 1
+    fi
+  done
 fi
 
 echo "serve_smoke: OK"

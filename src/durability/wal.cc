@@ -369,39 +369,46 @@ Status WalWriter::WriteAndMaybeSync(const std::string& frames, bool sync) {
 }
 
 Result<uint64_t> WalWriter::Append(std::string payload) {
-  util::MutexLock lock(mu_);
-  if (closed_ || stopping_) return Status::Internal("WAL writer is closed");
-  MC3_RETURN_IF_ERROR(committer_error_);
-  const uint64_t seq = ++last_seq_;
-  std::string frame = EncodeRecord(seq, payload);
-  stats_.records_appended += 1;
-  stats_.bytes_appended += frame.size();
-  NoteAppend(frame.size());
+  uint64_t seq = 0;
+  uint64_t durable_now = 0;
+  {
+    util::MutexLock lock(mu_);
+    if (closed_ || stopping_) return Status::Internal("WAL writer is closed");
+    MC3_RETURN_IF_ERROR(committer_error_);
+    seq = ++last_seq_;
+    std::string frame = EncodeRecord(seq, payload);
+    stats_.records_appended += 1;
+    stats_.bytes_appended += frame.size();
+    NoteAppend(frame.size());
 
-  if (options_.sync == WalOptions::SyncPolicy::kGrouped) {
-    pending_ += frame;
-    pending_records_ += 1;
-    pending_last_seq_ = seq;
-    work_cv_.NotifyOne();
-    return seq;
-  }
+    if (options_.sync == WalOptions::SyncPolicy::kGrouped) {
+      pending_ += frame;
+      pending_records_ += 1;
+      pending_last_seq_ = seq;
+      work_cv_.NotifyOne();
+      return seq;
+    }
 
-  // Inline policies: the engine worker is the only appender, so writing
-  // without dropping the lock is safe (and keeps seq order trivially).
-  const bool sync = options_.sync == WalOptions::SyncPolicy::kImmediate;
-  MC3_RETURN_IF_ERROR(WriteAndMaybeSync(frame, sync));
-  segment_bytes_written_ += frame.size();
-  if (sync) {
-    durable_seq_ = seq;
-    stats_.syncs += 1;
-    stats_.bytes_fsynced += frame.size();
-    stats_.group_commit_max = std::max<uint64_t>(stats_.group_commit_max, 1);
-    NoteSync(frame.size(), 1);
+    // Inline policies: the engine worker is the only appender, so writing
+    // without dropping the lock is safe (and keeps seq order trivially).
+    const bool sync = options_.sync == WalOptions::SyncPolicy::kImmediate;
+    MC3_RETURN_IF_ERROR(WriteAndMaybeSync(frame, sync));
+    segment_bytes_written_ += frame.size();
+    if (sync) {
+      durable_seq_ = seq;
+      stats_.syncs += 1;
+      stats_.bytes_fsynced += frame.size();
+      stats_.group_commit_max = std::max<uint64_t>(stats_.group_commit_max, 1);
+      NoteSync(frame.size(), 1);
+      durable_now = seq;
+    }
+    if (options_.segment_bytes > 0 &&
+        segment_bytes_written_ >= options_.segment_bytes) {
+      MC3_RETURN_IF_ERROR(OpenSegment(seq + 1));
+    }
   }
-  if (options_.segment_bytes > 0 &&
-      segment_bytes_written_ >= options_.segment_bytes) {
-    MC3_RETURN_IF_ERROR(OpenSegment(seq + 1));
-  }
+  // The durability hook runs outside mu_ (it may take subscriber locks).
+  if (durable_now != 0 && options_.on_durable) options_.on_durable(durable_now);
   return seq;
 }
 
@@ -451,6 +458,12 @@ void WalWriter::CommitterLoop() {
       if (!rotated.ok() && committer_error_.ok()) committer_error_ = rotated;
     }
     durable_cv_.NotifyAll();
+    if (options_.on_durable) {
+      // The durability hook runs outside mu_ (it may take subscriber locks).
+      lock.Unlock();
+      options_.on_durable(batch_last_seq);
+      lock.Lock();
+    }
   }
 }
 

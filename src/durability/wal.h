@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -62,6 +63,14 @@ struct WalOptions {
   /// Rotate to a fresh segment once the current one exceeds this many
   /// bytes. 0 = never rotate on size (checkpoints rotate explicitly).
   uint64_t segment_bytes = 64ull << 20;
+
+  /// Optional durability hook: invoked with the new durable sequence number
+  /// every time `durable_seq` advances (after the fsync — on the committer
+  /// thread under kGrouped, inline in Append under kImmediate, never under
+  /// kNone). Runs outside the writer lock, so it may take subscriber locks;
+  /// it must not call back into the writer. The serving telemetry layer uses
+  /// it to timestamp the wal_durable stage of traced requests.
+  std::function<void(uint64_t durable_seq)> on_durable;
 };
 
 /// Point-in-time writer statistics (also served by the `wal_stats` protocol

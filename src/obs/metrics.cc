@@ -33,10 +33,16 @@ double HistogramSnapshot::Percentile(double q) const {
     const double next = seen + static_cast<double>(buckets[i]);
     if (rank <= next) {
       // Interpolate inside bucket i, clamped to the observed range (the
-      // first and last buckets are open-ended; min/max bound them).
+      // first and last buckets are open-ended; min/max bound them). Values
+      // beyond the bucket table clamp into the last bucket, so its upper
+      // edge is the observed max, not the (finite) next bound — and lo can
+      // then exceed the nominal bucket range entirely.
       const double lo = std::max(HistogramBucketBound(static_cast<int>(i)), min);
-      const double hi =
-          std::min(HistogramBucketBound(static_cast<int>(i) + 1), max);
+      double hi = i + 1 >= buckets.size()
+                      ? max
+                      : std::min(HistogramBucketBound(static_cast<int>(i) + 1),
+                                 max);
+      if (hi < lo) hi = lo;
       const double fraction =
           (rank - seen) / static_cast<double>(buckets[i]);
       return lo + fraction * (hi - lo);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/instance_util.h"
+#include "util/timer.h"
 
 namespace mc3::online {
 
@@ -29,6 +30,7 @@ ShardedEngine::ShardedEngine(uint32_t num_shards, EngineOptions options)
   engines_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) engines_.emplace_back(options);
   last_batch_.shard_ops.assign(n, 0);
+  last_batch_.shard_apply_seconds.assign(n, 0.0);
 }
 
 Result<UpdateStats> ShardedEngine::Initialize(const Instance& base) {
@@ -112,6 +114,7 @@ Result<UpdateStats> ShardedEngine::ApplyUpdate(
 
   const RoutePlan plan = router_.Route(add, remove);
   last_batch_.shard_ops.assign(n, 0);
+  last_batch_.shard_apply_seconds.assign(n, 0.0);
   last_batch_.migrated = plan.migrated;
 
   UpdateStats stats;
@@ -124,14 +127,20 @@ Result<UpdateStats> ShardedEngine::ApplyUpdate(
   std::vector<std::function<void()>> jobs(n);
   std::vector<Status> statuses(n);
   std::vector<UpdateStats> shard_stats(n);
+  // Timed into a local (one slot per shard, no sharing) and copied into
+  // last_batch_ after the runner joins, so concurrent jobs never touch a
+  // member.
+  std::vector<double> apply_seconds(n, 0.0);
   bool any = false;
   for (uint32_t i = 0; i < n; ++i) {
     if (plan.shards[i].empty()) continue;
     any = true;
     last_batch_.shard_ops[i] = plan.shards[i].ops();
     const ShardOps& ops = plan.shards[i];
-    jobs[i] = [this, i, &ops, &statuses, &shard_stats] {
+    jobs[i] = [this, i, &ops, &statuses, &shard_stats, &apply_seconds] {
+      const Timer apply_timer;
       auto applied = engines_[i].ApplyUpdate(ops.add, ops.remove);
+      apply_seconds[i] = apply_timer.Seconds();
       if (applied.ok()) {
         shard_stats[i] = *applied;
       } else {
@@ -141,6 +150,7 @@ Result<UpdateStats> ShardedEngine::ApplyUpdate(
   }
   if (!any) return stats;
   runner(&jobs);
+  last_batch_.shard_apply_seconds = apply_seconds;
 
   for (uint32_t i = 0; i < n; ++i) {
     if (!statuses[i].ok()) {

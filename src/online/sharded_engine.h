@@ -62,6 +62,10 @@ EngineState CanonicalizeState(EngineState state);
 struct ShardBatchStats {
   /// Ops (adds + removes) dispatched to each shard by the last batch.
   std::vector<size_t> shard_ops;
+  /// Wall-clock seconds each shard spent applying its slice of the last
+  /// batch (0 for untouched shards; measured inside the apply job, so a
+  /// concurrent runner reports genuinely parallel times).
+  std::vector<double> shard_apply_seconds;
   size_t migrated = 0;
 };
 

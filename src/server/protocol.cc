@@ -72,6 +72,8 @@ const char* OpName(Request::Op op) {
       return "checkpoint";
     case Request::Op::kWalStats:
       return "wal_stats";
+    case Request::Op::kMetrics:
+      return "metrics";
     case Request::Op::kShutdown:
       return "shutdown";
   }
@@ -104,6 +106,8 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = Request::Op::kCheckpoint;
   } else if (op->string == "wal_stats") {
     request.op = Request::Op::kWalStats;
+  } else if (op->string == "metrics") {
+    request.op = Request::Op::kMetrics;
   } else if (op->string == "shutdown") {
     request.op = Request::Op::kShutdown;
   } else {

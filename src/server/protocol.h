@@ -10,7 +10,8 @@
 //   {"op":"snapshot","id":6}
 //   {"op":"checkpoint","id":7}
 //   {"op":"wal_stats","id":8}
-//   {"op":"shutdown","id":9}
+//   {"op":"metrics","id":9}
+//   {"op":"shutdown","id":10}
 //
 // Responses always carry the echoed "id" (0 when the request had none),
 // the request "op", and an HTTP-flavoured "code": 200 ok, 400 malformed or
@@ -37,6 +38,7 @@ struct Request {
     kSnapshot,
     kCheckpoint,  ///< force a durability snapshot (400 when not durable)
     kWalStats,    ///< WAL writer + recovery statistics
+    kMetrics,     ///< Prometheus text exposition of the whole obs registry
     kShutdown,
   };
   Op op = Op::kHealth;

@@ -18,10 +18,12 @@
 #include <utility>
 
 #include "data/query_log.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "online/update_trace.h"
 #include "server/coalescer.h"
+#include "util/build_info.h"
 #include "util/float_cmp.h"
 
 namespace mc3::server {
@@ -92,7 +94,8 @@ Server::Server(ServerOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity),
       engine_(options_.shards == 0 ? 1 : options_.shards, options_.engine),
-      shard_counters_(options_.shards == 0 ? 1 : options_.shards) {
+      shard_counters_(options_.shards == 0 ? 1 : options_.shards),
+      telemetry_({options_.trace_sample, options_.trace_out_dir}) {
   if (options_.admission_watermark == 0) {
     options_.admission_watermark =
         std::max<size_t>(1, options_.queue_capacity * 3 / 4);
@@ -112,6 +115,17 @@ Server::~Server() {
 Status Server::Start(const Instance& base) {
   if (started_.exchange(true)) {
     return Status::Internal("server already started");
+  }
+  uptime_.Reset();
+  // Route WAL durability notifications into the telemetry layer so the
+  // wal_durable stage of traced requests gets its committer-side timestamp.
+  // kNone never advances durable_seq, so nothing would resolve the entries.
+  if (obs::kObsEnabled && !options_.durability.data_dir.empty() &&
+      options_.durability.wal.sync !=
+          durability::WalOptions::SyncPolicy::kNone) {
+    options_.durability.wal.on_durable = [this](uint64_t durable_seq) {
+      telemetry_.OnWalDurable(durable_seq);
+    };
   }
   {
     // No worker exists yet, but the initialization below writes the
@@ -270,6 +284,14 @@ void Server::Join() {
     std::fclose(trace_recorder_);
     trace_recorder_ = nullptr;
   }
+  // Durability is closed (the final group commit has fired on_durable), so
+  // every span that will ever exist is in the sink: export the trace file.
+  const Status trace_written = telemetry_.WriteTraceFile(port_);
+  if (!trace_written.ok()) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("server.trace_write_errors")
+        .Add();
+  }
 }
 
 void Server::AcceptLoop() {
@@ -298,6 +320,7 @@ void Server::AcceptLoop() {
 }
 
 void Server::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
+  telemetry_.NameThread("conn");
   std::string buffer;
   char chunk[4096];
   while (true) {
@@ -325,6 +348,8 @@ void Server::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
 void Server::HandleLine(const std::shared_ptr<Connection>& conn,
                         const std::string& line) {
   Timer latency;
+  const bool tracing = telemetry_.enabled();
+  const double parse_start_us = tracing ? telemetry_.NowUs() : 0;
   auto parsed = ParseRequest(line);
   if (!parsed.ok()) {
     malformed_.fetch_add(1, std::memory_order_relaxed);
@@ -335,6 +360,7 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
   Request request = std::move(*parsed);
   requests_.fetch_add(1, std::memory_order_relaxed);
   CountEndpoint("requests", request.op);
+  const TraceAssignment trace = telemetry_.Assign();
 
   switch (request.op) {
     case Request::Op::kHealth:
@@ -360,6 +386,10 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     }
     case Request::Op::kWalStats:
       WriteResponse(conn, RenderWalStats(request));
+      ObserveLatency(request, latency.Seconds());
+      return;
+    case Request::Op::kMetrics:
+      WriteResponse(conn, RenderMetrics(request));
       ObserveLatency(request, latency.Seconds());
       return;
     case Request::Op::kSolve:
@@ -392,6 +422,9 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
   PendingRequest pending;
   pending.request = std::move(request);
   pending.conn = conn;
+  pending.trace_id = trace.trace_id;
+  pending.sampled = trace.sampled;
+  if (trace.sampled) pending.queued_us = telemetry_.NowUs();
   const Request::Op op = pending.request.op;
   const uint64_t id = pending.request.id;
   if (!queue_.TryPush(std::move(pending))) {
@@ -408,17 +441,27 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     }
     return;
   }
+  const size_t depth_now = queue_.Depth();
   obs::MetricsRegistry::Global()
       .GetGauge("server.queue_depth")
-      .Set(static_cast<double>(queue_.Depth()));
+      .Set(static_cast<double>(depth_now));
+  // High watermark for post-hoc saturation analysis (stats/metrics verbs).
+  uint64_t seen_depth = queue_depth_max_.load(std::memory_order_relaxed);
+  while (seen_depth < depth_now &&
+         !queue_depth_max_.compare_exchange_weak(
+             seen_depth, depth_now, std::memory_order_relaxed)) {
+  }
+  if (trace.sampled) telemetry_.Span("parse", parse_start_us, trace.trace_id);
 }
 
 void Server::EngineWorkerLoop() {
+  telemetry_.NameThread("engine-worker");
   while (ProcessNext(/*drain_only=*/false)) {
   }
 }
 
 void Server::ShardWorkerLoop(size_t index) {
+  telemetry_.NameThread("shard-" + std::to_string(index));
   BoundedQueue<std::function<void()>>& shard_queue = *shard_queues_[index];
   while (true) {
     std::optional<std::function<void()>> job = shard_queue.Pop();
@@ -429,14 +472,25 @@ void Server::ShardWorkerLoop(size_t index) {
 
 Result<online::UpdateStats> Server::ApplyEngineUpdate(
     const std::vector<PropertySet>& add,
-    const std::vector<PropertySet>& remove) {
-  if (shard_queues_.empty()) return engine_.ApplyUpdate(add, remove);
+    const std::vector<PropertySet>& remove,
+    const std::vector<uint64_t>& trace_ids) {
+  const bool span_apply = telemetry_.enabled() && !trace_ids.empty();
+  if (shard_queues_.empty()) {
+    // Unsharded (or embedding-mode) apply: one span on the applying thread
+    // stands in for the per-shard ones.
+    const double start_us = span_apply ? telemetry_.NowUs() : 0;
+    Result<online::UpdateStats> applied = engine_.ApplyUpdate(add, remove);
+    if (span_apply) telemetry_.Span("shard_apply", start_us, trace_ids);
+    return applied;
+  }
   // Dispatch the routed per-shard jobs to the shard workers and block until
   // every shard committed; the batch is acked only after this returns. The
   // dispatching engine worker holds engine_mu_, so at most one batch is in
   // flight and the shard queues cannot fill.
   return engine_.ApplyUpdate(
-      add, remove, [this](std::vector<std::function<void()>>* jobs) {
+      add, remove,
+      [this, span_apply,
+       &trace_ids](std::vector<std::function<void()>>* jobs) {
         // The barrier state is shared-owned by every dispatched job: a
         // stack-local condition variable could be destroyed while the last
         // shard worker is still inside notify_one (the waiter's predicate
@@ -459,8 +513,19 @@ Result<online::UpdateStats> Server::ApplyEngineUpdate(
         for (size_t s = 0; s < jobs->size(); ++s) {
           if (!(*jobs)[s]) continue;
           std::function<void()>* job = &(*jobs)[s];
-          auto wrapped = [job, barrier] {
+          // Sampled batches record one shard_apply span per dispatched
+          // shard, on the shard worker thread that ran the job (the ids
+          // vector is copied into the job: it outlives this dispatch).
+          std::vector<uint64_t> span_ids =
+              span_apply ? trace_ids : std::vector<uint64_t>{};
+          auto wrapped = [this, job, barrier,
+                          span_ids = std::move(span_ids)] {
+            const double start_us =
+                span_ids.empty() ? 0 : telemetry_.NowUs();
             (*job)();
+            if (!span_ids.empty()) {
+              telemetry_.Span("shard_apply", start_us, span_ids);
+            }
             {
               util::MutexLock lock(barrier->mu);
               --barrier->outstanding;
@@ -471,6 +536,14 @@ Result<online::UpdateStats> Server::ApplyEngineUpdate(
             // Closed or full (neither can happen while engine workers are
             // live, but a lost job would deadlock the batch): run inline.
             wrapped();
+          }
+          // Shard-queue high watermark (point-in-time depths miss bursts).
+          const size_t shard_depth = shard_queues_[s]->Depth();
+          uint64_t seen = shard_counters_[s].queue_depth_max.load(
+              std::memory_order_relaxed);
+          while (seen < shard_depth &&
+                 !shard_counters_[s].queue_depth_max.compare_exchange_weak(
+                     seen, shard_depth, std::memory_order_relaxed)) {
           }
         }
         util::MutexLock lock(barrier->mu);
@@ -573,7 +646,8 @@ Status Server::PriceUnknown(const std::vector<PropertySet>& added) {
 }
 
 uint64_t Server::PersistApplied(const std::vector<PropertySet>& add,
-                                const std::vector<PropertySet>& remove) {
+                                const std::vector<PropertySet>& remove,
+                                const std::vector<uint64_t>& trace_ids) {
   if (durability_ == nullptr && trace_recorder_ == nullptr) return 0;
   auto payload = online::RenderUpdateBatch(add, remove, names_);
   if (!payload.ok()) {
@@ -588,10 +662,21 @@ uint64_t Server::PersistApplied(const std::vector<PropertySet>& add,
     std::fflush(trace_recorder_);
   }
   if (durability_ == nullptr) return 0;
+  // Only a policy that eventually fires on_durable may register a pending
+  // wal_durable stage (kNone never resolves it).
+  const bool track_durable =
+      obs::kObsEnabled &&
+      options_.durability.wal.sync !=
+          durability::WalOptions::SyncPolicy::kNone;
+  const double append_start_us = track_durable ? telemetry_.NowUs() : 0;
   auto seq = durability_->LogPayload(std::move(*payload));
   if (!seq.ok()) {
     wal_errors_.fetch_add(1, std::memory_order_relaxed);
     return 0;
+  }
+  if (track_durable) {
+    telemetry_.NoteWalAppend(*seq, Request::Op::kUpdate, append_start_us,
+                             trace_ids);
   }
   return *seq;
 }
@@ -610,8 +695,24 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
   std::vector<ParsedUpdate> parsed(batch.size());
   std::vector<std::string> responses(batch.size());
 
+  // Stage telemetry: queue_wait closes for every member now that the batch
+  // left the queue; the batch-level stages (coalesce, shard_apply,
+  // wal_durable) carry every sampled member's trace id.
+  const bool tracing = telemetry_.enabled();
+  std::vector<uint64_t> sampled_ids;
+  for (const PendingRequest& member : batch) {
+    RecordStageSeconds("queue_wait", Request::Op::kUpdate,
+                       member.enqueued.Seconds());
+    if (member.sampled) {
+      sampled_ids.push_back(member.trace_id);
+      telemetry_.Span("queue_wait", member.queued_us, member.trace_id);
+    }
+  }
+
   {
     util::MutexLock lock(engine_mu_);
+    Timer coalesce_timer;
+    const double coalesce_start_us = tracing ? telemetry_.NowUs() : 0;
     UpdateCoalescer coalescer;
     for (size_t i = 0; i < batch.size(); ++i) {
       for (const auto& names : batch[i].request.add) {
@@ -625,11 +726,17 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
     engine_.set_property_names(names_);
 
     const NetUpdate net = coalescer.Take();
+    RecordStageSeconds("coalesce", Request::Op::kUpdate,
+                       coalesce_timer.Seconds());
+    telemetry_.Span("coalesce", coalesce_start_us, sampled_ids);
     Status priced = PriceUnknown(net.add);
+    Timer apply_timer;
     Result<online::UpdateStats> applied =
-        priced.ok() ? ApplyEngineUpdate(net.add, net.remove)
+        priced.ok() ? ApplyEngineUpdate(net.add, net.remove, sampled_ids)
                     : Result<online::UpdateStats>(priced);
     if (applied.ok()) {
+      RecordStageSeconds("shard_apply", Request::Op::kUpdate,
+                         apply_timer.Seconds());
       RecordShardWork(net.ops);
       batches_.fetch_add(1, std::memory_order_relaxed);
       coalesced_ops_.fetch_add(net.ops, std::memory_order_relaxed);
@@ -645,13 +752,17 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
       obs::MetricsRegistry::Global()
           .GetHistogram("server.batch_size")
           .Record(static_cast<double>(net.ops));
-      const uint64_t wal_seq = PersistApplied(net.add, net.remove);
+      const uint64_t wal_seq = PersistApplied(net.add, net.remove,
+                                              sampled_ids);
       for (size_t i = 0; i < batch.size(); ++i) {
         obs::JsonWriter writer(/*compact=*/true);
         writer.BeginObject();
         writer.Key("id").Int(batch[i].request.id);
         writer.Key("op").String("update");
         writer.Key("code").Int(200);
+        if (batch[i].trace_id != 0) {
+          writer.Key("trace_id").Int(batch[i].trace_id);
+        }
         if (durability_ != nullptr) writer.Key("wal_seq").Int(wal_seq);
         writer.Key("batch_size").Int(net.ops);
         writer.Key("batch_requests").Int(batch.size());
@@ -669,10 +780,12 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
       // uncoverable add). Fall back to per-request application so the
       // blast radius is the offending request, not its batch peers.
       for (size_t i = 0; i < batch.size(); ++i) {
+        std::vector<uint64_t> one_ids;
+        if (batch[i].sampled) one_ids.push_back(batch[i].trace_id);
         Status fallback_priced = PriceUnknown(parsed[i].add);
         Result<online::UpdateStats> one =
             fallback_priced.ok()
-                ? ApplyEngineUpdate(parsed[i].add, parsed[i].remove)
+                ? ApplyEngineUpdate(parsed[i].add, parsed[i].remove, one_ids)
                 : Result<online::UpdateStats>(fallback_priced);
         if (!one.ok()) {
           responses[i] = RenderErrorResponse(batch[i].request.id,
@@ -683,12 +796,15 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
         RecordShardWork(parsed[i].add.size() + parsed[i].remove.size());
         batches_.fetch_add(1, std::memory_order_relaxed);
         const uint64_t wal_seq = PersistApplied(parsed[i].add,
-                                                parsed[i].remove);
+                                                parsed[i].remove, one_ids);
         obs::JsonWriter writer(/*compact=*/true);
         writer.BeginObject();
         writer.Key("id").Int(batch[i].request.id);
         writer.Key("op").String("update");
         writer.Key("code").Int(200);
+        if (batch[i].trace_id != 0) {
+          writer.Key("trace_id").Int(batch[i].trace_id);
+        }
         if (durability_ != nullptr) writer.Key("wal_seq").Int(wal_seq);
         writer.Key("batch_size").Int(one->queries_added +
                                      one->queries_removed);
@@ -706,12 +822,29 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
     MaybeCheckpoint();
   }
   for (size_t i = 0; i < batch.size(); ++i) {
-    WriteResponse(batch[i].conn, responses[i]);
-    ObserveLatency(batch[i].request, batch[i].enqueued.Seconds());
+    FinishTracedResponse(batch[i], responses[i]);
   }
 }
 
+void Server::FinishTracedResponse(const PendingRequest& pending,
+                                  const std::string& response) {
+  Timer serialize_timer;
+  const double serialize_start_us = pending.sampled ? telemetry_.NowUs() : 0;
+  WriteResponse(pending.conn, response);
+  RecordStageSeconds("serialize", pending.request.op,
+                     serialize_timer.Seconds());
+  if (pending.sampled) {
+    telemetry_.Span("serialize", serialize_start_us, pending.trace_id);
+  }
+  ObserveLatency(pending.request, pending.enqueued.Seconds());
+}
+
 void Server::HandleSolve(const PendingRequest& pending) {
+  RecordStageSeconds("queue_wait", Request::Op::kSolve,
+                     pending.enqueued.Seconds());
+  if (pending.sampled) {
+    telemetry_.Span("queue_wait", pending.queued_us, pending.trace_id);
+  }
   obs::JsonWriter writer(/*compact=*/true);
   {
     util::MutexLock lock(engine_mu_);
@@ -719,6 +852,9 @@ void Server::HandleSolve(const PendingRequest& pending) {
     writer.Key("id").Int(pending.request.id);
     writer.Key("op").String("solve");
     writer.Key("code").Int(200);
+    if (pending.trace_id != 0) {
+      writer.Key("trace_id").Int(pending.trace_id);
+    }
     writer.Key("cost").Number(engine_.TotalCost());
     writer.Key("queries").Int(engine_.NumQueries());
     writer.Key("components").Int(engine_.NumComponents());
@@ -738,11 +874,15 @@ void Server::HandleSolve(const PendingRequest& pending) {
     }
     writer.EndObject();
   }
-  WriteResponse(pending.conn, writer.Take());
-  ObserveLatency(pending.request, pending.enqueued.Seconds());
+  FinishTracedResponse(pending, writer.Take());
 }
 
 void Server::HandleSnapshot(const PendingRequest& pending) {
+  RecordStageSeconds("queue_wait", Request::Op::kSnapshot,
+                     pending.enqueued.Seconds());
+  if (pending.sampled) {
+    telemetry_.Span("queue_wait", pending.queued_us, pending.trace_id);
+  }
   obs::JsonWriter writer(/*compact=*/true);
   {
     util::MutexLock lock(engine_mu_);
@@ -750,6 +890,9 @@ void Server::HandleSnapshot(const PendingRequest& pending) {
     writer.Key("id").Int(pending.request.id);
     writer.Key("op").String("snapshot");
     writer.Key("code").Int(200);
+    if (pending.trace_id != 0) {
+      writer.Key("trace_id").Int(pending.trace_id);
+    }
     writer.Key("cost").Number(engine_.TotalCost());
     writer.Key("queries").Int(engine_.NumQueries());
     writer.Key("components").Int(engine_.NumComponents());
@@ -776,11 +919,15 @@ void Server::HandleSnapshot(const PendingRequest& pending) {
     writer.EndObject();
     writer.EndObject();
   }
-  WriteResponse(pending.conn, writer.Take());
-  ObserveLatency(pending.request, pending.enqueued.Seconds());
+  FinishTracedResponse(pending, writer.Take());
 }
 
 void Server::HandleCheckpoint(const PendingRequest& pending) {
+  RecordStageSeconds("queue_wait", Request::Op::kCheckpoint,
+                     pending.enqueued.Seconds());
+  if (pending.sampled) {
+    telemetry_.Span("queue_wait", pending.queued_us, pending.trace_id);
+  }
   if (durability_ == nullptr) {
     WriteResponse(pending.conn,
                   RenderErrorResponse(pending.request.id,
@@ -805,14 +952,16 @@ void Server::HandleCheckpoint(const PendingRequest& pending) {
     writer.Key("id").Int(pending.request.id);
     writer.Key("op").String("checkpoint");
     writer.Key("code").Int(200);
+    if (pending.trace_id != 0) {
+      writer.Key("trace_id").Int(pending.trace_id);
+    }
     writer.Key("seq").Int(info->seq);
     writer.Key("bytes").Int(info->bytes);
     writer.Key("path").String(info->path);
     writer.Key("checkpoint_ms").Number(info->seconds * 1e3);
     writer.EndObject();
   }
-  WriteResponse(pending.conn, writer.Take());
-  ObserveLatency(pending.request, pending.enqueued.Seconds());
+  FinishTracedResponse(pending, writer.Take());
 }
 
 std::string Server::RenderWalStats(const Request& request) {
@@ -857,6 +1006,12 @@ std::string Server::RenderHealth(const Request& request) {
                                   ? "draining"
                                   : "ok");
   writer.Key("queue_depth").Int(queue_.Depth());
+  writer.Key("uptime_seconds").Number(uptime_.Seconds());
+  writer.Key("build").BeginObject();
+  writer.Key("compiler").String(util::BuildCompiler());
+  writer.Key("build_type").String(util::BuildType());
+  writer.Key("obs").Bool(obs::kObsEnabled);
+  writer.EndObject();
   writer.EndObject();
   return writer.Take();
 }
@@ -879,6 +1034,8 @@ std::string Server::RenderStats(const Request& request) {
   writer.Key("coalesced_ops").Int(stats.coalesced_ops);
   writer.Key("max_batch").Int(stats.max_batch);
   writer.Key("queue_depth").Int(stats.queue_depth);
+  writer.Key("queue_depth_max").Int(stats.queue_depth_max);
+  writer.Key("uptime_seconds").Number(stats.uptime_seconds);
   // Sharding view: always present (a single shard renders one entry), read
   // entirely from Server-level atomics and queue depths so this inline
   // path never touches engine_mu_.
@@ -891,6 +1048,7 @@ std::string Server::RenderStats(const Request& request) {
     writer.Key("batches").Int(stats.shards[s].batches);
     writer.Key("ops").Int(stats.shards[s].ops);
     writer.Key("queue_depth").Int(stats.shards[s].queue_depth);
+    writer.Key("queue_depth_max").Int(stats.shards[s].queue_depth_max);
     writer.EndObject();
   }
   writer.EndArray();
@@ -912,7 +1070,90 @@ std::string Server::RenderStats(const Request& request) {
       writer.EndObject();
     }
     writer.EndObject();
+    // Pipeline stage breakdown (docs/observability.md, "Serving
+    // telemetry"): keys are `<stage>.<verb>`, values mirror the latency
+    // percentile shape above.
+    writer.Key("stages").BeginObject();
+    const std::string stage_prefix = "server.stage.";
+    for (const auto& [name, histogram] : snap.histograms) {
+      if (name.rfind(stage_prefix, 0) != 0) continue;
+      writer.Key(name.substr(stage_prefix.size())).BeginObject();
+      writer.Key("count").Int(histogram.count);
+      writer.Key("mean").Number(histogram.Mean());
+      writer.Key("p50").Number(histogram.P50());
+      writer.Key("p95").Number(histogram.P95());
+      writer.Key("p99").Number(histogram.P99());
+      writer.EndObject();
+    }
+    writer.EndObject();
   }
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string Server::RenderMetrics(const Request& request) {
+  const ServerStats stats = GetStats();
+  // Extras cover everything the registry does not already track under a
+  // flat name. Per-shard series are grouped per metric (not per shard) so
+  // RenderPrometheus emits one TYPE header per adjacent same-name run.
+  std::vector<obs::ExpositionSample> extra;
+  const auto counter = [&extra](const std::string& name, double value) {
+    extra.push_back({name, "counter", {}, value});
+  };
+  const auto gauge = [&extra](const std::string& name, double value) {
+    extra.push_back({name, "gauge", {}, value});
+  };
+  counter("server.connections", stats.connections);
+  counter("server.requests", stats.requests);
+  counter("server.responses", stats.responses);
+  counter("server.refused_draining", stats.refused_draining);
+  counter("server.malformed", stats.malformed);
+  counter("server.wal_errors",
+          wal_errors_.load(std::memory_order_relaxed));
+  gauge("server.max_batch", stats.max_batch);
+  gauge("server.queue_depth_max", stats.queue_depth_max);
+  gauge("server.engine_shards", stats.shards.size());
+  gauge("server.uptime_seconds", stats.uptime_seconds);
+  if (!obs::kObsEnabled) {
+    // The metrics registry is compiled out: surface its most important
+    // serving counters from the server's own atomics instead (same names
+    // the registry would have used, so dashboards keep working).
+    counter("server.batches", stats.batches);
+    counter("server.coalesced_ops", stats.coalesced_ops);
+    counter("server.rejected", stats.rejected);
+    gauge("server.queue_depth", stats.queue_depth);
+  }
+  const auto shard_series = [&extra, &stats](const std::string& name,
+                                             const auto& value_of) {
+    for (size_t s = 0; s < stats.shards.size(); ++s) {
+      extra.push_back({name,
+                       "gauge",
+                       {{"shard", std::to_string(s)}},
+                       static_cast<double>(value_of(stats.shards[s]))});
+    }
+  };
+  shard_series("server.shard.batches",
+               [](const ShardStats& s) { return s.batches; });
+  shard_series("server.shard.ops", [](const ShardStats& s) { return s.ops; });
+  shard_series("server.shard.queue_depth",
+               [](const ShardStats& s) { return s.queue_depth; });
+  shard_series("server.shard.queue_depth_max",
+               [](const ShardStats& s) { return s.queue_depth_max; });
+  extra.push_back({"build_info",
+                   "gauge",
+                   {{"compiler", util::BuildCompiler()},
+                    {"build_type", util::BuildType()},
+                    {"obs", obs::kObsEnabled ? "on" : "off"}},
+                   1.0});
+  const std::string body = obs::RenderPrometheus(
+      obs::MetricsRegistry::Global().Snap(), extra);
+  obs::JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("id").Int(request.id);
+  writer.Key("op").String("metrics");
+  writer.Key("code").Int(200);
+  writer.Key("content_type").String("text/plain; version=0.0.4");
+  writer.Key("body").String(body);
   writer.EndObject();
   return writer.Take();
 }
@@ -951,6 +1192,8 @@ ServerStats Server::GetStats() const {
   stats.coalesced_ops = coalesced_ops_.load(std::memory_order_relaxed);
   stats.max_batch = max_batch_.load(std::memory_order_relaxed);
   stats.queue_depth = queue_.Depth();
+  stats.queue_depth_max = queue_depth_max_.load(std::memory_order_relaxed);
+  stats.uptime_seconds = uptime_.Seconds();
   stats.migrated = migrated_.load(std::memory_order_relaxed);
   stats.shards.resize(shard_counters_.size());
   for (size_t s = 0; s < shard_counters_.size(); ++s) {
@@ -960,6 +1203,8 @@ ServerStats Server::GetStats() const {
         shard_counters_[s].ops.load(std::memory_order_relaxed);
     stats.shards[s].queue_depth =
         s < shard_queues_.size() ? shard_queues_[s]->Depth() : 0;
+    stats.shards[s].queue_depth_max =
+        shard_counters_[s].queue_depth_max.load(std::memory_order_relaxed);
   }
   return stats;
 }

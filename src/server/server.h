@@ -52,6 +52,7 @@
 #include "online/sharded_engine.h"
 #include "server/bounded_queue.h"
 #include "server/protocol.h"
+#include "server/telemetry.h"
 #include "server/worker_pool.h"
 #include "util/status.h"
 #include "util/sync.h"
@@ -121,13 +122,23 @@ struct ServerOptions {
   /// batch as update_trace text to this file, replayable via
   /// `mc3 serve <workload> --trace`. Independent of durability.
   std::string record_trace_path;
+
+  /// Request tracing (`mc3 serve --trace-sample N`): assign every request a
+  /// trace id (echoed in engine-op responses) and record every Nth
+  /// request's per-stage spans into a Chrome trace-event sink. 0 keeps
+  /// tracing fully off — responses stay byte-identical to earlier builds.
+  uint64_t trace_sample = 0;
+  /// Where the trace-event JSON lands on shutdown (`--trace-out DIR`);
+  /// see trace_file_path(). Empty = collected but never written.
+  std::string trace_out_dir;
 };
 
 /// Per-shard serving statistics (stats endpoint `shards` array).
 struct ShardStats {
   uint64_t batches = 0;  ///< routed batches that touched this shard
   uint64_t ops = 0;      ///< adds + removes dispatched to this shard
-  size_t queue_depth = 0;  ///< shard worker queue depth right now
+  size_t queue_depth = 0;      ///< shard worker queue depth right now
+  size_t queue_depth_max = 0;  ///< high watermark since start
 };
 
 /// Point-in-time server statistics (also served by the stats endpoint).
@@ -142,7 +153,9 @@ struct ServerStats {
   uint64_t coalesced_ops = 0;  ///< source update ops folded into batches
   uint64_t max_batch = 0;    ///< largest ops-per-batch seen
   size_t queue_depth = 0;
+  size_t queue_depth_max = 0;  ///< engine-op queue high watermark
   uint64_t migrated = 0;     ///< queries moved between shards (router merges)
+  double uptime_seconds = 0;  ///< seconds since Start
   std::vector<ShardStats> shards;  ///< one entry per engine shard
 };
 
@@ -197,6 +210,12 @@ class Server {
     return durability_.get();
   }
 
+  /// Path the Chrome trace-event file is written to on Join, or "" when
+  /// trace export is not configured. Valid after Start (needs the port).
+  std::string trace_file_path() const {
+    return telemetry_.TraceFilePath(port_);
+  }
+
  private:
   struct Connection {
     // Written once by the acceptor before the connection task is posted;
@@ -211,6 +230,9 @@ class Server {
     Request request;
     std::shared_ptr<Connection> conn;
     Timer enqueued;  ///< measures in-server latency per endpoint
+    uint64_t trace_id = 0;  ///< nonzero only when tracing is on
+    bool sampled = false;   ///< spans recorded for this request
+    double queued_us = 0;   ///< trace-timebase push time (sampled only)
   };
 
   void AcceptLoop();
@@ -225,9 +247,12 @@ class Server {
 
   /// Applies one net batch through the engine, dispatching per-shard jobs
   /// to the shard workers when they are running (engine_mu_ held).
+  /// `trace_ids` are the sampled requests folded into the batch: each
+  /// per-shard apply job records a shard_apply span carrying them.
   Result<online::UpdateStats> ApplyEngineUpdate(
       const std::vector<PropertySet>& add,
-      const std::vector<PropertySet>& remove) MC3_REQUIRES(engine_mu_);
+      const std::vector<PropertySet>& remove,
+      const std::vector<uint64_t>& trace_ids) MC3_REQUIRES(engine_mu_);
   /// Folds the just-applied batch's routing into the per-shard counters and
   /// obs metrics (engine_mu_ held). `ops` is the batch's op count, charged
   /// to shard 0 when the engine is unsharded.
@@ -236,19 +261,27 @@ class Server {
   void ShardWorkerLoop(size_t index);
 
   void HandleUpdateBatch(std::vector<PendingRequest> batch);
+  /// Writes `response`, recording the serialize stage (and span when the
+  /// request is sampled) and the endpoint latency.
+  void FinishTracedResponse(const PendingRequest& pending,
+                            const std::string& response);
   void HandleSolve(const PendingRequest& pending);
   void HandleSnapshot(const PendingRequest& pending);
   void HandleCheckpoint(const PendingRequest& pending);
   std::string RenderHealth(const Request& request);
   std::string RenderStats(const Request& request);
   std::string RenderWalStats(const Request& request);
+  /// Prometheus text exposition of the whole obs registry plus server and
+  /// shard stats, wrapped in a JSON envelope (`metrics` verb).
+  std::string RenderMetrics(const Request& request);
 
   /// WAL-logs and trace-records one applied batch (engine_mu_ held).
   /// Returns the assigned WAL sequence (0 when not durable). Failures are
   /// counted in wal_errors_, not propagated: the batch is already applied
   /// and acknowledged state must not be rolled back.
   uint64_t PersistApplied(const std::vector<PropertySet>& add,
-                          const std::vector<PropertySet>& remove)
+                          const std::vector<PropertySet>& remove,
+                          const std::vector<uint64_t>& trace_ids)
       MC3_REQUIRES(engine_mu_);
   /// Fires a policy-triggered checkpoint if one is due (engine_mu_ held).
   void MaybeCheckpoint() MC3_REQUIRES(engine_mu_);
@@ -295,6 +328,7 @@ class Server {
   struct ShardCounters {
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> queue_depth_max{0};  ///< high watermark
   };
   // mc3-lint: guard-ok(filled in Start before the shard workers launch, immutable after)
   std::vector<std::unique_ptr<BoundedQueue<std::function<void()>>>>
@@ -331,6 +365,15 @@ class Server {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> coalesced_ops_{0};
   std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> queue_depth_max_{0};
+
+  /// Request tracing + stage telemetry (internally synchronized; a no-op
+  /// stub when the obs layer is compiled out).
+  // mc3-lint: guard-ok(constructed before Start, internally synchronized)
+  ServingTelemetry telemetry_;
+  /// Start time for `health`/`metrics` uptime reporting.
+  // mc3-lint: guard-ok(reset once in Start, read-only afterwards)
+  Timer uptime_;
 };
 
 }  // namespace mc3::server

@@ -1,0 +1,37 @@
+// Build metadata for fleet-facing surfaces: the serving `health` verb and
+// the `metrics` exposition both report which compiler and configuration
+// produced the running binary, so operators can tell what they are scraping.
+// Everything here is resolved from predefined macros plus the MC3_BUILD_TYPE
+// definition injected by the top-level CMakeLists.txt.
+#pragma once
+
+#include <string>
+
+namespace mc3::util {
+
+/// Compiler id and version, e.g. "clang 17.0.6" or "gcc 13.2.0".
+inline std::string BuildCompiler() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// CMAKE_BUILD_TYPE the binary was configured with (e.g. "RelWithDebInfo").
+inline std::string BuildType() {
+#if defined(MC3_BUILD_TYPE)
+  const std::string type = MC3_BUILD_TYPE;
+  return type.empty() ? "unspecified" : type;
+#else
+  return "unspecified";
+#endif
+}
+
+}  // namespace mc3::util

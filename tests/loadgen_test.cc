@@ -9,6 +9,7 @@
 #include "core/instance.h"
 #include "mc3_loadgen/loadgen.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 
 namespace mc3::loadgen {
@@ -113,6 +114,97 @@ TEST(LoadGenTest, FailsWithoutPort) {
   LoadGenOptions options;
   options.port = 0;
   EXPECT_FALSE(RunLoadGen(options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry scraping and the end-of-run counter reconcile.
+
+TEST(LoadReportTest, TelemetryBlockRendersAndValidates) {
+  LoadReport report = SampleReport();
+  report.options.scrape_interval_seconds = 0.05;
+  report.client_updates_sent = 6;
+  report.client_solves_sent = 1;
+  report.client_updates_acked = 6;
+  ScrapeSample sample;
+  sample.at_seconds = 0.1;
+  sample.requests = 9;
+  sample.responses = 9;
+  report.scrapes.push_back(sample);
+  report.final_exposition = "mc3_server_requests_total 9\n";
+  report.reconcile.checked = true;
+
+  const std::string json = RenderLoadReport(report);
+  EXPECT_TRUE(ValidateLoadReportJson(json).ok())
+      << ValidateLoadReportJson(json).ToString();
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue* telemetry = parsed->Find("telemetry");
+  ASSERT_NE(telemetry, nullptr);
+  EXPECT_EQ(telemetry->Find("updates_sent")->number, 6);
+  const obs::JsonValue* scrapes = telemetry->Find("scrapes");
+  ASSERT_NE(scrapes, nullptr);
+  ASSERT_EQ(scrapes->array.size(), 1u);
+  EXPECT_EQ(scrapes->array[0].Find("requests")->number, 9);
+  const obs::JsonValue* reconcile = telemetry->Find("reconcile");
+  ASSERT_NE(reconcile, nullptr);
+  EXPECT_TRUE(reconcile->Find("ok")->boolean);
+}
+
+TEST(LoadGenTest, ScrapingEmbedsSeriesAndReconcilesCounters) {
+  // The reconcile compares registry-backed per-verb counters against
+  // client-side accounting; the registry is process-global, so clear the
+  // residue of the earlier in-process server runs (a real deployment
+  // scrapes a fresh server process, as scripts/serve_smoke.sh does).
+  obs::MetricsRegistry::Global().ResetAll();
+  server::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.default_cost = 2;
+  server_options.engine.solver_options.num_threads = 1;
+  server::Server server(server_options);
+  InstanceBuilder builder;
+  builder.AddQuery({"seed_a", "seed_b"});
+  builder.SetCost({"seed_a"}, 1);
+  builder.SetCost({"seed_b"}, 1);
+  ASSERT_TRUE(server.Start(std::move(builder).Build()).ok());
+
+  LoadGenOptions options;
+  options.port = server.port();
+  options.operations = 48;
+  options.qps = 2000;
+  options.connections = 3;
+  options.burst = 16;
+  options.seed = 7;
+  options.shutdown_after = true;
+  options.scrape_interval_seconds = 0.01;
+
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->lost, 0u);
+  server.Join();
+
+  // Client-side per-verb accounting covers the whole workload.
+  EXPECT_EQ(report->client_updates_sent + report->client_solves_sent, 48u);
+  EXPECT_GT(report->client_updates_acked, 0u);
+
+  // The scraper captured at least the final settled sample, and the
+  // end-of-run cross-check against server counters found no drift.
+  ASSERT_FALSE(report->scrapes.empty());
+  EXPECT_FALSE(report->final_exposition.empty());
+  ASSERT_TRUE(report->reconcile.checked);
+  EXPECT_TRUE(report->reconcile.error.empty()) << report->reconcile.error;
+  const ScrapeSample& last = report->scrapes.back();
+  EXPECT_GE(last.requests, 48.0);  // counters are always exposed
+  EXPECT_GE(last.responses, last.requests - 1);
+
+  // The embedded telemetry survives the render/validate round trip.
+  const std::string json = RenderLoadReport(*report);
+  EXPECT_TRUE(ValidateLoadReportJson(json).ok())
+      << ValidateLoadReportJson(json).ToString();
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->Find("telemetry"), nullptr);
+  EXPECT_TRUE(parsed->Find("telemetry")->Find("reconcile")->Find("ok")
+                  ->boolean);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // concurrency), span tracing, JSON writer/parser round trips and report
 // schema validation. The span-dependent assertions are gated on
 // MC3_OBS_DISABLED so the suite also passes in an MC3_OBS=OFF build.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <thread>
@@ -10,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include "core/mc3.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/trace_event.h"
 #include "tests/test_util.h"
 #include "util/parallel.h"
 
@@ -358,6 +361,321 @@ TEST(ReportTest, BenchReportV2RequiresCountersAndWallTimes) {
   if (!obs::kObsEnabled) {
     EXPECT_TRUE(obs::ValidateBenchReportJson(v1).ok());
   }
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot quantile edge cases.
+
+TEST(HistogramQuantileTest, EmptyHistogramReportsZeroEverywhere) {
+  const obs::HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(0), 0);
+  EXPECT_EQ(empty.P50(), 0);
+  EXPECT_EQ(empty.P95(), 0);
+  EXPECT_EQ(empty.P99(), 0);
+  EXPECT_EQ(empty.Percentile(1), 0);
+  EXPECT_EQ(empty.Mean(), 0);
+}
+
+TEST(HistogramQuantileTest, SingleSampleIsEveryQuantile) {
+  if (!obs::kObsEnabled) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  registry.GetHistogram("test.quantile.single").Record(0.0042);
+  const obs::HistogramSnapshot h =
+      registry.Snap().histograms.at("test.quantile.single");
+  ASSERT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0042);
+  EXPECT_DOUBLE_EQ(h.P50(), 0.0042);
+  EXPECT_DOUBLE_EQ(h.P95(), 0.0042);
+  EXPECT_DOUBLE_EQ(h.P99(), 0.0042);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 0.0042);
+  registry.ResetAll();
+}
+
+TEST(HistogramQuantileTest, OpenEndedFirstBucketClampsToObservedRange) {
+  if (!obs::kObsEnabled) return;
+  // Samples far below the first finite bucket bound land in the open-ended
+  // first bucket; interpolation must clamp to [min, max], not to the bucket
+  // bound.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Histogram& histogram = registry.GetHistogram("test.quantile.tiny");
+  histogram.Record(1e-9);
+  histogram.Record(3e-9);
+  const obs::HistogramSnapshot h =
+      registry.Snap().histograms.at("test.quantile.tiny");
+  ASSERT_EQ(h.count, 2u);
+  for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+    const double v = h.Percentile(q);
+    EXPECT_GE(v, h.min) << "q=" << q;
+    EXPECT_LE(v, h.max) << "q=" << q;
+  }
+  registry.ResetAll();
+}
+
+TEST(HistogramQuantileTest, OpenEndedLastBucketClampsToObservedMax) {
+  if (!obs::kObsEnabled) return;
+  // A sample beyond the last finite bound lands in the open-ended last
+  // bucket, whose upper edge is +inf; the observed max must bound the
+  // estimate.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Histogram& histogram = registry.GetHistogram("test.quantile.huge");
+  histogram.Record(1e9);
+  histogram.Record(2e9);
+  const obs::HistogramSnapshot h =
+      registry.Snap().histograms.at("test.quantile.huge");
+  ASSERT_EQ(h.count, 2u);
+  const double p99 = h.P99();
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_GE(p99, h.min);
+  EXPECT_LE(p99, h.max);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 2e9);
+  registry.ResetAll();
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event sink.
+
+#if !defined(MC3_OBS_DISABLED)
+
+namespace {
+
+// Collects every event object in the rendered document that satisfies
+// `pred`.
+std::vector<const JsonValue*> EventsWhere(
+    const JsonValue& doc, bool (*pred)(const JsonValue&)) {
+  std::vector<const JsonValue*> out;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) return out;
+  for (const JsonValue& e : events->array) {
+    if (pred(e)) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string PhaseOf(const JsonValue& event) {
+  const JsonValue* ph = event.Find("ph");
+  return (ph != nullptr && ph->is_string()) ? ph->string : "";
+}
+
+}  // namespace
+
+TEST(TraceEventSinkTest, StitchesFlowEventsAcrossThreads) {
+  obs::TraceEventSink sink;
+  sink.NameCurrentThread("conn-0");
+  sink.Span("parse", sink.NowUs(), 10.0, uint64_t{7});
+  std::thread worker([&sink] {
+    sink.NameCurrentThread("shard-1");
+    sink.Span("shard_apply", sink.NowUs() + 100, 25.0,
+              std::vector<uint64_t>{7});
+    sink.Span("unrelated", sink.NowUs() + 200, 5.0, uint64_t{0});
+  });
+  worker.join();
+  sink.Span("serialize", sink.NowUs() + 400, 3.0, uint64_t{7});
+
+  auto doc = ParseJson(sink.RenderJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  // Three 'X' spans plus the un-sampled one.
+  auto complete = EventsWhere(*doc, [](const JsonValue& e) {
+    return PhaseOf(e) == "X";
+  });
+  EXPECT_EQ(complete.size(), 4u);
+
+  // Both threads announce display names.
+  auto meta = EventsWhere(*doc, [](const JsonValue& e) {
+    return PhaseOf(e) == "M";
+  });
+  ASSERT_EQ(meta.size(), 2u);
+  std::vector<std::string> names;
+  std::vector<int> tids;
+  for (const JsonValue* e : meta) {
+    const JsonValue* args = e->Find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue* name = args->Find("name");
+    ASSERT_NE(name, nullptr);
+    names.push_back(name->string);
+    const JsonValue* tid = e->Find("tid");
+    ASSERT_NE(tid, nullptr);
+    tids.push_back(static_cast<int>(tid->number));
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "conn-0"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "shard-1"), names.end());
+  EXPECT_NE(tids[0], tids[1]);
+
+  // Flow chain for id 7: exactly one start, one finish, one step, in
+  // timestamp order, and the finish binds to the enclosing slice ("bp":"e").
+  auto starts = EventsWhere(*doc, [](const JsonValue& e) {
+    return PhaseOf(e) == "s";
+  });
+  auto steps = EventsWhere(*doc, [](const JsonValue& e) {
+    return PhaseOf(e) == "t";
+  });
+  auto finishes = EventsWhere(*doc, [](const JsonValue& e) {
+    return PhaseOf(e) == "f";
+  });
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(steps.size(), 1u);
+  ASSERT_EQ(finishes.size(), 1u);
+  const JsonValue* bp = finishes[0]->Find("bp");
+  ASSERT_NE(bp, nullptr);
+  EXPECT_EQ(bp->string, "e");
+  const double ts_s = starts[0]->Find("ts")->number;
+  const double ts_t = steps[0]->Find("ts")->number;
+  const double ts_f = finishes[0]->Find("ts")->number;
+  EXPECT_LE(ts_s, ts_t);
+  EXPECT_LE(ts_t, ts_f);
+  for (const JsonValue* e : {starts[0], steps[0], finishes[0]}) {
+    const JsonValue* id = e->Find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_EQ(id->number, 7);
+  }
+}
+
+TEST(TraceEventSinkTest, SingleSpanFlowsNothing) {
+  obs::TraceEventSink sink;
+  sink.Span("lonely", 0, 1.0, uint64_t{42});
+  auto doc = ParseJson(sink.RenderJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto flows = EventsWhere(*doc, [](const JsonValue& e) {
+    const std::string ph = PhaseOf(e);
+    return ph == "s" || ph == "t" || ph == "f";
+  });
+  EXPECT_TRUE(flows.empty());
+}
+
+TEST(TraceEventSinkTest, CapsRecordsAndCountsDrops) {
+  obs::TraceEventSink sink(/*max_events=*/4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    sink.Span("s", static_cast<double>(i), 1.0, uint64_t{0});
+  }
+  EXPECT_EQ(sink.dropped(), 6u);
+  auto doc = ParseJson(sink.RenderJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  auto complete = EventsWhere(*doc, [](const JsonValue& e) {
+    return PhaseOf(e) == "X";
+  });
+  EXPECT_EQ(complete.size(), 4u);
+}
+
+#endif  // !MC3_OBS_DISABLED
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition rendering and parsing.
+
+TEST(ExpositionTest, PrometheusNameSanitizes) {
+  EXPECT_EQ(obs::PrometheusName("server.requests"), "mc3_server_requests");
+  EXPECT_EQ(obs::PrometheusName("a-b.c/d"), "mc3_a_b_c_d");
+  EXPECT_EQ(obs::PrometheusName("ok_name9"), "mc3_ok_name9");
+}
+
+TEST(ExpositionTest, ExtraSamplesRoundTripThroughParser) {
+  // Extra samples render in every build config (the registry snapshot is
+  // simply empty under MC3_OBS=OFF), so this covers the `metrics` verb's
+  // always-on surface.
+  obs::MetricsSnapshot snap;
+  std::vector<obs::ExpositionSample> extra;
+  extra.push_back({"server.requests", "counter", {}, 42});
+  extra.push_back({"server.queue_depth", "gauge", {}, 3});
+  extra.push_back({"shard.ops", "counter", {{"shard", "0"}}, 10});
+  extra.push_back({"shard.ops", "counter", {{"shard", "1"}}, 12});
+  extra.push_back(
+      {"build_info", "gauge", {{"compiler", "g++ \"x\"\nv1\\2"}}, 1});
+  const std::string text = obs::RenderPrometheus(snap, extra);
+
+  // Counters carry _total; HELP/TYPE lines are emitted once per name run.
+  EXPECT_NE(text.find("# TYPE mc3_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("mc3_server_queue_depth 3"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE mc3_shard_ops_total counter"),
+            text.rfind("# TYPE mc3_shard_ops_total counter"));
+
+  auto parsed = obs::ParseExposition(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::ParsedSample* requests =
+      obs::FindSample(*parsed, "mc3_server_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->value, 42);
+  const obs::ParsedSample* shard1 =
+      obs::FindSample(*parsed, "mc3_shard_ops_total", {{"shard", "1"}});
+  ASSERT_NE(shard1, nullptr);
+  EXPECT_EQ(shard1->value, 12);
+  EXPECT_EQ(obs::FindSample(*parsed, "mc3_shard_ops_total", {{"shard", "9"}}),
+            nullptr);
+  // Escaped label value survives the round trip.
+  const obs::ParsedSample* build = obs::FindSample(*parsed, "mc3_build_info");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->labels.at("compiler"), "g++ \"x\"\nv1\\2");
+}
+
+TEST(ExpositionTest, RegistryHistogramRendersCumulativeBuckets) {
+  if (!obs::kObsEnabled) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Histogram& histogram = registry.GetHistogram("test.expo.latency");
+  histogram.Record(0.001);
+  histogram.Record(0.002);
+  histogram.Record(5.0);
+  registry.GetCounter("test.expo.hits").Add(3);
+  const std::string text = obs::RenderPrometheus(registry.Snap(), {});
+  registry.ResetAll();
+
+  auto parsed = obs::ParseExposition(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::ParsedSample* count =
+      obs::FindSample(*parsed, "mc3_test_expo_latency_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->value, 3);
+  const obs::ParsedSample* inf =
+      obs::FindSample(*parsed, "mc3_test_expo_latency_bucket", {{"le", "+Inf"}});
+  ASSERT_NE(inf, nullptr);
+  EXPECT_EQ(inf->value, 3);  // the +Inf bucket is cumulative == count
+  const obs::ParsedSample* sum =
+      obs::FindSample(*parsed, "mc3_test_expo_latency_sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_NEAR(sum->value, 5.003, 1e-9);
+  const obs::ParsedSample* hits =
+      obs::FindSample(*parsed, "mc3_test_expo_hits_total");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, 3);
+
+  // Bucket series is monotonically non-decreasing in le order.
+  double prev = -1;
+  for (const obs::ParsedSample& s : *parsed) {
+    if (s.name != "mc3_test_expo_latency_bucket") continue;
+    EXPECT_GE(s.value, prev);
+    prev = s.value;
+  }
+}
+
+TEST(ExpositionTest, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(obs::ParseExposition("metric_without_value\n").ok());
+  EXPECT_FALSE(obs::ParseExposition("name{unclosed=\"x\" 1\n").ok());
+  EXPECT_FALSE(obs::ParseExposition("name notanumber\n").ok());
+  auto ok = obs::ParseExposition("# just a comment\n\nm 1\n");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].name, "m");
+}
+
+TEST(HistogramQuantileTest, QuantilesAreMonotonicAcrossSpreadSamples) {
+  if (!obs::kObsEnabled) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.ResetAll();
+  obs::Histogram& histogram = registry.GetHistogram("test.quantile.spread");
+  for (int i = 1; i <= 1000; ++i) histogram.Record(1e-6 * i);
+  const obs::HistogramSnapshot h =
+      registry.Snap().histograms.at("test.quantile.spread");
+  ASSERT_EQ(h.count, 1000u);
+  const double p50 = h.P50();
+  const double p95 = h.P95();
+  const double p99 = h.P99();
+  EXPECT_LE(h.min, p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max);
+  registry.ResetAll();
 }
 
 }  // namespace

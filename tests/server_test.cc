@@ -13,7 +13,11 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <initializer_list>
+#include <map>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -24,7 +28,9 @@
 #include "core/instance.h"
 #include "data/query_log.h"
 #include "durability/durability.h"
+#include "obs/exposition.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "util/float_cmp.h"
 #include "online/online_engine.h"
 #include "online/sharded_engine.h"
@@ -951,6 +957,297 @@ TEST(ServerTest, ShardedServerSurvivesConcurrentClients) {
   server.WithShardedEngine([&](const online::ShardedEngine& engine) {
     ASSERT_TRUE(engine.CheckInvariants().ok());
   });
+}
+
+// ---------------------------------------------------------------------------
+// Serving telemetry (docs/observability.md, "Serving telemetry"): enriched
+// health/stats, the metrics exposition verb, and sampled trace export.
+
+TEST(ServerTelemetryTest, HealthReportsUptimeAndBuildInfo) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  const obs::JsonValue health = client.Call(R"({"op":"health","id":1})");
+  ASSERT_EQ(CodeOf(health), 200);
+  const obs::JsonValue* uptime = health.Find("uptime_seconds");
+  ASSERT_NE(uptime, nullptr);
+  ASSERT_TRUE(uptime->is_number());
+  EXPECT_GE(uptime->number, 0);
+  const obs::JsonValue* build = health.Find("build");
+  ASSERT_NE(build, nullptr);
+  ASSERT_TRUE(build->is_object());
+  const obs::JsonValue* compiler = build->Find("compiler");
+  ASSERT_NE(compiler, nullptr);
+  EXPECT_FALSE(compiler->string.empty());
+  ASSERT_NE(build->Find("build_type"), nullptr);
+  const obs::JsonValue* obs_mode = build->Find("obs");
+  ASSERT_NE(obs_mode, nullptr);
+  EXPECT_EQ(obs_mode->boolean, obs::kObsEnabled);
+
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerTelemetryTest, StatsReportsQueueHighWatermarkAndStages) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_EQ(CodeOf(client.Call(
+                R"({"op":"update","id":1,"add":[["blue","sofa"]]})")),
+            200);
+  const obs::JsonValue stats = client.Call(R"({"op":"stats","id":2})");
+  ASSERT_EQ(CodeOf(stats), 200);
+  const obs::JsonValue* depth_max = stats.Find("queue_depth_max");
+  ASSERT_NE(depth_max, nullptr);
+  // The update above passed through the engine queue, so the high
+  // watermark saw at least one entry.
+  EXPECT_GE(depth_max->number, 1);
+  ASSERT_NE(stats.Find("uptime_seconds"), nullptr);
+  if (obs::kObsEnabled) {
+    const obs::JsonValue* stages = stats.Find("stages");
+    ASSERT_NE(stages, nullptr);
+    ASSERT_TRUE(stages->is_object());
+    const obs::JsonValue* queue_wait = stages->Find("queue_wait.update");
+    ASSERT_NE(queue_wait, nullptr);
+    ASSERT_NE(queue_wait->Find("count"), nullptr);
+    EXPECT_GE(queue_wait->Find("count")->number, 1);
+  }
+
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerTelemetryTest, MetricsVerbAgreesWithStats) {
+  Server server(TestOptions());
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_EQ(CodeOf(client.Call(
+                R"({"op":"update","id":1,"add":[["blue","sofa"]]})")),
+            200);
+  ASSERT_EQ(CodeOf(client.Call(R"({"op":"solve","id":2})")), 200);
+  const obs::JsonValue stats = client.Call(R"({"op":"stats","id":3})");
+  ASSERT_EQ(CodeOf(stats), 200);
+
+  const obs::JsonValue metrics = client.Call(R"({"op":"metrics","id":4})");
+  ASSERT_EQ(CodeOf(metrics), 200);
+  ASSERT_NE(metrics.Find("content_type"), nullptr);
+  EXPECT_EQ(metrics.Find("content_type")->string,
+            "text/plain; version=0.0.4");
+  const obs::JsonValue* body = metrics.Find("body");
+  ASSERT_NE(body, nullptr);
+  ASSERT_TRUE(body->is_string());
+
+  auto samples = obs::ParseExposition(body->string);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+
+  // Counters scraped from the exposition reconcile exactly with the stats
+  // verb: by parse time of the metrics request, the server has counted the
+  // stats request's own response and the metrics request itself.
+  const obs::ParsedSample* requests =
+      obs::FindSample(*samples, "mc3_server_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->value, stats.Find("requests")->number + 1);
+  const obs::ParsedSample* responses =
+      obs::FindSample(*samples, "mc3_server_responses_total");
+  ASSERT_NE(responses, nullptr);
+  EXPECT_EQ(responses->value, stats.Find("responses")->number + 1);
+
+  // Gauges and build info are always exposed, in both build configs.
+  EXPECT_NE(obs::FindSample(*samples, "mc3_server_queue_depth_max"), nullptr);
+  EXPECT_NE(obs::FindSample(*samples, "mc3_server_uptime_seconds"), nullptr);
+  EXPECT_NE(obs::FindSample(*samples, "mc3_server_batches_total"), nullptr);
+  const obs::ParsedSample* build = obs::FindSample(*samples, "mc3_build_info");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->value, 1);
+  EXPECT_EQ(build->labels.at("obs"), obs::kObsEnabled ? "on" : "off");
+  if (obs::kObsEnabled) {
+    // Registry-backed per-verb counters and stage histograms.
+    const obs::ParsedSample* updates =
+        obs::FindSample(*samples, "mc3_server_requests_update_total");
+    ASSERT_NE(updates, nullptr);
+    EXPECT_GE(updates->value, 1);
+    EXPECT_NE(obs::FindSample(*samples,
+                              "mc3_server_stage_queue_wait_update_count"),
+              nullptr);
+  }
+
+  server.RequestDrain();
+  server.Join();
+}
+
+TEST(ServerTelemetryTest, ShardedMetricsExposePerShardSeries) {
+  ServerOptions options = TestOptions();
+  options.shards = 2;
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_EQ(CodeOf(client.Call(
+                R"({"op":"update","id":1,"add":[["blue","sofa"]]})")),
+            200);
+  const obs::JsonValue metrics = client.Call(R"({"op":"metrics","id":2})");
+  ASSERT_EQ(CodeOf(metrics), 200);
+  auto samples = obs::ParseExposition(metrics.Find("body")->string);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+
+  const obs::ParsedSample* shards =
+      obs::FindSample(*samples, "mc3_server_engine_shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->value, 2);
+  double shard_ops = 0;
+  for (int s = 0; s < 2; ++s) {
+    const obs::ParsedSample* ops = obs::FindSample(
+        *samples, "mc3_server_shard_ops", {{"shard", std::to_string(s)}});
+    ASSERT_NE(ops, nullptr) << "shard " << s;
+    shard_ops += ops->value;
+    EXPECT_NE(obs::FindSample(*samples, "mc3_server_shard_queue_depth_max",
+                              {{"shard", std::to_string(s)}}),
+              nullptr);
+  }
+  EXPECT_GE(shard_ops, 1);  // the update's add landed on some shard
+
+  server.RequestDrain();
+  server.Join();
+}
+
+// The acceptance-criteria run: a sharded durable server with every request
+// sampled produces a trace file in which one update's spans connect parse ->
+// queue_wait -> coalesce -> shard_apply -> wal_durable -> serialize with
+// flow events across connection, engine/shard and WAL-committer threads.
+TEST(ServerTelemetryTest, ShardedDurableRunConnectsSpansAcrossThreads) {
+  if (!obs::kObsEnabled) return;  // tracing compiles away under MC3_OBS=OFF
+  DurableDir dir("trace");
+  ServerOptions options = DurableOptions(dir.path);
+  // Group commit so durability lands on the dedicated committer thread.
+  options.durability.wal.sync = durability::WalOptions::SyncPolicy::kGrouped;
+  options.shards = 2;
+  options.trace_sample = 1;
+  options.trace_out_dir = dir.path + "/traces";
+  Server server(options);
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  const std::string trace_path = server.trace_file_path();
+  ASSERT_FALSE(trace_path.empty());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue updated = client.Call(
+      R"({"op":"update","id":1,"add":[["blue","sofa"]]})");
+  ASSERT_EQ(CodeOf(updated), 200);
+  // With tracing on, every response echoes its request's trace id.
+  const obs::JsonValue* echoed = updated.Find("trace_id");
+  ASSERT_NE(echoed, nullptr);
+  const uint64_t trace_id = static_cast<uint64_t>(echoed->number);
+  ASSERT_GT(trace_id, 0u);
+  const obs::JsonValue solved = client.Call(R"({"op":"solve","id":2})");
+  ASSERT_EQ(CodeOf(solved), 200);
+  ASSERT_NE(solved.Find("trace_id"), nullptr);
+  EXPECT_NE(static_cast<uint64_t>(solved.Find("trace_id")->number), trace_id);
+
+  server.RequestDrain();
+  server.Join();  // writes the trace file after durability is closed
+
+  std::ifstream in(trace_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::stringstream raw;
+  raw << in.rdbuf();
+  auto doc = obs::ParseJson(raw.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Gather the update's spans (X events tagged with its trace id), the
+  // thread-name metadata, and the flow chain for the id.
+  std::set<std::string> span_names;
+  std::set<double> span_tids;
+  std::map<double, std::string> thread_names;
+  int flow_starts = 0, flow_steps = 0, flow_finishes = 0;
+  std::set<double> flow_tids;
+  for (const obs::JsonValue& event : events->array) {
+    const obs::JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      thread_names[event.Find("tid")->number] =
+          event.Find("args")->Find("name")->string;
+      continue;
+    }
+    if (ph->string == "X") {
+      const obs::JsonValue* args = event.Find("args");
+      if (args == nullptr) continue;
+      const obs::JsonValue* ids = args->Find("trace_ids");
+      if (ids == nullptr) continue;
+      for (const obs::JsonValue& id : ids->array) {
+        if (static_cast<uint64_t>(id.number) != trace_id) continue;
+        span_names.insert(event.Find("name")->string);
+        span_tids.insert(event.Find("tid")->number);
+      }
+      continue;
+    }
+    if (ph->string == "s" || ph->string == "t" || ph->string == "f") {
+      if (static_cast<uint64_t>(event.Find("id")->number) != trace_id)
+        continue;
+      flow_tids.insert(event.Find("tid")->number);
+      if (ph->string == "s") ++flow_starts;
+      if (ph->string == "t") ++flow_steps;
+      if (ph->string == "f") {
+        ++flow_finishes;
+        ASSERT_NE(event.Find("bp"), nullptr);
+        EXPECT_EQ(event.Find("bp")->string, "e");
+      }
+    }
+  }
+
+  // Every pipeline stage produced a span for this request.
+  for (const char* stage : {"parse", "queue_wait", "coalesce", "shard_apply",
+                            "wal_durable", "serialize"}) {
+    EXPECT_EQ(span_names.count(stage), 1u) << stage;
+  }
+  // The journey crossed at least three threads, and the flow chain is
+  // well-formed: one start, one finish, steps in between, spanning the
+  // same threads the spans ran on.
+  EXPECT_GE(span_tids.size(), 3u);
+  EXPECT_EQ(flow_starts, 1);
+  EXPECT_EQ(flow_finishes, 1);
+  EXPECT_GE(flow_steps, 1);
+  EXPECT_GE(flow_tids.size(), 3u);
+
+  // Thread display names cover the three thread types the request crossed.
+  std::set<std::string> named;
+  for (const double tid : span_tids) {
+    auto it = thread_names.find(tid);
+    ASSERT_NE(it, thread_names.end());
+    named.insert(it->second);
+  }
+  EXPECT_EQ(named.count("conn"), 1u);
+  EXPECT_EQ(named.count("wal-committer"), 1u);
+  bool saw_engine_side = false;
+  for (const std::string& name : named) {
+    if (name == "engine-worker" || name.rfind("shard-", 0) == 0) {
+      saw_engine_side = true;
+    }
+  }
+  EXPECT_TRUE(saw_engine_side);
+}
+
+TEST(ServerTelemetryTest, TracingOffKeepsResponsesFreeOfTraceIds) {
+  Server server(TestOptions());  // trace_sample defaults to 0: tracing off
+  ASSERT_TRUE(server.Start(BaseInstance()).ok());
+  EXPECT_TRUE(server.trace_file_path().empty());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const obs::JsonValue updated = client.Call(
+      R"({"op":"update","id":1,"add":[["blue","sofa"]]})");
+  ASSERT_EQ(CodeOf(updated), 200);
+  EXPECT_EQ(updated.Find("trace_id"), nullptr);
+  server.RequestDrain();
+  server.Join();
 }
 
 }  // namespace

@@ -46,7 +46,10 @@
 //       bound port for scripts. --queue-capacity/--watermark bound the
 //       engine-op queue (admission control answers 429 above the
 //       watermark); --max-batch caps update coalescing; --workers sizes
-//       the connection pool.
+//       the connection pool. --trace-sample N records every Nth request's
+//       pipeline spans; with --trace-out DIR a Chrome trace-event JSON
+//       file is written on drain (docs/observability.md, "Serving
+//       telemetry").
 //
 //   mc3 bench [--quick] [--seed S] [--report out.json] [--repeat N]
 //             [--warmup N] [--filter SUBSTR]
@@ -126,6 +129,7 @@ int Usage() {
       "            [--wal-sync grouped|immediate|none] [--wal-group-ms MS]\n"
       "            [--checkpoint-every N] [--checkpoint-interval SECS]\n"
       "            [--keep-wal-segments] [--record-trace F]\n"
+      "            [--trace-sample N] [--trace-out DIR]\n"
       "  mc3 recover <workload.csv> --data-dir DIR [--solver NAME]\n"
       "            [--threads N] [--default-cost D] [--solution-out F]\n"
       "            [--shards N (0 = adopt the snapshot layout)]\n"
@@ -545,6 +549,11 @@ int CmdServeListen(const std::string& workload_path,
               static_cast<unsigned long long>(stats.coalesced_ops),
               static_cast<unsigned long long>(stats.batches),
               static_cast<unsigned long long>(stats.max_batch));
+  if (const std::string trace_file = server.trace_file_path();
+      !trace_file.empty()) {
+    std::printf("trace:      %s (load in Perfetto / chrome://tracing)\n",
+                trace_file.c_str());
+  }
   int exit_code = 0;
   server.WithShardedEngine([&](const online::ShardedEngine& engine) {
     if (engine.num_shards() > 1) {
@@ -1244,6 +1253,7 @@ int main(int argc, char** argv) {
            args[i - 1] == "--checkpoint-every" ||
            args[i - 1] == "--checkpoint-interval" ||
            args[i - 1] == "--record-trace" ||
+           args[i - 1] == "--trace-sample" || args[i - 1] == "--trace-out" ||
            args[i - 1] == "--solution-out" || args[i - 1] == "--after" ||
            args[i - 1] == "-o")) {
         continue;
@@ -1396,6 +1406,12 @@ int main(int argc, char** argv) {
       server_options.durability.keep_segments = has_flag("--keep-wal-segments");
       if (const std::string* v = flag_value("--record-trace")) {
         server_options.record_trace_path = *v;
+      }
+      if (const std::string* v = flag_value("--trace-sample")) {
+        server_options.trace_sample = std::strtoull(v->c_str(), nullptr, 10);
+      }
+      if (const std::string* v = flag_value("--trace-out")) {
+        server_options.trace_out_dir = *v;
       }
       return CmdServeListen(*path, config, server_options);
     }

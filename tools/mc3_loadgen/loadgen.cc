@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/exposition.h"
 #include "obs/json.h"
 #include "util/sync.h"
 #include "util/thread_annotations.h"
@@ -30,6 +31,7 @@ struct PlannedRequest {
   std::string line;
   size_t conn = 0;
   uint64_t id = 0;
+  bool solve = false;  ///< read op (vs. update), for per-verb accounting
 };
 
 /// Per-connection state. The reader thread owns `latencies` and the
@@ -44,6 +46,8 @@ struct ConnState {
   std::atomic<uint64_t> got{0};
   // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   uint64_t ok = 0;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
+  uint64_t ok_updates = 0;
   // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   uint64_t rejected = 0;
   // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
@@ -142,6 +146,9 @@ void ReaderLoop(ConnState* conn, const Timer* run_clock,
                              : 0;
       if (status == 200) {
         ++conn->ok;
+        if (op != nullptr && op->is_string() && op->string == "update") {
+          ++conn->ok_updates;
+        }
       } else if (status == 429) {
         ++conn->rejected;
       } else if (status == 503) {
@@ -208,6 +215,7 @@ std::vector<PlannedRequest> PlanRequests(const LoadGenOptions& options) {
                            std::max(1.0, options.qps);
     const bool solve = options.solve_every > 0 &&
                        (i + 1) % options.solve_every == 0;
+    request.solve = solve;
     obs::JsonWriter writer(/*compact=*/true);
     writer.BeginObject();
     writer.Key("op").String(solve ? "solve" : "update");
@@ -260,6 +268,91 @@ uint64_t FieldAsInt(const obs::JsonValue& value, const char* key) {
              : 0;
 }
 
+/// One synchronous request/response exchange on a dedicated connection
+/// (nothing else is in flight, so the next newline is our response).
+Result<std::string> SyncRequest(int fd, const std::string& line) {
+  MC3_RETURN_IF_ERROR(SendLine(fd, line));
+  std::string buffer;
+  char chunk[4096];
+  size_t newline;
+  while ((newline = buffer.find('\n')) == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IOError("connection closed mid-scrape");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return buffer.substr(0, newline);
+}
+
+/// Fetches one `metrics` exposition; returns the raw text body and fills
+/// `sample` with the series values (absent samples stay -1).
+Result<std::string> ScrapeOnce(int fd, uint64_t id, double at_seconds,
+                               ScrapeSample* sample) {
+  auto line = SyncRequest(
+      fd, "{\"op\":\"metrics\",\"id\":" + std::to_string(id) + "}");
+  if (!line.ok()) return line.status();
+  auto envelope = obs::ParseJson(*line);
+  if (!envelope.ok() || !envelope->is_object()) {
+    return Status::InvalidArgument("metrics response is not a JSON object");
+  }
+  const obs::JsonValue* code = envelope->Find("code");
+  if (code == nullptr || !code->is_number() ||
+      static_cast<int>(code->number) != 200) {
+    return Status::InvalidArgument("metrics verb answered non-200");
+  }
+  const obs::JsonValue* body = envelope->Find("body");
+  if (body == nullptr || !body->is_string()) {
+    return Status::InvalidArgument("metrics response has no body");
+  }
+  auto parsed = obs::ParseExposition(body->string);
+  if (!parsed.ok()) return parsed.status();
+  sample->at_seconds = at_seconds;
+  const auto value_of = [&parsed](const char* name) -> double {
+    const obs::ParsedSample* found = obs::FindSample(*parsed, name);
+    return found != nullptr ? found->value : -1;
+  };
+  sample->requests = value_of("mc3_server_requests_total");
+  sample->responses = value_of("mc3_server_responses_total");
+  sample->requests_update = value_of("mc3_server_requests_update_total");
+  sample->requests_solve = value_of("mc3_server_requests_solve_total");
+  sample->batches = value_of("mc3_server_batches_total");
+  sample->queue_depth = value_of("mc3_server_queue_depth");
+  return body->string;
+}
+
+/// End-of-run cross-check: the final exposition's per-verb request
+/// counters must equal the client's sent counts (requests are counted at
+/// parse, strictly before any response, so by the time every response has
+/// arrived the counters are settled), and the server cannot have committed
+/// more engine batches than the client saw acknowledged updates. Registry
+/// counters absent from the exposition (obs compiled out) skip their check.
+std::string ReconcileDrift(const ScrapeSample& last, const LoadReport& report) {
+  const auto drift = [](const char* what, double got, uint64_t want) {
+    return std::string(what) + ": server reports " +
+           std::to_string(static_cast<uint64_t>(got)) + ", client counted " +
+           std::to_string(want);
+  };
+  if (last.requests_update >= 0 &&
+      static_cast<uint64_t>(last.requests_update) !=
+          report.client_updates_sent) {
+    return drift("update requests", last.requests_update,
+                 report.client_updates_sent);
+  }
+  if (last.requests_solve >= 0 &&
+      static_cast<uint64_t>(last.requests_solve) !=
+          report.client_solves_sent) {
+    return drift("solve requests", last.requests_solve,
+                 report.client_solves_sent);
+  }
+  if (last.batches >= 0 && static_cast<uint64_t>(last.batches) >
+                               report.client_updates_acked) {
+    return drift("engine batches exceed acked updates", last.batches,
+                 report.client_updates_acked);
+  }
+  return "";
+}
+
 }  // namespace
 
 Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
@@ -282,10 +375,22 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
   for (auto& slot : send_time) slot.store(-1, std::memory_order_relaxed);
   Timer run_clock;
 
+  // The scraper's dedicated connection opens first: a failure here returns
+  // before any thread launches.
+  int scrape_fd = -1;
+  if (options.scrape_interval_seconds > 0) {
+    auto fd = Connect(options.host, options.port, options.timeout_seconds);
+    if (!fd.ok()) return fd.status();
+    scrape_fd = *fd;
+  }
+
   std::vector<std::unique_ptr<ConnState>> conns;
   for (size_t c = 0; c < options.connections; ++c) {
     auto fd = Connect(options.host, options.port, options.timeout_seconds);
-    if (!fd.ok()) return fd.status();
+    if (!fd.ok()) {
+      if (scrape_fd >= 0) ::close(scrape_fd);
+      return fd.status();
+    }
     auto conn = std::make_unique<ConnState>();
     conn->fd = *fd;
     conns.push_back(std::move(conn));
@@ -296,6 +401,38 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
         [state, &run_clock, &send_time] {
           ReaderLoop(state, &run_clock, &send_time);
         });
+  }
+
+  // Scraper thread: samples the metrics exposition every interval, then
+  // takes one settled final sample after the stop flag (set once every
+  // response is in). State is scraper-owned and harvested after join.
+  std::vector<ScrapeSample> scrapes;
+  std::string final_exposition;
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper;
+  if (scrape_fd >= 0) {
+    scraper = std::thread([&options, &run_clock, &scrapes, &final_exposition,
+                           &scrape_stop, scrape_fd] {
+      uint64_t scrape_id = 1;
+      const auto take = [&] {
+        ScrapeSample sample;
+        auto body = ScrapeOnce(scrape_fd, scrape_id++, run_clock.Seconds(),
+                               &sample);
+        if (body.ok()) {
+          scrapes.push_back(sample);
+          final_exposition = std::move(*body);
+        }
+      };
+      while (!scrape_stop.load(std::memory_order_acquire)) {
+        take();
+        Timer slept;
+        while (!scrape_stop.load(std::memory_order_acquire) &&
+               slept.Seconds() < options.scrape_interval_seconds) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      take();  // settled counters: every client response has arrived
+    });
   }
 
   // Open-loop replay: sleep to each request's arrival time, stamp, send.
@@ -313,6 +450,11 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
     if (!send_status.ok()) break;
     ++conn.sent;
     ++report.sent;
+    if (request.solve) {
+      ++report.client_solves_sent;
+    } else {
+      ++report.client_updates_sent;
+    }
   }
 
   // Wait for every in-flight response (each sent request gets exactly one).
@@ -329,6 +471,15 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   report.wall_seconds = run_clock.Seconds();
+
+  // Stop the scraper now: its final sample then sees settled counters
+  // (every response has arrived, and the server counts requests before it
+  // answers), and it is gone before a drain can 503 its connection.
+  if (scraper.joinable()) {
+    scrape_stop.store(true, std::memory_order_release);
+    scraper.join();
+  }
+  if (scrape_fd >= 0) ::close(scrape_fd);
 
   // Scrape the server's stats (connection 0) so the report can attest
   // coalescing; then optionally request the drain.
@@ -375,11 +526,20 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
   for (const auto& conn : conns) {
     report.responses += conn->got.load(std::memory_order_acquire);
     report.ok += conn->ok;
+    report.client_updates_acked += conn->ok_updates;
     report.rejected += conn->rejected;
     report.refused += conn->refused;
     report.errors += conn->errors;
     latencies.insert(latencies.end(), conn->latencies.begin(),
                      conn->latencies.end());
+  }
+  if (options.scrape_interval_seconds > 0) {
+    report.scrapes = std::move(scrapes);
+    report.final_exposition = std::move(final_exposition);
+    if (!report.scrapes.empty()) {
+      report.reconcile.checked = true;
+      report.reconcile.error = ReconcileDrift(report.scrapes.back(), report);
+    }
   }
   report.lost =
       report.sent > report.responses ? report.sent - report.responses : 0;
@@ -489,6 +649,37 @@ std::string RenderLoadReport(const LoadReport& report) {
   writer.EndArray();
   writer.EndObject();
 
+  // Additive telemetry block (absent when the scraper did not run, so the
+  // schema tag stays mc3.load_report/1).
+  if (report.options.scrape_interval_seconds > 0) {
+    writer.Key("telemetry").BeginObject();
+    writer.Key("scrape_interval_seconds")
+        .Number(report.options.scrape_interval_seconds);
+    writer.Key("updates_sent").Int(report.client_updates_sent);
+    writer.Key("solves_sent").Int(report.client_solves_sent);
+    writer.Key("updates_acked").Int(report.client_updates_acked);
+    writer.Key("scrapes").BeginArray();
+    for (const ScrapeSample& sample : report.scrapes) {
+      writer.BeginObject();
+      writer.Key("at_seconds").Number(sample.at_seconds);
+      writer.Key("requests").Number(sample.requests);
+      writer.Key("responses").Number(sample.responses);
+      writer.Key("requests_update").Number(sample.requests_update);
+      writer.Key("requests_solve").Number(sample.requests_solve);
+      writer.Key("batches").Number(sample.batches);
+      writer.Key("queue_depth").Number(sample.queue_depth);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.Key("reconcile").BeginObject();
+    writer.Key("checked").Bool(report.reconcile.checked);
+    writer.Key("ok").Bool(report.reconcile.checked &&
+                          report.reconcile.error.empty());
+    writer.Key("error").String(report.reconcile.error);
+    writer.EndObject();
+    writer.EndObject();
+  }
+
   writer.Key("drained").Bool(report.drained);
   writer.EndObject();
   return writer.Take();
@@ -566,6 +757,43 @@ Status ValidateLoadReportJson(const std::string& json) {
       MC3_RETURN_IF_ERROR(
           RequireMember(entry, key, Kind::kNumber, "server.shards"));
     }
+  }
+  // The telemetry block is optional (scraper runs only), but when present
+  // it must be structurally complete.
+  if (const obs::JsonValue* telemetry = root.Find("telemetry");
+      telemetry != nullptr) {
+    if (!telemetry->is_object()) {
+      return Status::InvalidArgument(
+          "load report: telemetry must be an object");
+    }
+    for (const char* key : {"scrape_interval_seconds", "updates_sent",
+                            "solves_sent", "updates_acked"}) {
+      MC3_RETURN_IF_ERROR(
+          RequireMember(*telemetry, key, Kind::kNumber, "telemetry"));
+    }
+    MC3_RETURN_IF_ERROR(
+        RequireMember(*telemetry, "scrapes", Kind::kArray, "telemetry"));
+    for (const obs::JsonValue& entry : telemetry->Find("scrapes")->array) {
+      if (!entry.is_object()) {
+        return Status::InvalidArgument(
+            "load report: telemetry.scrapes entries must be objects");
+      }
+      for (const char* key :
+           {"at_seconds", "requests", "responses", "requests_update",
+            "requests_solve", "batches", "queue_depth"}) {
+        MC3_RETURN_IF_ERROR(
+            RequireMember(entry, key, Kind::kNumber, "telemetry.scrapes"));
+      }
+    }
+    MC3_RETURN_IF_ERROR(
+        RequireMember(*telemetry, "reconcile", Kind::kObject, "telemetry"));
+    const obs::JsonValue& reconcile = *telemetry->Find("reconcile");
+    MC3_RETURN_IF_ERROR(
+        RequireMember(reconcile, "checked", Kind::kBool, "reconcile"));
+    MC3_RETURN_IF_ERROR(
+        RequireMember(reconcile, "ok", Kind::kBool, "reconcile"));
+    MC3_RETURN_IF_ERROR(
+        RequireMember(reconcile, "error", Kind::kString, "reconcile"));
   }
   return Status::OK();
 }

@@ -62,6 +62,12 @@ struct LoadGenOptions {
   double timeout_seconds = 30;
   /// Send a shutdown request after the run and wait for the drain ack.
   bool shutdown_after = false;
+
+  /// Scrape the server's `metrics` verb (Prometheus text exposition) every
+  /// this many seconds on a dedicated connection; 0 disables scraping. The
+  /// sampled series is embedded in the report, and a final scrape
+  /// cross-checks server counters against client-side accounting.
+  double scrape_interval_seconds = 0;
 };
 
 struct LatencySummary {
@@ -79,6 +85,27 @@ struct ShardLoad {
   uint64_t batches = 0;      ///< shard-local jobs dispatched
   uint64_t ops = 0;          ///< add/remove operations applied on the shard
   uint64_t queue_depth = 0;  ///< shard queue depth at scrape time
+};
+
+/// One sample of the server's `metrics` exposition, taken mid-run by the
+/// scraper connection. Counter fields are absent (-1) when the exposition
+/// did not carry them (an -DMC3_OBS=OFF server has no registry counters).
+struct ScrapeSample {
+  double at_seconds = 0;  ///< run-clock time of the scrape
+  double requests = -1;   ///< mc3_server_requests_total
+  double responses = -1;  ///< mc3_server_responses_total
+  double requests_update = -1;  ///< mc3_server_requests_update_total
+  double requests_solve = -1;   ///< mc3_server_requests_solve_total
+  double batches = -1;          ///< mc3_server_batches_total
+  double queue_depth = -1;      ///< mc3_server_queue_depth
+};
+
+/// Outcome of the end-of-run counter cross-check (scraper runs only).
+/// `checked` means a final exposition was captured; a non-empty `error`
+/// describes the first drift found and fails the run.
+struct ReconcileResult {
+  bool checked = false;
+  std::string error;
 };
 
 /// Everything the run observed; rendered as mc3.load_report/1.
@@ -113,6 +140,19 @@ struct LoadReport {
   uint64_t server_engine_shards = 0;
   uint64_t server_migrated = 0;
   std::vector<ShardLoad> server_shards;
+
+  /// Client-side per-verb accounting, the reconcile baseline: how many
+  /// updates/solves went out and how many updates came back with code 200.
+  uint64_t client_updates_sent = 0;
+  uint64_t client_solves_sent = 0;
+  uint64_t client_updates_acked = 0;
+
+  /// Scraper output (`scrape_interval_seconds > 0` only): the sampled
+  /// exposition time series, the raw final exposition body (for artifact
+  /// dumps) and the counter cross-check verdict.
+  std::vector<ScrapeSample> scrapes;
+  std::string final_exposition;
+  ReconcileResult reconcile;
 
   bool drained = false;  ///< shutdown requested and acknowledged
 };

@@ -5,6 +5,7 @@
 //               [--connections N] [--burst N] [--seed S] [--quick]
 //               [--solve-every N] [--remove-every N] [--tenants N]
 //               [--shutdown] [--report out.json] [--min-coalesced-batch N]
+//               [--scrape-interval SECS] [--scrape-out F]
 //
 // --port-file reads the target port from a file written by
 // `mc3 serve --listen 0 --port-file F` (ephemeral-port handshake for CI).
@@ -14,7 +15,11 @@
 // splits the synthetic property pool into disjoint per-tenant slices so a
 // sharded server (mc3 serve --shards N) can spread the work; the final
 // "sweep:" summary line carries committed update throughput for
-// QPS-vs-shards sweeps (scripts/shard_sweep.sh).
+// QPS-vs-shards sweeps (scripts/shard_sweep.sh). --scrape-interval samples
+// the server's `metrics` exposition on a dedicated connection during the
+// run, embeds the time series in the report, and fails the run (exit 1) if
+// the final server counters disagree with client-side accounting;
+// --scrape-out dumps the final raw exposition text for artifact upload.
 //
 // Exit codes: 0 success, 1 runtime/gate failure, 2 usage error.
 #include <cstdio>
@@ -37,7 +42,8 @@ int Usage() {
       "                   [--quick] [--solve-every N] [--remove-every N]\n"
       "                   [--tenants N] [--properties N] [--query-length N]\n"
       "                   [--shutdown] [--report out.json]\n"
-      "                   [--min-coalesced-batch N]\n");
+      "                   [--min-coalesced-batch N]\n"
+      "                   [--scrape-interval SECS] [--scrape-out F]\n");
   return 2;
 }
 
@@ -141,6 +147,10 @@ int main(int argc, char** argv) {
     options.query_length = std::strtoul(v->c_str(), nullptr, 10);
     if (options.query_length == 0) return Usage();
   }
+  if (const std::string* v = flag_value("--scrape-interval")) {
+    options.scrape_interval_seconds = std::strtod(v->c_str(), nullptr);
+    if (options.scrape_interval_seconds <= 0) return Usage();
+  }
   options.shutdown_after = has_flag("--shutdown");
   if (options.port == 0) return Usage();
 
@@ -158,6 +168,20 @@ int main(int argc, char** argv) {
     std::printf("report written to %s\n", path->c_str());
   } else {
     std::printf("%s\n", json.c_str());
+  }
+  if (const std::string* path = flag_value("--scrape-out")) {
+    if (report->final_exposition.empty()) {
+      std::fprintf(stderr,
+                   "error: --scrape-out needs --scrape-interval and a "
+                   "successful scrape\n");
+      return 1;
+    }
+    if (Status status = WriteFile(*path, report->final_exposition);
+        !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("exposition written to %s (%zu scrapes)\n", path->c_str(),
+                report->scrapes.size());
   }
   std::printf(
       "sent %llu, ok %llu, rejected %llu, refused %llu, errors %llu, "
@@ -204,6 +228,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %llu accepted requests got no response\n",
                  static_cast<unsigned long long>(report->lost));
     return 1;
+  }
+  if (options.scrape_interval_seconds > 0) {
+    if (!report->reconcile.checked) {
+      std::fprintf(stderr,
+                   "error: --scrape-interval was set but no metrics "
+                   "exposition was captured\n");
+      return 1;
+    }
+    if (!report->reconcile.error.empty()) {
+      std::fprintf(stderr, "error: counter reconcile drift: %s\n",
+                   report->reconcile.error.c_str());
+      return 1;
+    }
+    std::printf("reconcile: ok (%llu updates, %llu solves, %zu scrapes)\n",
+                static_cast<unsigned long long>(report->client_updates_sent),
+                static_cast<unsigned long long>(report->client_solves_sent),
+                report->scrapes.size());
   }
   if (const std::string* v = flag_value("--min-coalesced-batch")) {
     const uint64_t want = std::strtoull(v->c_str(), nullptr, 10);
