@@ -101,6 +101,28 @@ LOADGEN_EXTRA="--tenants 6" run_pass sharded --shards 4
 grep -q '^sharded:    4 engine shards' "$ART_DIR/server_sharded.log"
 grep -q '"engine_shards": 4' "$ART_DIR/load_report_sharded.json"
 
+# Read-heavy pass (docs/serving.md#lock-free-reads): 90% of the ops are
+# solves answered on the lock-free read path while the remaining writes
+# keep the coalescer folding, and the loadgen scrapes the exposition
+# mid-run. The report must carry the split read/write latency summaries,
+# and (when observability is compiled in) the scrape must show the
+# server.read.* stage histograms and the view/epoch gauges that only the
+# lock-free path populates.
+LOADGEN_EXTRA="--read-ratio 0.9 --ops 400 --qps 2000 \
+  --scrape-interval 0.02 --scrape-out $ART_DIR/exposition_readheavy.txt" \
+  run_pass readheavy --shards 2
+grep -q '"read_ratio": 0.9' "$ART_DIR/load_report_readheavy.json"
+grep -q '"read_latency_seconds"' "$ART_DIR/load_report_readheavy.json"
+grep -q '"write_latency_seconds"' "$ART_DIR/load_report_readheavy.json"
+if grep -q 'obs="on"' "$ART_DIR/exposition_readheavy.txt"; then
+  grep -q '^mc3_server_read_acquire_solve_count ' \
+    "$ART_DIR/exposition_readheavy.txt"
+  grep -q '^mc3_server_read_render_solve_count ' \
+    "$ART_DIR/exposition_readheavy.txt"
+  grep -q '^mc3_engine_view_version ' "$ART_DIR/exposition_readheavy.txt"
+  grep -q '^mc3_engine_epoch_retired ' "$ART_DIR/exposition_readheavy.txt"
+fi
+
 # Durable pass: same drill with a write-ahead log and checkpoints on. The
 # WAL must hold at least one record afterwards, and a restart on the same
 # data dir must recover (snapshot + WAL replay) rather than start fresh.

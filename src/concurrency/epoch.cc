@@ -1,0 +1,82 @@
+#include "concurrency/epoch.h"
+
+namespace mc3::concurrency {
+
+EpochManager::~EpochManager() {
+  // Destruction contract: no reader is pinned and no registration
+  // outlives the manager, so everything still retired is unreachable.
+  util::MutexLock lock(retire_mu_);
+  for (const Retired& r : retired_) r.deleter(r.object);
+  retired_.clear();
+}
+
+void EpochManager::RetireErased(const void* object,
+                                void (*deleter)(const void*)) {
+  if (object == nullptr) return;
+  const std::uint64_t epoch = global_epoch_.load(std::memory_order_seq_cst);
+  util::MutexLock lock(retire_mu_);
+  retired_.push_back(Retired{object, deleter, epoch});
+}
+
+std::size_t EpochManager::AdvanceAndReclaim() {
+  // Advance first so readers pinning from now on carry an epoch strictly
+  // above every already-retired tag; then free the prefix of the retire
+  // list no pinned reader can still reach. The slot scan happens under
+  // retire_mu_ so the min is taken against a retire list that cannot
+  // grow mid-decision.
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  std::vector<Retired> to_free;
+  {
+    util::MutexLock lock(retire_mu_);
+    const std::uint64_t min_active = MinActiveEpoch();
+    std::size_t kept = 0;
+    for (Retired& r : retired_) {
+      if (r.epoch < min_active) {
+        to_free.push_back(r);
+      } else {
+        retired_[kept++] = r;
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (const Retired& r : to_free) r.deleter(r.object);
+  total_reclaimed_.fetch_add(to_free.size(), std::memory_order_relaxed);
+  return to_free.size();
+}
+
+std::size_t EpochManager::PendingRetired() const {
+  util::MutexLock lock(retire_mu_);
+  return retired_.size();
+}
+
+EpochManager::Slot* EpochManager::AcquireSlot() {
+  util::MutexLock lock(slots_mu_);
+  for (auto& slot : slots_) {
+    if (!slot->in_use.load(std::memory_order_relaxed)) {
+      slot->in_use.store(true, std::memory_order_relaxed);
+      slot->epoch.store(kIdle, std::memory_order_seq_cst);
+      return slot.get();
+    }
+  }
+  slots_.push_back(std::make_unique<Slot>());
+  slots_.back()->in_use.store(true, std::memory_order_relaxed);
+  return slots_.back().get();
+}
+
+void EpochManager::ReleaseSlot(Slot* slot) {
+  util::MutexLock lock(slots_mu_);
+  slot->epoch.store(kIdle, std::memory_order_seq_cst);
+  slot->in_use.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t EpochManager::MinActiveEpoch() const {
+  std::uint64_t min_active = kIdle;
+  util::MutexLock lock(slots_mu_);
+  for (const auto& slot : slots_) {
+    const std::uint64_t e = slot->epoch.load(std::memory_order_seq_cst);
+    if (e < min_active) min_active = e;
+  }
+  return min_active;
+}
+
+}  // namespace mc3::concurrency

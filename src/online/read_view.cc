@@ -1,0 +1,23 @@
+#include "online/read_view.h"
+
+#include "core/solution.h"
+
+namespace mc3::online {
+
+EngineReadView BuildReadView(const OnlineEngine& engine, uint64_t version) {
+  EngineReadView view;
+  view.version = version;
+  view.total_cost = engine.TotalCost();
+  view.num_queries = engine.NumQueries();
+  view.num_components = engine.NumComponents();
+  const Solution solution = engine.CurrentSolution();
+  std::vector<PropertySet> sorted = solution.Sorted();
+  view.classifiers.reserve(sorted.size());
+  for (PropertySet& classifier : sorted) {
+    const Cost cost = engine.CostOf(classifier);
+    view.classifiers.emplace_back(std::move(classifier), cost);
+  }
+  return view;
+}
+
+}  // namespace mc3::online

@@ -1,0 +1,48 @@
+// Immutable per-shard engine snapshot for the lock-free read path.
+//
+// After every applied batch the serving layer builds one EngineReadView per
+// touched shard — a plain value object holding everything the read verbs
+// (`solve`, `snapshot`, `stats`) render: the shard's running total cost,
+// live-query and component counts, and the current solution in canonical
+// (sorted) order with each classifier's table price. The view is published
+// through a concurrency::VersionedPublisher and reclaimed through the
+// concurrency::EpochManager, so readers dereference it without locks,
+// refcounts or copies (docs/serving.md, "Lock-free reads").
+//
+// The numeric fields snapshot the engine accessors verbatim (TotalCost is
+// the engine's own double running total, not a canonical re-sum), so a
+// response rendered from views is byte-identical to one rendered under the
+// engine mutex at the same instant — the property the sharded-vs-single
+// and batched-vs-sequential determinism suites pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "online/online_engine.h"
+
+namespace mc3::online {
+
+/// Point-in-time read-only snapshot of one OnlineEngine (one shard).
+struct EngineReadView {
+  /// Publish count of the owning shard's publisher (monotone, 1-based).
+  uint64_t version = 0;
+  /// The shard's running aggregate cost (OnlineEngine::TotalCost verbatim;
+  /// cross-shard reads sum these in shard order, exactly like
+  /// ShardedEngine::TotalCost).
+  Cost total_cost = 0;
+  size_t num_queries = 0;
+  size_t num_components = 0;
+  /// The shard's current solution, canonically sorted, each classifier
+  /// paired with its price in the (replicated) cost table at publish time.
+  std::vector<std::pair<PropertySet, Cost>> classifiers;
+};
+
+/// Snapshots `engine` into a view stamped with `version`. Caller holds
+/// whatever lock serializes engine mutations (the server's engine_mu_).
+EngineReadView BuildReadView(const OnlineEngine& engine, uint64_t version);
+
+}  // namespace mc3::online

@@ -42,6 +42,46 @@ std::string ShardMetric(size_t shard, const char* name) {
   return "server.shard." + std::to_string(shard) + "." + name;
 }
 
+/// Lock-free read-path stage histogram: server.read.<stage>.<verb>.
+void RecordReadStageSeconds(const char* stage, Request::Op op,
+                            double seconds) {
+  obs::MetricsRegistry::Global()
+      .GetHistogram(std::string("server.read.") + stage + "." + OpName(op))
+      .Record(seconds);
+}
+
+/// Merges the per-shard view solutions into the canonical cross-shard
+/// sequence: exactly the contents and order of
+/// ShardedEngine::CurrentSolution().Sorted() (concatenate in shard order,
+/// sort, drop duplicates). Each classifier keeps the price captured at
+/// publish time, so snapshot renders never consult a cost table.
+std::vector<std::pair<PropertySet, Cost>> MergeViewClassifiers(
+    const std::vector<const online::EngineReadView*>& shards) {
+  if (shards.size() == 1) return shards.front()->classifiers;
+  std::vector<std::pair<PropertySet, Cost>> merged;
+  size_t total = 0;
+  for (const online::EngineReadView* view : shards) {
+    total += view->classifiers.size();
+  }
+  merged.reserve(total);
+  for (const online::EngineReadView* view : shards) {
+    merged.insert(merged.end(), view->classifiers.begin(),
+                  view->classifiers.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const std::pair<PropertySet, Cost>& a,
+               const std::pair<PropertySet, Cost>& b) {
+              return a.first < b.first;
+            });
+  merged.erase(std::unique(merged.begin(), merged.end(),
+                           [](const std::pair<PropertySet, Cost>& a,
+                              const std::pair<PropertySet, Cost>& b) {
+                             return a.first == b.first;
+                           }),
+               merged.end());
+  return merged;
+}
+
 /// Best-effort pin of `thread` to core `index % cores` (--pin-cores).
 /// Linux-only; a no-op elsewhere and when the affinity call fails.
 void PinThreadToCore(std::thread* thread, size_t index) {
@@ -59,6 +99,18 @@ void PinThreadToCore(std::thread* thread, size_t index) {
 }
 
 }  // namespace
+
+bool ParseReadPath(const std::string& text, ServerOptions::ReadPath* path) {
+  if (text == "lockfree") {
+    *path = ServerOptions::ReadPath::kLockFree;
+    return true;
+  }
+  if (text == "queued") {
+    *path = ServerOptions::ReadPath::kQueued;
+    return true;
+  }
+  return false;
+}
 
 bool ParseShards(const std::string& text, uint32_t* shards) {
   if (text.empty()) return false;
@@ -96,6 +148,13 @@ Server::Server(ServerOptions options)
       engine_(options_.shards == 0 ? 1 : options_.shards, options_.engine),
       shard_counters_(options_.shards == 0 ? 1 : options_.shards),
       telemetry_({options_.trace_sample, options_.trace_out_dir}) {
+  const uint32_t view_shards = options_.shards == 0 ? 1 : options_.shards;
+  view_publishers_.reserve(view_shards);
+  for (uint32_t s = 0; s < view_shards; ++s) {
+    view_publishers_.push_back(
+        std::make_unique<
+            concurrency::VersionedPublisher<online::EngineReadView>>());
+  }
   if (options_.admission_watermark == 0) {
     options_.admission_watermark =
         std::max<size_t>(1, options_.queue_capacity * 3 / 4);
@@ -160,6 +219,9 @@ Status Server::Start(const Instance& base) {
                                options_.record_trace_path);
       }
     }
+    // Publish the initial (post-init / post-recovery) views before any
+    // socket exists: every connection ever accepted finds a live index.
+    PublishReadViews({});
   }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -321,6 +383,9 @@ void Server::AcceptLoop() {
 
 void Server::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
   telemetry_.NameThread("conn");
+  // One reader slot per connection (mutex-protected registration); each
+  // read on this connection then pins an epoch lock-free (ReadGuard).
+  concurrency::ReaderRegistration reader(epochs_);
   std::string buffer;
   char chunk[4096];
   while (true) {
@@ -333,7 +398,7 @@ void Server::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
       std::string line = buffer.substr(start, newline - start);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       start = newline + 1;
-      if (!line.empty()) HandleLine(conn, line);
+      if (!line.empty()) HandleLine(conn, line, reader);
     }
     buffer.erase(0, start);
     if (buffer.size() > kMaxLineBytes) {
@@ -346,7 +411,8 @@ void Server::ConnectionLoop(const std::shared_ptr<Connection>& conn) {
 }
 
 void Server::HandleLine(const std::shared_ptr<Connection>& conn,
-                        const std::string& line) {
+                        const std::string& line,
+                        concurrency::ReaderRegistration& reader) {
   Timer latency;
   const bool tracing = telemetry_.enabled();
   const double parse_start_us = tracing ? telemetry_.NowUs() : 0;
@@ -368,7 +434,7 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
       ObserveLatency(request, latency.Seconds());
       return;
     case Request::Op::kStats:
-      WriteResponse(conn, RenderStats(request));
+      WriteResponse(conn, RenderStats(request, reader));
       ObserveLatency(request, latency.Seconds());
       return;
     case Request::Op::kShutdown: {
@@ -404,6 +470,21 @@ void Server::HandleLine(const std::shared_ptr<Connection>& conn,
     refused_draining_.fetch_add(1, std::memory_order_relaxed);
     WriteResponse(conn, RenderErrorResponse(request.id, request.op, 503,
                                             "server is draining"));
+    return;
+  }
+  // Read-only verbs never queue on the lock-free path: they render from
+  // the epoch-protected published views right here, on the connection
+  // worker thread — no admission control, no engine mutex, no 429s
+  // (docs/serving.md#lock-free-reads). `--read-path queued` falls through
+  // to the legacy queue route below.
+  if ((request.op == Request::Op::kSolve ||
+       request.op == Request::Op::kSnapshot) &&
+      options_.read_path == ServerOptions::ReadPath::kLockFree) {
+    if (trace.sampled) {
+      telemetry_.Span("parse", parse_start_us, trace.trace_id);
+    }
+    HandleLockFreeRead(conn, request, trace.trace_id, trace.sampled, latency,
+                       reader);
     return;
   }
   const size_t depth = queue_.Depth();
@@ -711,6 +792,25 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
 
   {
     util::MutexLock lock(engine_mu_);
+    // Shards whose state this batch changed (any path), for the view
+    // republish below. An applied batch with zero net ops still bumps the
+    // facade counters, so the index is republished whenever anything
+    // applied at all.
+    std::vector<bool> touched(shard_counters_.size(), false);
+    bool any_applied = false;
+    const auto fold_touched = [this, &touched,
+                               &any_applied]() MC3_REQUIRES(engine_mu_) {
+      any_applied = true;
+      if (engine_.num_shards() == 1) {
+        touched[0] = true;
+        return;
+      }
+      const online::ShardBatchStats& routed = engine_.last_batch();
+      const size_t bound = std::min(routed.shard_ops.size(), touched.size());
+      for (size_t s = 0; s < bound; ++s) {
+        if (routed.shard_ops[s] > 0) touched[s] = true;
+      }
+    };
     Timer coalesce_timer;
     const double coalesce_start_us = tracing ? telemetry_.NowUs() : 0;
     UpdateCoalescer coalescer;
@@ -735,6 +835,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
         priced.ok() ? ApplyEngineUpdate(net.add, net.remove, sampled_ids)
                     : Result<online::UpdateStats>(priced);
     if (applied.ok()) {
+      fold_touched();
       RecordStageSeconds("shard_apply", Request::Op::kUpdate,
                          apply_timer.Seconds());
       RecordShardWork(net.ops);
@@ -793,6 +894,7 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
                                              one.status().message());
           continue;
         }
+        fold_touched();
         RecordShardWork(parsed[i].add.size() + parsed[i].remove.size());
         batches_.fetch_add(1, std::memory_order_relaxed);
         const uint64_t wal_seq = PersistApplied(parsed[i].add,
@@ -819,6 +921,9 @@ void Server::HandleUpdateBatch(std::vector<PendingRequest> batch) {
         responses[i] = writer.Take();
       }
     }
+    // Publish before the lock drops (and so before any ack is written):
+    // a client that saw its ack reads its write on the lock-free path.
+    if (any_applied) PublishReadViews(touched);
     MaybeCheckpoint();
   }
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -964,6 +1069,193 @@ void Server::HandleCheckpoint(const PendingRequest& pending) {
   FinishTracedResponse(pending, writer.Take());
 }
 
+void Server::PublishReadViews(const std::vector<bool>& touched) {
+  // Phase 1: rebuild and swap the touched shard publishers, collecting the
+  // displaced views. They are NOT retired yet — the currently published
+  // index still references them (multi-root ordering, concurrency/epoch.h).
+  std::vector<const online::EngineReadView*> displaced;
+  const uint32_t shards = engine_.num_shards();
+  for (uint32_t s = 0; s < shards && s < view_publishers_.size(); ++s) {
+    const bool republish =
+        touched.empty() || (s < touched.size() && touched[s]);
+    // Writer-side Acquire: we are the only publisher and hold engine_mu_,
+    // so the loaded pointer cannot be retired under us (no epoch needed).
+    if (!republish && view_publishers_[s]->Acquire() != nullptr) continue;
+    // mc3-lint: new-delete-ok(ownership passes to the publisher/epoch pair)
+    auto* view = new online::EngineReadView(online::BuildReadView(
+        engine_.shard(s), view_publishers_[s]->version() + 1));
+    const online::EngineReadView* old = view_publishers_[s]->Publish(view);
+    if (old != nullptr) displaced.push_back(old);
+  }
+  // Name-table snapshot, shared across indexes until interning grows it.
+  if (published_names_ == nullptr ||
+      published_names_->size() != names_.size()) {
+    published_names_ = std::make_shared<const std::vector<std::string>>(names_);
+  }
+  // Phase 2: build and swap the cross-shard index root. One pinned load of
+  // this object is a consistent cut: views, version vector, name table and
+  // facade counters all captured under the same engine_mu_ hold.
+  // mc3-lint: new-delete-ok(ownership passes to the publisher/epoch pair)
+  auto* index = new ReadIndex;
+  index->seq = index_publisher_.version() + 1;
+  index->shards.reserve(view_publishers_.size());
+  index->versions.reserve(view_publishers_.size());
+  for (const auto& publisher : view_publishers_) {
+    const online::EngineReadView* view = publisher->Acquire();
+    index->shards.push_back(view);
+    index->versions.push_back(view->version);
+  }
+  index->names = published_names_;
+  index->counters = engine_.counters();
+  const ReadIndex* old_index = index_publisher_.Publish(index);
+  // Phase 3: retire in root-unreachability order — the displaced index
+  // first (it was the only root naming the displaced views), then those
+  // views — and fold one reclamation pass into the publish.
+  if (old_index != nullptr) epochs_.Retire(old_index);
+  for (const online::EngineReadView* view : displaced) epochs_.Retire(view);
+  epochs_.AdvanceAndReclaim();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("engine.view.version")
+      .Set(static_cast<double>(index->seq));
+  registry.GetGauge("engine.epoch.retired")
+      .Set(static_cast<double>(epochs_.TotalReclaimed()));
+}
+
+void Server::HandleLockFreeRead(const std::shared_ptr<Connection>& conn,
+                                const Request& request, uint64_t trace_id,
+                                bool sampled, const Timer& latency,
+                                concurrency::ReaderRegistration& reader) {
+  std::string response;
+  {
+    Timer acquire_timer;
+    const double acquire_start_us = sampled ? telemetry_.NowUs() : 0;
+    concurrency::ReadGuard guard(epochs_, reader);
+    const ReadIndex* index = index_publisher_.Acquire();
+    RecordReadStageSeconds("acquire", request.op, acquire_timer.Seconds());
+    if (sampled) {
+      telemetry_.Span("read_acquire", acquire_start_us, trace_id);
+    }
+    if (index == nullptr) {
+      // Start() publishes before the socket opens, so this is unreachable
+      // through the wire; kept as a defensive 503 for direct-call tests.
+      WriteResponse(conn,
+                    RenderErrorResponse(request.id, request.op, 503,
+                                        "read views not yet published",
+                                        options_.base_retry_ms));
+      ObserveLatency(request, latency.Seconds());
+      return;
+    }
+    Timer render_timer;
+    const double render_start_us = sampled ? telemetry_.NowUs() : 0;
+    response = request.op == Request::Op::kSolve
+                   ? RenderSolveFromIndex(request, trace_id, *index)
+                   : RenderSnapshotFromIndex(request, trace_id, *index);
+    RecordReadStageSeconds("render", request.op, render_timer.Seconds());
+    if (sampled) {
+      telemetry_.Span("read_render", render_start_us, trace_id);
+    }
+  }
+  // The epoch unpins before the socket write: the response string owns all
+  // its bytes, so a slow client never extends the grace period.
+  Timer serialize_timer;
+  const double serialize_start_us = sampled ? telemetry_.NowUs() : 0;
+  WriteResponse(conn, response);
+  RecordStageSeconds("serialize", request.op, serialize_timer.Seconds());
+  if (sampled) telemetry_.Span("serialize", serialize_start_us, trace_id);
+  ObserveLatency(request, latency.Seconds());
+}
+
+std::string Server::RenderSolveFromIndex(const Request& request,
+                                         uint64_t trace_id,
+                                         const ReadIndex& index) {
+  // Field-for-field identical to HandleSolve's render at the same state:
+  // sums run in shard order (ShardedEngine::TotalCost), the solution is
+  // merged canonically (MergeViewClassifiers above).
+  obs::JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("id").Int(request.id);
+  writer.Key("op").String("solve");
+  writer.Key("code").Int(200);
+  if (trace_id != 0) writer.Key("trace_id").Int(trace_id);
+  Cost total = 0;
+  size_t queries = 0;
+  size_t components = 0;
+  for (const online::EngineReadView* view : index.shards) {
+    total += view->total_cost;
+    queries += view->num_queries;
+    components += view->num_components;
+  }
+  writer.Key("cost").Number(total);
+  writer.Key("queries").Int(queries);
+  writer.Key("components").Int(components);
+  const std::vector<std::pair<PropertySet, Cost>> merged =
+      MergeViewClassifiers(index.shards);
+  writer.Key("classifiers").Int(merged.size());
+  if (request.include_solution) {
+    const std::vector<std::string>& names = *index.names;
+    writer.Key("solution").BeginArray();
+    for (const auto& entry : merged) {
+      writer.BeginArray();
+      for (const PropertyId id : entry.first) {
+        writer.String(id < names.size() ? names[id] : std::to_string(id));
+      }
+      writer.EndArray();
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string Server::RenderSnapshotFromIndex(const Request& request,
+                                            uint64_t trace_id,
+                                            const ReadIndex& index) {
+  // Field-for-field identical to HandleSnapshot's render at the same
+  // state; classifier prices were captured at publish time from the
+  // replicated cost table, matching ShardedEngine::CostOf.
+  obs::JsonWriter writer(/*compact=*/true);
+  writer.BeginObject();
+  writer.Key("id").Int(request.id);
+  writer.Key("op").String("snapshot");
+  writer.Key("code").Int(200);
+  if (trace_id != 0) writer.Key("trace_id").Int(trace_id);
+  Cost total = 0;
+  size_t queries = 0;
+  size_t components = 0;
+  for (const online::EngineReadView* view : index.shards) {
+    total += view->total_cost;
+    queries += view->num_queries;
+    components += view->num_components;
+  }
+  writer.Key("cost").Number(total);
+  writer.Key("queries").Int(queries);
+  writer.Key("components").Int(components);
+  const std::vector<std::pair<PropertySet, Cost>> merged =
+      MergeViewClassifiers(index.shards);
+  const std::vector<std::string>& names = *index.names;
+  writer.Key("classifiers").BeginArray();
+  for (const auto& entry : merged) {
+    writer.BeginObject();
+    writer.Key("properties").BeginArray();
+    for (const PropertyId id : entry.first) {
+      writer.String(id < names.size() ? names[id] : std::to_string(id));
+    }
+    writer.EndArray();
+    writer.Key("cost").Number(entry.second);
+    writer.EndObject();
+  }
+  writer.EndArray();
+  writer.Key("counters").BeginObject();
+  writer.Key("updates").Int(index.counters.updates);
+  writer.Key("queries_added").Int(index.counters.queries_added);
+  writer.Key("queries_removed").Int(index.counters.queries_removed);
+  writer.Key("components_resolved").Int(index.counters.components_resolved);
+  writer.Key("queries_touched").Int(index.counters.queries_touched);
+  writer.EndObject();
+  writer.EndObject();
+  return writer.Take();
+}
+
 std::string Server::RenderWalStats(const Request& request) {
   obs::JsonWriter writer(/*compact=*/true);
   writer.BeginObject();
@@ -997,14 +1289,18 @@ std::string Server::RenderWalStats(const Request& request) {
 }
 
 std::string Server::RenderHealth(const Request& request) {
+  // Health never queues and never touches the engine: it is answered
+  // inline on the connection thread in every server state. While draining
+  // it answers 503 with a retry hint (load balancers should fail over),
+  // but still answers — a draining server is observable to the end.
+  const bool draining = draining_.load(std::memory_order_acquire);
   obs::JsonWriter writer(/*compact=*/true);
   writer.BeginObject();
   writer.Key("id").Int(request.id);
   writer.Key("op").String("health");
-  writer.Key("code").Int(200);
-  writer.Key("status").String(draining_.load(std::memory_order_acquire)
-                                  ? "draining"
-                                  : "ok");
+  writer.Key("code").Int(draining ? 503 : 200);
+  writer.Key("status").String(draining ? "draining" : "ok");
+  if (draining) writer.Key("retry_after_ms").Number(options_.base_retry_ms);
   writer.Key("queue_depth").Int(queue_.Depth());
   writer.Key("uptime_seconds").Number(uptime_.Seconds());
   writer.Key("build").BeginObject();
@@ -1016,7 +1312,8 @@ std::string Server::RenderHealth(const Request& request) {
   return writer.Take();
 }
 
-std::string Server::RenderStats(const Request& request) {
+std::string Server::RenderStats(const Request& request,
+                                concurrency::ReaderRegistration& reader) {
   const ServerStats stats = GetStats();
   obs::JsonWriter writer(/*compact=*/true);
   writer.BeginObject();
@@ -1052,6 +1349,20 @@ std::string Server::RenderStats(const Request& request) {
     writer.EndObject();
   }
   writer.EndArray();
+  {
+    // Snapshot-consistency contract (docs/serving.md#lock-free-reads): the
+    // version vector comes from ONE pinned load of the published index, so
+    // it is a consistent cross-shard cut — never a torn mix of shard
+    // versions gathered while a batch commits in between.
+    concurrency::ReadGuard guard(epochs_, reader);
+    const ReadIndex* index = index_publisher_.Acquire();
+    if (index != nullptr) {
+      writer.Key("view_seq").Int(index->seq);
+      writer.Key("versions").BeginArray();
+      for (const uint64_t version : index->versions) writer.Int(version);
+      writer.EndArray();
+    }
+  }
   if (obs::kObsEnabled) {
     // Per-endpoint in-server latency percentiles (seconds), straight from
     // the ambient metrics registry. MetricsSnapshot maps are ordered, so

@@ -46,9 +46,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "concurrency/epoch.h"
+#include "concurrency/versioned_publisher.h"
 #include "core/instance.h"
 #include "durability/durability.h"
 #include "online/online_engine.h"
+#include "online/read_view.h"
 #include "online/sharded_engine.h"
 #include "server/bounded_queue.h"
 #include "server/protocol.h"
@@ -131,7 +134,22 @@ struct ServerOptions {
   /// Where the trace-event JSON lands on shutdown (`--trace-out DIR`);
   /// see trace_file_path(). Empty = collected but never written.
   std::string trace_out_dir;
+
+  /// Which path answers the read-only engine verbs (`solve`, `snapshot`).
+  /// kLockFree (the default) renders them on the connection worker thread
+  /// from epoch-protected published views — no queue, no engine mutex, flat
+  /// read latency under write churn (docs/serving.md#lock-free-reads).
+  /// kQueued (`mc3 serve --read-path queued`) keeps the legacy behavior of
+  /// riding the engine-op queue, as an A/B baseline and rollback switch.
+  /// Mutations always queue; responses are byte-identical on both paths.
+  enum class ReadPath { kLockFree, kQueued };
+  ReadPath read_path = ReadPath::kLockFree;
 };
+
+/// Parses a `--read-path` value: "lockfree" or "queued". Returns false
+/// (leaving `*path` untouched) on anything else — the CLI turns that into a
+/// usage error.
+bool ParseReadPath(const std::string& text, ServerOptions::ReadPath* path);
 
 /// Per-shard serving statistics (stats endpoint `shards` array).
 struct ShardStats {
@@ -235,10 +253,27 @@ class Server {
     double queued_us = 0;   ///< trace-timebase push time (sampled only)
   };
 
+  /// Atomically published cross-shard read snapshot: one pinned load gives
+  /// readers a consistent set of per-shard views, the matching version
+  /// vector (stats `versions`), the name table and the facade-level
+  /// counters. Rebuilt and swapped after every applied batch; the displaced
+  /// index is epoch-retired strictly before the views it references.
+  struct ReadIndex {
+    uint64_t seq = 0;  ///< index publish count (stats `view_seq`)
+    /// Borrowed per-shard views, owned by the publisher/epoch pair; a view
+    /// is retired only once no published index references it.
+    std::vector<const online::EngineReadView*> shards;
+    std::vector<uint64_t> versions;  ///< per-shard view versions
+    /// Name table at publish time (shared: reused until interning grows it).
+    std::shared_ptr<const std::vector<std::string>> names;
+    online::EngineCounters counters;  ///< facade-level (not per-shard sums)
+  };
+
   void AcceptLoop();
   void ConnectionLoop(const std::shared_ptr<Connection>& conn);
   void HandleLine(const std::shared_ptr<Connection>& conn,
-                  const std::string& line);
+                  const std::string& line,
+                  concurrency::ReaderRegistration& reader);
   void EngineWorkerLoop();
   /// Pops one item (blocking unless `drain_only`), coalesces consecutive
   /// updates behind it, executes, responds. Returns false when the queue is
@@ -268,8 +303,33 @@ class Server {
   void HandleSolve(const PendingRequest& pending);
   void HandleSnapshot(const PendingRequest& pending);
   void HandleCheckpoint(const PendingRequest& pending);
+
+  /// Rebuilds and publishes the per-shard views flagged in `touched` (an
+  /// empty vector republishes every shard) plus a fresh cross-shard index,
+  /// then retires the displaced objects in root-unreachability order (index
+  /// first, views after) and runs one reclamation pass. Called after every
+  /// applied batch, before the acks render, so a client that saw its ack
+  /// also reads its write (docs/serving.md#lock-free-reads).
+  void PublishReadViews(const std::vector<bool>& touched)
+      MC3_REQUIRES(engine_mu_);
+  /// Lock-free `solve`/`snapshot`: pins an epoch, loads the index once and
+  /// renders on the connection worker thread — byte-identical to the queued
+  /// renderers at every published state.
+  void HandleLockFreeRead(const std::shared_ptr<Connection>& conn,
+                          const Request& request, uint64_t trace_id,
+                          bool sampled, const Timer& latency,
+                          concurrency::ReaderRegistration& reader);
+  std::string RenderSolveFromIndex(const Request& request, uint64_t trace_id,
+                                   const ReadIndex& index)
+      MC3_REQUIRES_SHARED(epochs_);
+  std::string RenderSnapshotFromIndex(const Request& request,
+                                      uint64_t trace_id,
+                                      const ReadIndex& index)
+      MC3_REQUIRES_SHARED(epochs_);
+
   std::string RenderHealth(const Request& request);
-  std::string RenderStats(const Request& request);
+  std::string RenderStats(const Request& request,
+                          concurrency::ReaderRegistration& reader);
   std::string RenderWalStats(const Request& request);
   /// Prometheus text exposition of the whole obs registry plus server and
   /// shard stats, wrapped in a JSON envelope (`metrics` verb).
@@ -320,6 +380,22 @@ class Server {
   online::ShardedEngine engine_ MC3_GUARDED_BY(engine_mu_);
   std::vector<std::string> names_ MC3_GUARDED_BY(engine_mu_);
   std::unordered_map<std::string, PropertyId> interned_
+      MC3_GUARDED_BY(engine_mu_);
+
+  /// Lock-free read path (docs/serving.md#lock-free-reads): per-shard view
+  /// publishers plus the cross-shard index root, reclaimed through epochs.
+  /// All publishing happens under engine_mu_ (single writer); readers pin
+  /// an epoch per read and never lock.
+  concurrency::EpochManager epochs_;
+  // Publication slots: swapped only under engine_mu_, read lock-free under
+  // an epoch pin per concurrency/epoch.h.
+  std::vector<std::unique_ptr<
+      concurrency::VersionedPublisher<online::EngineReadView>>>
+      view_publishers_;
+  concurrency::VersionedPublisher<ReadIndex> index_publisher_;
+  /// Name-table snapshot shared by published indexes; refreshed by
+  /// PublishReadViews whenever interning grew the table.
+  std::shared_ptr<const std::vector<std::string>> published_names_
       MC3_GUARDED_BY(engine_mu_);
 
   /// Shard workers (only with shards > 1 and live engine workers): one

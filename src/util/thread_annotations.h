@@ -47,12 +47,26 @@
 /// Function annotation: caller must hold the listed capabilities.
 #define MC3_REQUIRES(...) MC3_TSA_ATTR(requires_capability(__VA_ARGS__))
 
+/// Function annotation: caller must hold the listed capabilities in shared
+/// (reader) mode, e.g. a pinned epoch on concurrency::EpochManager.
+#define MC3_REQUIRES_SHARED(...) \
+  MC3_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
 /// Function annotation: acquires the listed capabilities (or, on a
 /// scoped-capability member, the capabilities the object manages).
 #define MC3_ACQUIRE(...) MC3_TSA_ATTR(acquire_capability(__VA_ARGS__))
 
+/// Function annotation: acquires the listed capabilities in shared
+/// (reader) mode — many readers may hold them concurrently.
+#define MC3_ACQUIRE_SHARED(...) \
+  MC3_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
 /// Function annotation: releases the listed capabilities.
 #define MC3_RELEASE(...) MC3_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Function annotation: releases capabilities held in shared mode.
+#define MC3_RELEASE_SHARED(...) \
+  MC3_TSA_ATTR(release_shared_capability(__VA_ARGS__))
 
 /// Function annotation: acquires the capability iff the call returns the
 /// first argument, e.g. MC3_TRY_ACQUIRE(true).

@@ -401,6 +401,36 @@ TEST(LintR8, PassesAnnotatedAtomicAndThreadSafeMembers) {
   EXPECT_EQ(CountRule(findings, "R8"), 0u);
 }
 
+TEST(LintR8, PassesConcurrencyPrimitiveMembers) {
+  // Epoch/publication types (src/concurrency/) are internally synchronized:
+  // owning one next to a mutex needs no MC3_GUARDED_BY.
+  const auto findings = Lint(
+      "class Server {\n"
+      "  util::Mutex mu_;\n"
+      "  int epoch_state_ MC3_GUARDED_BY(mu_) = 0;\n"
+      "  concurrency::EpochManager epochs_;\n"
+      "  concurrency::VersionedPublisher<ReadIndex> index_publisher_;\n"
+      "  concurrency::ReaderRegistration* reader_ = nullptr;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R8"), 0u);
+}
+
+TEST(LintR8, WaivesLockFreeEpochSlotMembers) {
+  // A lock-free slot published by one thread and scanned by another cannot
+  // carry MC3_GUARDED_BY; the guard-ok waiver (with a stated ownership
+  // rule) covers the member on the next line — and an unwaived,
+  // unannotated neighbor still flags.
+  const auto findings = Lint(
+      "struct EpochSlots {\n"
+      "  util::Mutex slots_mu_;\n"
+      "  // mc3-lint: guard-ok(single-writer slot scanned with seq_cst "
+      "loads)\n"
+      "  std::uint64_t pinned_epoch_ = 0;\n"
+      "  std::uint64_t unguarded_count_ = 0;\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "R8"), 1u);
+}
+
 TEST(LintR8, PassesClassWithoutMutex) {
   // No owned mutex, nothing to guard: plain structs never trigger R8.
   const auto findings = Lint(

@@ -1067,7 +1067,8 @@ class Linter {
             "timed_mutex", "Mutex", "condition_variable",
             "condition_variable_any", "CondVar", "once_flag", "thread",
             "jthread", "Counter", "Gauge", "Histogram", "BoundedQueue",
-            "WorkerPool", "MutexLock", "UniqueLock"}) {
+            "WorkerPool", "MutexLock", "UniqueLock", "EpochManager",
+            "VersionedPublisher", "ReadGuard", "ReaderRegistration"}) {
         if (ContainsWord(text, word)) exempt = true;
       }
       if (exempt) continue;

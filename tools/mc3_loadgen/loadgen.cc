@@ -56,6 +56,10 @@ struct ConnState {
   uint64_t errors = 0;
   // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
   std::vector<double> latencies;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
+  std::vector<double> read_latencies;
+  // mc3-lint: guard-ok(reader-thread-owned; harvested after join)
+  std::vector<double> write_latencies;
   mc3::util::Mutex scrape_mu;
   /// Last stats response seen.
   std::string stats_json MC3_GUARDED_BY(scrape_mu);
@@ -115,11 +119,16 @@ Status SendLine(int fd, const std::string& line) {
   return Status::OK();
 }
 
+/// Request kinds for the per-verb latency split, indexed by request id.
+enum class ReqKind : uint8_t { kWrite = 0, kRead = 1, kOther = 2 };
+
 /// Blocking line reader: categorizes every response, records latency
-/// against `send_time` (indexed by response id) and stashes stats/shutdown
-/// bodies for the end-of-run scrape.
+/// against `send_time` (indexed by response id; `kinds` splits the sample
+/// into read/write series) and stashes stats/shutdown bodies for the
+/// end-of-run scrape.
 void ReaderLoop(ConnState* conn, const Timer* run_clock,
-                const std::vector<std::atomic<double>>* send_time) {
+                const std::vector<std::atomic<double>>* send_time,
+                const std::vector<ReqKind>* kinds) {
   std::string buffer;
   char chunk[4096];
   while (true) {
@@ -163,7 +172,15 @@ void ReaderLoop(ConnState* conn, const Timer* run_clock,
                 ? (*send_time)[slot].load(std::memory_order_acquire)
                 : -1;
         if (stamped >= 0) {
-          conn->latencies.push_back(run_clock->Seconds() - stamped);
+          const double latency = run_clock->Seconds() - stamped;
+          conn->latencies.push_back(latency);
+          if (slot < kinds->size()) {
+            if ((*kinds)[slot] == ReqKind::kRead) {
+              conn->read_latencies.push_back(latency);
+            } else if ((*kinds)[slot] == ReqKind::kWrite) {
+              conn->write_latencies.push_back(latency);
+            }
+          }
         }
       }
       if (op != nullptr && op->is_string()) {
@@ -213,8 +230,14 @@ std::vector<PlannedRequest> PlanRequests(const LoadGenOptions& options) {
                      ? 0
                      : static_cast<double>(i - options.burst) /
                            std::max(1.0, options.qps);
-    const bool solve = options.solve_every > 0 &&
-                       (i + 1) % options.solve_every == 0;
+    // Mixed mode draws one uniform per operation (so the plan stays fully
+    // determined by the seed); the historical cadence consumes no RNG here,
+    // keeping read_ratio < 0 plans byte-identical to older releases.
+    const bool solve =
+        options.read_ratio >= 0
+            ? (static_cast<double>(rng() >> 11) * 0x1.0p-53) <
+                  options.read_ratio
+            : options.solve_every > 0 && (i + 1) % options.solve_every == 0;
     request.solve = solve;
     obs::JsonWriter writer(/*compact=*/true);
     writer.BeginObject();
@@ -373,6 +396,12 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
   // (or TSan) recognizes.
   std::vector<std::atomic<double>> send_time(options.operations + 3);
   for (auto& slot : send_time) slot.store(-1, std::memory_order_relaxed);
+  // kinds[id] classifies each planned request for the read/write latency
+  // split; the end-of-run stats/shutdown ids stay kOther.
+  std::vector<ReqKind> kinds(options.operations + 3, ReqKind::kOther);
+  for (const PlannedRequest& request : plan) {
+    kinds[request.id] = request.solve ? ReqKind::kRead : ReqKind::kWrite;
+  }
   Timer run_clock;
 
   // The scraper's dedicated connection opens first: a failure here returns
@@ -398,8 +427,8 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
   for (auto& conn : conns) {
     ConnState* state = conn.get();
     state->reader = std::thread(
-        [state, &run_clock, &send_time] {
-          ReaderLoop(state, &run_clock, &send_time);
+        [state, &run_clock, &send_time, &kinds] {
+          ReaderLoop(state, &run_clock, &send_time, &kinds);
         });
   }
 
@@ -523,6 +552,8 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
   }
 
   std::vector<double> latencies;
+  std::vector<double> read_latencies;
+  std::vector<double> write_latencies;
   for (const auto& conn : conns) {
     report.responses += conn->got.load(std::memory_order_acquire);
     report.ok += conn->ok;
@@ -532,6 +563,11 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
     report.errors += conn->errors;
     latencies.insert(latencies.end(), conn->latencies.begin(),
                      conn->latencies.end());
+    read_latencies.insert(read_latencies.end(), conn->read_latencies.begin(),
+                          conn->read_latencies.end());
+    write_latencies.insert(write_latencies.end(),
+                           conn->write_latencies.begin(),
+                           conn->write_latencies.end());
   }
   if (options.scrape_interval_seconds > 0) {
     report.scrapes = std::move(scrapes);
@@ -544,6 +580,8 @@ Result<LoadReport> RunLoadGen(const LoadGenOptions& options) {
   report.lost =
       report.sent > report.responses ? report.sent - report.responses : 0;
   report.latency = Summarize(std::move(latencies));
+  report.read_latency = Summarize(std::move(read_latencies));
+  report.write_latency = Summarize(std::move(write_latencies));
   report.achieved_qps =
       report.wall_seconds > 0
           ? static_cast<double>(report.sent) / report.wall_seconds
@@ -604,6 +642,9 @@ std::string RenderLoadReport(const LoadReport& report) {
   writer.Key("remove_every").Int(report.options.remove_every);
   writer.Key("seed").Int(report.options.seed);
   writer.Key("tenants").Int(report.options.tenants);
+  if (report.options.read_ratio >= 0) {
+    writer.Key("read_ratio").Number(report.options.read_ratio);
+  }
   writer.Key("shutdown_after").Bool(report.options.shutdown_after);
   writer.EndObject();
 
@@ -617,14 +658,24 @@ std::string RenderLoadReport(const LoadReport& report) {
   writer.Key("lost").Int(report.lost);
   writer.Key("wall_seconds").Number(report.wall_seconds);
   writer.Key("achieved_qps").Number(report.achieved_qps);
-  writer.Key("latency_seconds").BeginObject();
-  writer.Key("count").Int(report.latency.count);
-  writer.Key("mean").Number(report.latency.mean);
-  writer.Key("p50").Number(report.latency.p50);
-  writer.Key("p95").Number(report.latency.p95);
-  writer.Key("p99").Number(report.latency.p99);
-  writer.Key("max").Number(report.latency.max);
-  writer.EndObject();
+  const auto write_summary = [&writer](const char* key,
+                                       const LatencySummary& summary) {
+    writer.Key(key).BeginObject();
+    writer.Key("count").Int(summary.count);
+    writer.Key("mean").Number(summary.mean);
+    writer.Key("p50").Number(summary.p50);
+    writer.Key("p95").Number(summary.p95);
+    writer.Key("p99").Number(summary.p99);
+    writer.Key("max").Number(summary.max);
+    writer.EndObject();
+  };
+  write_summary("latency_seconds", report.latency);
+  // Mixed-mode split (additive, like the telemetry block): present exactly
+  // when the run planned by read ratio.
+  if (report.options.read_ratio >= 0) {
+    write_summary("read_latency_seconds", report.read_latency);
+    write_summary("write_latency_seconds", report.write_latency);
+  }
   writer.EndObject();
 
   writer.Key("server").BeginObject();
@@ -738,6 +789,21 @@ Status ValidateLoadReportJson(const std::string& json) {
   for (const char* key : {"count", "mean", "p50", "p95", "p99", "max"}) {
     MC3_RETURN_IF_ERROR(
         RequireMember(latency, key, Kind::kNumber, "latency_seconds"));
+  }
+  // Mixed-mode runs (run.read_ratio present) must carry the full per-verb
+  // latency split; single-mode runs must not fake one half of it.
+  if (run.Find("read_ratio") != nullptr) {
+    MC3_RETURN_IF_ERROR(
+        RequireMember(run, "read_ratio", Kind::kNumber, "run"));
+    for (const char* block : {"read_latency_seconds",
+                              "write_latency_seconds"}) {
+      MC3_RETURN_IF_ERROR(RequireMember(client, block, Kind::kObject,
+                                        "client"));
+      const obs::JsonValue& split = *client.Find(block);
+      for (const char* key : {"count", "mean", "p50", "p95", "p99", "max"}) {
+        MC3_RETURN_IF_ERROR(RequireMember(split, key, Kind::kNumber, block));
+      }
+    }
   }
   const obs::JsonValue& server = *root.Find("server");
   MC3_RETURN_IF_ERROR(

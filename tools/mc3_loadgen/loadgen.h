@@ -44,6 +44,12 @@ struct LoadGenOptions {
   size_t solve_every = 16;
   /// Every Nth update also removes a previously added query; 0 = never.
   size_t remove_every = 3;
+  /// Mixed read/write mode (read_sweep.sh, docs/serving.md#lock-free-reads):
+  /// when in [0,1], each operation is independently a solve with this
+  /// probability (seeded, deterministic) instead of the solve_every cadence,
+  /// and the report splits latencies into read/write summaries. Negative
+  /// (the default) keeps the historical plan byte-for-byte.
+  double read_ratio = -1;
 
   uint64_t seed = 1;
   /// Synthetic property pool ("p0" .. "p{N-1}") and query length. With
@@ -124,6 +130,11 @@ struct LoadReport {
   double wall_seconds = 0;
   double achieved_qps = 0;
   LatencySummary latency;
+  /// Per-verb latency split (mixed mode, options.read_ratio >= 0 only):
+  /// reads are solves, writes are updates. The combined summary above still
+  /// covers every response.
+  LatencySummary read_latency;
+  LatencySummary write_latency;
 
   // Server-side truth, scraped from the stats endpoint after the run.
   bool server_stats_valid = false;

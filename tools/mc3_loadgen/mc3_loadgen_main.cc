@@ -3,7 +3,8 @@
 //
 //   mc3_loadgen --port N [--host H] [--port-file F] [--qps Q] [--ops N]
 //               [--connections N] [--burst N] [--seed S] [--quick]
-//               [--solve-every N] [--remove-every N] [--tenants N]
+//               [--solve-every N] [--remove-every N] [--read-ratio R]
+//               [--tenants N]
 //               [--shutdown] [--report out.json] [--min-coalesced-batch N]
 //               [--scrape-interval SECS] [--scrape-out F]
 //
@@ -20,6 +21,10 @@
 // run, embeds the time series in the report, and fails the run (exit 1) if
 // the final server counters disagree with client-side accounting;
 // --scrape-out dumps the final raw exposition text for artifact upload.
+// --read-ratio R (in [0,1]) switches to mixed mode: each operation is
+// independently a solve with probability R (deterministic per seed), the
+// report splits read-vs-write latency summaries, and the sweep line gains
+// read/write p99s — the knob behind scripts/read_sweep.sh.
 //
 // Exit codes: 0 success, 1 runtime/gate failure, 2 usage error.
 #include <cstdio>
@@ -40,6 +45,7 @@ int Usage() {
       "usage: mc3_loadgen --port N [--host H] [--port-file F] [--qps Q]\n"
       "                   [--ops N] [--connections N] [--burst N] [--seed S]\n"
       "                   [--quick] [--solve-every N] [--remove-every N]\n"
+      "                   [--read-ratio R]\n"
       "                   [--tenants N] [--properties N] [--query-length N]\n"
       "                   [--shutdown] [--report out.json]\n"
       "                   [--min-coalesced-batch N]\n"
@@ -135,6 +141,14 @@ int main(int argc, char** argv) {
   if (const std::string* v = flag_value("--remove-every")) {
     options.remove_every = std::strtoul(v->c_str(), nullptr, 10);
   }
+  if (const std::string* v = flag_value("--read-ratio")) {
+    char* end = nullptr;
+    options.read_ratio = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0' || options.read_ratio < 0 ||
+        options.read_ratio > 1) {
+      return Usage();
+    }
+  }
   if (const std::string* v = flag_value("--tenants")) {
     options.tenants = std::strtoul(v->c_str(), nullptr, 10);
     if (options.tenants == 0) return Usage();
@@ -223,6 +237,20 @@ int main(int argc, char** argv) {
               report->wall_seconds > 0
                   ? static_cast<double>(committed_ops) / report->wall_seconds
                   : 0.0);
+  // Mixed-mode sweep line (scripts/read_sweep.sh): per-verb p99s under the
+  // planned read ratio, in microseconds for stable parsing.
+  if (options.read_ratio >= 0) {
+    std::printf("read_sweep: read_ratio=%.2f reads=%llu writes=%llu "
+                "read_p50_us=%.1f read_p99_us=%.1f write_p50_us=%.1f "
+                "write_p99_us=%.1f\n",
+                options.read_ratio,
+                static_cast<unsigned long long>(report->read_latency.count),
+                static_cast<unsigned long long>(report->write_latency.count),
+                report->read_latency.p50 * 1e6,
+                report->read_latency.p99 * 1e6,
+                report->write_latency.p50 * 1e6,
+                report->write_latency.p99 * 1e6);
+  }
 
   if (report->lost > 0) {
     std::fprintf(stderr, "error: %llu accepted requests got no response\n",
